@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig. 4 / Fig. 5 analytic experiment: the exact
+//! fluid LP, the circulation decomposition, and the primal-dual iteration
+//! on the paper's 5-node example.
+//!
+//! Regenerate the figure itself with `spider-experiments fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::{fig4_fig5, fig4_network};
+use spider_core::DemandMatrix;
+use spider_opt::fluid::{enumerate_demand_paths, FluidProblem};
+use spider_opt::primal_dual::{self, PrimalDualConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let network = fig4_network();
+    let demand = DemandMatrix::fig4_example();
+    let paths = enumerate_demand_paths(&network, &demand, 5);
+
+    c.bench_function("fig4/full_experiment", |b| b.iter(fig4_fig5));
+
+    c.bench_function("fig4/simplex_balanced_lp", |b| {
+        b.iter(|| {
+            FluidProblem::new(&network, &demand, &paths, 1.0).max_balanced_throughput()
+        })
+    });
+
+    c.bench_function("fig4/circulation_decomposition", |b| {
+        b.iter(|| spider_opt::circulation::decompose(&demand))
+    });
+
+    c.bench_function("fig4/primal_dual_2k_iters", |b| {
+        let config = PrimalDualConfig { max_iters: 2_000, tolerance: 0.0, ..Default::default() };
+        b.iter(|| primal_dual::solve(&network, &demand, &paths, 1.0, &config))
+    });
+
+    c.bench_function("fig4/rebalancing_budget_lp", |b| {
+        let problem = FluidProblem::new(&network, &demand, &paths, 1.0);
+        b.iter(|| problem.with_rebalancing_budget(4.0))
+    });
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Fig. 6 comparison: end-to-end simulation cost of
+//! each routing scheme on a reduced ISP workload.
+//!
+//! Regenerate the figure itself with `spider-experiments fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_bench::{build_scheme, ExperimentConfig, SchemeChoice};
+use spider_sim::run;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::isp_quick();
+    cfg.num_transactions = 2_000;
+    cfg.duration = 30.0;
+    let network = cfg.network();
+    let trace = cfg.trace(&network);
+    let sim_cfg = cfg.sim_config();
+
+    let mut group = c.benchmark_group("fig6_isp_2k_txns");
+    group.sample_size(10);
+    for choice in SchemeChoice::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{choice:?}")),
+            &choice,
+            |b, &choice| {
+                b.iter(|| {
+                    let mut scheme = build_scheme(choice, &network, &trace, cfg.duration);
+                    run(&network, &trace, scheme.as_mut(), &sim_cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

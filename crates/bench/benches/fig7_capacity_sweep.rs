@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig. 7 capacity sweep: simulation cost of the
+//! waterfilling scheme as per-channel capacity scales. (More capacity means
+//! more successful units and therefore more events.)
+//!
+//! Regenerate the figure itself with `spider-experiments fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_bench::{build_scheme, ExperimentConfig, SchemeChoice};
+use spider_sim::run;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_waterfilling_capacity");
+    group.sample_size(10);
+    for capacity in [10_000.0, 30_000.0, 100_000.0] {
+        let mut cfg = ExperimentConfig::isp_quick();
+        cfg.num_transactions = 2_000;
+        cfg.duration = 30.0;
+        cfg.capacity = capacity;
+        let network = cfg.network();
+        let trace = cfg.trace(&network);
+        let sim_cfg = cfg.sim_config();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{capacity:.0}")),
+            &capacity,
+            |b, _| {
+                b.iter(|| {
+                    let mut scheme = build_scheme(
+                        SchemeChoice::SpiderWaterfilling,
+                        &network,
+                        &trace,
+                        cfg.duration,
+                    );
+                    run(&network, &trace, scheme.as_mut(), &sim_cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion bench for the optimization kernels, including the §3 overhead
+//! claim: per-transaction max-flow is far more expensive than Spider's
+//! waterfilling unit decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_core::{Amount, DemandMatrix, NodeId};
+use spider_opt::maxflow::balance_limited_flow;
+use spider_opt::mincostflow::MinCostFlow;
+use spider_opt::simplex::{LinearProgram, Relation};
+use spider_routing::{edge_disjoint_paths, k_shortest_paths, RoutingScheme, WaterfillingScheme};
+use spider_topology::{isp_topology, ripple_topology_scaled};
+use spider_workload::{mixed_demand, random_circulation};
+
+fn bench_flows(c: &mut Criterion) {
+    let isp = isp_topology(Amount::from_whole(30_000));
+    let ripple = ripple_topology_scaled(400, Amount::from_whole(30_000), 1);
+
+    // The §3 comparison: one max-flow routing decision vs one waterfilling
+    // unit decision on the same graph.
+    let mut group = c.benchmark_group("per_transaction_routing_cost");
+    group.bench_function("max_flow_isp", |b| {
+        b.iter(|| {
+            balance_limited_flow(&isp, &isp, NodeId(20), NodeId(27), Amount::from_whole(500))
+        })
+    });
+    group.bench_function("waterfilling_unit_isp", |b| {
+        let mut scheme = WaterfillingScheme::new();
+        // Warm the path cache: steady-state per-unit cost is what matters.
+        let _ = scheme.route_unit(&isp, &isp, NodeId(20), NodeId(27), Amount::from_whole(10));
+        b.iter(|| scheme.route_unit(&isp, &isp, NodeId(20), NodeId(27), Amount::from_whole(10)))
+    });
+    group.bench_function("max_flow_ripple400", |b| {
+        b.iter(|| {
+            balance_limited_flow(
+                &ripple,
+                &ripple,
+                NodeId(10),
+                NodeId(390),
+                Amount::from_whole(500),
+            )
+        })
+    });
+    group.bench_function("waterfilling_unit_ripple400", |b| {
+        let mut scheme = WaterfillingScheme::new();
+        let _ =
+            scheme.route_unit(&ripple, &ripple, NodeId(10), NodeId(390), Amount::from_whole(10));
+        b.iter(|| {
+            scheme.route_unit(&ripple, &ripple, NodeId(10), NodeId(390), Amount::from_whole(10))
+        })
+    });
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let isp = isp_topology(Amount::from_whole(30_000));
+    let mut group = c.benchmark_group("path_discovery");
+    group.bench_function("edge_disjoint_4_isp", |b| {
+        b.iter(|| edge_disjoint_paths(&isp, NodeId(20), NodeId(27), 4))
+    });
+    group.bench_function("yen_k4_isp", |b| {
+        b.iter(|| k_shortest_paths(&isp, NodeId(20), NodeId(27), 4))
+    });
+    group.finish();
+}
+
+fn bench_circulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circulation_decomposition");
+    for n in [20usize, 50, 100] {
+        let demand = mixed_demand(n, 100.0, 0.6, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &demand, |b, d| {
+            b.iter(|| spider_opt::circulation::decompose(d))
+        });
+    }
+    group.bench_function("peel_cycles_50", |b| {
+        let circ = random_circulation(50, 25, 0.5, 2.0, 3);
+        b.iter(|| spider_opt::circulation::peel_cycles(&circ))
+    });
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for n in [20usize, 60] {
+        // Deterministic dense LP with n vars and n constraints.
+        let mut lp = LinearProgram::new(n);
+        let mut state = 0xfeed_beefu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64
+        };
+        let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.5 + next())).collect();
+        lp.set_objective(&obj);
+        for _ in 0..n {
+            let row: Vec<(usize, f64)> = (0..n).map(|j| (j, next())).collect();
+            lp.add_constraint(&row, Relation::Le, 5.0 + 10.0 * next());
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| lp.solve())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mincost(c: &mut Criterion) {
+    c.bench_function("min_cost_flow_grid_10x10", |b| {
+        b.iter(|| {
+            let n = 100usize;
+            let idx = |r: usize, c_: usize| r * 10 + c_;
+            let mut g = MinCostFlow::new(n);
+            for r in 0..10 {
+                for c_ in 0..10 {
+                    if c_ + 1 < 10 {
+                        g.add_edge(idx(r, c_), idx(r, c_ + 1), 5, 1);
+                    }
+                    if r + 1 < 10 {
+                        g.add_edge(idx(r, c_), idx(r + 1, c_), 5, 2);
+                    }
+                }
+            }
+            g.min_cost_flow(0, n - 1, 10)
+        })
+    });
+
+    // Circulation via the demand-matrix API on a ring demand.
+    c.bench_function("decompose_ring_demand_30", |b| {
+        let mut demand = DemandMatrix::new();
+        for i in 0..30u32 {
+            demand.set(NodeId(i), NodeId((i + 1) % 30), 1.0 + i as f64 * 0.1);
+        }
+        b.iter(|| spider_opt::circulation::decompose(&demand))
+    });
+}
+
+criterion_group!(benches, bench_flows, bench_paths, bench_circulation, bench_simplex, bench_mincost);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion bench for the discrete-event engine itself: event queue
+//! throughput, ledger lock/settle throughput, and end-to-end simulated
+//! events per second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_core::{Amount, NodeId, Path, PaymentId};
+use spider_routing::ShortestPathScheme;
+use spider_sim::{run, EventQueue, Ledger, SimConfig};
+use spider_topology::isp_topology;
+use spider_workload::Transaction;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Deterministic scattered times.
+            let mut t = 0.0f64;
+            for i in 0..10_000u32 {
+                t = (t + 0.618_033_988_749) % 100.0;
+                q.push(t, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v as u64;
+            }
+            sum
+        })
+    });
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    let network = isp_topology(Amount::from_whole(1_000_000));
+    let path = {
+        // A 3-hop path through the hierarchy: access 20 -> agg 8 -> core 0 -> agg 10.
+        Path::new(&network, vec![NodeId(20), NodeId(8), NodeId(0), NodeId(10)])
+            .expect("valid isp path")
+    };
+    // Lock + refund is balance-neutral, so the bench can iterate forever.
+    c.bench_function("ledger/lock_refund_cycle", |b| {
+        let mut ledger = Ledger::new(&network);
+        let amount = Amount::from_whole(1);
+        b.iter(|| {
+            ledger.lock_path(&network, &path, amount).expect("funds available");
+            ledger.refund_path(&network, &path, amount);
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let network = isp_topology(Amount::from_whole(30_000));
+    // 1000 balanced payments (paired directions keep channels alive).
+    let txs: Vec<Transaction> = (0..1000u64)
+        .map(|i| Transaction {
+            id: PaymentId(i),
+            src: NodeId((i % 12) as u32 + 20),
+            dst: NodeId(((i + 6) % 12) as u32 + 20),
+            amount: Amount::from_whole(50),
+            arrival: i as f64 * 0.01,
+        })
+        .collect();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("shortest_path_1k_payments", |b| {
+        b.iter(|| {
+            let mut scheme = ShortestPathScheme::new();
+            run(&network, &txs, &mut scheme, &SimConfig::new(20.0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_queued_engine(c: &mut Criterion) {
+    use spider_sim::{run_queued, QueuedConfig};
+    let network = isp_topology(Amount::from_whole(30_000));
+    let txs: Vec<Transaction> = (0..1000u64)
+        .map(|i| Transaction {
+            id: PaymentId(i),
+            src: NodeId((i % 12) as u32 + 20),
+            dst: NodeId(((i + 6) % 12) as u32 + 20),
+            amount: Amount::from_whole(50),
+            arrival: i as f64 * 0.01,
+        })
+        .collect();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("router_queues_1k_payments", |b| {
+        b.iter(|| run_queued(&network, &txs, &QueuedConfig::new(20.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_ledger,
+    bench_end_to_end,
+    bench_queued_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Command-line harness that regenerates every table and figure of the
+//! paper.
+//!
+//! ```text
+//! spider-experiments fig4                    # Fig. 4 + Fig. 5 (analytic example)
+//! spider-experiments fig6 --topology isp     # Fig. 6 bars (ISP)
+//! spider-experiments fig6 --topology ripple  # Fig. 6 bars (Ripple-like)
+//! spider-experiments fig7                    # Fig. 7 capacity sweep
+//! spider-experiments rebalancing             # §5.2.3 t(B) frontier
+//! spider-experiments all                     # everything above
+//! ```
+//!
+//! Add `--full` for the paper's full scale (much slower), `--json PATH` to
+//! write machine-readable reports, `--seed N` to vary the workload.
+
+use spider_bench::{
+    ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
+    ablation_scheduler, extension_schemes, fig4_fig5, fig6, fig7, rebalancing_curve,
+    Ablation, ExperimentConfig, SchemeChoice,
+};
+use spider_sim::SimReport;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let command = args[0].as_str();
+    let full = has_flag(&args, "--full");
+    let seed = match flag_value(&args, "--seed") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--seed expects an integer, got `{v}`");
+            usage_and_exit();
+        }),
+        None => 1,
+    };
+    let json_path = flag_value(&args, "--json");
+    let mut out = JsonSink::new(json_path);
+
+    match command {
+        "fig4" | "fig5" => run_fig4(&mut out),
+        "fig6" => {
+            let topology = flag_value(&args, "--topology").unwrap_or_else(|| "isp".into());
+            run_fig6(&topology, full, seed, &mut out);
+        }
+        "fig7" => run_fig7(full, seed, &mut out),
+        "rebalancing" => run_rebalancing(&mut out),
+        "ablations" => run_ablations(seed, &mut out),
+        "all" => {
+            run_fig4(&mut out);
+            run_fig6("isp", full, seed, &mut out);
+            run_fig6("ripple", full, seed, &mut out);
+            run_fig7(full, seed, &mut out);
+            run_rebalancing(&mut out);
+            run_ablations(seed, &mut out);
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage_and_exit();
+        }
+    }
+    out.finish();
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|all> \
+         [--topology isp|ripple] [--full] [--seed N] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Accumulates results and optionally writes one JSON document at the end.
+struct JsonSink {
+    path: Option<String>,
+    values: Vec<(String, serde_json::Value)>,
+}
+
+impl JsonSink {
+    fn new(path: Option<String>) -> Self {
+        JsonSink { path, values: Vec::new() }
+    }
+
+    fn record<T: serde::Serialize>(&mut self, key: &str, value: &T) {
+        if self.path.is_some() {
+            self.values.push((
+                key.to_string(),
+                serde_json::to_value(value).expect("results serialize"),
+            ));
+        }
+    }
+
+    fn finish(self) {
+        if let Some(path) = self.path {
+            let map: serde_json::Map<String, serde_json::Value> =
+                self.values.into_iter().collect();
+            let mut file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            file.write_all(serde_json::to_string_pretty(&map).unwrap().as_bytes())
+                .expect("write json");
+            println!("\nwrote {path}");
+        }
+    }
+}
+
+fn run_fig4(out: &mut JsonSink) {
+    println!("=== Fig. 4 / Fig. 5: balanced routing example & decomposition ===");
+    let r = fig4_fig5();
+    println!("total demand:                       {:>6.1}  (paper: 12)", r.total_demand);
+    println!(
+        "shortest-path balanced throughput:  {:>6.1}  (paper Fig. 4b: 5)",
+        r.shortest_path_throughput
+    );
+    println!(
+        "optimal balanced throughput:        {:>6.1}  (paper Fig. 4c: 8)",
+        r.optimal_throughput
+    );
+    println!("max circulation ν(C*):              {:>6.1}  (paper Fig. 5b: 8)", r.circulation_value);
+    println!("DAG remainder:                      {:>6.1}  (paper Fig. 5c: 4)", r.dag_value);
+    println!("circulation cycles:");
+    for (nodes, rate) in &r.cycles {
+        let pretty: Vec<String> = nodes.iter().map(|n| format!("{}", n + 1)).collect();
+        println!("  {} -> (rate {rate:.1})", pretty.join(" -> "));
+    }
+    out.record("fig4", &r);
+    println!();
+}
+
+fn config_for(topology: &str, full: bool, seed: u64) -> ExperimentConfig {
+    let mut cfg = match (topology, full) {
+        ("isp", false) => ExperimentConfig::isp_quick(),
+        ("isp", true) => ExperimentConfig::isp_full(),
+        ("ripple", false) => ExperimentConfig::ripple_quick(),
+        ("ripple", true) => ExperimentConfig::ripple_full(),
+        _ => {
+            eprintln!("unknown topology `{topology}` (use isp or ripple)");
+            usage_and_exit();
+        }
+    };
+    cfg.seed = seed;
+    cfg
+}
+
+fn print_fig6_table(reports: &[SimReport]) {
+    println!(
+        "{:<22} {:>13} {:>14} {:>14} {:>11} {:>9}",
+        "scheme", "success_ratio", "success_volume", "strict_volume", "completed", "units"
+    );
+    for r in reports {
+        println!(
+            "{:<22} {:>13.3} {:>14.3} {:>14.3} {:>5}/{:<5} {:>9}",
+            r.scheme,
+            r.success_ratio(),
+            r.success_volume(),
+            r.strict_success_volume(),
+            r.completed,
+            r.attempted,
+            r.units_sent
+        );
+    }
+}
+
+fn run_fig6(topology: &str, full: bool, seed: u64, out: &mut JsonSink) {
+    let cfg = config_for(topology, full, seed);
+    println!(
+        "=== Fig. 6 ({topology}): {} txns over {:.0}s, capacity {:.0}/channel ===",
+        cfg.num_transactions, cfg.duration, cfg.capacity
+    );
+    let t0 = std::time::Instant::now();
+    let reports = fig6(&cfg);
+    print_fig6_table(&reports);
+    println!("({:.1}s)", t0.elapsed().as_secs_f64());
+    out.record(&format!("fig6_{topology}"), &reports);
+    println!();
+}
+
+fn run_fig7(full: bool, seed: u64, out: &mut JsonSink) {
+    let cfg = config_for("isp", full, seed);
+    let capacities = [10_000.0, 17_500.0, 30_000.0, 55_000.0, 100_000.0];
+    println!(
+        "=== Fig. 7: capacity sweep on ISP ({} txns / {:.0}s per point) ===",
+        cfg.num_transactions, cfg.duration
+    );
+    let t0 = std::time::Instant::now();
+    let sweep = fig7(&cfg, &capacities);
+    for (cap, reports) in &sweep {
+        println!("--- capacity {cap:.0} ---");
+        print_fig6_table(reports);
+    }
+    // Summary series per scheme for plotting.
+    println!("\nsuccess_ratio by capacity:");
+    for (i, &choice) in SchemeChoice::ALL.iter().enumerate() {
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|(cap, reports)| format!("{:.0}:{:.3}", cap, reports[i].success_ratio()))
+            .collect();
+        println!("  {:<20} {}", format!("{choice:?}"), series.join("  "));
+    }
+    println!("({:.1}s)", t0.elapsed().as_secs_f64());
+    let json: Vec<(f64, &Vec<SimReport>)> = sweep.iter().map(|(c, r)| (*c, r)).collect();
+    out.record("fig7", &json);
+    println!();
+}
+
+fn print_ablation(title: &str, rows: &[Ablation]) {
+    println!("--- {title} ---");
+    println!(
+        "{:<22} {:>13} {:>14} {:>9}",
+        "variant", "success_ratio", "success_volume", "units"
+    );
+    for (label, r) in rows {
+        println!(
+            "{:<22} {:>13.3} {:>14.3} {:>9}",
+            label,
+            r.success_ratio(),
+            r.success_volume(),
+            r.units_sent
+        );
+    }
+}
+
+fn run_ablations(seed: u64, out: &mut JsonSink) {
+    // Use the contended Fig. 6 regime so the knobs actually discriminate
+    // (shorter runs saturate at 100% success).
+    let mut cfg = ExperimentConfig::isp_quick();
+    cfg.seed = seed;
+    println!(
+        "=== Ablations (ISP, {} txns / {:.0}s, waterfilling unless noted) ===",
+        cfg.num_transactions, cfg.duration
+    );
+    let t0 = std::time::Instant::now();
+
+    let mtu = ablation_mtu(&cfg, &[2.0, 5.0, 10.0, 50.0, 170.0]);
+    print_ablation("MTU (transaction unit size)", &mtu);
+    out.record("ablation_mtu", &mtu);
+
+    let ks = ablation_num_paths(&cfg, &[1, 2, 4, 8]);
+    print_ablation("K candidate paths", &ks);
+    out.record("ablation_num_paths", &ks);
+
+    let strat = ablation_path_strategy(&cfg);
+    print_ablation("path-selection strategy", &strat);
+    out.record("ablation_path_strategy", &strat);
+
+    let sched = ablation_scheduler(&cfg);
+    print_ablation("scheduling policy", &sched);
+    out.record("ablation_scheduler", &sched);
+
+    let ext = ablation_extensions(&cfg);
+    print_ablation("extensions (congestion control, on-chain rebalancing)", &ext);
+    let schemes = extension_schemes(&cfg);
+    print_ablation("beyond-the-paper schemes", &schemes);
+    out.record("extension_schemes", &schemes);
+    for (label, r) in &ext {
+        if r.rebalance.transactions > 0 {
+            println!(
+                "    {label}: {} on-chain txns moved {:.0} tokens, fees {:.1}",
+                r.rebalance.transactions, r.rebalance.moved_volume, r.rebalance.fees_paid
+            );
+        }
+    }
+    out.record("ablation_extensions", &ext);
+
+    println!("({:.1}s)", t0.elapsed().as_secs_f64());
+    println!();
+}
+
+fn run_rebalancing(out: &mut JsonSink) {
+    println!("=== §5.2.3: throughput vs on-chain rebalancing budget t(B) ===");
+    let budgets = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
+    let pts = rebalancing_curve(&budgets);
+    println!("{:>8} {:>12}", "B", "t(B)");
+    for p in &pts {
+        println!("{:>8.1} {:>12.3}", p.budget, p.throughput);
+    }
+    println!("(non-decreasing, concave; t(0) = ν(C*) = 8, t(∞) = total demand = 12)");
+    out.record("rebalancing", &pts);
+    println!();
+}

@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! [`experiments`] defines one deterministic function per figure; the
+//! `spider-experiments` binary prints paper-style rows and writes JSON
+//! reports; the Criterion benches in `benches/` measure the computational
+//! kernels behind each figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{
+    ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
+    ablation_scheduler, build_scheme, extension_schemes, fig4_fig5, fig4_network, fig6, fig7,
+    lp_candidate_paths, rebalancing_curve, run_scheme, Ablation, ExperimentConfig,
+    Fig4Result, RebalancingPoint, SchemeChoice, Topology,
+};

@@ -1,0 +1,217 @@
+//! Utility-maximizing (proportionally fair) routing.
+//!
+//! The paper notes (§5.3, §6.2) that the throughput objective starves some
+//! commodities — "the LP assigns zero flows to all paths for certain
+//! commodities" — and proposes exploring objectives like proportional
+//! fairness [15, 16]. This module maximizes
+//!
+//! `Σ_{(i,j)} w_ij · log(f_ij + ε)`    with `f_ij = Σ_{p ∈ P_ij} x_p`
+//!
+//! over the same balanced-routing polytope as eqs. (1)–(5), using the
+//! Frank–Wolfe (conditional gradient) method: each iteration linearizes the
+//! utility and calls the exact simplex on the resulting weighted-flow LP,
+//! then steps toward the vertex with the standard `2/(k+2)` schedule. The
+//! objective is smooth and concave on a compact polytope, so the iterates
+//! converge to the optimum.
+
+use crate::fluid::{FluidProblem, FluidSolution};
+use spider_core::NodeId;
+use std::collections::BTreeMap;
+
+/// Settings for the Frank–Wolfe fairness solver.
+#[derive(Clone, Copy, Debug)]
+pub struct FairnessConfig {
+    /// Number of Frank–Wolfe iterations.
+    pub iterations: usize,
+    /// Smoothing floor ε inside the logarithm (keeps gradients finite for
+    /// unroutable pairs).
+    pub epsilon: f64,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig { iterations: 60, epsilon: 1e-3 }
+    }
+}
+
+/// A proportionally fair allocation.
+#[derive(Clone, Debug)]
+pub struct FairSolution {
+    /// Flow on each candidate path (aligned with the problem's path slice).
+    pub path_flows: Vec<f64>,
+    /// Delivered rate per (src, dst) pair.
+    pub pair_rates: BTreeMap<(NodeId, NodeId), f64>,
+    /// Total delivered rate.
+    pub throughput: f64,
+    /// Achieved utility `Σ log(f + ε)`.
+    pub utility: f64,
+}
+
+/// Computes `Σ log(f_ij + ε)` for a path-flow vector.
+pub fn log_utility(problem: &FluidProblem<'_>, flows: &[f64], epsilon: f64) -> f64 {
+    pair_rates(problem, flows)
+        .values()
+        .map(|&f| (f + epsilon).ln())
+        .sum()
+}
+
+fn pair_rates(problem: &FluidProblem<'_>, flows: &[f64]) -> BTreeMap<(NodeId, NodeId), f64> {
+    let mut rates: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+    for (i, p) in problem.paths().iter().enumerate() {
+        if flows[i] != 0.0 {
+            *rates.entry((p.source(), p.dest())).or_default() += flows[i];
+        }
+    }
+    // Make sure every demand-bearing pair with candidate paths appears,
+    // even at rate zero, so the utility counts its starvation.
+    for p in problem.paths() {
+        rates.entry((p.source(), p.dest())).or_insert(0.0);
+    }
+    rates
+}
+
+/// Maximizes proportional fairness over the balanced-routing polytope.
+pub fn proportional_fair(problem: &FluidProblem<'_>, config: &FairnessConfig) -> FairSolution {
+    assert!(config.iterations >= 1);
+    assert!(config.epsilon > 0.0);
+    let n = problem.paths().len();
+    if n == 0 {
+        return FairSolution {
+            path_flows: Vec::new(),
+            pair_rates: BTreeMap::new(),
+            throughput: 0.0,
+            utility: 0.0,
+        };
+    }
+
+    // Feasible start: half the max-throughput solution (strictly interior in
+    // the throughput direction, avoids a log cliff at zero).
+    let mut x: Vec<f64> =
+        problem.max_balanced_throughput().path_flows.iter().map(|f| 0.5 * f).collect();
+
+    for k in 0..config.iterations {
+        // Gradient of Σ log(f + ε): each path of pair (i,j) gets 1/(f_ij + ε).
+        let rates = pair_rates(problem, &x);
+        let weights: Vec<f64> = problem
+            .paths()
+            .iter()
+            .map(|p| {
+                let f = rates.get(&(p.source(), p.dest())).copied().unwrap_or(0.0);
+                1.0 / (f + config.epsilon)
+            })
+            .collect();
+        // Linear maximization over the polytope (exact simplex vertex).
+        let vertex: FluidSolution = problem.max_weighted_flow(&weights);
+        let gamma = 2.0 / (k as f64 + 2.0);
+        for (xi, si) in x.iter_mut().zip(&vertex.path_flows) {
+            *xi = (1.0 - gamma) * *xi + gamma * si;
+        }
+    }
+
+    let rates = pair_rates(problem, &x);
+    let throughput = x.iter().sum();
+    let utility = rates.values().map(|&f| (f + config.epsilon).ln()).sum();
+    FairSolution { path_flows: x, pair_rates: rates, throughput, utility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::enumerate_demand_paths;
+    use spider_core::{Amount, DemandMatrix, Network};
+
+    /// Line 0-1-2: pair A (0<->2) needs both channels, pair B (0<->1) only
+    /// the first. Channel 0-1's capacity is the shared bottleneck.
+    fn contended_instance() -> (Network, DemandMatrix) {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20)).unwrap();
+        let mut d = DemandMatrix::new();
+        d.set(NodeId(0), NodeId(2), 100.0);
+        d.set(NodeId(2), NodeId(0), 100.0);
+        d.set(NodeId(0), NodeId(1), 100.0);
+        d.set(NodeId(1), NodeId(0), 100.0);
+        (g, d)
+    }
+
+    #[test]
+    fn fairness_splits_the_bottleneck() {
+        let (g, d) = contended_instance();
+        let paths = enumerate_demand_paths(&g, &d, 3);
+        let problem = FluidProblem::new(&g, &d, &paths, 1.0);
+        let fair = proportional_fair(&problem, &FairnessConfig::default());
+        // Bottleneck: channel 0-1 carries all four pair flows; capacity 20.
+        // Proportional fairness equalizes the four rates at ~5 each.
+        for (&(s, t), &rate) in &fair.pair_rates {
+            assert!(
+                (rate - 5.0).abs() < 0.8,
+                "pair {s}->{t} should get ~5, got {rate}"
+            );
+        }
+        assert!((fair.throughput - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fairness_utility_beats_unbalanced_allocations() {
+        let (g, d) = contended_instance();
+        let paths = enumerate_demand_paths(&g, &d, 3);
+        let problem = FluidProblem::new(&g, &d, &paths, 1.0);
+        let config = FairnessConfig::default();
+        let fair = proportional_fair(&problem, &config);
+        // Compare against the raw max-throughput vertex (which may starve a
+        // pair) and the half-scale start.
+        let vertex = problem.max_balanced_throughput();
+        let u_fair = fair.utility;
+        let u_vertex = log_utility(&problem, &vertex.path_flows, config.epsilon);
+        assert!(
+            u_fair >= u_vertex - 1e-6,
+            "fair utility {u_fair} must be at least the vertex's {u_vertex}"
+        );
+    }
+
+    #[test]
+    fn fairness_respects_demand_caps() {
+        // Tiny demand on one pair: fairness cannot exceed it.
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(100)).unwrap();
+        let mut d = DemandMatrix::new();
+        d.set(NodeId(0), NodeId(1), 2.0);
+        d.set(NodeId(1), NodeId(0), 2.0);
+        let paths = enumerate_demand_paths(&g, &d, 2);
+        let problem = FluidProblem::new(&g, &d, &paths, 1.0);
+        let fair = proportional_fair(&problem, &FairnessConfig::default());
+        for &rate in fair.pair_rates.values() {
+            assert!(rate <= 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_fine() {
+        let g = Network::new(2);
+        let d = DemandMatrix::new();
+        let paths = Vec::new();
+        let problem = FluidProblem::new(&g, &d, &paths, 1.0);
+        let fair = proportional_fair(&problem, &FairnessConfig::default());
+        assert_eq!(fair.throughput, 0.0);
+    }
+
+    #[test]
+    fn flows_stay_feasible() {
+        let (g, d) = contended_instance();
+        let paths = enumerate_demand_paths(&g, &d, 3);
+        let problem = FluidProblem::new(&g, &d, &paths, 1.0);
+        let fair = proportional_fair(&problem, &FairnessConfig::default());
+        // Feasibility spot-checks: non-negative flows, per-pair ≤ demand,
+        // channel 0-1 total ≤ capacity/Δ = 20 (+ FW rounding slack).
+        assert!(fair.path_flows.iter().all(|&f| f >= -1e-9));
+        let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
+        let mut on_c01 = 0.0;
+        for (i, p) in paths.iter().enumerate() {
+            if p.uses_channel(c01) {
+                on_c01 += fair.path_flows[i];
+            }
+        }
+        assert!(on_c01 <= 20.0 + 1e-6, "channel 0-1 overloaded: {on_c01}");
+    }
+}

@@ -1,0 +1,250 @@
+//! SilentWhispers-style landmark routing (atomic baseline, \[18\] in the
+//! paper).
+//!
+//! A fixed set of well-connected *landmarks* act as rendezvous points:
+//! every payment is split into equal shares, one per landmark, and each
+//! share travels sender → landmark → receiver. The payment succeeds only if
+//! every share can be funded simultaneously — the atomic, circuit-switched
+//! behaviour Spider's packet switching is compared against.
+//!
+//! Only the routing behaviour is reproduced here; SilentWhispers'
+//! multi-party-computation privacy layer does not affect throughput or
+//! success metrics.
+
+use crate::paths::shortest_path;
+use crate::scheme::{split_evenly, BalanceOverlay, RoutingScheme, SchemeKind};
+use spider_core::{Amount, BalanceView, Network, NodeId, Path};
+use std::collections::HashMap;
+
+/// The SilentWhispers-style landmark routing scheme.
+#[derive(Debug)]
+pub struct SilentWhispersScheme {
+    landmarks: Vec<NodeId>,
+    /// Cached landmark paths per (src, dst): one entry per landmark that has
+    /// a valid loop-collapsed path.
+    cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+}
+
+impl SilentWhispersScheme {
+    /// Creates the scheme with the `num_landmarks` highest-degree nodes as
+    /// landmarks (ties broken by node id).
+    pub fn new(network: &Network, num_landmarks: usize) -> Self {
+        assert!(num_landmarks >= 1);
+        let mut nodes: Vec<NodeId> = network.nodes().collect();
+        nodes.sort_by_key(|&n| (std::cmp::Reverse(network.degree(n)), n));
+        nodes.truncate(num_landmarks);
+        SilentWhispersScheme { landmarks: nodes, cache: HashMap::new() }
+    }
+
+    /// Creates the scheme with an explicit landmark set.
+    pub fn with_landmarks(landmarks: Vec<NodeId>) -> Self {
+        assert!(!landmarks.is_empty());
+        SilentWhispersScheme { landmarks, cache: HashMap::new() }
+    }
+
+    /// The landmark set.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    fn landmark_paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Path] {
+        let landmarks = self.landmarks.clone();
+        self.cache.entry((src, dst)).or_insert_with(|| {
+            landmarks
+                .iter()
+                .filter_map(|&lm| landmark_path(network, src, lm, dst))
+                .collect()
+        })
+    }
+}
+
+/// Builds the loop-collapsed sender → landmark → receiver path, if both legs
+/// exist.
+fn landmark_path(network: &Network, src: NodeId, lm: NodeId, dst: NodeId) -> Option<Path> {
+    let mut nodes: Vec<NodeId> = if src == lm {
+        vec![src]
+    } else {
+        shortest_path(network, src, lm)?.nodes().to_vec()
+    };
+    if lm != dst {
+        let second = shortest_path(network, lm, dst)?;
+        nodes.extend_from_slice(&second.nodes()[1..]);
+    }
+    if nodes.len() < 2 {
+        return None;
+    }
+    // Collapse loops: keep only the segment between the first and last use
+    // of each revisited node.
+    let mut collapsed: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut position: HashMap<NodeId, usize> = HashMap::new();
+    for node in nodes {
+        if let Some(&at) = position.get(&node) {
+            for removed in collapsed.drain(at + 1..) {
+                position.remove(&removed);
+            }
+        } else {
+            position.insert(node, collapsed.len());
+            collapsed.push(node);
+        }
+    }
+    if collapsed.len() < 2 {
+        return None;
+    }
+    Some(Path::new(network, collapsed).expect("collapsed walk is a simple path"))
+}
+
+impl RoutingScheme for SilentWhispersScheme {
+    fn name(&self) -> &'static str {
+        "silentwhispers"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Atomic
+    }
+
+    fn route_payment(
+        &mut self,
+        network: &Network,
+        balances: &dyn BalanceView,
+        src: NodeId,
+        dst: NodeId,
+        amount: Amount,
+    ) -> Option<Vec<(Path, Amount)>> {
+        let paths: Vec<Path> = self.landmark_paths(network, src, dst).to_vec();
+        if paths.is_empty() {
+            return None;
+        }
+        let shares = split_evenly(amount, paths.len());
+        let mut overlay = BalanceOverlay::new(balances);
+        let mut parts = Vec::with_capacity(paths.len());
+        for (path, share) in paths.into_iter().zip(shares) {
+            if share.is_zero() {
+                continue;
+            }
+            if overlay.bottleneck(&path) < share {
+                return None; // atomic: any unfunded share fails the payment
+            }
+            overlay.debit_path(&path, share);
+            parts.push((path, share));
+        }
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hub-and-spoke plus a ring: nodes 0..6, node 0 is the obvious landmark.
+    fn hub_network() -> Network {
+        let mut g = Network::new(6);
+        for i in 1..6u32 {
+            g.add_channel(NodeId(0), NodeId(i), Amount::from_whole(20)).unwrap();
+        }
+        for i in 1..5u32 {
+            g.add_channel(NodeId(i), NodeId(i + 1), Amount::from_whole(20)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn picks_highest_degree_landmarks() {
+        let g = hub_network();
+        let s = SilentWhispersScheme::new(&g, 2);
+        assert_eq!(s.landmarks()[0], NodeId(0));
+        assert_eq!(s.landmarks().len(), 2);
+    }
+
+    #[test]
+    fn routes_through_landmark() {
+        let g = hub_network();
+        let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(0)]);
+        let parts = s
+            .route_payment(&g, &g, NodeId(1), NodeId(4), Amount::from_whole(5))
+            .expect("routable via hub");
+        assert_eq!(parts.len(), 1);
+        let (path, amt) = &parts[0];
+        assert_eq!(amt, &Amount::from_whole(5));
+        assert!(path.nodes().contains(&NodeId(0)), "must pass the landmark: {path}");
+    }
+
+    #[test]
+    fn splits_across_landmarks() {
+        let g = hub_network();
+        let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(0), NodeId(3)]);
+        let parts = s
+            .route_payment(&g, &g, NodeId(2), NodeId(5), Amount::from_whole(6))
+            .expect("routable via both landmarks");
+        assert_eq!(parts.len(), 2);
+        let total: Amount = parts.iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, Amount::from_whole(6));
+    }
+
+    #[test]
+    fn atomic_failure_when_one_share_unfunded() {
+        let g = hub_network();
+        // Channel 0-5 has 10 spendable per side; a 30-token payment split
+        // over one landmark (share 30) cannot pass any single hub channel.
+        let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(0)]);
+        assert!(s
+            .route_payment(&g, &g, NodeId(1), NodeId(5), Amount::from_whole(30))
+            .is_none());
+    }
+
+    #[test]
+    fn shares_contend_for_shared_channels() {
+        // Two landmarks whose paths share the src's only channel: the
+        // overlay must catch the double-spend.
+        let mut g = Network::new(4);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap(); // 5 spendable
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(100)).unwrap();
+        let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(2), NodeId(3)]);
+        // 8 tokens -> shares of 4+4, both crossing 0-1 which has only 5.
+        assert!(s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(8))
+            .is_none());
+        // 4 tokens -> shares of 2+2 fit.
+        assert!(s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(4))
+            .is_some());
+    }
+
+    #[test]
+    fn landmark_path_collapses_loops() {
+        // src -> lm and lm -> dst retrace the same channel: collapse to the
+        // direct segment.
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        // Landmark 0; payment 1 -> 2. Walk: 1->0 then 0->1->2 collapses to 1->2.
+        let p = landmark_path(&g, NodeId(1), NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn src_or_dst_as_landmark() {
+        let g = hub_network();
+        let p = landmark_path(&g, NodeId(0), NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.dest(), NodeId(3));
+        let p = landmark_path(&g, NodeId(2), NodeId(3), NodeId(3)).unwrap();
+        assert_eq!(p.dest(), NodeId(3));
+    }
+
+    #[test]
+    fn unroutable_when_disconnected() {
+        let mut g = Network::new(4);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10)).unwrap();
+        let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(0)]);
+        assert!(s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::ONE)
+            .is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Routing schemes for payment channel networks.
+//!
+//! Path machinery plus the six schemes of the paper's evaluation (§6.1):
+//!
+//! | scheme | module | kind |
+//! |---|---|---|
+//! | SilentWhispers (landmarks) | [`landmark`] | atomic |
+//! | SpeedyMurmurs (embeddings) | [`embedding`] | atomic |
+//! | Max-flow | [`maxflow_scheme`] | atomic |
+//! | Shortest-path (packet-switched) | [`shortest_path`](mod@shortest_path) | non-atomic |
+//! | Spider (Waterfilling) | [`waterfilling`] | non-atomic |
+//! | Spider (LP) | [`lp_scheme`] | non-atomic |
+//!
+//! All schemes implement [`RoutingScheme`] and are deterministic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod embedding;
+pub mod fees;
+pub mod landmark;
+pub mod lp_scheme;
+pub mod maxflow_scheme;
+pub mod paths;
+pub mod price_scheme;
+pub mod scheme;
+pub mod shortest_path;
+pub mod waterfilling;
+
+pub use embedding::{SpanningTree, SpeedyMurmursScheme};
+pub use fees::{cheapest_path, FeeSchedule};
+pub use landmark::SilentWhispersScheme;
+pub use lp_scheme::LpScheme;
+pub use maxflow_scheme::MaxFlowScheme;
+pub use price_scheme::{PriceConfig, PriceScheme};
+pub use paths::{
+    edge_disjoint_paths, k_shortest_paths, path_bottleneck, shortest_path,
+    widest_paths, PathCache, PathStrategy,
+};
+pub use scheme::{split_evenly, BalanceOverlay, RoutingScheme, SchemeKind, UnitDecision};
+pub use shortest_path::ShortestPathScheme;
+pub use waterfilling::WaterfillingScheme;

@@ -1,0 +1,140 @@
+//! Max-flow routing — the "gold standard" baseline (§3).
+//!
+//! For each transaction, a (centralized stand-in for distributed)
+//! Ford–Fulkerson computes the maximum flow between sender and receiver on
+//! the graph of current spendable balances; if it covers the payment, the
+//! payment is delivered atomically along the decomposed flow paths.
+//! Expensive — `O(|V| · |E|²)` per transaction — which is exactly the
+//! overhead argument the paper makes; see the `opt_kernels` bench.
+
+use crate::scheme::{RoutingScheme, SchemeKind};
+use spider_core::{Amount, BalanceView, Network, NodeId, Path};
+use spider_opt::maxflow::balance_limited_flow;
+
+/// The atomic max-flow routing scheme.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxFlowScheme;
+
+impl MaxFlowScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        MaxFlowScheme
+    }
+}
+
+impl RoutingScheme for MaxFlowScheme {
+    fn name(&self) -> &'static str {
+        "max-flow"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Atomic
+    }
+
+    fn route_payment(
+        &mut self,
+        network: &Network,
+        balances: &dyn BalanceView,
+        src: NodeId,
+        dst: NodeId,
+        amount: Amount,
+    ) -> Option<Vec<(Path, Amount)>> {
+        let flow = balance_limited_flow(network, balances, src, dst, amount);
+        if flow.value < amount {
+            return None;
+        }
+        let mut parts = Vec::with_capacity(flow.paths.len());
+        for (nodes, value) in flow.paths {
+            let path = Path::new(network, nodes)
+                .expect("flow decomposition yields valid trails");
+            parts.push((path, value));
+        }
+        debug_assert_eq!(
+            parts.iter().map(|(_, v)| *v).sum::<Amount>(),
+            amount,
+            "decomposed parts must sum to the payment"
+        );
+        Some(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Network {
+        // 0 -> {1, 2} -> 3, each channel capacity 10 (5 spendable per side).
+        let mut g = Network::new(4);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10)).unwrap();
+        g
+    }
+
+    #[test]
+    fn delivers_multipath_payment() {
+        let g = diamond();
+        let mut s = MaxFlowScheme::new();
+        // 8 tokens exceeds any single path's bottleneck (5) but fits two.
+        let parts = s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(8))
+            .expect("multipath delivery");
+        assert!(parts.len() >= 2);
+        let total: Amount = parts.iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, Amount::from_whole(8));
+    }
+
+    #[test]
+    fn rejects_payment_exceeding_maxflow() {
+        let g = diamond();
+        let mut s = MaxFlowScheme::new();
+        // Max flow is 10 (5 + 5); 11 must fail atomically.
+        assert!(s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(11))
+            .is_none());
+    }
+
+    #[test]
+    fn single_path_when_sufficient() {
+        let g = diamond();
+        let mut s = MaxFlowScheme::new();
+        let parts = s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(3))
+            .unwrap();
+        let total: Amount = parts.iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, Amount::from_whole(3));
+    }
+
+    #[test]
+    fn fails_when_disconnected() {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        let mut s = MaxFlowScheme::new();
+        assert!(s
+            .route_payment(&g, &g, NodeId(0), NodeId(2), Amount::ONE)
+            .is_none());
+    }
+
+    #[test]
+    fn uses_rerouting_through_cross_edges() {
+        // The classic cross example: naive greedy would strand capacity.
+        let mut g = Network::new(4);
+        g.add_channel_with_balances(NodeId(0), NodeId(1), Amount::from_whole(1), Amount::ZERO)
+            .unwrap();
+        g.add_channel_with_balances(NodeId(0), NodeId(2), Amount::from_whole(1), Amount::ZERO)
+            .unwrap();
+        g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::from_whole(1), Amount::ZERO)
+            .unwrap();
+        g.add_channel_with_balances(NodeId(1), NodeId(3), Amount::from_whole(1), Amount::ZERO)
+            .unwrap();
+        g.add_channel_with_balances(NodeId(2), NodeId(3), Amount::from_whole(1), Amount::ZERO)
+            .unwrap();
+        let mut s = MaxFlowScheme::new();
+        let parts = s
+            .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(2))
+            .expect("max flow is exactly 2");
+        let total: Amount = parts.iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, Amount::from_whole(2));
+    }
+}

@@ -1,0 +1,463 @@
+//! Path discovery: shortest paths, k-shortest (Yen), and edge-disjoint
+//! shortest paths.
+//!
+//! The paper's Spider schemes are "restricted to 4 [edge-]disjoint shortest
+//! paths for every source-destination pair" (§6.1); practical
+//! implementations would pick "the K shortest paths or the K
+//! highest-capacity paths" (§5.3.1). All of those strategies live here.
+
+use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Breadth-first shortest path by hop count, avoiding `banned` channels.
+/// Ties are broken toward lower node ids, so results are deterministic.
+pub fn shortest_path_avoiding(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    banned: &HashSet<ChannelId>,
+) -> Option<Path> {
+    if src == dst {
+        return None;
+    }
+    let n = network.num_nodes();
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::from([src]);
+    'outer: while let Some(u) = queue.pop_front() {
+        // Deterministic neighbor order: as stored (insertion order), which is
+        // fixed for a given Network construction.
+        for &(v, c) in network.neighbors(u) {
+            if banned.contains(&c) || seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            prev[v.index()] = Some(u);
+            if v == dst {
+                break 'outer;
+            }
+            queue.push_back(v);
+        }
+    }
+    if !seen[dst.index()] {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.index()] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    debug_assert_eq!(nodes[0], src);
+    Some(Path::new(network, nodes).expect("BFS produces a valid simple path"))
+}
+
+/// Shortest path by hop count.
+pub fn shortest_path(network: &Network, src: NodeId, dst: NodeId) -> Option<Path> {
+    shortest_path_avoiding(network, src, dst, &HashSet::new())
+}
+
+/// Up to `k` mutually edge-disjoint shortest paths: repeatedly finds a BFS
+/// shortest path and removes its channels (the paper's "4 disjoint shortest
+/// paths" strategy).
+pub fn edge_disjoint_paths(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Vec<Path> {
+    let mut banned: HashSet<ChannelId> = HashSet::new();
+    let mut out = Vec::new();
+    for _ in 0..k {
+        let Some(p) = shortest_path_avoiding(network, src, dst, &banned) else {
+            break;
+        };
+        for &(c, _) in p.hops() {
+            banned.insert(c);
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Up to `k` loopless shortest paths by hop count (Yen's algorithm).
+/// Paths are returned in non-decreasing length; ties resolve
+/// deterministically.
+pub fn k_shortest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    let Some(first) = shortest_path(network, src, dst) else {
+        return Vec::new();
+    };
+    let mut result: Vec<Path> = vec![first];
+    // Candidate set ordered by (len, node sequence) for determinism.
+    let mut candidates: BinaryHeap<std::cmp::Reverse<(usize, Vec<NodeId>)>> = BinaryHeap::new();
+    let mut seen_candidates: HashSet<Vec<NodeId>> = HashSet::new();
+
+    while result.len() < k {
+        let last = result.last().unwrap().nodes().to_vec();
+        for i in 0..last.len() - 1 {
+            let spur_node = last[i];
+            let root: Vec<NodeId> = last[..=i].to_vec();
+            // Ban channels used by previously accepted paths sharing the root.
+            let mut banned: HashSet<ChannelId> = HashSet::new();
+            for p in &result {
+                if p.nodes().len() > i && p.nodes()[..=i] == root[..] {
+                    let ch = network
+                        .channel_between(p.nodes()[i], p.nodes()[i + 1])
+                        .expect("accepted path hop must exist");
+                    banned.insert(ch.id);
+                }
+            }
+            // Ban channels incident to root nodes (except the spur) to keep
+            // paths loopless.
+            for &node in &root[..i] {
+                for &(_, c) in network.neighbors(node) {
+                    banned.insert(c);
+                }
+            }
+            let Some(spur) = shortest_path_avoiding(network, spur_node, dst, &banned) else {
+                continue;
+            };
+            let mut total: Vec<NodeId> = root.clone();
+            total.extend_from_slice(&spur.nodes()[1..]);
+            if seen_candidates.insert(total.clone()) {
+                candidates.push(std::cmp::Reverse((total.len(), total)));
+            }
+        }
+        // Pop the best unused candidate.
+        let mut next: Option<Vec<NodeId>> = None;
+        while let Some(std::cmp::Reverse((_, nodes))) = candidates.pop() {
+            if !result.iter().any(|p| p.nodes() == nodes) {
+                next = Some(nodes);
+                break;
+            }
+        }
+        match next {
+            Some(nodes) => {
+                result.push(Path::new(network, nodes).expect("Yen builds valid paths"))
+            }
+            None => break,
+        }
+    }
+    result
+}
+
+/// Maximum-bottleneck ("widest") path by total channel capacity, avoiding
+/// `banned` channels — the paper's "K highest-capacity paths" candidate
+/// strategy (§5.3.1). Ties break toward fewer hops, then lower node ids.
+pub fn widest_path_avoiding(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    banned: &HashSet<ChannelId>,
+) -> Option<Path> {
+    if src == dst {
+        return None;
+    }
+    let n = network.num_nodes();
+    // best[v] = (bottleneck, -hops) maximized lexicographically.
+    let mut best: Vec<(Amount, i64)> = vec![(Amount::ZERO, 0); n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<(Amount, i64, NodeId)> = BinaryHeap::new();
+    best[src.index()] = (Amount::MAX, 0);
+    heap.push((Amount::MAX, 0, src));
+    while let Some((width, neg_hops, u)) = heap.pop() {
+        if (width, neg_hops) < best[u.index()] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for &(v, c) in network.neighbors(u) {
+            if banned.contains(&c) {
+                continue;
+            }
+            let cap = network.channel(c).capacity();
+            let cand = (width.min(cap), neg_hops - 1);
+            if cand > best[v.index()] {
+                best[v.index()] = cand;
+                prev[v.index()] = Some(u);
+                heap.push((cand.0, cand.1, v));
+            }
+        }
+    }
+    if best[dst.index()].0 == Amount::ZERO {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.index()] {
+        nodes.push(p);
+        cur = p;
+        if cur == src {
+            break;
+        }
+    }
+    nodes.reverse();
+    if nodes[0] != src {
+        return None;
+    }
+    Path::new(network, nodes).ok()
+}
+
+/// Up to `k` mutually edge-disjoint widest paths (successive widest path
+/// with channel removal).
+pub fn widest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    let mut banned: HashSet<ChannelId> = HashSet::new();
+    let mut out = Vec::new();
+    for _ in 0..k {
+        let Some(p) = widest_path_avoiding(network, src, dst, &banned) else {
+            break;
+        };
+        for &(c, _) in p.hops() {
+            banned.insert(c);
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Spendable bottleneck of `path` under `balances`: the minimum directional
+/// balance along its hops.
+pub fn path_bottleneck(balances: &dyn BalanceView, path: &Path) -> Amount {
+    let mut min = Amount::MAX;
+    for (i, &(c, _)) in path.hops().iter().enumerate() {
+        let from = path.nodes()[i];
+        min = min.min(balances.available(c, from));
+    }
+    min
+}
+
+/// A per-pair cache of candidate path sets.
+///
+/// Strategy is fixed at construction; entries are computed on first use.
+#[derive(Debug)]
+pub struct PathCache {
+    strategy: PathStrategy,
+    cache: std::collections::HashMap<(NodeId, NodeId), Vec<Path>>,
+}
+
+/// Which candidate-path strategy a [`PathCache`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathStrategy {
+    /// The single BFS shortest path.
+    Shortest,
+    /// Up to `k` edge-disjoint shortest paths (the paper's default, k = 4).
+    EdgeDisjoint(usize),
+    /// Up to `k` loopless shortest paths (Yen).
+    KShortest(usize),
+    /// Up to `k` edge-disjoint maximum-bottleneck (highest-capacity) paths.
+    WidestDisjoint(usize),
+}
+
+impl PathCache {
+    /// Creates an empty cache with the given strategy.
+    pub fn new(strategy: PathStrategy) -> Self {
+        PathCache { strategy, cache: Default::default() }
+    }
+
+    /// The paths for `(src, dst)`, computing and caching them on first use.
+    pub fn paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Path] {
+        self.cache.entry((src, dst)).or_insert_with(|| match self.strategy {
+            PathStrategy::Shortest => {
+                shortest_path(network, src, dst).into_iter().collect()
+            }
+            PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
+            PathStrategy::KShortest(k) => k_shortest_paths(network, src, dst, k),
+            PathStrategy::WidestDisjoint(k) => widest_paths(network, src, dst, k),
+        })
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_core::Amount;
+
+    /// Ring of 6 nodes plus chord 0-3.
+    fn ring_with_chord() -> Network {
+        let mut g = Network::new(6);
+        for i in 0..6u32 {
+            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10)).unwrap();
+        }
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10)).unwrap();
+        g
+    }
+
+    #[test]
+    fn shortest_path_uses_chord() {
+        let g = ring_with_chord();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn shortest_path_none_for_self_or_unreachable() {
+        let g = ring_with_chord();
+        assert!(shortest_path(&g, NodeId(0), NodeId(0)).is_none());
+        let mut g2 = Network::new(3);
+        g2.add_channel(NodeId(0), NodeId(1), Amount::ONE).unwrap();
+        assert!(shortest_path(&g2, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn edge_disjoint_finds_three_routes() {
+        let g = ring_with_chord();
+        // 0 -> 3: chord (1 hop), clockwise (3 hops), counter-clockwise (3 hops).
+        let paths = edge_disjoint_paths(&g, NodeId(0), NodeId(3), 4);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].len(), 1);
+        // All pairwise edge-disjoint.
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                for &(c, _) in paths[i].hops() {
+                    assert!(!paths[j].uses_channel(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_disjoint_respects_k() {
+        let g = ring_with_chord();
+        let paths = edge_disjoint_paths(&g, NodeId(0), NodeId(3), 2);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn yen_returns_increasing_lengths() {
+        let g = ring_with_chord();
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), 5);
+        assert!(paths.len() >= 3, "found {}", paths.len());
+        for w in paths.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+        // All distinct and valid.
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.nodes().to_vec()), "duplicate {p}");
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.dest(), NodeId(3));
+        }
+    }
+
+    #[test]
+    fn yen_on_line_finds_single_path() {
+        let mut g = Network::new(4);
+        for i in 0..3u32 {
+            g.add_channel(NodeId(i), NodeId(i + 1), Amount::ONE).unwrap();
+        }
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), 5);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn bottleneck_is_min_directional_balance() {
+        let mut g = Network::new(3);
+        g.add_channel_with_balances(
+            NodeId(0),
+            NodeId(1),
+            Amount::from_whole(9),
+            Amount::from_whole(1),
+        )
+        .unwrap();
+        g.add_channel_with_balances(
+            NodeId(1),
+            NodeId(2),
+            Amount::from_whole(4),
+            Amount::from_whole(6),
+        )
+        .unwrap();
+        let p = Path::new(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(path_bottleneck(&g, &p), Amount::from_whole(4));
+        let back = Path::new(&g, vec![NodeId(2), NodeId(1), NodeId(0)]).unwrap();
+        assert_eq!(path_bottleneck(&g, &back), Amount::from_whole(1));
+    }
+
+    #[test]
+    fn path_cache_caches() {
+        let g = ring_with_chord();
+        let mut cache = PathCache::new(PathStrategy::EdgeDisjoint(4));
+        assert!(cache.is_empty());
+        let a = cache.paths(&g, NodeId(0), NodeId(3)).len();
+        assert_eq!(cache.len(), 1);
+        let b = cache.paths(&g, NodeId(0), NodeId(3)).len();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        cache.paths(&g, NodeId(1), NodeId(4));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn widest_path_prefers_fat_channels() {
+        // 0-1-3 with fat channels vs direct thin chord 0-3.
+        let mut g = Network::new(4);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(2)).unwrap();
+        let p = widest_path_avoiding(&g, NodeId(0), NodeId(3), &HashSet::new()).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn widest_path_ties_break_to_fewer_hops() {
+        // Two equal-capacity routes, 1 hop vs 2 hops.
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        let p = widest_path_avoiding(&g, NodeId(0), NodeId(2), &HashSet::new()).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn widest_paths_are_edge_disjoint() {
+        let g = ring_with_chord();
+        let paths = widest_paths(&g, NodeId(0), NodeId(3), 4);
+        assert!(paths.len() >= 2);
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                for &(c, _) in paths[i].hops() {
+                    assert!(!paths[j].uses_channel(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widest_path_none_when_disconnected() {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::ONE).unwrap();
+        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(2), &HashSet::new()).is_none());
+        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(0), &HashSet::new()).is_none());
+    }
+
+    #[test]
+    fn cache_supports_widest_strategy() {
+        let g = ring_with_chord();
+        let mut cache = PathCache::new(PathStrategy::WidestDisjoint(3));
+        assert!(!cache.paths(&g, NodeId(0), NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn cache_strategies_differ() {
+        let g = ring_with_chord();
+        let mut single = PathCache::new(PathStrategy::Shortest);
+        let mut yen = PathCache::new(PathStrategy::KShortest(4));
+        assert_eq!(single.paths(&g, NodeId(0), NodeId(3)).len(), 1);
+        assert!(yen.paths(&g, NodeId(0), NodeId(3)).len() > 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! The routing-scheme interface shared by all six evaluated schemes.
+//!
+//! Atomic schemes (SilentWhispers, SpeedyMurmurs, max-flow) must deliver a
+//! whole payment in one shot across one or more paths, or not at all.
+//! Packet-switched schemes (shortest-path, Spider waterfilling, Spider LP)
+//! are asked for a route one *transaction unit* at a time and may defer.
+
+use crate::paths::path_bottleneck;
+use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
+use std::collections::HashMap;
+
+/// Whether a scheme delivers payments atomically or unit-by-unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Whole payment in one shot (`route_payment`).
+    Atomic,
+    /// One transaction unit at a time (`route_unit`).
+    PacketSwitched,
+}
+
+/// Outcome of asking a packet-switched scheme for a unit route.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UnitDecision {
+    /// Send the unit on this path now.
+    Route(Path),
+    /// No capacity right now; retry after balances change.
+    Unavailable,
+    /// This pair can never be routed by this scheme (e.g. the LP assigned it
+    /// zero rate, or no path exists). The payment should be abandoned.
+    Never,
+}
+
+/// A routing scheme under evaluation.
+///
+/// Implementations may keep per-pair caches and internal round-robin state
+/// (hence `&mut self`), but must be deterministic.
+pub trait RoutingScheme {
+    /// Short display name used in reports ("spider-waterfilling", ...).
+    fn name(&self) -> &'static str;
+
+    /// Atomic or packet-switched.
+    fn kind(&self) -> SchemeKind;
+
+    /// Atomic routing: find paths (with per-path amounts summing to
+    /// `amount`) that can all be funded *simultaneously* under `balances`.
+    /// Returns `None` when the payment cannot be delivered in full.
+    ///
+    /// Only meaningful for [`SchemeKind::Atomic`] schemes; the default
+    /// declines everything.
+    fn route_payment(
+        &mut self,
+        network: &Network,
+        balances: &dyn BalanceView,
+        src: NodeId,
+        dst: NodeId,
+        amount: Amount,
+    ) -> Option<Vec<(Path, Amount)>> {
+        let _ = (network, balances, src, dst, amount);
+        None
+    }
+
+    /// Packet-switched routing: choose a path for one unit of `unit` tokens.
+    ///
+    /// Only meaningful for [`SchemeKind::PacketSwitched`] schemes; the
+    /// default gives up.
+    fn route_unit(
+        &mut self,
+        network: &Network,
+        balances: &dyn BalanceView,
+        src: NodeId,
+        dst: NodeId,
+        unit: Amount,
+    ) -> UnitDecision {
+        let _ = (network, balances, src, dst, unit);
+        UnitDecision::Never
+    }
+}
+
+/// A scratch overlay over a [`BalanceView`] that tracks hypothetical
+/// deductions.
+///
+/// Atomic schemes use this to verify that *all* parts of a multi-path
+/// payment can be funded at once: each candidate part is debited in the
+/// overlay before checking the next.
+pub struct BalanceOverlay<'a> {
+    base: &'a dyn BalanceView,
+    debits: HashMap<(ChannelId, NodeId), Amount>,
+}
+
+impl<'a> BalanceOverlay<'a> {
+    /// Wraps a balance view with an empty overlay.
+    pub fn new(base: &'a dyn BalanceView) -> Self {
+        BalanceOverlay { base, debits: HashMap::new() }
+    }
+
+    /// Records a hypothetical spend of `amount` from `from` on every hop of
+    /// `path`.
+    pub fn debit_path(&mut self, path: &Path, amount: Amount) {
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            *self.debits.entry((c, from)).or_insert(Amount::ZERO) += amount;
+        }
+    }
+
+    /// Bottleneck of `path` under the overlay.
+    pub fn bottleneck(&self, path: &Path) -> Amount {
+        path_bottleneck(self, path)
+    }
+}
+
+impl BalanceView for BalanceOverlay<'_> {
+    fn available(&self, channel: ChannelId, from: NodeId) -> Amount {
+        let debit = self.debits.get(&(channel, from)).copied().unwrap_or(Amount::ZERO);
+        (self.base.available(channel, from) - debit).max(Amount::ZERO)
+    }
+}
+
+/// Splits `amount` into `parts` near-equal shares that sum exactly to
+/// `amount` (the remainder lands on the first share). Shares are all
+/// positive when `amount >= parts` micro-units.
+pub fn split_evenly(amount: Amount, parts: usize) -> Vec<Amount> {
+    assert!(parts > 0);
+    let base = amount / parts as i64;
+    let mut out = vec![base; parts];
+    out[0] += amount - base * parts as i64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_hop_net() -> Network {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g
+    }
+
+    #[test]
+    fn overlay_reduces_available() {
+        let g = two_hop_net();
+        let p = Path::new(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let mut overlay = BalanceOverlay::new(&g);
+        assert_eq!(overlay.bottleneck(&p), Amount::from_whole(5));
+        overlay.debit_path(&p, Amount::from_whole(3));
+        assert_eq!(overlay.bottleneck(&p), Amount::from_whole(2));
+        overlay.debit_path(&p, Amount::from_whole(3));
+        // Clamped at zero, never negative.
+        assert_eq!(overlay.bottleneck(&p), Amount::ZERO);
+    }
+
+    #[test]
+    fn overlay_is_directional() {
+        let g = two_hop_net();
+        let fwd = Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap();
+        let rev = Path::new(&g, vec![NodeId(1), NodeId(0)]).unwrap();
+        let mut overlay = BalanceOverlay::new(&g);
+        overlay.debit_path(&fwd, Amount::from_whole(4));
+        assert_eq!(overlay.bottleneck(&fwd), Amount::from_whole(1));
+        // Reverse direction untouched.
+        assert_eq!(overlay.bottleneck(&rev), Amount::from_whole(5));
+    }
+
+    #[test]
+    fn split_evenly_sums_exactly() {
+        let total = Amount::from_micros(10);
+        let parts = split_evenly(total, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().copied().sum::<Amount>(), total);
+        assert_eq!(parts[0], Amount::from_micros(4));
+        assert_eq!(parts[1], Amount::from_micros(3));
+    }
+
+    #[test]
+    fn split_single_part() {
+        let total = Amount::from_whole(7);
+        assert_eq!(split_evenly(total, 1), vec![total]);
+    }
+
+    #[test]
+    fn default_trait_impls_decline() {
+        struct Nop;
+        impl RoutingScheme for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn kind(&self) -> SchemeKind {
+                SchemeKind::Atomic
+            }
+        }
+        let g = two_hop_net();
+        let mut s = Nop;
+        assert!(s
+            .route_payment(&g, &g, NodeId(0), NodeId(2), Amount::ONE)
+            .is_none());
+        assert_eq!(
+            s.route_unit(&g, &g, NodeId(0), NodeId(2), Amount::ONE),
+            UnitDecision::Never
+        );
+    }
+}

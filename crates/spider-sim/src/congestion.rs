@@ -1,0 +1,209 @@
+//! End-host congestion control (§4.1 extension).
+//!
+//! The paper leaves congestion control to future work but sketches the
+//! design space: hosts adapt their sending rate from implicit signals. This
+//! module implements the classic AIMD window — each sender/receiver pair
+//! may have at most `⌊window⌋` transaction units in flight; every settled
+//! unit grows the window additively (`w += a/w`, TCP-style), every failed
+//! route attempt shrinks it multiplicatively. The engine enforces the
+//! window when [`crate::SimConfig::congestion`] is set.
+
+use serde::{Deserialize, Serialize};
+use spider_core::NodeId;
+use std::collections::HashMap;
+
+/// AIMD parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CongestionConfig {
+    /// Initial window (units in flight) per pair.
+    pub initial_window: f64,
+    /// Additive increase per settled unit (applied as `w += a / w`).
+    pub additive_increase: f64,
+    /// Multiplicative decrease factor on a failed route attempt.
+    pub multiplicative_decrease: f64,
+    /// Window floor.
+    pub min_window: f64,
+    /// Window ceiling.
+    pub max_window: f64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            initial_window: 4.0,
+            additive_increase: 1.0,
+            multiplicative_decrease: 0.5,
+            min_window: 1.0,
+            max_window: 256.0,
+        }
+    }
+}
+
+impl CongestionConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on nonsensical values (used by the engine at startup).
+    pub fn validate(&self) {
+        assert!(self.min_window >= 1.0, "min_window must be at least 1");
+        assert!(self.max_window >= self.min_window, "max_window < min_window");
+        assert!(
+            self.initial_window >= self.min_window && self.initial_window <= self.max_window,
+            "initial_window out of range"
+        );
+        assert!(self.additive_increase > 0.0, "additive_increase must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.multiplicative_decrease),
+            "multiplicative_decrease must be in (0, 1)"
+        );
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PairState {
+    window: f64,
+    outstanding: u32,
+}
+
+/// Per-pair AIMD window table.
+#[derive(Clone, Debug)]
+pub struct CongestionControl {
+    config: CongestionConfig,
+    pairs: HashMap<(NodeId, NodeId), PairState>,
+}
+
+impl CongestionControl {
+    /// Creates the controller.
+    pub fn new(config: CongestionConfig) -> Self {
+        config.validate();
+        CongestionControl { config, pairs: HashMap::new() }
+    }
+
+    fn state(&mut self, src: NodeId, dst: NodeId) -> &mut PairState {
+        let init = self.config.initial_window;
+        self.pairs
+            .entry((src, dst))
+            .or_insert(PairState { window: init, outstanding: 0 })
+    }
+
+    /// `true` if the pair may put one more unit in flight.
+    pub fn may_send(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let s = self.state(src, dst);
+        (s.outstanding as f64) < s.window.floor()
+    }
+
+    /// Records a unit entering flight.
+    pub fn on_send(&mut self, src: NodeId, dst: NodeId) {
+        self.state(src, dst).outstanding += 1;
+    }
+
+    /// Records a settled unit: releases window occupancy and grows the
+    /// window additively.
+    pub fn on_settle(&mut self, src: NodeId, dst: NodeId) {
+        let (a, max) = (self.config.additive_increase, self.config.max_window);
+        let s = self.state(src, dst);
+        debug_assert!(s.outstanding > 0, "settle without outstanding unit");
+        s.outstanding = s.outstanding.saturating_sub(1);
+        s.window = (s.window + a / s.window).min(max);
+    }
+
+    /// Records a failed route attempt: shrinks the window.
+    pub fn on_unavailable(&mut self, src: NodeId, dst: NodeId) {
+        let (beta, min) = (self.config.multiplicative_decrease, self.config.min_window);
+        let s = self.state(src, dst);
+        s.window = (s.window * beta).max(min);
+    }
+
+    /// Current window for a pair (for diagnostics).
+    pub fn window(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.pairs
+            .get(&(src, dst))
+            .map(|s| s.window)
+            .unwrap_or(self.config.initial_window)
+    }
+
+    /// Units currently in flight for a pair.
+    pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.pairs.get(&(src, dst)).map(|s| s.outstanding).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (NodeId, NodeId) {
+        (NodeId(0), NodeId(1))
+    }
+
+    #[test]
+    fn window_gates_sending() {
+        let mut cc = CongestionControl::new(CongestionConfig {
+            initial_window: 2.0,
+            ..Default::default()
+        });
+        let (s, d) = pair();
+        assert!(cc.may_send(s, d));
+        cc.on_send(s, d);
+        assert!(cc.may_send(s, d));
+        cc.on_send(s, d);
+        assert!(!cc.may_send(s, d), "window of 2 filled");
+        cc.on_settle(s, d);
+        assert!(cc.may_send(s, d), "settle frees a slot");
+    }
+
+    #[test]
+    fn additive_increase_on_settle() {
+        let mut cc = CongestionControl::new(CongestionConfig::default());
+        let (s, d) = pair();
+        let w0 = cc.window(s, d);
+        cc.on_send(s, d);
+        cc.on_settle(s, d);
+        let w1 = cc.window(s, d);
+        assert!(w1 > w0);
+        assert!((w1 - (w0 + 1.0 / w0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplicative_decrease_on_failure() {
+        let mut cc = CongestionControl::new(CongestionConfig::default());
+        let (s, d) = pair();
+        let w0 = cc.window(s, d);
+        cc.on_unavailable(s, d);
+        assert!((cc.window(s, d) - w0 * 0.5).abs() < 1e-12);
+        // Repeated failures floor at min_window.
+        for _ in 0..20 {
+            cc.on_unavailable(s, d);
+        }
+        assert_eq!(cc.window(s, d), 1.0);
+        assert!(cc.may_send(s, d), "floor still admits one unit");
+    }
+
+    #[test]
+    fn window_capped_at_max() {
+        let mut cc = CongestionControl::new(CongestionConfig {
+            max_window: 5.0,
+            ..Default::default()
+        });
+        let (s, d) = pair();
+        for _ in 0..100 {
+            cc.on_send(s, d);
+            cc.on_settle(s, d);
+        }
+        assert!(cc.window(s, d) <= 5.0);
+    }
+
+    #[test]
+    fn pairs_are_independent() {
+        let mut cc = CongestionControl::new(CongestionConfig::default());
+        cc.on_unavailable(NodeId(0), NodeId(1));
+        assert!(cc.window(NodeId(0), NodeId(1)) < cc.window(NodeId(2), NodeId(3)));
+        assert_eq!(cc.outstanding(NodeId(2), NodeId(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplicative_decrease")]
+    fn validate_rejects_bad_beta() {
+        CongestionConfig { multiplicative_decrease: 1.5, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,706 @@
+//! Hop-by-hop transport with in-network router queues (Fig. 3 / §4.2).
+//!
+//! The paper's architecture has routers *queue* transaction units when a
+//! payment channel temporarily lacks funds and forward them as settlements
+//! replenish the channel — but its own evaluation "leave\[s\] implementing
+//! in-network queues … to future work". This module implements that
+//! architecture:
+//!
+//! - a unit is admitted at the source as soon as its *first* hop can be
+//!   funded (downstream hops may be dry right now);
+//! - at every router the unit either locks the next hop immediately or
+//!   waits in that channel direction's queue;
+//! - every settlement that credits a channel direction drains that
+//!   direction's queue in policy order (FIFO, smallest-unit-first, or
+//!   earliest-deadline-first — §4.2's service classes);
+//! - a unit that outlives its payment's deadline while queued is dropped
+//!   and its upstream locks refunded (the sender "withholds the key",
+//!   §4.1).
+//!
+//! Compared to the source-queued engine in [`crate::engine`], router queues
+//! admit optimistically and absorb transient imbalance in the network
+//! instead of at the sender.
+
+use crate::events::EventQueue;
+use crate::ledger::Ledger;
+use crate::metrics::SimReport;
+use crate::payment::{PaymentState, PaymentStatus};
+use crate::rebalancer::RebalanceStats;
+use crate::scheduler::SchedulePolicy;
+use serde::{Deserialize, Serialize};
+use spider_core::{Amount, ChannelId, Direction, Network, Path};
+use spider_routing::{path_bottleneck, PathCache, PathStrategy};
+use spider_workload::Transaction;
+use std::collections::VecDeque;
+
+/// Queue service order at routers (§4.2: "prioritize payments based on
+/// size, deadline, or routing fees").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueuePolicy {
+    /// First come, first served.
+    #[default]
+    Fifo,
+    /// Smallest unit first (cheap to service, frees head-of-line).
+    SmallestFirst,
+    /// Earliest payment deadline first.
+    EarliestDeadline,
+}
+
+/// Configuration for the router-queue engine.
+#[derive(Clone, Debug)]
+pub struct QueuedConfig {
+    /// Hard end of the measurement window (seconds).
+    pub end_time: f64,
+    /// Per-hop propagation/processing delay (seconds).
+    pub hop_delay: f64,
+    /// End-to-end confirmation delay Δ before funds settle (seconds).
+    pub delta: f64,
+    /// Maximum transaction unit.
+    pub mtu: Amount,
+    /// Source scheduler poll interval (seconds).
+    pub poll_interval: f64,
+    /// Per-payment deadline window (seconds after arrival).
+    pub deadline: f64,
+    /// Source-side service order for pending payments.
+    pub source_policy: SchedulePolicy,
+    /// Router-side queue service order.
+    pub queue_policy: QueuePolicy,
+    /// Candidate paths per pair.
+    pub num_paths: usize,
+    /// Hard cap per channel-direction queue; beyond it units are dropped
+    /// (and refunded) on arrival.
+    pub max_queue_len: usize,
+}
+
+impl QueuedConfig {
+    /// Defaults mirroring [`crate::SimConfig::new`] plus queueing knobs.
+    pub fn new(end_time: f64) -> Self {
+        QueuedConfig {
+            end_time,
+            hop_delay: 0.05,
+            delta: 0.5,
+            mtu: Amount::from_whole(10),
+            poll_interval: 0.1,
+            deadline: 5.0,
+            source_policy: SchedulePolicy::Srpt,
+            queue_policy: QueuePolicy::Fifo,
+            num_paths: 4,
+            max_queue_len: 4_096,
+        }
+    }
+}
+
+/// Router-queue statistics for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Units that ever waited in a router queue.
+    pub units_queued: usize,
+    /// Units dropped from queues (deadline or overflow).
+    pub units_dropped: usize,
+    /// Largest queue length observed on any channel direction.
+    pub max_queue_len: usize,
+    /// Mean time units spent waiting in queues (seconds, over dequeues).
+    pub mean_wait: f64,
+}
+
+/// Result of a router-queue run: the standard report plus queue statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueuedReport {
+    /// The standard metrics.
+    pub report: SimReport,
+    /// Router-queue behaviour.
+    pub queues: QueueStats,
+}
+
+#[derive(Clone, Debug)]
+struct UnitState {
+    payment: usize,
+    amount: Amount,
+    path: Path,
+    /// Hops 0..locked are locked; the unit currently sits at
+    /// `path.nodes()[locked]`.
+    locked: usize,
+    /// When the unit entered its current queue (NaN when not queued).
+    queued_at: f64,
+    dropped: bool,
+}
+
+enum Event {
+    Arrival(usize),
+    Tick,
+    /// Unit finished traversing its most recently locked hop.
+    HopArrive { unit: usize },
+    /// The receiver released the key; settle every locked hop.
+    SettleUnit { unit: usize },
+}
+
+/// Runs the router-queue transport over `transactions`.
+///
+/// Routing is waterfilling-style over `num_paths` edge-disjoint shortest
+/// paths, but a unit is admitted when its *first hop* can be funded.
+pub fn run_queued(
+    network: &Network,
+    transactions: &[Transaction],
+    config: &QueuedConfig,
+) -> QueuedReport {
+    assert!(config.hop_delay > 0.0 && config.delta > 0.0 && config.poll_interval > 0.0);
+    assert!(config.mtu.is_positive());
+    assert!(config.num_paths >= 1);
+
+    let mut ledger = Ledger::new(network);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut payments: Vec<PaymentState> = Vec::new();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut units: Vec<UnitState> = Vec::new();
+    let mut paths = PathCache::new(PathStrategy::EdgeDisjoint(config.num_paths));
+
+    // One queue per (channel, direction).
+    let nq = network.num_channels();
+    let mut router_queues: Vec<[VecDeque<usize>; 2]> =
+        (0..nq).map(|_| [VecDeque::new(), VecDeque::new()]).collect();
+    let slot = |d: Direction| match d {
+        Direction::AtoB => 0usize,
+        Direction::BtoA => 1usize,
+    };
+
+    let mut stats = QueueStats::default();
+    let mut total_wait = 0.0f64;
+    let mut dequeues = 0usize;
+    let mut units_sent: u64 = 0;
+
+    for (i, tx) in transactions.iter().enumerate() {
+        if tx.arrival <= config.end_time {
+            queue.push(tx.arrival, Event::Arrival(i));
+        }
+    }
+    queue.push(config.poll_interval, Event::Tick);
+
+    while let Some((now, event)) = queue.pop() {
+        if now > config.end_time {
+            break;
+        }
+        match event {
+            Event::Arrival(i) => {
+                let tx = &transactions[i];
+                let idx = payments.len();
+                payments.push(PaymentState {
+                    id: tx.id,
+                    src: tx.src,
+                    dst: tx.dst,
+                    amount: tx.amount,
+                    arrival: tx.arrival,
+                    deadline: tx.arrival + config.deadline,
+                    delivered: Amount::ZERO,
+                    inflight: Amount::ZERO,
+                    status: PaymentStatus::Pending,
+                    completed_at: None,
+                });
+                pending.push(idx);
+                pump_source(
+                    network, &mut ledger, &mut paths, config, idx, &mut payments,
+                    &mut units, &mut queue, now, &mut units_sent,
+                );
+            }
+            Event::Tick => {
+                for &i in &pending {
+                    let p = &mut payments[i];
+                    if p.status == PaymentStatus::Pending && now >= p.deadline {
+                        p.status = PaymentStatus::Abandoned;
+                    }
+                }
+                pending.retain(|&i| payments[i].status == PaymentStatus::Pending);
+                // Sweep expired units out of router queues so their upstream
+                // locks are refunded promptly (not only when a settlement
+                // happens to poke the queue).
+                for queues in router_queues.iter_mut() {
+                    for q in queues.iter_mut() {
+                        let expired: Vec<usize> = q
+                            .iter()
+                            .copied()
+                            .filter(|&u| {
+                                !units[u].dropped
+                                    && payments[units[u].payment].deadline <= now
+                            })
+                            .collect();
+                        if expired.is_empty() {
+                            continue;
+                        }
+                        q.retain(|u| !expired.contains(u));
+                        for u in expired {
+                            drop_unit(network, &mut ledger, u, &mut units, &mut payments, &mut stats);
+                        }
+                    }
+                }
+                config.source_policy.order(&payments, &mut pending);
+                let order = pending.clone();
+                for i in order {
+                    if payments[i].status == PaymentStatus::Pending {
+                        pump_source(
+                            network, &mut ledger, &mut paths, config, i, &mut payments,
+                            &mut units, &mut queue, now, &mut units_sent,
+                        );
+                    }
+                }
+                pending.retain(|&i| payments[i].status == PaymentStatus::Pending);
+                let next = now + config.poll_interval;
+                if next <= config.end_time {
+                    queue.push(next, Event::Tick);
+                }
+            }
+            Event::HopArrive { unit } => {
+                let u = &units[unit];
+                if u.dropped {
+                    continue;
+                }
+                if u.locked == u.path.len() {
+                    // Reached the destination; key released after Δ.
+                    queue.push(now + config.delta, Event::SettleUnit { unit });
+                    continue;
+                }
+                try_forward(
+                    network,
+                    &mut ledger,
+                    config,
+                    unit,
+                    &mut units,
+                    &mut router_queues,
+                    &mut queue,
+                    &mut payments,
+                    now,
+                    &mut stats,
+                    slot,
+                );
+            }
+            Event::SettleUnit { unit } => {
+                let u = units[unit].clone();
+                debug_assert_eq!(u.locked, u.path.len());
+                for (i, &(c, _)) in u.path.hops().iter().enumerate() {
+                    let to = u.path.nodes()[i + 1];
+                    ledger.settle_hop(network, c, to, u.amount);
+                }
+                let p = &mut payments[u.payment];
+                p.inflight -= u.amount;
+                p.delivered += u.amount;
+                if p.status == PaymentStatus::Pending && p.fully_delivered() {
+                    p.status = PaymentStatus::Completed;
+                    p.completed_at = Some(now);
+                }
+                // Every hop's receiving side gained funds: drain the queues
+                // that send *from* those sides.
+                for (i, &(c, d)) in u.path.hops().iter().enumerate() {
+                    let _ = i;
+                    let rev = slot(d.reverse());
+                    drain_queue(
+                        network, &mut ledger, config, c, rev, &mut units,
+                        &mut router_queues, &mut queue, &mut payments, now, &mut stats,
+                        &mut total_wait, &mut dequeues,
+                    );
+                }
+            }
+        }
+    }
+
+    stats.mean_wait = if dequeues > 0 { total_wait / dequeues as f64 } else { 0.0 };
+    debug_assert!(ledger.conserves_all());
+
+    let completed: Vec<&PaymentState> =
+        payments.iter().filter(|p| p.status == PaymentStatus::Completed).collect();
+    let report = SimReport {
+        scheme: "queued-waterfilling".to_string(),
+        policy: format!("{}+{:?}", config.source_policy.name(), config.queue_policy),
+        attempted: payments.len(),
+        completed: completed.len(),
+        abandoned: payments
+            .iter()
+            .filter(|p| p.status == PaymentStatus::Abandoned)
+            .count(),
+        pending_at_end: payments
+            .iter()
+            .filter(|p| p.status == PaymentStatus::Pending)
+            .count(),
+        attempted_volume: payments.iter().map(|p| p.amount.as_tokens()).sum(),
+        delivered_volume: payments.iter().map(|p| p.delivered.as_tokens()).sum(),
+        completed_volume: completed.iter().map(|p| p.amount.as_tokens()).sum(),
+        units_sent,
+        mean_completion_delay: if completed.is_empty() {
+            0.0
+        } else {
+            completed
+                .iter()
+                .map(|p| p.completed_at.expect("completed has time") - p.arrival)
+                .sum::<f64>()
+                / completed.len() as f64
+        },
+        final_mean_imbalance: ledger.mean_imbalance(),
+        rebalance: RebalanceStats::default(),
+        routing_fees_paid: 0.0,
+        series: Vec::new(),
+    };
+    QueuedReport { report, queues: stats }
+}
+
+/// Sends as many units of one pending payment as first-hop funding allows.
+#[allow(clippy::too_many_arguments)]
+fn pump_source(
+    network: &Network,
+    ledger: &mut Ledger,
+    paths: &mut PathCache,
+    config: &QueuedConfig,
+    idx: usize,
+    payments: &mut [PaymentState],
+    units: &mut Vec<UnitState>,
+    queue: &mut EventQueue<Event>,
+    now: f64,
+    units_sent: &mut u64,
+) {
+    loop {
+        let p = &payments[idx];
+        let remaining = p.remaining();
+        if !remaining.is_positive() {
+            break;
+        }
+        let unit_amount = remaining.min(config.mtu);
+        let (src, dst) = (p.src, p.dst);
+        let candidates = paths.paths(network, src, dst);
+        if candidates.is_empty() {
+            payments[idx].status = PaymentStatus::Abandoned;
+            break;
+        }
+        // Waterfilling preference by full-path bottleneck, but admission
+        // only requires the first hop to be fundable.
+        let view = crate::ledger::LedgerView { network, ledger };
+        let best = candidates
+            .iter()
+            .map(|path| (path_bottleneck(&view, path), path))
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len())))
+            .map(|(_, path)| path.clone())
+            .expect("non-empty candidates");
+        let (c0, _) = best.hops()[0];
+        if !ledger.can_lock_hop(network, c0, src, unit_amount) {
+            break;
+        }
+        ledger.lock_hop(network, c0, src, unit_amount).expect("checked");
+        let unit_id = units.len();
+        units.push(UnitState {
+            payment: idx,
+            amount: unit_amount,
+            path: best,
+            locked: 1,
+            queued_at: f64::NAN,
+            dropped: false,
+        });
+        payments[idx].inflight += unit_amount;
+        *units_sent += 1;
+        queue.push(now + config.hop_delay, Event::HopArrive { unit: unit_id });
+    }
+}
+
+/// A unit at an intermediate router tries to lock its next hop; otherwise
+/// it joins the channel direction's queue.
+#[allow(clippy::too_many_arguments)]
+fn try_forward(
+    network: &Network,
+    ledger: &mut Ledger,
+    config: &QueuedConfig,
+    unit: usize,
+    units: &mut [UnitState],
+    router_queues: &mut [[VecDeque<usize>; 2]],
+    queue: &mut EventQueue<Event>,
+    payments: &mut [PaymentState],
+    now: f64,
+    stats: &mut QueueStats,
+    slot: impl Fn(Direction) -> usize,
+) {
+    let (c, d) = units[unit].path.hops()[units[unit].locked];
+    let from = units[unit].path.nodes()[units[unit].locked];
+    let amount = units[unit].amount;
+    if ledger.can_lock_hop(network, c, from, amount) {
+        ledger.lock_hop(network, c, from, amount).expect("checked");
+        units[unit].locked += 1;
+        queue.push(now + config.hop_delay, Event::HopArrive { unit });
+        return;
+    }
+    // Queue at this router.
+    let q = &mut router_queues[c.index()][slot(d)];
+    if q.len() >= config.max_queue_len {
+        drop_unit(network, ledger, unit, units, payments, stats);
+        return;
+    }
+    units[unit].queued_at = now;
+    let pos = insert_position(q, units, payments, config.queue_policy, unit);
+    q.insert(pos, unit);
+    stats.units_queued += 1;
+    stats.max_queue_len = stats.max_queue_len.max(q.len());
+}
+
+/// Position a newly queued unit according to the queue policy.
+fn insert_position(
+    q: &VecDeque<usize>,
+    units: &[UnitState],
+    payments: &[PaymentState],
+    policy: QueuePolicy,
+    unit: usize,
+) -> usize {
+    match policy {
+        QueuePolicy::Fifo => q.len(),
+        QueuePolicy::SmallestFirst => q
+            .iter()
+            .position(|&other| units[other].amount > units[unit].amount)
+            .unwrap_or(q.len()),
+        QueuePolicy::EarliestDeadline => q
+            .iter()
+            .position(|&other| {
+                payments[units[other].payment].deadline
+                    > payments[units[unit].payment].deadline
+            })
+            .unwrap_or(q.len()),
+    }
+}
+
+/// Services a channel direction's queue after its sending side gained funds.
+#[allow(clippy::too_many_arguments)]
+fn drain_queue(
+    network: &Network,
+    ledger: &mut Ledger,
+    config: &QueuedConfig,
+    channel: ChannelId,
+    slot_idx: usize,
+    units: &mut [UnitState],
+    router_queues: &mut [[VecDeque<usize>; 2]],
+    queue: &mut EventQueue<Event>,
+    payments: &mut [PaymentState],
+    now: f64,
+    stats: &mut QueueStats,
+    total_wait: &mut f64,
+    dequeues: &mut usize,
+) {
+    while let Some(&head) = router_queues[channel.index()][slot_idx].front() {
+        // Expired while waiting?
+        if payments[units[head].payment].deadline <= now || units[head].dropped {
+            router_queues[channel.index()][slot_idx].pop_front();
+            if !units[head].dropped {
+                drop_unit(network, ledger, head, units, payments, stats);
+            }
+            continue;
+        }
+        let from = units[head].path.nodes()[units[head].locked];
+        let amount = units[head].amount;
+        if !ledger.can_lock_hop(network, channel, from, amount) {
+            break; // head blocked; policy order preserved (no bypass)
+        }
+        router_queues[channel.index()][slot_idx].pop_front();
+        ledger.lock_hop(network, channel, from, amount).expect("checked");
+        *total_wait += now - units[head].queued_at;
+        *dequeues += 1;
+        units[head].queued_at = f64::NAN;
+        units[head].locked += 1;
+        queue.push(now + config.hop_delay, Event::HopArrive { unit: head });
+    }
+}
+
+/// Drops a unit: refunds every upstream lock. The payment's in-flight value
+/// shrinks so the source may retry (until its deadline).
+fn drop_unit(
+    network: &Network,
+    ledger: &mut Ledger,
+    unit: usize,
+    units: &mut [UnitState],
+    payments: &mut [PaymentState],
+    stats: &mut QueueStats,
+) {
+    let u = &mut units[unit];
+    debug_assert!(!u.dropped);
+    for (i, &(c, _)) in u.path.hops().iter().take(u.locked).enumerate() {
+        let from = u.path.nodes()[i];
+        ledger.refund_hop(network, c, from, u.amount);
+    }
+    u.dropped = true;
+    stats.units_dropped += 1;
+    // The value returns to "remaining" so the source can resend it (until
+    // the payment's own deadline).
+    payments[u.payment].inflight -= u.amount;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_core::{NodeId, PaymentId};
+
+    fn line3(cap: i64) -> Network {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(cap)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(cap)).unwrap();
+        g
+    }
+
+    fn tx(id: u64, src: u32, dst: u32, amount: i64, arrival: f64) -> Transaction {
+        Transaction {
+            id: PaymentId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            amount: Amount::from_whole(amount),
+            arrival,
+        }
+    }
+
+    #[test]
+    fn simple_payment_completes() {
+        let g = line3(100);
+        let txs = vec![tx(0, 0, 2, 30, 0.1)];
+        let out = run_queued(&g, &txs, &QueuedConfig::new(10.0));
+        assert_eq!(out.report.completed, 1);
+        assert_eq!(out.report.units_sent, 3);
+        assert_eq!(out.queues.units_dropped, 0);
+    }
+
+    #[test]
+    fn optimistic_admission_uses_router_queue() {
+        // Second hop starts empty toward node 2: units are admitted on hop
+        // one and must WAIT at router 1 until opposing traffic arrives.
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
+        g.add_channel_with_balances(
+            NodeId(1),
+            NodeId(2),
+            Amount::ZERO,
+            Amount::from_whole(50),
+        )
+        .unwrap();
+        let txs = vec![
+            tx(0, 0, 2, 20, 0.1),  // must queue at router 1
+            tx(1, 2, 0, 20, 1.0),  // opposing flow refills 1->2 side at settle
+        ];
+        let mut cfg = QueuedConfig::new(30.0);
+        cfg.deadline = 20.0;
+        let out = run_queued(&g, &txs, &cfg);
+        assert!(out.queues.units_queued > 0, "units should queue: {:?}", out.queues);
+        assert_eq!(out.report.completed, 2, "{:?}", out.report);
+        assert!(out.queues.mean_wait > 0.0);
+    }
+
+    #[test]
+    fn queued_units_expire_and_refund() {
+        // Downstream never refills; queued units must drop and refund their
+        // first-hop locks (conservation holds, delivered = 0).
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
+        g.add_channel_with_balances(
+            NodeId(1),
+            NodeId(2),
+            Amount::ZERO,
+            Amount::from_whole(50),
+        )
+        .unwrap();
+        let txs = vec![tx(0, 0, 2, 20, 0.1)];
+        let mut cfg = QueuedConfig::new(30.0);
+        cfg.deadline = 2.0;
+        let out = run_queued(&g, &txs, &cfg);
+        assert_eq!(out.report.completed, 0);
+        assert_eq!(out.report.delivered_volume, 0.0);
+        // The Tick sweep must refund expired queued units even with no
+        // opposing traffic to poke the queue.
+        assert!(out.queues.units_dropped > 0, "{:?}", out.queues);
+    }
+
+    #[test]
+    fn queue_beats_source_queueing_under_transient_imbalance() {
+        // Bursty opposing flows: optimistic admission pipelines better than
+        // full-bottleneck gating. Both must complete everything eventually;
+        // the queued engine should not be slower.
+        let g = line3(60);
+        let mut txs = Vec::new();
+        for i in 0..10u64 {
+            txs.push(tx(2 * i, 0, 2, 25, 0.1 + i as f64));
+            txs.push(tx(2 * i + 1, 2, 0, 25, 0.6 + i as f64));
+        }
+        let mut cfg = QueuedConfig::new(60.0);
+        cfg.deadline = 30.0;
+        let queued = run_queued(&g, &txs, &cfg);
+        assert!(
+            queued.report.success_ratio() > 0.9,
+            "queued transport should deliver nearly everything: {}",
+            queued.report.summary()
+        );
+    }
+
+    #[test]
+    fn policies_order_queues_differently() {
+        // Inspect insert_position directly.
+        let units = vec![
+            UnitState {
+                payment: 0,
+                amount: Amount::from_whole(5),
+                path: {
+                    let g = line3(10);
+                    Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap()
+                },
+                locked: 1,
+                queued_at: 0.0,
+                dropped: false,
+            },
+            UnitState {
+                payment: 1,
+                amount: Amount::from_whole(1),
+                path: {
+                    let g = line3(10);
+                    Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap()
+                },
+                locked: 1,
+                queued_at: 0.0,
+                dropped: false,
+            },
+        ];
+        let payments = vec![
+            PaymentState {
+                id: PaymentId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                amount: Amount::from_whole(5),
+                arrival: 0.0,
+                deadline: 9.0,
+                delivered: Amount::ZERO,
+                inflight: Amount::ZERO,
+                status: PaymentStatus::Pending,
+                completed_at: None,
+            },
+            PaymentState {
+                id: PaymentId(1),
+                src: NodeId(0),
+                dst: NodeId(1),
+                amount: Amount::from_whole(1),
+                arrival: 0.0,
+                deadline: 2.0,
+                delivered: Amount::ZERO,
+                inflight: Amount::ZERO,
+                status: PaymentStatus::Pending,
+                completed_at: None,
+            },
+        ];
+        let q: VecDeque<usize> = VecDeque::from([0]);
+        // FIFO appends.
+        assert_eq!(insert_position(&q, &units, &payments, QueuePolicy::Fifo, 1), 1);
+        // Smallest-first puts the 1-token unit ahead of the 5-token one.
+        assert_eq!(
+            insert_position(&q, &units, &payments, QueuePolicy::SmallestFirst, 1),
+            0
+        );
+        // EDF puts the tighter deadline first.
+        assert_eq!(
+            insert_position(&q, &units, &payments, QueuePolicy::EarliestDeadline, 1),
+            0
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = line3(50);
+        let txs: Vec<Transaction> = (0..20)
+            .map(|i| tx(i, (i % 2) as u32 * 2, 2 - (i % 2) as u32 * 2, 15, 0.1 * i as f64))
+            .collect();
+        let a = run_queued(&g, &txs, &QueuedConfig::new(15.0));
+        let b = run_queued(&g, &txs, &QueuedConfig::new(15.0));
+        assert_eq!(a.report.completed, b.report.completed);
+        assert_eq!(a.report.units_sent, b.report.units_sent);
+        assert_eq!(a.queues.units_queued, b.queues.units_queued);
+    }
+}

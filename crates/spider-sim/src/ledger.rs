@@ -1,0 +1,504 @@
+//! The live channel ledger: spendable balances plus in-flight (HTLC-locked)
+//! funds.
+//!
+//! Sending `m` tokens along a path locks `m` on the sender side of every hop
+//! (the funds are "pending" until the receiver releases the hash-lock key,
+//! §4.2 / Fig. 3). Settlement `Δ` seconds later credits the receiving side
+//! of every hop. Conservation is exact: for every channel,
+//! `available_a + available_b + inflight == capacity` at all times.
+
+use spider_core::{Amount, BalanceView, ChannelId, CoreError, Network, NodeId, Path};
+
+/// Live balance state for one channel.
+#[derive(Clone, Debug)]
+struct ChannelState {
+    capacity: Amount,
+    /// Spendable by endpoint `a` / endpoint `b`.
+    available: [Amount; 2],
+    /// Funds locked in flight (sum over both directions).
+    inflight: Amount,
+}
+
+/// The live ledger for a whole network.
+///
+/// Cloneable so experiments can snapshot and restart from the initial state.
+#[derive(Clone, Debug)]
+pub struct Ledger {
+    channels: Vec<ChannelState>,
+}
+
+impl Ledger {
+    /// Initializes the ledger from the network's initial balances.
+    pub fn new(network: &Network) -> Self {
+        let channels = network
+            .channels()
+            .iter()
+            .map(|ch| ChannelState {
+                capacity: ch.capacity(),
+                available: [ch.balance_a, ch.balance_b],
+                inflight: Amount::ZERO,
+            })
+            .collect();
+        Ledger { channels }
+    }
+
+    fn side(network: &Network, channel: ChannelId, node: NodeId) -> usize {
+        let ch = network.channel(channel);
+        if node == ch.a {
+            0
+        } else if node == ch.b {
+            1
+        } else {
+            panic!("{node} is not an endpoint of {channel}")
+        }
+    }
+
+    /// Locks `amount` on the sender side of every hop of `path`, returning
+    /// an error (and changing nothing) if any hop lacks funds.
+    pub fn lock_path(
+        &mut self,
+        network: &Network,
+        path: &Path,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        // Validation pass: because a trail never repeats a channel, per-hop
+        // checks cannot double-count within one path.
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let side = Self::side(network, c, from);
+            let have = self.channels[c.index()].available[side];
+            if have < amount {
+                return Err(CoreError::InsufficientFunds {
+                    channel: c,
+                    from,
+                    available: have.micros(),
+                    requested: amount.micros(),
+                });
+            }
+        }
+        // Commit pass.
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let side = Self::side(network, c, from);
+            let st = &mut self.channels[c.index()];
+            st.available[side] -= amount;
+            st.inflight += amount;
+            debug_assert!(self.conserves(c));
+        }
+        Ok(())
+    }
+
+    /// Settles a previously locked transfer: credits the receiving side of
+    /// every hop and releases the in-flight funds.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if settlement exceeds recorded in-flight
+    /// funds — that indicates a double-settle bug in the caller.
+    pub fn settle_path(&mut self, network: &Network, path: &Path, amount: Amount) {
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let to = path.nodes()[i + 1];
+            let side = Self::side(network, c, to);
+            let st = &mut self.channels[c.index()];
+            debug_assert!(st.inflight >= amount, "settle exceeds inflight on {c}");
+            st.available[side] += amount;
+            st.inflight -= amount;
+            debug_assert!(self.conserves(c));
+        }
+    }
+
+    /// Cancels a previously locked transfer: refunds the sender side of
+    /// every hop (an expired/failed HTLC).
+    pub fn refund_path(&mut self, network: &Network, path: &Path, amount: Amount) {
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let side = Self::side(network, c, from);
+            let st = &mut self.channels[c.index()];
+            debug_assert!(st.inflight >= amount, "refund exceeds inflight on {c}");
+            st.available[side] += amount;
+            st.inflight -= amount;
+            debug_assert!(self.conserves(c));
+        }
+    }
+
+    /// Locks a *per-hop* amount along `path` (`amounts[i]` on hop `i`) —
+    /// the fee-bearing variant of [`lock_path`](Self::lock_path), where
+    /// upstream hops carry the delivered value plus downstream fees.
+    /// All-or-nothing like `lock_path`.
+    pub fn lock_path_amounts(
+        &mut self,
+        network: &Network,
+        path: &Path,
+        amounts: &[Amount],
+    ) -> Result<(), CoreError> {
+        assert_eq!(amounts.len(), path.hops().len(), "one amount per hop");
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            if amounts[i].is_negative() {
+                return Err(CoreError::NegativeAmount);
+            }
+            let from = path.nodes()[i];
+            let side = Self::side(network, c, from);
+            let have = self.channels[c.index()].available[side];
+            if have < amounts[i] {
+                return Err(CoreError::InsufficientFunds {
+                    channel: c,
+                    from,
+                    available: have.micros(),
+                    requested: amounts[i].micros(),
+                });
+            }
+        }
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let side = Self::side(network, c, from);
+            let st = &mut self.channels[c.index()];
+            st.available[side] -= amounts[i];
+            st.inflight += amounts[i];
+            debug_assert!(self.conserves(c));
+        }
+        Ok(())
+    }
+
+    /// Settles a per-hop-amount transfer: hop `i`'s receiver is credited
+    /// `amounts[i]` (so each router keeps its fee margin).
+    pub fn settle_path_amounts(&mut self, network: &Network, path: &Path, amounts: &[Amount]) {
+        assert_eq!(amounts.len(), path.hops().len(), "one amount per hop");
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let to = path.nodes()[i + 1];
+            let side = Self::side(network, c, to);
+            let st = &mut self.channels[c.index()];
+            debug_assert!(st.inflight >= amounts[i], "settle exceeds inflight on {c}");
+            st.available[side] += amounts[i];
+            st.inflight -= amounts[i];
+            debug_assert!(self.conserves(c));
+        }
+    }
+
+    /// Refunds a per-hop-amount transfer back to each hop's sender.
+    pub fn refund_path_amounts(&mut self, network: &Network, path: &Path, amounts: &[Amount]) {
+        assert_eq!(amounts.len(), path.hops().len(), "one amount per hop");
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let side = Self::side(network, c, from);
+            let st = &mut self.channels[c.index()];
+            debug_assert!(st.inflight >= amounts[i], "refund exceeds inflight on {c}");
+            st.available[side] += amounts[i];
+            st.inflight -= amounts[i];
+            debug_assert!(self.conserves(c));
+        }
+    }
+
+    /// Locks `amount` on `from`'s side of a single channel (hop-by-hop
+    /// forwarding, used by the router-queue engine).
+    pub fn lock_hop(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        from: NodeId,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        let side = Self::side(network, channel, from);
+        let st = &mut self.channels[channel.index()];
+        if st.available[side] < amount {
+            return Err(CoreError::InsufficientFunds {
+                channel,
+                from,
+                available: st.available[side].micros(),
+                requested: amount.micros(),
+            });
+        }
+        st.available[side] -= amount;
+        st.inflight += amount;
+        debug_assert!(self.conserves(channel));
+        Ok(())
+    }
+
+    /// `true` if `from` can currently lock `amount` on `channel`.
+    pub fn can_lock_hop(
+        &self,
+        network: &Network,
+        channel: ChannelId,
+        from: NodeId,
+        amount: Amount,
+    ) -> bool {
+        let side = Self::side(network, channel, from);
+        self.channels[channel.index()].available[side] >= amount
+    }
+
+    /// Settles a single previously locked hop: credits `to`'s side.
+    pub fn settle_hop(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        to: NodeId,
+        amount: Amount,
+    ) {
+        let side = Self::side(network, channel, to);
+        let st = &mut self.channels[channel.index()];
+        debug_assert!(st.inflight >= amount, "settle exceeds inflight on {channel}");
+        st.available[side] += amount;
+        st.inflight -= amount;
+        debug_assert!(self.conserves(channel));
+    }
+
+    /// Refunds a single previously locked hop back to `from`'s side.
+    pub fn refund_hop(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        from: NodeId,
+        amount: Amount,
+    ) {
+        self.settle_hop(network, channel, from, amount);
+    }
+
+    /// Deposits `amount` of fresh on-chain funds on `node`'s side of
+    /// `channel` (an on-chain rebalancing/top-up transaction; §5.2.3).
+    /// Increases the channel's capacity.
+    pub fn deposit(&mut self, network: &Network, channel: ChannelId, node: NodeId, amount: Amount) {
+        assert!(!amount.is_negative());
+        let side = Self::side(network, channel, node);
+        let st = &mut self.channels[channel.index()];
+        st.available[side] += amount;
+        st.capacity += amount;
+    }
+
+    /// Withdraws up to `amount` from `node`'s side of `channel` back on
+    /// chain, returning what was actually withdrawn. Decreases capacity.
+    pub fn withdraw(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        node: NodeId,
+        amount: Amount,
+    ) -> Amount {
+        assert!(!amount.is_negative());
+        let side = Self::side(network, channel, node);
+        let st = &mut self.channels[channel.index()];
+        let taken = amount.min(st.available[side]);
+        st.available[side] -= taken;
+        st.capacity -= taken;
+        taken
+    }
+
+    /// Current spendable balances `(side_a, side_b)` of `channel`, where
+    /// side `a` is the channel's lower-id endpoint.
+    pub fn balances(&self, channel: ChannelId) -> (Amount, Amount) {
+        let st = &self.channels[channel.index()];
+        (st.available[0], st.available[1])
+    }
+
+    /// Funds currently in flight on `channel`.
+    pub fn inflight(&self, channel: ChannelId) -> Amount {
+        self.channels[channel.index()].inflight
+    }
+
+    /// Current capacity of `channel` (initial escrow plus net deposits).
+    pub fn capacity(&self, channel: ChannelId) -> Amount {
+        self.channels[channel.index()].capacity
+    }
+
+    /// `true` when `available_a + available_b + inflight == capacity`.
+    pub fn conserves(&self, channel: ChannelId) -> bool {
+        let st = &self.channels[channel.index()];
+        st.available[0] + st.available[1] + st.inflight == st.capacity
+    }
+
+    /// `true` when every channel conserves funds exactly.
+    pub fn conserves_all(&self) -> bool {
+        (0..self.channels.len()).all(|i| self.conserves(ChannelId(i as u32)))
+    }
+
+    /// Mean relative imbalance across channels:
+    /// `|available_a − available_b| / capacity`, averaged.
+    pub fn mean_imbalance(&self) -> f64 {
+        if self.channels.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .channels
+            .iter()
+            .map(|st| {
+                let diff = (st.available[0] - st.available[1]).abs();
+                diff.ratio_of(st.capacity)
+            })
+            .sum();
+        sum / self.channels.len() as f64
+    }
+
+    /// Total funds currently locked in flight across the network.
+    pub fn total_inflight(&self) -> Amount {
+        self.channels.iter().map(|st| st.inflight).sum()
+    }
+}
+
+/// A [`BalanceView`] of a ledger bound to its network (needed to resolve
+/// which endpoint a node is).
+pub struct LedgerView<'a> {
+    /// The static topology.
+    pub network: &'a Network,
+    /// The live ledger.
+    pub ledger: &'a Ledger,
+}
+
+impl BalanceView for LedgerView<'_> {
+    fn available(&self, channel: ChannelId, from: NodeId) -> Amount {
+        let side = Ledger::side(self.network, channel, from);
+        self.ledger.channels[channel.index()].available[side]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use spider_core::NodeId;
+
+    fn line3() -> Network {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g
+    }
+
+    fn path02(g: &Network) -> Path {
+        Path::new(g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap()
+    }
+
+    #[test]
+    fn lock_settle_moves_funds() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        let p = path02(&g);
+        ledger.lock_path(&g, &p, Amount::from_whole(3)).unwrap();
+        let view = LedgerView { network: &g, ledger: &ledger };
+        let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
+        let c12 = g.channel_between(NodeId(1), NodeId(2)).unwrap().id;
+        assert_eq!(view.available(c01, NodeId(0)), Amount::from_whole(2));
+        assert_eq!(view.available(c01, NodeId(1)), Amount::from_whole(5));
+        assert_eq!(ledger.inflight(c01), Amount::from_whole(3));
+        assert!(ledger.conserves_all());
+
+        ledger.settle_path(&g, &p, Amount::from_whole(3));
+        let view = LedgerView { network: &g, ledger: &ledger };
+        assert_eq!(view.available(c01, NodeId(1)), Amount::from_whole(8));
+        assert_eq!(view.available(c12, NodeId(2)), Amount::from_whole(8));
+        assert_eq!(ledger.inflight(c01), Amount::ZERO);
+        assert!(ledger.conserves_all());
+    }
+
+    #[test]
+    fn lock_fails_atomically_on_insufficient_hop() {
+        let mut g = Network::new(3);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::from_whole(1), Amount::ZERO)
+            .unwrap();
+        let mut ledger = Ledger::new(&g);
+        let p = Path::new(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let err = ledger.lock_path(&g, &p, Amount::from_whole(3)).unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientFunds { .. }));
+        // First hop must NOT have been debited.
+        let view = LedgerView { network: &g, ledger: &ledger };
+        let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
+        assert_eq!(view.available(c01, NodeId(0)), Amount::from_whole(5));
+        assert!(ledger.conserves_all());
+    }
+
+    #[test]
+    fn refund_restores_sender() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        let p = path02(&g);
+        ledger.lock_path(&g, &p, Amount::from_whole(4)).unwrap();
+        ledger.refund_path(&g, &p, Amount::from_whole(4));
+        let view = LedgerView { network: &g, ledger: &ledger };
+        let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
+        assert_eq!(view.available(c01, NodeId(0)), Amount::from_whole(5));
+        assert_eq!(ledger.total_inflight(), Amount::ZERO);
+        assert!(ledger.conserves_all());
+    }
+
+    #[test]
+    fn deposit_and_withdraw_adjust_capacity() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
+        ledger.deposit(&g, c01, NodeId(0), Amount::from_whole(5));
+        assert_eq!(ledger.capacity(c01), Amount::from_whole(15));
+        assert!(ledger.conserves_all());
+        let taken = ledger.withdraw(&g, c01, NodeId(0), Amount::from_whole(100));
+        assert_eq!(taken, Amount::from_whole(10)); // 5 initial + 5 deposited
+        assert!(ledger.conserves_all());
+    }
+
+    #[test]
+    fn mean_imbalance_reflects_skew() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        assert_eq!(ledger.mean_imbalance(), 0.0);
+        let p = path02(&g);
+        ledger.lock_path(&g, &p, Amount::from_whole(5)).unwrap();
+        ledger.settle_path(&g, &p, Amount::from_whole(5));
+        // Both channels fully one-sided now.
+        assert!((ledger.mean_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_settles_supported() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        let p = path02(&g);
+        ledger.lock_path(&g, &p, Amount::from_whole(4)).unwrap();
+        ledger.settle_path(&g, &p, Amount::from_whole(1));
+        ledger.refund_path(&g, &p, Amount::from_whole(3));
+        assert_eq!(ledger.total_inflight(), Amount::ZERO);
+        assert!(ledger.conserves_all());
+    }
+
+    proptest! {
+        /// Conservation holds under arbitrary interleavings of lock,
+        /// settle, and refund along the two directions of a line network.
+        #[test]
+        fn prop_conservation_under_random_ops(ops in proptest::collection::vec((0u8..4, 1i64..4), 1..60)) {
+            let g = line3();
+            let mut ledger = Ledger::new(&g);
+            let fwd = path02(&g);
+            let rev = Path::new(&g, vec![NodeId(2), NodeId(1), NodeId(0)]).unwrap();
+            // Track outstanding locks so settles/refunds stay legal.
+            let mut outstanding: Vec<(bool, Amount)> = Vec::new();
+            for (op, amt) in ops {
+                let amount = Amount::from_whole(amt);
+                match op {
+                    0 => {
+                        if ledger.lock_path(&g, &fwd, amount).is_ok() {
+                            outstanding.push((true, amount));
+                        }
+                    }
+                    1 => {
+                        if ledger.lock_path(&g, &rev, amount).is_ok() {
+                            outstanding.push((false, amount));
+                        }
+                    }
+                    2 => {
+                        if let Some((is_fwd, a)) = outstanding.pop() {
+                            let p = if is_fwd { &fwd } else { &rev };
+                            ledger.settle_path(&g, p, a);
+                        }
+                    }
+                    _ => {
+                        if let Some((is_fwd, a)) = outstanding.pop() {
+                            let p = if is_fwd { &fwd } else { &rev };
+                            ledger.refund_path(&g, p, a);
+                        }
+                    }
+                }
+                prop_assert!(ledger.conserves_all());
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulator for payment channel networks.
+//!
+//! Reproduces the paper's evaluation substrate (§6.1):
+//!
+//! - [`ledger`] — live channel balances with HTLC-style in-flight locking
+//!   and exact conservation of funds,
+//! - [`events`] — a deterministic `(time, sequence)`-ordered event queue,
+//! - [`payment`] / [`scheduler`] — pending-payment state and SRPT/FIFO/
+//!   LIFO/EDF service policies,
+//! - [`engine`] — the simulation loop driving any
+//!   [`spider_routing::RoutingScheme`],
+//! - [`metrics`] — success ratio / success volume reporting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod congestion;
+pub mod engine;
+pub mod engine_queued;
+pub mod events;
+pub mod ledger;
+pub mod metrics;
+pub mod payment;
+pub mod rebalancer;
+pub mod scheduler;
+pub mod wire;
+
+pub use engine::{run, SimConfig};
+pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
+pub use events::{EventQueue, Time};
+pub use ledger::{Ledger, LedgerView};
+pub use metrics::SimReport;
+pub use congestion::{CongestionConfig, CongestionControl};
+pub use payment::{PaymentState, PaymentStatus};
+pub use rebalancer::{RebalancePolicy, RebalanceStats};
+pub use scheduler::SchedulePolicy;
+pub use wire::{HashLock, HopHeader, UnitPacket, WireError};

@@ -1,0 +1,149 @@
+//! Evaluation metrics (§6.1): success ratio and success volume, plus
+//! supporting detail.
+
+use crate::rebalancer::RebalanceStats;
+use serde::{Deserialize, Serialize};
+
+/// Result of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Routing scheme name.
+    pub scheme: String,
+    /// Scheduling policy name (packet-switched schemes only; "atomic" otherwise).
+    pub policy: String,
+    /// Payments that arrived during the run.
+    pub attempted: usize,
+    /// Payments fully delivered before their deadline.
+    pub completed: usize,
+    /// Payments abandoned (atomic failure, unroutable, or deadline).
+    pub abandoned: usize,
+    /// Payments still pending when the run ended.
+    pub pending_at_end: usize,
+    /// Total value of attempted payments (tokens).
+    pub attempted_volume: f64,
+    /// Value actually settled at receivers, including partial deliveries.
+    pub delivered_volume: f64,
+    /// Value of fully completed payments only.
+    pub completed_volume: f64,
+    /// Transaction units transmitted.
+    pub units_sent: u64,
+    /// Mean time from arrival to completion, over completed payments.
+    pub mean_completion_delay: f64,
+    /// Mean relative channel imbalance at the end of the run.
+    pub final_mean_imbalance: f64,
+    /// On-chain rebalancing activity (zeros when rebalancing is disabled).
+    #[serde(default)]
+    pub rebalance: RebalanceStats,
+    /// Total routing fees paid by senders (tokens; zero without a fee
+    /// schedule).
+    #[serde(default)]
+    pub routing_fees_paid: f64,
+    /// Sampled time series of `(time, success_ratio, success_volume)`.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub series: Vec<(f64, f64, f64)>,
+}
+
+impl SimReport {
+    /// `completed / attempted` — the paper's *success ratio*.
+    pub fn success_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.attempted as f64
+        }
+    }
+
+    /// `delivered volume / attempted volume` — the paper's *success
+    /// volume* (non-atomic partial deliveries count as delivered).
+    pub fn success_volume(&self) -> f64 {
+        if self.attempted_volume <= 0.0 {
+            0.0
+        } else {
+            self.delivered_volume / self.attempted_volume
+        }
+    }
+
+    /// `completed volume / attempted volume` — a stricter volume metric
+    /// counting only fully completed payments.
+    pub fn strict_success_volume(&self) -> f64 {
+        if self.attempted_volume <= 0.0 {
+            0.0
+        } else {
+            self.completed_volume / self.attempted_volume
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<22} success_ratio={:>6.3} success_volume={:>6.3} (strict {:>6.3}) completed={}/{} units={}",
+            self.scheme,
+            self.success_ratio(),
+            self.success_volume(),
+            self.strict_success_volume(),
+            self.completed,
+            self.attempted,
+            self.units_sent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            scheme: "test".into(),
+            policy: "srpt".into(),
+            attempted: 10,
+            completed: 7,
+            abandoned: 2,
+            pending_at_end: 1,
+            attempted_volume: 1000.0,
+            delivered_volume: 800.0,
+            completed_volume: 700.0,
+            units_sent: 42,
+            mean_completion_delay: 0.9,
+            final_mean_imbalance: 0.3,
+            rebalance: RebalanceStats::default(),
+            routing_fees_paid: 0.0,
+            series: vec![],
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let r = report();
+        assert!((r.success_ratio() - 0.7).abs() < 1e-12);
+        assert!((r.success_volume() - 0.8).abs() < 1e-12);
+        assert!((r.strict_success_volume() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_attempts_are_safe() {
+        let mut r = report();
+        r.attempted = 0;
+        r.attempted_volume = 0.0;
+        assert_eq!(r.success_ratio(), 0.0);
+        assert_eq!(r.success_volume(), 0.0);
+        assert_eq!(r.strict_success_volume(), 0.0);
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let s = report().summary();
+        assert!(s.contains("test"));
+        assert!(s.contains("0.700"));
+        assert!(s.contains("7/10"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"attempted\":10"));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.attempted, r.attempted);
+    }
+}

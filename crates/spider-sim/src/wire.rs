@@ -1,0 +1,327 @@
+//! Wire encoding of transaction units.
+//!
+//! Spider routers forward transaction units that carry, like Lightning's
+//! onion packets (§4.2), a per-hop routing header plus the HTLC parameters:
+//! payment id, sequence number, amount, hash-lock, and expiry. This module
+//! defines that packet format with an exact, versioned binary encoding —
+//! what a real Spider deployment would put on the wire, and what the
+//! simulator uses to size queues and measure per-hop overhead.
+//!
+//! Layered (onion) encoding: each hop's header is prepended so a router
+//! peels exactly one layer; the payload it forwards is what remains. The
+//! privacy of real onion routing comes from per-hop encryption, which is
+//! out of scope — the *structure* (fixed per-hop overhead, peeling) is
+//! modeled faithfully.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spider_core::{Amount, NodeId, PaymentId, UnitId};
+
+/// Protocol version tag for [`UnitPacket`] encodings.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Magic bytes prefixing every packet.
+pub const WIRE_MAGIC: [u8; 2] = *b"SP";
+
+/// The 32-byte hash-lock condition guarding a transaction unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HashLock(pub [u8; 32]);
+
+impl HashLock {
+    /// Derives a deterministic hash-lock from a payment id and sequence
+    /// number (a stand-in for `H(preimage)`; the simulator does not need
+    /// real preimages, only distinct, reproducible lock values).
+    pub fn derive(unit: UnitId) -> Self {
+        let mut out = [0u8; 32];
+        let mut state = unit.payment.0 ^ 0x517c_c1b7_2722_0a95;
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            state = state
+                .wrapping_add(unit.seq as u64 + i as u64)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d);
+            state ^= state >> 28;
+            chunk.copy_from_slice(&state.to_be_bytes());
+        }
+        HashLock(out)
+    }
+}
+
+/// One hop's routing instruction inside the onion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HopHeader {
+    /// The next node to forward to.
+    pub next: NodeId,
+    /// Fee retained by this hop, in micro-units.
+    pub fee_micros: u32,
+}
+
+/// A complete transaction-unit packet: HTLC parameters plus the remaining
+/// onion route.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnitPacket {
+    /// Which payment and unit this is.
+    pub unit: UnitId,
+    /// Value carried by this unit.
+    pub amount: Amount,
+    /// Hash-lock condition.
+    pub lock: HashLock,
+    /// Absolute expiry (milliseconds of simulation time).
+    pub expiry_ms: u64,
+    /// Remaining hops, outermost first.
+    pub route: Vec<HopHeader>,
+}
+
+/// Errors from decoding a [`UnitPacket`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Route length field exceeds the hard cap.
+    RouteTooLong(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::RouteTooLong(n) => write!(f, "route of {n} hops exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Hard cap on route length (trails cannot revisit channels, and no
+/// realistic PCN path approaches this).
+pub const MAX_ROUTE_HOPS: u16 = 64;
+
+/// Fixed encoded size of everything except the route (magic, version,
+/// payment id, seq, amount, lock, expiry, hop count).
+pub const FIXED_HEADER_BYTES: usize = 2 + 1 + 8 + 4 + 8 + 32 + 8 + 2;
+
+/// Encoded size of one hop header.
+pub const HOP_BYTES: usize = 4 + 4;
+
+impl UnitPacket {
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        FIXED_HEADER_BYTES + self.route.len() * HOP_BYTES
+    }
+
+    /// Encodes the packet.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u64(self.unit.payment.0);
+        buf.put_u32(self.unit.seq);
+        buf.put_i64(self.amount.micros());
+        buf.put_slice(&self.lock.0);
+        buf.put_u64(self.expiry_ms);
+        buf.put_u16(self.route.len() as u16);
+        for hop in &self.route {
+            buf.put_u32(hop.next.0);
+            buf.put_u32(hop.fee_micros);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a packet, validating framing.
+    pub fn decode(mut data: &[u8]) -> Result<UnitPacket, WireError> {
+        if data.len() < FIXED_HEADER_BYTES {
+            return Err(WireError::Truncated);
+        }
+        let mut magic = [0u8; 2];
+        data.copy_to_slice(&mut magic);
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = data.get_u8();
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let payment = PaymentId(data.get_u64());
+        let seq = data.get_u32();
+        let amount = Amount::from_micros(data.get_i64());
+        let mut lock = [0u8; 32];
+        data.copy_to_slice(&mut lock);
+        let expiry_ms = data.get_u64();
+        let hops = data.get_u16();
+        if hops > MAX_ROUTE_HOPS {
+            return Err(WireError::RouteTooLong(hops));
+        }
+        if data.remaining() < hops as usize * HOP_BYTES {
+            return Err(WireError::Truncated);
+        }
+        let mut route = Vec::with_capacity(hops as usize);
+        for _ in 0..hops {
+            route.push(HopHeader {
+                next: NodeId(data.get_u32()),
+                fee_micros: data.get_u32(),
+            });
+        }
+        Ok(UnitPacket {
+            unit: UnitId { payment, seq },
+            amount,
+            lock: HashLock(lock),
+            expiry_ms,
+            route,
+        })
+    }
+
+    /// Peels the outermost routing layer: returns the hop a router must
+    /// forward to, and the packet it forwards (one layer shorter, with this
+    /// hop's fee subtracted from the carried amount).
+    ///
+    /// Returns `None` when the route is empty — the packet has reached its
+    /// destination.
+    pub fn peel(&self) -> Option<(HopHeader, UnitPacket)> {
+        let (first, rest) = self.route.split_first()?;
+        let mut inner = self.clone();
+        inner.route = rest.to_vec();
+        inner.amount -= Amount::from_micros(first.fee_micros as i64);
+        Some((*first, inner))
+    }
+}
+
+/// Builds the packet for a unit traveling `path_nodes` (source first), with
+/// a uniform per-hop fee.
+pub fn packet_for_path(
+    unit: UnitId,
+    amount: Amount,
+    expiry_ms: u64,
+    path_nodes: &[NodeId],
+    fee_micros: u32,
+) -> UnitPacket {
+    assert!(path_nodes.len() >= 2, "a route needs at least one hop");
+    let route = path_nodes[1..]
+        .iter()
+        .map(|&next| HopHeader { next, fee_micros })
+        .collect();
+    UnitPacket {
+        unit,
+        amount,
+        lock: HashLock::derive(unit),
+        expiry_ms,
+        route,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UnitPacket {
+        packet_for_path(
+            UnitId { payment: PaymentId(42), seq: 7 },
+            Amount::from_tokens(12.5),
+            91_500,
+            &[NodeId(1), NodeId(5), NodeId(9), NodeId(3)],
+            250,
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = sample();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.encoded_len());
+        let q = UnitPacket::decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn empty_route_round_trips() {
+        let mut p = sample();
+        p.route.clear();
+        let q = UnitPacket::decode(&p.encode()).unwrap();
+        assert_eq!(q.route.len(), 0);
+        assert!(q.peel().is_none());
+    }
+
+    #[test]
+    fn peel_walks_the_route_and_charges_fees() {
+        let p = sample();
+        let (hop1, p1) = p.peel().unwrap();
+        assert_eq!(hop1.next, NodeId(5));
+        assert_eq!(p1.route.len(), 2);
+        assert_eq!(p1.amount, p.amount - Amount::from_micros(250));
+        let (hop2, p2) = p1.peel().unwrap();
+        assert_eq!(hop2.next, NodeId(9));
+        let (hop3, p3) = p2.peel().unwrap();
+        assert_eq!(hop3.next, NodeId(3));
+        assert!(p3.peel().is_none());
+        assert_eq!(p3.amount, p.amount - Amount::from_micros(750));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(UnitPacket::decode(&bytes), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = sample().encode().to_vec();
+        bytes[2] = 99;
+        assert_eq!(UnitPacket::decode(&bytes), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = sample().encode();
+        assert_eq!(UnitPacket::decode(&bytes[..5]), Err(WireError::Truncated));
+        // Cut inside the route section.
+        assert_eq!(
+            UnitPacket::decode(&bytes[..bytes.len() - 3]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_route_claim() {
+        let mut bytes = sample().encode().to_vec();
+        // The hop-count field sits right before the route bytes.
+        let at = FIXED_HEADER_BYTES - 2;
+        bytes[at] = 0xff;
+        bytes[at + 1] = 0xff;
+        assert_eq!(
+            UnitPacket::decode(&bytes),
+            Err(WireError::RouteTooLong(0xffff))
+        );
+    }
+
+    #[test]
+    fn hash_locks_are_distinct_and_deterministic() {
+        let a = HashLock::derive(UnitId { payment: PaymentId(1), seq: 0 });
+        let b = HashLock::derive(UnitId { payment: PaymentId(1), seq: 1 });
+        let c = HashLock::derive(UnitId { payment: PaymentId(2), seq: 0 });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, HashLock::derive(UnitId { payment: PaymentId(1), seq: 0 }));
+    }
+
+    #[test]
+    fn per_hop_overhead_is_fixed() {
+        let short = packet_for_path(
+            UnitId { payment: PaymentId(0), seq: 0 },
+            Amount::ONE,
+            0,
+            &[NodeId(0), NodeId(1)],
+            0,
+        );
+        let long = packet_for_path(
+            UnitId { payment: PaymentId(0), seq: 0 },
+            Amount::ONE,
+            0,
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            0,
+        );
+        assert_eq!(long.encoded_len() - short.encoded_len(), 2 * HOP_BYTES);
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text (de)serialization of topologies.
+//!
+//! Format: one channel per line, `a b balance_a balance_b` (node indices and
+//! token balances), `#`-prefixed comments, and a leading `nodes N` header.
+//! Designed so topologies can be exported, diffed, and re-imported
+//! deterministically.
+
+use spider_core::{Amount, Network, NodeId};
+use std::fmt::Write as _;
+
+/// Serializes a network into the edge-list text format.
+pub fn to_edge_list(network: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# spider topology: {} nodes, {} channels", network.num_nodes(), network.num_channels());
+    let _ = writeln!(out, "nodes {}", network.num_nodes());
+    for ch in network.channels() {
+        let _ = writeln!(out, "{} {} {} {}", ch.a.0, ch.b.0, ch.balance_a, ch.balance_b);
+    }
+    out
+}
+
+/// Errors from parsing the edge-list format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// Missing or malformed `nodes N` header.
+    MissingHeader,
+    /// A line did not have the expected `a b bal_a bal_b` shape.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing `nodes N` header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the edge-list text format back into a [`Network`].
+pub fn from_edge_list(text: &str) -> Result<Network, ParseError> {
+    let mut network: Option<Network> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            let n: usize = rest.trim().parse().map_err(|_| ParseError::BadLine {
+                line: idx + 1,
+                reason: format!("bad node count `{rest}`"),
+            })?;
+            network = Some(Network::new(n));
+            continue;
+        }
+        let g = network.as_mut().ok_or(ParseError::MissingHeader)?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 4 {
+            return Err(ParseError::BadLine {
+                line: idx + 1,
+                reason: format!("expected 4 fields, got {}", parts.len()),
+            });
+        }
+        let parse_u32 = |s: &str| -> Result<u32, ParseError> {
+            s.parse().map_err(|_| ParseError::BadLine {
+                line: idx + 1,
+                reason: format!("bad node id `{s}`"),
+            })
+        };
+        let parse_amt = |s: &str| -> Result<Amount, ParseError> {
+            s.parse::<f64>().map(Amount::from_tokens).map_err(|_| ParseError::BadLine {
+                line: idx + 1,
+                reason: format!("bad amount `{s}`"),
+            })
+        };
+        let a = NodeId(parse_u32(parts[0])?);
+        let b = NodeId(parse_u32(parts[1])?);
+        let bal_a = parse_amt(parts[2])?;
+        let bal_b = parse_amt(parts[3])?;
+        g.add_channel_with_balances(a, b, bal_a, bal_b).map_err(|e| {
+            ParseError::BadLine { line: idx + 1, reason: e.to_string() }
+        })?;
+    }
+    network.ok_or(ParseError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ring;
+
+    #[test]
+    fn round_trip() {
+        let g = ring(6, Amount::from_whole(50));
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_channels(), g2.num_channels());
+        for (a, b) in g.channels().iter().zip(g2.channels()) {
+            assert_eq!((a.a, a.b, a.balance_a, a.balance_b), (b.a, b.b, b.balance_a, b.balance_b));
+        }
+    }
+
+    #[test]
+    fn fractional_balances_round_trip() {
+        let mut g = Network::new(2);
+        g.add_channel_with_balances(
+            NodeId(0),
+            NodeId(1),
+            Amount::from_tokens(1.5),
+            Amount::from_tokens(2.25),
+        )
+        .unwrap();
+        let g2 = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g2.channels()[0].balance_a, Amount::from_tokens(1.5));
+        assert_eq!(g2.channels()[0].balance_b, Amount::from_tokens(2.25));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nnodes 2\n# channel below\n0 1 5 5\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.num_channels(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_edge_list("0 1 5 5\n").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(from_edge_list("").unwrap_err(), ParseError::MissingHeader);
+    }
+
+    #[test]
+    fn bad_lines_reported_with_numbers() {
+        let err = from_edge_list("nodes 2\n0 1 5\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 2, .. }));
+        let err = from_edge_list("nodes 2\n0 x 5 5\n").unwrap_err();
+        assert!(err.to_string().contains("bad node id"));
+    }
+
+    #[test]
+    fn duplicate_channel_rejected() {
+        let err = from_edge_list("nodes 2\n0 1 5 5\n1 0 3 3\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 3, .. }));
+    }
+}

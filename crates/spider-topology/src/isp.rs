@@ -1,0 +1,120 @@
+//! The ISP-like evaluation topology (§6.1).
+//!
+//! The paper uses a Topology Zoo ISP graph with 32 nodes and 152 edges.
+//! That dataset is not redistributable here, so this module synthesizes a
+//! deterministic ISP-like graph with the *same node and edge counts* and the
+//! hierarchical structure typical of ISP backbones: a densely meshed core,
+//! an aggregation tier multi-homed into the core, and an access tier
+//! multi-homed into aggregation. The paper only relies on the ISP graph
+//! being "a relatively simple topology" with uniform channel capacities, so
+//! any well-connected 32-node/152-edge graph exercises the same dynamics
+//! (see DESIGN.md, substitutions).
+
+use spider_core::{Amount, Network, NodeId};
+
+/// Number of nodes in the ISP-like topology.
+pub const ISP_NODES: usize = 32;
+/// Number of channels in the ISP-like topology.
+pub const ISP_EDGES: usize = 152;
+
+/// Builds the deterministic ISP-like topology: 32 nodes, 152 channels, every
+/// channel carrying `capacity` (split evenly).
+///
+/// Tiers: nodes 0–7 form the core (full mesh), nodes 8–19 the aggregation
+/// tier (each homed to 4 cores plus an aggregation ring), nodes 20–31 the
+/// access tier (each homed to 3 aggregation nodes plus an access ring).
+/// Deterministic chords pad the graph to exactly 152 edges.
+pub fn isp_topology(capacity: Amount) -> Network {
+    let mut g = Network::new(ISP_NODES);
+    let add = |g: &mut Network, a: usize, b: usize| {
+        g.add_channel(NodeId::from(a), NodeId::from(b), capacity)
+            .expect("isp edge must be fresh and valid");
+    };
+
+    // Core: full mesh on 0..8 (28 edges).
+    for i in 0..8 {
+        for j in i + 1..8 {
+            add(&mut g, i, j);
+        }
+    }
+    // Aggregation 8..20: each homed to 4 core nodes (48 edges).
+    for (k, agg) in (8..20).enumerate() {
+        for d in 0..4 {
+            add(&mut g, agg, (k + 2 * d) % 8);
+        }
+    }
+    // Aggregation ring (12 edges).
+    for k in 0..12 {
+        add(&mut g, 8 + k, 8 + (k + 1) % 12);
+    }
+    // Access 20..32: each homed to 3 aggregation nodes (36 edges).
+    for (k, acc) in (20..32).enumerate() {
+        for d in 0..3 {
+            add(&mut g, acc, 8 + (k + 4 * d) % 12);
+        }
+    }
+    // Access ring (12 edges).
+    for k in 0..12 {
+        add(&mut g, 20 + k, 20 + (k + 1) % 12);
+    }
+    // Deterministic chords to reach exactly 152 edges (16 more):
+    // aggregation cross-links and access-to-core express links.
+    for k in 0..6 {
+        add(&mut g, 8 + k, 8 + k + 6); // aggregation diameters (6)
+    }
+    for k in 0..6 {
+        add(&mut g, 20 + 2 * k, k % 8); // access express links (6)
+    }
+    for k in 0..4 {
+        add(&mut g, 21 + 2 * k, 20 + (2 * k + 5) % 12); // access chords (4)
+    }
+
+    debug_assert_eq!(g.num_channels(), ISP_EDGES);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_node_and_edge_counts() {
+        let g = isp_topology(Amount::from_whole(30_000));
+        assert_eq!(g.num_nodes(), ISP_NODES);
+        assert_eq!(g.num_channels(), ISP_EDGES);
+    }
+
+    #[test]
+    fn is_connected_and_reasonably_dense() {
+        let g = isp_topology(Amount::from_whole(30_000));
+        assert!(g.is_connected());
+        let mean_degree = 2.0 * g.num_channels() as f64 / g.num_nodes() as f64;
+        assert!((9.0..10.0).contains(&mean_degree), "mean degree {mean_degree}");
+    }
+
+    #[test]
+    fn core_is_denser_than_access() {
+        let g = isp_topology(Amount::from_whole(30_000));
+        let core_min = (0..8usize).map(|i| g.degree(NodeId::from(i))).min().unwrap();
+        let access_max = (20..32usize).map(|i| g.degree(NodeId::from(i))).max().unwrap();
+        assert!(core_min > access_max, "core {core_min} vs access {access_max}");
+    }
+
+    #[test]
+    fn uniform_capacities() {
+        let cap = Amount::from_whole(30_000);
+        let g = isp_topology(cap);
+        for ch in g.channels() {
+            assert_eq!(ch.capacity(), cap);
+            assert_eq!(ch.balance_a, ch.balance_b);
+        }
+    }
+
+    #[test]
+    fn small_diameter() {
+        let g = isp_topology(Amount::from_whole(30_000));
+        let d = g.bfs_distances(NodeId(20));
+        let max = d.iter().max().unwrap();
+        assert!(*max <= 4, "diameter-ish bound violated: {max}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Topology generators for payment channel network evaluation.
+//!
+//! - [`generators`] — standard random/structured graphs (ring, grid,
+//!   Erdős–Rényi, Barabási–Albert, Watts–Strogatz, trees),
+//! - [`isp`] — the deterministic 32-node/152-edge ISP-like topology of the
+//!   paper's evaluation,
+//! - [`ripple`] — scale-free Ripple-like credit network stand-ins,
+//! - [`io`] — a plain-text edge-list format for export/import.
+//!
+//! All generators are deterministic given a seed and produce connected
+//! graphs with evenly split channel balances.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod io;
+pub mod isp;
+pub mod ripple;
+
+pub use generators::{
+    barabasi_albert, complete, erdos_renyi, grid, line, random_tree, ring, star,
+    watts_strogatz, with_skewed_balances, with_uniform_capacity,
+};
+pub use io::{from_edge_list, to_edge_list, ParseError};
+pub use isp::{isp_topology, ISP_EDGES, ISP_NODES};
+pub use ripple::{ripple_topology, ripple_topology_scaled, RIPPLE_EDGES, RIPPLE_NODES};

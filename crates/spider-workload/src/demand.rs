@@ -1,0 +1,173 @@
+//! Synthetic demand-matrix generators.
+//!
+//! Proposition 1 makes the circulation structure of demand the fundamental
+//! determinant of balanced throughput, so the evaluation needs workloads
+//! with *controlled* circulation fractions: pure circulations (every unit
+//! routable with perfect balance), pure DAGs (nothing routable without
+//! rebalancing), and mixtures in between.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use spider_core::{DemandMatrix, NodeId};
+
+/// Generates a random circulation: `num_cycles` directed cycles over random
+/// node subsets, each carrying a random rate in `[min_rate, max_rate]`.
+///
+/// The result is exactly balanced at every node.
+pub fn random_circulation(
+    num_nodes: usize,
+    num_cycles: usize,
+    min_rate: f64,
+    max_rate: f64,
+    seed: u64,
+) -> DemandMatrix {
+    assert!(num_nodes >= 3, "cycles need at least 3 nodes");
+    assert!(min_rate > 0.0 && max_rate >= min_rate);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = DemandMatrix::new();
+    let mut nodes: Vec<u32> = (0..num_nodes as u32).collect();
+    for _ in 0..num_cycles {
+        let len = rng.random_range(3..=num_nodes.min(8));
+        nodes.shuffle(&mut rng);
+        let cycle = &nodes[..len];
+        let raw = if min_rate == max_rate {
+            min_rate
+        } else {
+            rng.random_range(min_rate..max_rate)
+        };
+        // Quantize to micro-units so downstream integer decompositions see
+        // an exactly balanced graph.
+        let rate = spider_core::Amount::from_tokens(raw).as_tokens();
+        for i in 0..len {
+            d.add(NodeId(cycle[i]), NodeId(cycle[(i + 1) % len]), rate);
+        }
+    }
+    d
+}
+
+/// Generates a pure-DAG demand: edges only from lower-indexed to
+/// higher-indexed nodes, so no cycle (hence zero circulation) exists.
+pub fn random_dag_demand(
+    num_nodes: usize,
+    num_edges: usize,
+    min_rate: f64,
+    max_rate: f64,
+    seed: u64,
+) -> DemandMatrix {
+    assert!(num_nodes >= 2);
+    assert!(min_rate > 0.0 && max_rate >= min_rate);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = DemandMatrix::new();
+    let mut guard = 0;
+    while d.len() < num_edges && guard < 100 * num_edges + 100 {
+        guard += 1;
+        let a = rng.random_range(0..num_nodes as u32 - 1);
+        let b = rng.random_range(a + 1..num_nodes as u32);
+        if d.rate(NodeId(a), NodeId(b)) == 0.0 {
+            let rate = if min_rate == max_rate {
+                min_rate
+            } else {
+                rng.random_range(min_rate..max_rate)
+            };
+            d.set(NodeId(a), NodeId(b), rate);
+        }
+    }
+    d
+}
+
+/// Mixes a circulation and a DAG so that the circulation carries
+/// `circulation_fraction` of the total demand rate.
+///
+/// Lets experiments sweep the theoretical throughput ceiling of
+/// Proposition 1 directly.
+pub fn mixed_demand(
+    num_nodes: usize,
+    total_rate: f64,
+    circulation_fraction: f64,
+    seed: u64,
+) -> DemandMatrix {
+    assert!((0.0..=1.0).contains(&circulation_fraction));
+    assert!(total_rate > 0.0);
+    let circ_part = random_circulation(num_nodes, num_nodes.max(4), 0.5, 1.5, seed);
+    let dag_part = random_dag_demand(num_nodes, num_nodes.max(4), 0.5, 1.5, seed ^ 0xabcd);
+    let mut out = DemandMatrix::new();
+    let circ_target = total_rate * circulation_fraction;
+    let dag_target = total_rate - circ_target;
+    if circ_target > 0.0 && circ_part.total() > 0.0 {
+        for (s, d, r) in circ_part.scaled(circ_target / circ_part.total()).entries() {
+            out.add(s, d, r);
+        }
+    }
+    if dag_target > 0.0 && dag_part.total() > 0.0 {
+        for (s, d, r) in dag_part.scaled(dag_target / dag_part.total()).entries() {
+            out.add(s, d, r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circulation_is_balanced() {
+        for seed in 0..5 {
+            let d = random_circulation(12, 6, 0.5, 2.0, seed);
+            assert!(d.is_circulation(1e-9), "seed {seed} not balanced");
+            assert!(d.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn random_dag_has_no_cycles() {
+        let d = random_dag_demand(10, 15, 1.0, 1.0, 3);
+        assert_eq!(d.len(), 15);
+        // All edges go up in index -> acyclic by construction.
+        for (s, t, _) in d.entries() {
+            assert!(s < t);
+        }
+        assert!(!d.is_circulation(1e-9));
+    }
+
+    #[test]
+    fn mixed_demand_hits_fraction() {
+        let d = mixed_demand(12, 100.0, 0.6, 7);
+        assert!((d.total() - 100.0).abs() < 1e-6);
+        let dec = spider_opt_smoke_decompose(&d);
+        // Circulation fraction should be at least the constructed 60%
+        // (extra cycles can emerge from the overlay, never fewer).
+        assert!(dec >= 0.6 - 1e-6, "circulation fraction {dec}");
+    }
+
+    // Minimal local re-implementation of the circulation value check to
+    // avoid a dev-dependency cycle with spider-opt: total - sum of positive
+    // node imbalances is an upper bound; for the `mixed_demand` construction
+    // the circulation part is balanced, so the bound is tight from below.
+    fn spider_opt_smoke_decompose(d: &DemandMatrix) -> f64 {
+        let mut imbalance: std::collections::BTreeMap<NodeId, f64> = Default::default();
+        for (s, t, r) in d.entries() {
+            *imbalance.entry(s).or_insert(0.0) += r;
+            *imbalance.entry(t).or_insert(0.0) -= r;
+        }
+        let positive: f64 = imbalance.values().filter(|v| **v > 0.0).sum();
+        (d.total() - positive) / d.total()
+    }
+
+    #[test]
+    fn mixed_extremes() {
+        let pure_circ = mixed_demand(10, 50.0, 1.0, 1);
+        assert!(pure_circ.is_circulation(1e-9));
+        let pure_dag = mixed_demand(10, 50.0, 0.0, 1);
+        assert!(!pure_dag.is_circulation(1e-6));
+        assert!((pure_dag.total() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mixed_demand(10, 10.0, 0.5, 42);
+        let b = mixed_demand(10, 10.0, 0.5, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! # Spider: packet-switched payment channel network routing
+//!
+//! A from-scratch Rust reproduction of *Routing Cryptocurrency with the
+//! Spider Network* (HotNets 2018): imbalance-aware routing for payment
+//! channel networks, the fluid-model optimization theory behind it, every
+//! baseline it is evaluated against, and a deterministic discrete-event
+//! simulator to run them all.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! - [`core`] — amounts, network graphs, payment graphs, paths,
+//! - [`opt`] — simplex LP, max-flow, min-cost flow, circulation
+//!   decomposition (Proposition 1), fluid LPs, the primal-dual algorithm,
+//! - [`topology`] — ISP-like / Ripple-like / standard graph generators,
+//! - [`workload`] — heavy-tailed transaction traces and demand matrices,
+//! - [`routing`] — Spider (waterfilling, LP, prices) and the baselines
+//!   (shortest-path, max-flow, SpeedyMurmurs, SilentWhispers),
+//! - [`sim`] — the discrete-event simulator and metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spider::prelude::*;
+//!
+//! // A 4-node ring with 100-token channels.
+//! let network = spider::topology::ring(4, Amount::from_whole(100));
+//!
+//! // One 30-token payment from node 0 to node 2, packet-switched.
+//! let payment = Transaction {
+//!     id: PaymentId(0),
+//!     src: NodeId(0),
+//!     dst: NodeId(2),
+//!     amount: Amount::from_whole(30),
+//!     arrival: 0.1,
+//! };
+//! let mut scheme = WaterfillingScheme::new();
+//! let report = spider::sim::run(&network, &[payment], &mut scheme, &SimConfig::new(10.0));
+//! assert_eq!(report.completed, 1);
+//! ```
+
+pub use spider_core as core;
+pub use spider_opt as opt;
+pub use spider_routing as routing;
+pub use spider_sim as sim;
+pub use spider_topology as topology;
+pub use spider_workload as workload;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use spider_core::{
+        Amount, BalanceView, Channel, ChannelId, CoreError, DemandMatrix, Direction,
+        Network, NodeId, Path, PaymentId,
+    };
+    pub use spider_routing::{
+        LpScheme, MaxFlowScheme, RoutingScheme, SchemeKind, ShortestPathScheme,
+        SilentWhispersScheme, SpeedyMurmursScheme, UnitDecision, WaterfillingScheme,
+    };
+    pub use spider_sim::{
+        run, run_queued, Ledger, QueuedConfig, SchedulePolicy, SimConfig, SimReport,
+    };
+    pub use spider_workload::{TraceConfig, Transaction};
+}

@@ -1,0 +1,166 @@
+//! Integration tests asserting the paper's evaluation *shape* end-to-end:
+//! who wins, by roughly what factor, and where the analytic numbers land.
+//!
+//! Absolute throughputs depend on the synthetic workload, but these
+//! relationships are the claims of §6.2 and must hold.
+
+use spider_bench::{fig4_fig5, fig6, rebalancing_curve, run_scheme, ExperimentConfig, SchemeChoice};
+use spider_core::DemandMatrix;
+use spider_workload::demand_matrix;
+
+/// Fig. 4 / Fig. 5: the analytic example reproduces the paper's numbers
+/// exactly.
+#[test]
+fn fig4_and_fig5_reproduce_paper_numbers() {
+    let r = fig4_fig5();
+    assert_eq!(r.total_demand, 12.0);
+    assert!((r.shortest_path_throughput - 5.0).abs() < 1e-6);
+    assert!((r.optimal_throughput - 8.0).abs() < 1e-6);
+    assert!((r.circulation_value - 8.0).abs() < 1e-9);
+    assert!((r.dag_value - 4.0).abs() < 1e-9);
+}
+
+/// §5.2.3: t(B) is non-decreasing and concave, anchored at ν(C*) and capped
+/// at total demand.
+#[test]
+fn rebalancing_frontier_shape() {
+    let budgets = [0.0, 1.0, 2.0, 3.0, 4.0, 8.0, 16.0];
+    let pts = rebalancing_curve(&budgets);
+    assert!((pts[0].throughput - 8.0).abs() < 1e-6, "t(0) = ν(C*)");
+    assert!((pts.last().unwrap().throughput - 12.0).abs() < 1e-6, "t(∞) = total demand");
+    for w in pts.windows(2) {
+        assert!(w[1].throughput >= w[0].throughput - 1e-9, "monotone");
+    }
+    let gains: Vec<f64> = (1..5).map(|i| pts[i].throughput - pts[i - 1].throughput).collect();
+    for w in gains.windows(2) {
+        assert!(w[1] <= w[0] + 1e-6, "concave: {gains:?}");
+    }
+}
+
+fn small_isp() -> ExperimentConfig {
+    // Imbalance (and with it the gap between schemes) accumulates over the
+    // run, so the window must be long enough for the §6.2 orderings to
+    // emerge; 150 s at the paper's arrival rate is plenty.
+    let mut cfg = ExperimentConfig::isp_quick();
+    cfg.num_transactions = 15_000;
+    cfg.duration = 150.0;
+    cfg
+}
+
+/// Fig. 6 (ISP) shape: the §6.2 relationships between schemes.
+#[test]
+fn fig6_isp_ordering() {
+    let reports = fig6(&small_isp());
+    let by_name = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.scheme == name)
+            .unwrap_or_else(|| panic!("missing scheme {name}"))
+    };
+    let sw = by_name("silentwhispers");
+    let sp = by_name("shortest-path");
+    let mf = by_name("max-flow");
+    let wf = by_name("spider-waterfilling");
+    let lp = by_name("spider-lp");
+
+    // Packet-switched shortest path beats SilentWhispers on both metrics
+    // (§6.2: "+10% success ratio ... even for shortest path").
+    assert!(
+        sp.success_ratio() > 1.05 * sw.success_ratio(),
+        "shortest-path {} vs silentwhispers {}",
+        sp.success_ratio(),
+        sw.success_ratio()
+    );
+    assert!(sp.success_volume() > sw.success_volume());
+
+    // Waterfilling within ~5% of max-flow (§6.2) and above every
+    // non-Spider scheme on success volume.
+    assert!(
+        wf.success_ratio() > 0.93 * mf.success_ratio(),
+        "waterfilling {} vs max-flow {}",
+        wf.success_ratio(),
+        mf.success_ratio()
+    );
+    for r in &reports {
+        if r.scheme != "max-flow" && r.scheme != "spider-waterfilling" {
+            assert!(
+                wf.success_volume() >= r.success_volume(),
+                "waterfilling should lead {}: {} vs {}",
+                r.scheme,
+                wf.success_volume(),
+                r.success_volume()
+            );
+        }
+    }
+
+    // Max-flow is the gold standard on success ratio.
+    for r in &reports {
+        assert!(
+            mf.success_ratio() >= r.success_ratio() - 0.02,
+            "max-flow should lead {}",
+            r.scheme
+        );
+    }
+
+    // The LP routes the circulation component of the demand (§6.2: its
+    // success volume "corresponds precisely to the circulation component of
+    // the payment graph"). In a finite run the initial channel balances add
+    // a transient cushion that funds some DAG flow, so the measured volume
+    // sits at or above the circulation fraction and decays toward it as the
+    // horizon grows (measured: 0.75 @150s -> 0.67 @200s -> 0.63 @400s
+    // against a 0.52 fraction).
+    let cfg = small_isp();
+    let network = cfg.network();
+    let trace = cfg.trace(&network);
+    let demand: DemandMatrix = demand_matrix(&trace, 0.0, cfg.duration);
+    let dec = spider_opt::circulation::decompose(&demand);
+    let circ_frac = dec.circulation_fraction();
+    let lp_vol = lp.strict_success_volume();
+    assert!(
+        lp_vol >= circ_frac - 0.05,
+        "LP volume {lp_vol} must cover the circulation fraction {circ_frac}"
+    );
+    assert!(
+        lp_vol <= circ_frac + 0.30,
+        "LP volume {lp_vol} should stay near the circulation fraction {circ_frac}"
+    );
+}
+
+/// Fig. 7 shape: success grows with capacity for adaptive schemes, and the
+/// LP is comparatively insensitive to capacity.
+#[test]
+fn fig7_capacity_trends() {
+    let mut cfg = small_isp();
+    let mut ratios: Vec<Vec<f64>> = Vec::new();
+    for capacity in [10_000.0, 30_000.0, 100_000.0] {
+        cfg.capacity = capacity;
+        let reports = fig6(&cfg);
+        ratios.push(reports.iter().map(|r| r.success_ratio()).collect());
+    }
+    // Every scheme improves (weakly) from 10k to 100k.
+    for s in 0..SchemeChoice::ALL.len() {
+        assert!(
+            ratios[2][s] >= ratios[0][s] - 0.02,
+            "scheme {s} did not improve with capacity: {ratios:?}"
+        );
+    }
+    // Waterfilling gains substantially; the LP barely moves (paper: "Spider
+    // (LP) is less sensitive to changes in capacity").
+    let wf_gain = ratios[2][4] - ratios[0][4];
+    let lp_gain = ratios[2][5] - ratios[0][5];
+    assert!(wf_gain > 0.1, "waterfilling gain {wf_gain}");
+    assert!(lp_gain < wf_gain / 2.0, "lp gain {lp_gain} vs wf gain {wf_gain}");
+}
+
+/// Reports are deterministic: same config, same results.
+#[test]
+fn experiment_runs_are_deterministic() {
+    let mut cfg = ExperimentConfig::isp_quick();
+    cfg.num_transactions = 1_500;
+    cfg.duration = 20.0;
+    let a = run_scheme(&cfg, SchemeChoice::SpiderWaterfilling);
+    let b = run_scheme(&cfg, SchemeChoice::SpiderWaterfilling);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.units_sent, b.units_sent);
+    assert_eq!(a.delivered_volume, b.delivered_volume);
+}

@@ -1,0 +1,131 @@
+//! Property-based validation of Proposition 1 and the optimization stack,
+//! across random demands and topologies.
+
+use proptest::prelude::*;
+use spider_core::{Amount, DemandMatrix, NodeId};
+use spider_opt::circulation::{decompose, peel_cycles, route_on_spanning_tree};
+use spider_opt::fluid::{enumerate_demand_paths, FluidProblem};
+use spider_topology::{erdos_renyi, ring};
+use spider_workload::{mixed_demand, random_circulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decompose() always splits demand into a balanced circulation plus a
+    /// remainder that exactly accounts for the rest.
+    #[test]
+    fn decomposition_is_exact_partition(
+        n in 4usize..12,
+        frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let demand = mixed_demand(n, 50.0, frac, seed);
+        let dec = decompose(&demand);
+        prop_assert!(dec.circulation.is_circulation(1e-6));
+        for (s, d, r) in demand.entries() {
+            let sum = dec.circulation.rate(s, d) + dec.dag.rate(s, d);
+            prop_assert!((sum - r).abs() < 1e-5, "{s}->{d}: {sum} != {r}");
+        }
+        // ν(C*) ≥ the constructed circulation share (the mix may create
+        // extra cycles, never destroy them).
+        prop_assert!(dec.value >= 50.0 * frac - 1e-4);
+    }
+
+    /// The converse half of Proposition 1: no balanced LP routing on any
+    /// topology can beat ν(C*).
+    #[test]
+    fn balanced_lp_never_exceeds_circulation(
+        n in 4usize..8,
+        frac in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let demand = mixed_demand(n, 20.0, frac, seed);
+        let dec = decompose(&demand);
+        let network = erdos_renyi(n, 0.5, Amount::from_tokens(1e9), seed);
+        let paths = enumerate_demand_paths(&network, &demand, 4);
+        let sol = FluidProblem::new(&network, &demand, &paths, 1.0)
+            .max_balanced_throughput();
+        prop_assert!(
+            sol.throughput <= dec.value + 1e-4,
+            "LP {} exceeded ν(C*) {}",
+            sol.throughput,
+            dec.value
+        );
+    }
+
+    /// The constructive half of Proposition 1: routing a circulation on a
+    /// spanning tree is perfectly balanced on every channel.
+    #[test]
+    fn spanning_tree_routing_balances_circulations(
+        n in 4usize..12,
+        cycles in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let circ = random_circulation(n, cycles, 0.5, 2.0, seed);
+        let network = erdos_renyi(n, 0.4, Amount::from_tokens(1e9), seed ^ 77);
+        let flows = route_on_spanning_tree(&network, &circ)
+            .expect("erdos_renyi graphs are connected");
+        for (i, &(ab, ba)) in flows.iter().enumerate() {
+            prop_assert!(
+                (ab - ba).abs() < 1e-6,
+                "channel {i} imbalanced: {ab} vs {ba}"
+            );
+        }
+    }
+
+    /// Cycle peeling fully accounts for a circulation's mass.
+    #[test]
+    fn peeling_conserves_mass(
+        n in 4usize..10,
+        cycles in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let circ = random_circulation(n, cycles, 0.5, 2.0, seed);
+        let peeled = peel_cycles(&circ);
+        let mut rebuilt = DemandMatrix::new();
+        for (nodes, rate) in &peeled {
+            for i in 0..nodes.len() {
+                rebuilt.add(nodes[i], nodes[(i + 1) % nodes.len()], *rate);
+            }
+        }
+        for (s, d, r) in circ.entries() {
+            prop_assert!((rebuilt.rate(s, d) - r).abs() < 1e-4);
+        }
+    }
+
+    /// On a ring, a one-directional ring circulation saturates; the LP
+    /// finds it (sanity against a known-optimal instance).
+    #[test]
+    fn ring_circulation_fully_routable(n in 4usize..9, raw_rate in 0.5f64..5.0) {
+        // Quantize to micro-units; decompose() works at that resolution.
+        let rate = Amount::from_tokens(raw_rate).as_tokens();
+        let mut demand = DemandMatrix::new();
+        for i in 0..n as u32 {
+            demand.set(NodeId(i), NodeId((i + 1) % n as u32), rate);
+        }
+        let network = ring(n, Amount::from_tokens(1e9));
+        let paths = enumerate_demand_paths(&network, &demand, 2);
+        let sol = FluidProblem::new(&network, &demand, &paths, 1.0)
+            .max_balanced_throughput();
+        // A pure directed ring *cannot* be balanced-routed on the ring
+        // alone without the counter-flow... but the reverse ring paths
+        // exist in the path set, enabling balance. The optimum equals the
+        // circulation value (all of it).
+        let dec = decompose(&demand);
+        prop_assert!((dec.value - rate * n as f64).abs() < 1e-6);
+        prop_assert!(sol.throughput <= dec.value + 1e-6);
+    }
+}
+
+/// Deterministic regression: the paper's worked example (kept out of
+/// proptest so its exact values pin down).
+#[test]
+fn fig4_decomposition_pins_exact_values() {
+    let demand = DemandMatrix::fig4_example();
+    let dec = decompose(&demand);
+    assert_eq!(dec.value, 8.0);
+    assert_eq!(dec.dag.total(), 4.0);
+    let cycles = peel_cycles(&dec.circulation);
+    let mass: f64 = cycles.iter().map(|(nodes, r)| nodes.len() as f64 * r).sum();
+    assert!((mass - 8.0).abs() < 1e-6);
+}

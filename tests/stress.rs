@@ -1,0 +1,201 @@
+//! Fault-injection and edge-case stress tests: adversarial topologies,
+//! drained channels, extreme parameters — the simulator must stay sound
+//! (exact conservation, clean accounting) in all of them.
+
+use spider::prelude::*;
+use spider::workload::{generate, isp_sizes, ArrivalPattern, TraceConfig};
+
+fn tx(id: u64, src: u32, dst: u32, amount: i64, arrival: f64) -> Transaction {
+    Transaction {
+        id: PaymentId(id),
+        src: NodeId(src),
+        dst: NodeId(dst),
+        amount: Amount::from_whole(amount),
+        arrival,
+    }
+}
+
+/// Accounting identity that must hold for every report.
+fn assert_sound(report: &SimReport) {
+    assert_eq!(
+        report.completed + report.abandoned + report.pending_at_end,
+        report.attempted,
+        "status accounting broken: {report:?}"
+    );
+    assert!(report.delivered_volume <= report.attempted_volume + 1e-6);
+    assert!(report.completed_volume <= report.delivered_volume + 1e-6);
+    assert!((0.0..=1.0).contains(&report.final_mean_imbalance));
+}
+
+#[test]
+fn fully_drained_direction_blocks_everything() {
+    // All funds on the wrong side: nothing can move, nothing must move.
+    let mut g = spider::core::Network::new(2);
+    g.add_channel_with_balances(NodeId(0), NodeId(1), Amount::ZERO, Amount::from_whole(100))
+        .unwrap();
+    let txs = vec![tx(0, 0, 1, 10, 0.1)];
+    for scheme in [true, false] {
+        let report = if scheme {
+            spider::sim::run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(5.0))
+        } else {
+            spider::sim::run(&g, &txs, &mut MaxFlowScheme::new(), &SimConfig::new(5.0))
+        };
+        assert_eq!(report.delivered_volume, 0.0);
+        assert_eq!(report.completed, 0);
+        assert_sound(&report);
+    }
+}
+
+#[test]
+fn one_micro_unit_payments() {
+    let g = spider::topology::ring(4, Amount::from_whole(10));
+    let txs: Vec<Transaction> = (0..50)
+        .map(|i| Transaction {
+            id: PaymentId(i),
+            src: NodeId((i % 4) as u32),
+            dst: NodeId(((i + 2) % 4) as u32),
+            amount: Amount::from_micros(1),
+            arrival: 0.1 + i as f64 * 0.01,
+        })
+        .collect();
+    let report =
+        spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+    assert_eq!(report.completed, 50, "dust payments must all clear");
+    assert_sound(&report);
+}
+
+#[test]
+fn payment_larger_than_network_capital() {
+    let g = spider::topology::ring(4, Amount::from_whole(10));
+    let txs = vec![tx(0, 0, 2, 1_000_000, 0.1)];
+    let mut cfg = SimConfig::new(10.0);
+    cfg.deadline = 5.0;
+    let report = spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &cfg);
+    assert_eq!(report.completed, 0);
+    assert!(report.delivered_volume < 40.0, "can't exceed total capital");
+    assert_sound(&report);
+}
+
+#[test]
+fn mtu_larger_than_any_payment_degenerates_to_single_unit() {
+    let g = spider::topology::ring(5, Amount::from_whole(1000));
+    let txs: Vec<Transaction> =
+        (0..20).map(|i| tx(i, (i % 5) as u32, ((i + 2) % 5) as u32, 50, 0.1 + i as f64 * 0.1)).collect();
+    let mut cfg = SimConfig::new(20.0);
+    cfg.mtu = Amount::from_whole(1_000_000);
+    let report = spider::sim::run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
+    assert_eq!(report.units_sent as usize, report.completed, "one unit per payment");
+    assert_sound(&report);
+}
+
+#[test]
+fn heavily_skewed_initial_balances() {
+    // 95% of every channel's funds on one side.
+    let base = spider::topology::isp_topology(Amount::from_whole(30_000));
+    let skewed = spider::topology::with_skewed_balances(&base, 0.95, 0.99, 7);
+    let mut cfg = TraceConfig::isp_default(skewed.num_nodes(), 2_000, 30.0);
+    cfg.seed = 3;
+    let txs = generate(&cfg, &isp_sizes());
+    let report =
+        spider::sim::run(&skewed, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(30.0));
+    assert_sound(&report);
+    // Must still deliver something: aggregate spendable funds are plentiful.
+    assert!(report.success_ratio() > 0.2, "{}", report.summary());
+    // And be worse than the balanced start.
+    let balanced = spider::sim::run(
+        &base,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(30.0),
+    );
+    assert!(balanced.success_ratio() >= report.success_ratio());
+}
+
+#[test]
+fn bursty_arrivals_stress_the_scheduler() {
+    let g = spider::topology::isp_topology(Amount::from_whole(30_000));
+    let mut cfg = TraceConfig::isp_default(g.num_nodes(), 3_000, 30.0);
+    cfg.pattern = ArrivalPattern::Bursty { cycle: 5.0, burst_fraction: 0.1 };
+    cfg.seed = 9;
+    let txs = generate(&cfg, &isp_sizes());
+    let report =
+        spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(30.0));
+    assert_sound(&report);
+    assert!(report.success_ratio() > 0.3, "{}", report.summary());
+}
+
+#[test]
+fn queued_engine_on_isp_stays_sound() {
+    let g = spider::topology::isp_topology(Amount::from_whole(30_000));
+    let mut cfg = TraceConfig::isp_default(g.num_nodes(), 2_000, 20.0);
+    cfg.seed = 5;
+    let txs = generate(&cfg, &isp_sizes());
+    let mut qcfg = QueuedConfig::new(20.0);
+    qcfg.deadline = 5.0;
+    let out = spider::sim::run_queued(&g, &txs, &qcfg);
+    assert_sound(&out.report);
+    assert!(out.report.success_ratio() > 0.3, "{}", out.report.summary());
+    // Queue stats are internally consistent.
+    assert!(out.queues.units_dropped <= out.queues.units_queued);
+    assert!(out.queues.mean_wait >= 0.0);
+}
+
+#[test]
+fn queue_overflow_drops_cleanly() {
+    // Tiny queue cap with a dry downstream: every queued unit beyond the
+    // cap must be dropped (refunded), never lost.
+    let mut g = spider::core::Network::new(3);
+    g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10_000)).unwrap();
+    g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::ZERO, Amount::from_whole(50))
+        .unwrap();
+    let txs = vec![tx(0, 0, 2, 5_000, 0.1)];
+    let mut qcfg = QueuedConfig::new(20.0);
+    qcfg.deadline = 15.0;
+    qcfg.max_queue_len = 4;
+    let out = spider::sim::run_queued(&g, &txs, &qcfg);
+    assert!(out.queues.units_dropped > 0, "{:?}", out.queues);
+    assert_eq!(out.report.delivered_volume, 0.0);
+    assert_sound(&out.report);
+}
+
+#[test]
+fn zero_transactions_is_a_noop() {
+    let g = spider::topology::ring(4, Amount::from_whole(10));
+    let report =
+        spider::sim::run(&g, &[], &mut ShortestPathScheme::new(), &SimConfig::new(5.0));
+    assert_eq!(report.attempted, 0);
+    assert_eq!(report.units_sent, 0);
+    assert_eq!(report.success_ratio(), 0.0);
+}
+
+#[test]
+fn simultaneous_arrivals_are_deterministic() {
+    let g = spider::topology::ring(6, Amount::from_whole(100));
+    // 30 payments all arriving at the exact same instant.
+    let txs: Vec<Transaction> =
+        (0..30).map(|i| tx(i, (i % 6) as u32, ((i + 3) % 6) as u32, 20, 1.0)).collect();
+    let a = spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+    let b = spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.delivered_volume, b.delivered_volume);
+    assert_sound(&a);
+}
+
+#[test]
+fn all_extensions_enabled_together() {
+    // Congestion control + rebalancing + AMP + fees, all at once.
+    use spider::routing::fees::FeeSchedule;
+    let g = spider::topology::isp_topology(Amount::from_whole(30_000));
+    let mut cfg = TraceConfig::isp_default(g.num_nodes(), 1_500, 20.0);
+    cfg.seed = 11;
+    let txs = generate(&cfg, &isp_sizes());
+    let mut sim_cfg = SimConfig::new(20.0);
+    sim_cfg.congestion = Some(spider::sim::CongestionConfig::default());
+    sim_cfg.rebalance = Some(spider::sim::RebalancePolicy::aggressive());
+    sim_cfg.amp = true;
+    sim_cfg.fees = Some(FeeSchedule::uniform(&g, Amount::from_micros(10), 1_000));
+    let report = spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &sim_cfg);
+    assert_sound(&report);
+    assert!(report.success_ratio() > 0.2, "{}", report.summary());
+    assert!(report.routing_fees_paid > 0.0);
+}
