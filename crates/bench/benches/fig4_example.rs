@@ -18,9 +18,7 @@ fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4/full_experiment", |b| b.iter(fig4_fig5));
 
     c.bench_function("fig4/simplex_balanced_lp", |b| {
-        b.iter(|| {
-            FluidProblem::new(&network, &demand, &paths, 1.0).max_balanced_throughput()
-        })
+        b.iter(|| FluidProblem::new(&network, &demand, &paths, 1.0).max_balanced_throughput())
     });
 
     c.bench_function("fig4/circulation_decomposition", |b| {
@@ -28,7 +26,11 @@ fn bench_fig4(c: &mut Criterion) {
     });
 
     c.bench_function("fig4/primal_dual_2k_iters", |b| {
-        let config = PrimalDualConfig { max_iters: 2_000, tolerance: 0.0, ..Default::default() };
+        let config = PrimalDualConfig {
+            max_iters: 2_000,
+            tolerance: 0.0,
+            ..Default::default()
+        };
         b.iter(|| primal_dual::solve(&network, &demand, &paths, 1.0, &config))
     });
 

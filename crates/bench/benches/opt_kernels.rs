@@ -19,9 +19,7 @@ fn bench_flows(c: &mut Criterion) {
     // unit decision on the same graph.
     let mut group = c.benchmark_group("per_transaction_routing_cost");
     group.bench_function("max_flow_isp", |b| {
-        b.iter(|| {
-            balance_limited_flow(&isp, &isp, NodeId(20), NodeId(27), Amount::from_whole(500))
-        })
+        b.iter(|| balance_limited_flow(&isp, &isp, NodeId(20), NodeId(27), Amount::from_whole(500)))
     });
     group.bench_function("waterfilling_unit_isp", |b| {
         let mut scheme = WaterfillingScheme::new();
@@ -42,10 +40,21 @@ fn bench_flows(c: &mut Criterion) {
     });
     group.bench_function("waterfilling_unit_ripple400", |b| {
         let mut scheme = WaterfillingScheme::new();
-        let _ =
-            scheme.route_unit(&ripple, &ripple, NodeId(10), NodeId(390), Amount::from_whole(10));
+        let _ = scheme.route_unit(
+            &ripple,
+            &ripple,
+            NodeId(10),
+            NodeId(390),
+            Amount::from_whole(10),
+        );
         b.iter(|| {
-            scheme.route_unit(&ripple, &ripple, NodeId(10), NodeId(390), Amount::from_whole(10))
+            scheme.route_unit(
+                &ripple,
+                &ripple,
+                NodeId(10),
+                NodeId(390),
+                Amount::from_whole(10),
+            )
         })
     });
     group.finish();
@@ -85,7 +94,9 @@ fn bench_simplex(c: &mut Criterion) {
         let mut lp = LinearProgram::new(n);
         let mut state = 0xfeed_beefu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (1u64 << 31) as f64
         };
         let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.5 + next())).collect();
@@ -131,5 +142,12 @@ fn bench_mincost(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_flows, bench_paths, bench_circulation, bench_simplex, bench_mincost);
+criterion_group!(
+    benches,
+    bench_flows,
+    bench_paths,
+    bench_circulation,
+    bench_simplex,
+    bench_mincost
+);
 criterion_main!(benches);

@@ -40,7 +40,9 @@ fn bench_ledger(c: &mut Criterion) {
         let mut ledger = Ledger::new(&network);
         let amount = Amount::from_whole(1);
         b.iter(|| {
-            ledger.lock_path(&network, &path, amount).expect("funds available");
+            ledger
+                .lock_path(&network, &path, amount)
+                .expect("funds available");
             ledger.refund_path(&network, &path, amount);
         })
     });

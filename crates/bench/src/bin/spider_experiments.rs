@@ -7,16 +7,23 @@
 //! spider-experiments fig6 --topology ripple  # Fig. 6 bars (Ripple-like)
 //! spider-experiments fig7                    # Fig. 7 capacity sweep
 //! spider-experiments rebalancing             # §5.2.3 t(B) frontier
+//! spider-experiments grid                    # parallel audited scheme grid
 //! spider-experiments all                     # everything above
 //! ```
 //!
 //! Add `--full` for the paper's full scale (much slower), `--json PATH` to
 //! write machine-readable reports, `--seed N` to vary the workload.
+//!
+//! `grid` fans (scheme, capacity, trial) cells out over worker threads
+//! (count from `SPIDER_JOBS` or the machine's parallelism; override with
+//! `--jobs N`) with the ledger auditor on, and accepts `--trials N`,
+//! `--capacities A,B,...`, and `--no-audit`. Output is byte-identical for
+//! any worker count.
 
 use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
-    ablation_scheduler, extension_schemes, fig4_fig5, fig6, fig7, rebalancing_curve,
-    Ablation, ExperimentConfig, SchemeChoice,
+    ablation_scheduler, extension_schemes, fig4_fig5, fig6, fig7, jobs_from_env, rebalancing_curve,
+    run_grid, Ablation, ExperimentConfig, GridConfig, SchemeChoice,
 };
 use spider_sim::SimReport;
 use std::io::Write;
@@ -47,6 +54,7 @@ fn main() {
         "fig7" => run_fig7(full, seed, &mut out),
         "rebalancing" => run_rebalancing(&mut out),
         "ablations" => run_ablations(seed, &mut out),
+        "grid" => run_grid_command(&args, full, seed, &mut out),
         "all" => {
             run_fig4(&mut out);
             run_fig6("isp", full, seed, &mut out);
@@ -54,6 +62,7 @@ fn main() {
             run_fig7(full, seed, &mut out);
             run_rebalancing(&mut out);
             run_ablations(seed, &mut out);
+            run_grid_command(&args, full, seed, &mut out);
         }
         other => {
             eprintln!("unknown command `{other}`");
@@ -65,8 +74,9 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|all> \
-         [--topology isp|ripple] [--full] [--seed N] [--json PATH]"
+        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|all> \
+         [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
+         [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit]"
     );
     std::process::exit(2);
 }
@@ -76,7 +86,9 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Accumulates results and optionally writes one JSON document at the end.
@@ -87,7 +99,10 @@ struct JsonSink {
 
 impl JsonSink {
     fn new(path: Option<String>) -> Self {
-        JsonSink { path, values: Vec::new() }
+        JsonSink {
+            path,
+            values: Vec::new(),
+        }
     }
 
     fn record<T: serde::Serialize>(&mut self, key: &str, value: &T) {
@@ -101,8 +116,7 @@ impl JsonSink {
 
     fn finish(self) {
         if let Some(path) = self.path {
-            let map: serde_json::Map<String, serde_json::Value> =
-                self.values.into_iter().collect();
+            let map: serde_json::Map<String, serde_json::Value> = self.values.into_iter().collect();
             let mut file = std::fs::File::create(&path)
                 .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
             file.write_all(serde_json::to_string_pretty(&map).unwrap().as_bytes())
@@ -115,7 +129,10 @@ impl JsonSink {
 fn run_fig4(out: &mut JsonSink) {
     println!("=== Fig. 4 / Fig. 5: balanced routing example & decomposition ===");
     let r = fig4_fig5();
-    println!("total demand:                       {:>6.1}  (paper: 12)", r.total_demand);
+    println!(
+        "total demand:                       {:>6.1}  (paper: 12)",
+        r.total_demand
+    );
     println!(
         "shortest-path balanced throughput:  {:>6.1}  (paper Fig. 4b: 5)",
         r.shortest_path_throughput
@@ -124,8 +141,14 @@ fn run_fig4(out: &mut JsonSink) {
         "optimal balanced throughput:        {:>6.1}  (paper Fig. 4c: 8)",
         r.optimal_throughput
     );
-    println!("max circulation ν(C*):              {:>6.1}  (paper Fig. 5b: 8)", r.circulation_value);
-    println!("DAG remainder:                      {:>6.1}  (paper Fig. 5c: 4)", r.dag_value);
+    println!(
+        "max circulation ν(C*):              {:>6.1}  (paper Fig. 5b: 8)",
+        r.circulation_value
+    );
+    println!(
+        "DAG remainder:                      {:>6.1}  (paper Fig. 5c: 4)",
+        r.dag_value
+    );
     println!("circulation cycles:");
     for (nodes, rate) in &r.cycles {
         let pretty: Vec<String> = nodes.iter().map(|n| format!("{}", n + 1)).collect();
@@ -256,7 +279,10 @@ fn run_ablations(seed: u64, out: &mut JsonSink) {
     out.record("ablation_scheduler", &sched);
 
     let ext = ablation_extensions(&cfg);
-    print_ablation("extensions (congestion control, on-chain rebalancing)", &ext);
+    print_ablation(
+        "extensions (congestion control, on-chain rebalancing)",
+        &ext,
+    );
     let schemes = extension_schemes(&cfg);
     print_ablation("beyond-the-paper schemes", &schemes);
     out.record("extension_schemes", &schemes);
@@ -271,6 +297,81 @@ fn run_ablations(seed: u64, out: &mut JsonSink) {
     out.record("ablation_extensions", &ext);
 
     println!("({:.1}s)", t0.elapsed().as_secs_f64());
+    println!();
+}
+
+fn run_grid_command(args: &[String], full: bool, seed: u64, out: &mut JsonSink) {
+    let topology = flag_value(args, "--topology").unwrap_or_else(|| "isp".into());
+    let base = config_for(&topology, full, seed);
+    let mut grid = GridConfig::new(base);
+    if let Some(v) = flag_value(args, "--trials") {
+        grid.trials = v.parse().unwrap_or_else(|_| {
+            eprintln!("--trials expects an integer, got `{v}`");
+            usage_and_exit();
+        });
+    }
+    if let Some(v) = flag_value(args, "--capacities") {
+        grid.capacities = v
+            .split(',')
+            .map(|c| {
+                c.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--capacities expects comma-separated numbers, got `{c}`");
+                    usage_and_exit();
+                })
+            })
+            .collect();
+    }
+    if has_flag(args, "--no-audit") {
+        grid.audit = false;
+    }
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects an integer, got `{v}`");
+            usage_and_exit();
+        }),
+        None => jobs_from_env(),
+    };
+
+    println!(
+        "=== Grid ({topology}): {} schemes x {} capacities x {} trials on {} worker(s), audit {} ===",
+        grid.schemes.len(),
+        grid.capacities.len().max(1),
+        grid.trials,
+        jobs,
+        if grid.audit { "on" } else { "off" }
+    );
+    let t0 = std::time::Instant::now();
+    let result = run_grid(&grid, jobs);
+    println!(
+        "{:<22} {:>9} {:>24} {:>24} {:>12} {:>10}",
+        "scheme", "capacity", "success_ratio", "success_volume", "audit_checks", "violations"
+    );
+    for s in &result.summaries {
+        println!(
+            "{:<22} {:>9.0} {:>10.3} ±{:<5.3} [{:.3}] {:>10.3} ±{:<5.3} [{:.3}] {:>12} {:>10}",
+            s.scheme_name,
+            s.capacity,
+            s.success_ratio.mean,
+            s.success_ratio.stddev,
+            s.success_ratio.max - s.success_ratio.min,
+            s.success_volume.mean,
+            s.success_volume.stddev,
+            s.success_volume.max - s.success_volume.min,
+            s.audit_checks,
+            s.audit_violations
+        );
+    }
+    let violations = result.total_audit_violations();
+    println!(
+        "({:.1}s, {} cells, {} total audit violations)",
+        t0.elapsed().as_secs_f64(),
+        result.cells.len(),
+        violations
+    );
+    if violations > 0 {
+        eprintln!("WARNING: the ledger auditor found {violations} violation(s)");
+    }
+    out.record("grid", &result);
     println!();
 }
 

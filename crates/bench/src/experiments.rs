@@ -99,7 +99,10 @@ impl ExperimentConfig {
 
     /// The paper's full-scale ISP setup.
     pub fn isp_full() -> Self {
-        ExperimentConfig { num_transactions: 200_000, ..Self::isp_quick() }
+        ExperimentConfig {
+            num_transactions: 200_000,
+            ..Self::isp_quick()
+        }
     }
 
     /// Scaled-down Ripple defaults (400 nodes; the paper's snapshot has
@@ -199,7 +202,9 @@ pub fn build_scheme(
                 max_iters: 5_000,
                 ..Default::default()
             };
-            Box::new(LpScheme::solve_decentralized(network, &demand, &paths, 0.5, &config))
+            Box::new(LpScheme::solve_decentralized(
+                network, &demand, &paths, 0.5, &config,
+            ))
         }
     }
 }
@@ -260,7 +265,10 @@ pub fn fig7(base: &ExperimentConfig, capacities: &[f64]) -> Vec<(f64, Vec<SimRep
     capacities
         .iter()
         .map(|&cap| {
-            let cfg = ExperimentConfig { capacity: cap, ..base.clone() };
+            let cfg = ExperimentConfig {
+                capacity: cap,
+                ..base.clone()
+            };
             (cap, fig6(&cfg))
         })
         .collect()
@@ -345,13 +353,13 @@ pub fn ablation_mtu(cfg: &ExperimentConfig, mtus: &[f64]) -> Vec<Ablation> {
 }
 
 /// Runs one labeled variant per input in parallel worker threads.
-fn parallel_variants<T: Sync>(
-    inputs: &[T],
-    f: impl Fn(&T) -> Ablation + Sync,
-) -> Vec<Ablation> {
+fn parallel_variants<T: Sync>(inputs: &[T], f: impl Fn(&T) -> Ablation + Sync) -> Vec<Ablation> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = inputs.iter().map(|i| scope.spawn(|| f(i))).collect();
-        handles.into_iter().map(|h| h.join().expect("variant run must not panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("variant run must not panic"))
+            .collect()
     })
 }
 
@@ -362,8 +370,12 @@ pub fn ablation_num_paths(cfg: &ExperimentConfig, ks: &[usize]) -> Vec<Ablation>
     let trace = cfg.trace(&network);
     let sim_cfg = cfg.sim_config();
     parallel_variants(ks, |&k| {
-        let report =
-            run(&network, &trace, &mut WaterfillingScheme::with_paths(k), &sim_cfg);
+        let report = run(
+            &network,
+            &trace,
+            &mut WaterfillingScheme::with_paths(k),
+            &sim_cfg,
+        );
         (format!("k={k}"), report)
     })
 }
@@ -435,7 +447,12 @@ pub fn ablation_extensions(cfg: &ExperimentConfig) -> Vec<Ablation> {
     with_rebalance.rebalance = Some(spider_sim::RebalancePolicy::aggressive());
     out.push((
         "onchain-rebalancing".to_string(),
-        run(&network, &trace, &mut WaterfillingScheme::new(), &with_rebalance),
+        run(
+            &network,
+            &trace,
+            &mut WaterfillingScheme::new(),
+            &with_rebalance,
+        ),
     ));
 
     out
@@ -474,7 +491,10 @@ pub fn extension_schemes(cfg: &ExperimentConfig) -> Vec<Ablation> {
         ..Default::default()
     };
     let mut fair = LpScheme::solve_decentralized(&network, &demand, &paths, 0.5, &pd);
-    out.push(("spider-lp-fair".to_string(), run(&network, &trace, &mut fair, &sim_cfg)));
+    out.push((
+        "spider-lp-fair".to_string(),
+        run(&network, &trace, &mut fair, &sim_cfg),
+    ));
 
     // Router-queue transport.
     let mut qcfg = spider_sim::QueuedConfig::new(cfg.duration);

@@ -31,9 +31,7 @@ pub const MICROS_PER_TOKEN: i64 = 1_000_000;
 /// assert_eq!((a + b).as_tokens(), 1.75);
 /// assert_eq!(a.micros(), 1_500_000);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Amount(i64);
 
@@ -66,7 +64,10 @@ impl Amount {
     /// Panics if `tokens` is not finite or is out of the representable range.
     #[inline]
     pub fn from_tokens(tokens: f64) -> Self {
-        assert!(tokens.is_finite(), "Amount::from_tokens({tokens}): not finite");
+        assert!(
+            tokens.is_finite(),
+            "Amount::from_tokens({tokens}): not finite"
+        );
         let micros = (tokens * MICROS_PER_TOKEN as f64).round();
         assert!(
             micros >= i64::MIN as f64 && micros <= i64::MAX as f64,
@@ -338,7 +339,11 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![Amount::from_whole(1), Amount::from_whole(2), Amount::from_whole(3)];
+        let v = vec![
+            Amount::from_whole(1),
+            Amount::from_whole(2),
+            Amount::from_whole(3),
+        ];
         let s: Amount = v.iter().sum();
         assert_eq!(s, Amount::from_whole(6));
         let s2: Amount = v.into_iter().sum();

@@ -48,7 +48,12 @@ impl fmt::Display for CoreError {
                 write!(f, "a channel between {a} and {b} already exists")
             }
             CoreError::InvalidPath(reason) => write!(f, "invalid path: {reason}"),
-            CoreError::InsufficientFunds { channel, from, available, requested } => write!(
+            CoreError::InsufficientFunds {
+                channel,
+                from,
+                available,
+                requested,
+            } => write!(
                 f,
                 "insufficient funds on {channel} from {from}: have {available}µ, need {requested}µ"
             ),

@@ -184,9 +184,19 @@ impl Network {
         // Store endpoints in normalized order so (a, balance_a) always refers
         // to the smaller node id regardless of argument order.
         let (lo, hi) = key;
-        let (bal_lo, bal_hi) = if a == lo { (balance_a, balance_b) } else { (balance_b, balance_a) };
+        let (bal_lo, bal_hi) = if a == lo {
+            (balance_a, balance_b)
+        } else {
+            (balance_b, balance_a)
+        };
         let id = ChannelId(self.channels.len() as u32);
-        self.channels.push(Channel { id, a: lo, b: hi, balance_a: bal_lo, balance_b: bal_hi });
+        self.channels.push(Channel {
+            id,
+            a: lo,
+            b: hi,
+            balance_a: bal_lo,
+            balance_b: bal_hi,
+        });
         self.adj[lo.index()].push((hi, id));
         self.adj[hi.index()].push((lo, id));
         self.pair_index.insert(key, id);
@@ -200,7 +210,9 @@ impl Network {
 
     /// The channel between `a` and `b`, if one exists.
     pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<&Channel> {
-        self.pair_index.get(&normalize(a, b)).map(|&id| &self.channels[id.index()])
+        self.pair_index
+            .get(&normalize(a, b))
+            .map(|&id| &self.channels[id.index()])
     }
 
     /// `(neighbor, channel)` pairs adjacent to `node`.
@@ -289,9 +301,12 @@ mod tests {
 
     fn triangle() -> Network {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(2), NodeId(0), Amount::from_whole(30)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(0), Amount::from_whole(30))
+            .unwrap();
         g
     }
 
@@ -338,8 +353,14 @@ mod tests {
         let c = g.channel(id);
         assert_eq!((c.a, c.b), (NodeId(0), NodeId(1)));
         // Node 1 supplied 7, so balance on node-1's side must be 7.
-        assert_eq!(c.balance_in(c.direction_from(NodeId(1))), Amount::from_whole(7));
-        assert_eq!(c.balance_in(c.direction_from(NodeId(0))), Amount::from_whole(3));
+        assert_eq!(
+            c.balance_in(c.direction_from(NodeId(1))),
+            Amount::from_whole(7)
+        );
+        assert_eq!(
+            c.balance_in(c.direction_from(NodeId(0))),
+            Amount::from_whole(3)
+        );
     }
 
     #[test]

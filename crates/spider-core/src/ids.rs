@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A node (router or end-host) in the payment channel network.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub u32);
 
@@ -47,9 +45,7 @@ impl fmt::Display for NodeId {
 }
 
 /// An undirected payment channel between two nodes.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ChannelId(pub u32);
 
@@ -86,9 +82,7 @@ impl fmt::Display for ChannelId {
 }
 
 /// An application-level payment, possibly split into many transaction units.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PaymentId(pub u64);
 
@@ -105,9 +99,7 @@ impl fmt::Display for PaymentId {
 }
 
 /// A single transaction unit (one "packet" of a payment).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UnitId {
     /// The payment this unit belongs to.
     pub payment: PaymentId,
@@ -166,7 +158,10 @@ mod tests {
 
     #[test]
     fn unit_id_formats_with_payment() {
-        let u = UnitId { payment: PaymentId(5), seq: 2 };
+        let u = UnitId {
+            payment: PaymentId(5),
+            seq: 2,
+        };
         assert_eq!(format!("{u:?}"), "pay5#2");
     }
 

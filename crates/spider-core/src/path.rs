@@ -90,7 +90,10 @@ impl Path {
 
     /// The direction in which the trail crosses `channel`, if it does.
     pub fn direction_on(&self, channel: ChannelId) -> Option<Direction> {
-        self.hops.iter().find(|&&(c, _)| c == channel).map(|&(_, d)| d)
+        self.hops
+            .iter()
+            .find(|&&(c, _)| c == channel)
+            .map(|&(_, d)| d)
     }
 }
 
@@ -117,7 +120,8 @@ mod tests {
     fn line_with_chord() -> Network {
         let mut g = Network::new(4);
         for (a, b) in [(0, 1), (1, 2), (2, 3), (1, 3)] {
-            g.add_channel(NodeId(a), NodeId(b), Amount::from_whole(10)).unwrap();
+            g.add_channel(NodeId(a), NodeId(b), Amount::from_whole(10))
+                .unwrap();
         }
         g
     }
@@ -143,7 +147,10 @@ mod tests {
             Path::new(&g, vec![NodeId(0)]),
             Err(CoreError::InvalidPath(_))
         ));
-        assert!(matches!(Path::new(&g, vec![]), Err(CoreError::InvalidPath(_))));
+        assert!(matches!(
+            Path::new(&g, vec![]),
+            Err(CoreError::InvalidPath(_))
+        ));
     }
 
     #[test]

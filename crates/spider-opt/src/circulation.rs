@@ -49,8 +49,11 @@ impl Decomposition {
 /// micro-rate resolution) and the DAG remainder.
 pub fn decompose(demand: &DemandMatrix) -> Decomposition {
     let participants = demand.participants();
-    let index: BTreeMap<NodeId, usize> =
-        participants.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: BTreeMap<NodeId, usize> = participants
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
     let k = participants.len();
 
     // Demand edges at micro resolution.
@@ -161,8 +164,7 @@ pub fn peel_cycles(circulation: &DemandMatrix) -> Vec<(Vec<NodeId>, f64)> {
         let mut pos: BTreeMap<NodeId, usize> = BTreeMap::from([(start, 0)]);
         loop {
             let u = *walk.last().unwrap();
-            let Some((&(_, v), _)) =
-                weight.range((u, NodeId(0))..=(u, NodeId(u32::MAX))).next()
+            let Some((&(_, v), _)) = weight.range((u, NodeId(0))..=(u, NodeId(u32::MAX))).next()
             else {
                 // Dead end: only legal if everything left is rounding noise.
                 let max_left = weight.values().copied().max().unwrap_or(0);
@@ -380,11 +382,12 @@ mod tests {
         let demand = DemandMatrix::fig4_example();
         let dec = decompose(&demand);
         let cycles = peel_cycles(&dec.circulation);
-        let total: f64 = cycles
-            .iter()
-            .map(|(nodes, r)| nodes.len() as f64 * r)
-            .sum();
-        assert!((total - dec.value).abs() < 1e-6, "cycle mass {total} != {}", dec.value);
+        let total: f64 = cycles.iter().map(|(nodes, r)| nodes.len() as f64 * r).sum();
+        assert!(
+            (total - dec.value).abs() < 1e-6,
+            "cycle mass {total} != {}",
+            dec.value
+        );
         // Re-accumulate edges and compare to the circulation.
         let mut rebuilt = DemandMatrix::new();
         for (nodes, r) in &cycles {
@@ -413,7 +416,8 @@ mod tests {
         // Fig. 4 topology: 1-2, 2-3, 3-4, 4-5, 5-1, 2-4 (0-based: 0-1, 1-2,
         // 2-3, 3-4, 4-0, 1-3).
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)] {
-            g.add_channel(NodeId(a), NodeId(b), Amount::from_whole(100)).unwrap();
+            g.add_channel(NodeId(a), NodeId(b), Amount::from_whole(100))
+                .unwrap();
         }
         let dec = decompose(&DemandMatrix::fig4_example());
         let flows = route_on_spanning_tree(&g, &dec.circulation).unwrap();
@@ -424,8 +428,7 @@ mod tests {
             );
         }
         // And the full demand (with its DAG part) must NOT balance.
-        let flows_full =
-            route_on_spanning_tree(&g, &DemandMatrix::fig4_example()).unwrap();
+        let flows_full = route_on_spanning_tree(&g, &DemandMatrix::fig4_example()).unwrap();
         let imbalanced = flows_full.iter().any(|&(ab, ba)| (ab - ba).abs() > 1e-6);
         assert!(imbalanced, "full demand should imbalance some channel");
     }
@@ -433,8 +436,10 @@ mod tests {
     #[test]
     fn spanning_tree_routing_fails_on_disconnected() {
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         let mut d = DemandMatrix::new();
         d.set(NodeId(0), NodeId(2), 1.0);
         assert!(route_on_spanning_tree(&g, &d).is_none());

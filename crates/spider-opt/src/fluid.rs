@@ -81,7 +81,13 @@ impl<'a> FluidProblem<'a> {
                 pair_paths.entry(key).or_default().push(i);
             }
         }
-        FluidProblem { network, demand, paths, delta, pair_paths }
+        FluidProblem {
+            network,
+            demand,
+            paths,
+            delta,
+            pair_paths,
+        }
     }
 
     /// The candidate path slice this problem was built over.
@@ -122,11 +128,7 @@ impl<'a> FluidProblem<'a> {
             .collect()
     }
 
-    fn solve_objective(
-        &self,
-        mode: RebalanceMode,
-        weights: Option<&[f64]>,
-    ) -> FluidSolution {
+    fn solve_objective(&self, mode: RebalanceMode, weights: Option<&[f64]>) -> FluidSolution {
         let num_paths = self.paths.len();
         let with_b = !matches!(mode, RebalanceMode::None);
         // Variable layout: x_p for p in 0..num_paths, then (if rebalancing)
@@ -134,10 +136,12 @@ impl<'a> FluidProblem<'a> {
         let num_channels = self.network.num_channels();
         let num_vars = num_paths + if with_b { 2 * num_channels } else { 0 };
         let b_var = |c: ChannelId, d: Direction| {
-            num_paths + 2 * c.index() + match d {
-                Direction::AtoB => 0,
-                Direction::BtoA => 1,
-            }
+            num_paths
+                + 2 * c.index()
+                + match d {
+                    Direction::AtoB => 0,
+                    Direction::BtoA => 1,
+                }
         };
 
         let mut lp = LinearProgram::new(num_vars);
@@ -164,8 +168,7 @@ impl<'a> FluidProblem<'a> {
         }
 
         // Per-channel usage in each direction.
-        let mut usage: Vec<[Vec<usize>; 2]> =
-            vec![[Vec::new(), Vec::new()]; num_channels];
+        let mut usage: Vec<[Vec<usize>; 2]> = vec![[Vec::new(), Vec::new()]; num_channels];
         for ids in self.pair_paths.values() {
             for &i in ids {
                 for &(c, dir) in self.paths[i].hops() {
@@ -214,8 +217,7 @@ impl<'a> FluidProblem<'a> {
 
         // Budget (16): Σ b ≤ B.
         if let RebalanceMode::Budget { budget } = mode {
-            let coeffs: Vec<(usize, f64)> =
-                (num_paths..num_vars).map(|j| (j, 1.0)).collect();
+            let coeffs: Vec<(usize, f64)> = (num_paths..num_vars).map(|j| (j, 1.0)).collect();
             lp.add_constraint(&coeffs, Relation::Le, budget);
         }
 
@@ -239,7 +241,12 @@ impl<'a> FluidProblem<'a> {
                 }
             }
         }
-        FluidSolution { path_flows, rebalancing, throughput, objective: sol.objective }
+        FluidSolution {
+            path_flows,
+            rebalancing,
+            throughput,
+            objective: sol.objective,
+        }
     }
 }
 
@@ -253,12 +260,7 @@ enum RebalanceMode {
 /// Enumerates all simple paths between `src` and `dst` with at most
 /// `max_hops` hops — a convenient exhaustive path set for small fluid
 /// instances (the Fig. 4 example, unit tests).
-pub fn enumerate_paths(
-    network: &Network,
-    src: NodeId,
-    dst: NodeId,
-    max_hops: usize,
-) -> Vec<Path> {
+pub fn enumerate_paths(network: &Network, src: NodeId, dst: NodeId, max_hops: usize) -> Vec<Path> {
     let mut out = Vec::new();
     let mut stack = vec![src];
     let mut on_stack = vec![false; network.num_nodes()];
@@ -273,9 +275,7 @@ pub fn enumerate_paths(
     ) {
         let u = *stack.last().unwrap();
         if u == dst {
-            out.push(
-                Path::new(network, stack.clone()).expect("DFS builds valid simple paths"),
-            );
+            out.push(Path::new(network, stack.clone()).expect("DFS builds valid simple paths"));
             return;
         }
         if stack.len() > max_hops {
@@ -318,7 +318,8 @@ mod tests {
     fn fig4_network(capacity: f64) -> Network {
         let mut g = Network::new(5);
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)] {
-            g.add_channel(NodeId(a), NodeId(b), Amount::from_tokens(capacity)).unwrap();
+            g.add_channel(NodeId(a), NodeId(b), Amount::from_tokens(capacity))
+                .unwrap();
         }
         g
     }
@@ -366,20 +367,26 @@ mod tests {
     fn throughput_capped_by_capacity() {
         // Two nodes, one channel of capacity 4 with Δ = 2 -> rate cap 2.
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(4)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(4))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 100.0);
         demand.set(NodeId(1), NodeId(0), 100.0);
         let paths = enumerate_demand_paths(&g, &demand, 3);
         let prob = FluidProblem::new(&g, &demand, &paths, 2.0);
         let sol = prob.max_balanced_throughput();
-        assert!((sol.throughput - 2.0).abs() < 1e-6, "got {}", sol.throughput);
+        assert!(
+            (sol.throughput - 2.0).abs() < 1e-6,
+            "got {}",
+            sol.throughput
+        );
     }
 
     #[test]
     fn pure_dag_demand_gets_zero_without_rebalancing() {
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 5.0);
         let paths = enumerate_demand_paths(&g, &demand, 3);
@@ -391,7 +398,8 @@ mod tests {
     #[test]
     fn rebalancing_unlocks_dag_demand() {
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 5.0);
         let paths = enumerate_demand_paths(&g, &demand, 3);
@@ -469,8 +477,7 @@ mod tests {
         let paths = enumerate_demand_paths(&g, &demand, 5);
         let prob = FluidProblem::new(&g, &demand, &paths, 1.0);
         let sol = prob.max_balanced_throughput();
-        let mut per_pair: std::collections::BTreeMap<(NodeId, NodeId), f64> =
-            Default::default();
+        let mut per_pair: std::collections::BTreeMap<(NodeId, NodeId), f64> = Default::default();
         for (i, p) in paths.iter().enumerate() {
             *per_pair.entry((p.source(), p.dest())).or_default() += sol.path_flows[i];
         }

@@ -30,7 +30,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -45,10 +48,21 @@ impl FlowNetwork {
     /// Panics if `cap < 0` or an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) -> usize {
         assert!(cap >= 0, "negative capacity");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         let id = self.edges.len();
-        self.edges.push(FlowEdge { to: v, cap, flow: 0 });
-        self.edges.push(FlowEdge { to: u, cap: 0, flow: 0 });
+        self.edges.push(FlowEdge {
+            to: v,
+            cap,
+            flow: 0,
+        });
+        self.edges.push(FlowEdge {
+            to: u,
+            cap: 0,
+            flow: 0,
+        });
         self.adj[u].push(id);
         self.adj[v].push(id + 1);
         id
@@ -197,7 +211,11 @@ impl FlowNetwork {
             if !found {
                 break;
             }
-            let bottleneck = trail_edges.iter().map(|&e| self.edges[e].flow).min().unwrap();
+            let bottleneck = trail_edges
+                .iter()
+                .map(|&e| self.edges[e].flow)
+                .min()
+                .unwrap();
             let mut nodes = vec![s];
             for &e in &trail_edges {
                 self.edges[e].flow -= bottleneck;
@@ -243,7 +261,10 @@ pub fn balance_limited_flow(
             )
         })
         .collect();
-    ChannelFlow { value: Amount::from_micros(value), paths }
+    ChannelFlow {
+        value: Amount::from_micros(value),
+        paths,
+    }
 }
 
 #[cfg(test)]
@@ -354,7 +375,8 @@ mod tests {
     #[test]
     fn capped_flow_decomposition() {
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
         let flow = balance_limited_flow(&g, &g, NodeId(0), NodeId(1), Amount::from_whole(2));
         assert_eq!(flow.value, Amount::from_whole(2));
         assert_eq!(flow.paths[0].1, Amount::from_whole(2));

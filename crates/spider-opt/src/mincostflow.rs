@@ -36,7 +36,10 @@ pub struct FlowCost {
 impl MinCostFlow {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        MinCostFlow { edges: Vec::new(), adj: vec![Vec::new(); n] }
+        MinCostFlow {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -48,10 +51,23 @@ impl MinCostFlow {
     /// its index. Creates the paired reverse edge (zero cap, negated cost).
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> usize {
         assert!(cap >= 0, "negative capacity");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         let id = self.edges.len();
-        self.edges.push(McfEdge { to: v, cap, flow: 0, cost });
-        self.edges.push(McfEdge { to: u, cap: 0, flow: 0, cost: -cost });
+        self.edges.push(McfEdge {
+            to: v,
+            cap,
+            flow: 0,
+            cost,
+        });
+        self.edges.push(McfEdge {
+            to: u,
+            cap: 0,
+            flow: 0,
+            cost: -cost,
+        });
         self.adj[u].push(id);
         self.adj[v].push(id + 1);
         id
@@ -169,7 +185,10 @@ impl MinCostFlow {
             }
             total_flow += bottleneck;
         }
-        FlowCost { flow: total_flow, cost: total_cost }
+        FlowCost {
+            flow: total_flow,
+            cost: total_cost,
+        }
     }
 }
 

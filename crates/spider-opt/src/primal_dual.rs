@@ -205,9 +205,8 @@ pub fn solve(
             let total = flow[e][0] + flow[e][1];
             lambda[e] = (lambda[e] + config.eta * (total - cap_rate[e])).max(0.0);
             for s in 0..2 {
-                mu[e][s] = (mu[e][s]
-                    + config.kappa * (flow[e][s] - flow[e][1 - s] - b[e][s]))
-                    .max(0.0);
+                mu[e][s] =
+                    (mu[e][s] + config.kappa * (flow[e][s] - flow[e][1 - s] - b[e][s])).max(0.0);
             }
         }
 
@@ -306,7 +305,8 @@ mod tests {
     fn fig4_network() -> Network {
         let mut g = Network::new(5);
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)] {
-            g.add_channel(NodeId(a), NodeId(b), Amount::from_tokens(1e6)).unwrap();
+            g.add_channel(NodeId(a), NodeId(b), Amount::from_tokens(1e6))
+                .unwrap();
         }
         g
     }
@@ -401,7 +401,8 @@ mod tests {
     fn respects_capacity_price() {
         // Single channel, bidirectional demand 100 each way, cap rate 2.
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(4)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(4))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 100.0);
         demand.set(NodeId(1), NodeId(0), 100.0);
@@ -417,18 +418,24 @@ mod tests {
     #[test]
     fn dag_demand_suppressed_without_rebalancing() {
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 5.0);
         let paths = enumerate_demand_paths(&g, &demand, 2);
         let sol = solve(&g, &demand, &paths, 1.0, &PrimalDualConfig::default());
-        assert!(sol.throughput < 0.2, "one-way flow must be priced out, got {}", sol.throughput);
+        assert!(
+            sol.throughput < 0.2,
+            "one-way flow must be priced out, got {}",
+            sol.throughput
+        );
     }
 
     #[test]
     fn cheap_rebalancing_unlocks_dag_demand() {
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 5.0);
         let paths = enumerate_demand_paths(&g, &demand, 2);
@@ -444,7 +451,10 @@ mod tests {
             sol.throughput
         );
         let b_total: f64 = sol.rebalancing.iter().map(|&(_, _, v)| v).sum();
-        assert!(b_total > 3.5, "rebalancing rate should approach 5, got {b_total}");
+        assert!(
+            b_total > 3.5,
+            "rebalancing rate should approach 5, got {b_total}"
+        );
     }
 
     #[test]
@@ -452,7 +462,10 @@ mod tests {
         let g = fig4_network();
         let demand = DemandMatrix::fig4_example();
         let paths = enumerate_demand_paths(&g, &demand, 4);
-        let config = PrimalDualConfig { max_iters: 1000, ..Default::default() };
+        let config = PrimalDualConfig {
+            max_iters: 1000,
+            ..Default::default()
+        };
         let sol = solve(&g, &demand, &paths, 1.0, &config);
         assert!(!sol.history.is_empty());
         assert!(sol.iterations <= 1000);
@@ -464,8 +477,10 @@ mod tests {
         // capacity rate 20. Throughput doesn't care who wins; proportional
         // fairness must split ~5/5/5/5.
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(2), 100.0);
         demand.set(NodeId(2), NodeId(0), 100.0);

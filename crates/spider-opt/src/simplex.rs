@@ -102,7 +102,11 @@ impl LinearProgram {
     /// Creates an LP over `num_vars` non-negative variables with a zero
     /// objective and no constraints.
     pub fn new(num_vars: usize) -> Self {
-        LinearProgram { num_vars, objective: vec![0.0; num_vars], rows: Vec::new() }
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+        }
     }
 
     /// Number of decision variables.
@@ -132,7 +136,11 @@ impl LinearProgram {
             assert!(j < self.num_vars, "constraint var {j} out of range");
         }
         assert!(rhs.is_finite(), "constraint rhs must be finite");
-        self.rows.push(Row { coeffs: coeffs.to_vec(), rel, rhs });
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
     }
 
     /// Solves the LP with two-phase primal simplex.
@@ -217,7 +225,15 @@ impl Tableau {
         let mut obj = vec![0.0; n_total];
         obj[..n].copy_from_slice(&lp.objective);
 
-        Tableau { a, rhs, obj, basis, n_structural: n, n_total, artificial_start }
+        Tableau {
+            a,
+            rhs,
+            obj,
+            basis,
+            n_structural: n,
+            n_total,
+            artificial_start,
+        }
     }
 
     fn solve(mut self) -> LpOutcome {
@@ -246,8 +262,7 @@ impl Tableau {
             for i in 0..self.a.len() {
                 if self.basis[i] >= self.artificial_start {
                     // Find a non-artificial column with a nonzero pivot.
-                    if let Some(j) = (0..self.artificial_start)
-                        .find(|&j| self.a[i][j].abs() > EPS)
+                    if let Some(j) = (0..self.artificial_start).find(|&j| self.a[i][j].abs() > EPS)
                     {
                         self.pivot(i, j);
                         pivots += 1;
@@ -274,7 +289,11 @@ impl Tableau {
                 x[b] = self.rhs[i];
             }
         }
-        LpOutcome::Optimal(LpSolution { x, objective: value, pivots })
+        LpOutcome::Optimal(LpSolution {
+            x,
+            objective: value,
+            pivots,
+        })
     }
 
     /// Computes the reduced-cost row and current objective value for a given
@@ -555,7 +574,9 @@ mod tests {
         let mut lp = LinearProgram::new(n);
         let mut state = 0x12345678u64;
         let mut rand01 = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) / 2.0
         };
         let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, rand01())).collect();

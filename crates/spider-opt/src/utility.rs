@@ -30,7 +30,10 @@ pub struct FairnessConfig {
 
 impl Default for FairnessConfig {
     fn default() -> Self {
-        FairnessConfig { iterations: 60, epsilon: 1e-3 }
+        FairnessConfig {
+            iterations: 60,
+            epsilon: 1e-3,
+        }
     }
 }
 
@@ -86,8 +89,12 @@ pub fn proportional_fair(problem: &FluidProblem<'_>, config: &FairnessConfig) ->
 
     // Feasible start: half the max-throughput solution (strictly interior in
     // the throughput direction, avoids a log cliff at zero).
-    let mut x: Vec<f64> =
-        problem.max_balanced_throughput().path_flows.iter().map(|f| 0.5 * f).collect();
+    let mut x: Vec<f64> = problem
+        .max_balanced_throughput()
+        .path_flows
+        .iter()
+        .map(|f| 0.5 * f)
+        .collect();
 
     for k in 0..config.iterations {
         // Gradient of Σ log(f + ε): each path of pair (i,j) gets 1/(f_ij + ε).
@@ -111,7 +118,12 @@ pub fn proportional_fair(problem: &FluidProblem<'_>, config: &FairnessConfig) ->
     let rates = pair_rates(problem, &x);
     let throughput = x.iter().sum();
     let utility = rates.values().map(|&f| (f + config.epsilon).ln()).sum();
-    FairSolution { path_flows: x, pair_rates: rates, throughput, utility }
+    FairSolution {
+        path_flows: x,
+        pair_rates: rates,
+        throughput,
+        utility,
+    }
 }
 
 #[cfg(test)]
@@ -124,8 +136,10 @@ mod tests {
     /// the first. Channel 0-1's capacity is the shared bottleneck.
     fn contended_instance() -> (Network, DemandMatrix) {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20))
+            .unwrap();
         let mut d = DemandMatrix::new();
         d.set(NodeId(0), NodeId(2), 100.0);
         d.set(NodeId(2), NodeId(0), 100.0);
@@ -173,8 +187,10 @@ mod tests {
     fn fairness_respects_demand_caps() {
         // Tiny demand on one pair: fairness cannot exceed it.
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(100))
+            .unwrap();
         let mut d = DemandMatrix::new();
         d.set(NodeId(0), NodeId(1), 2.0);
         d.set(NodeId(1), NodeId(0), 2.0);

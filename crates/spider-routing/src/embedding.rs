@@ -42,7 +42,11 @@ impl SpanningTree {
                 }
             }
         }
-        SpanningTree { root, coord, reachable }
+        SpanningTree {
+            root,
+            coord,
+            reachable,
+        }
     }
 
     /// The tree's root.
@@ -99,7 +103,10 @@ impl SpeedyMurmursScheme {
     /// Builds the scheme with explicit tree roots.
     pub fn with_roots(network: &Network, roots: Vec<NodeId>) -> Self {
         assert!(!roots.is_empty());
-        let trees = roots.into_iter().map(|root| SpanningTree::new(network, root)).collect();
+        let trees = roots
+            .into_iter()
+            .map(|root| SpanningTree::new(network, root))
+            .collect();
         SpeedyMurmursScheme { trees }
     }
 
@@ -133,7 +140,9 @@ impl SpeedyMurmursScheme {
             // must be strictly closer to guarantee termination.
             let mut best: Option<(usize, NodeId, spider_core::ChannelId)> = None;
             for &(v, c) in network.neighbors(current) {
-                let Some(d) = tree.distance(v, dst) else { continue };
+                let Some(d) = tree.distance(v, dst) else {
+                    continue;
+                };
                 if d >= dist {
                     continue;
                 }
@@ -201,9 +210,11 @@ mod tests {
     fn ring_with_chord() -> Network {
         let mut g = Network::new(6);
         for i in 0..6u32 {
-            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10)).unwrap();
+            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10))
+                .unwrap();
         }
-        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         g
     }
 
@@ -275,8 +286,10 @@ mod tests {
         // Star around 0 — all routes to 3 pass 0.
         g.add_channel_with_balances(NodeId(1), NodeId(0), Amount::ZERO, Amount::from_whole(10))
             .unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         let mut s = SpeedyMurmursScheme::new(&g, 1);
         // Node 1 has zero spendable toward 0: payment must fail.
         assert!(s

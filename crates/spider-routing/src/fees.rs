@@ -49,8 +49,8 @@ impl FeeSchedule {
     pub fn fee(&self, channel: ChannelId, amount: Amount) -> Amount {
         self.base[channel.index()]
             + Amount::from_micros(
-                (amount.micros() as i128 * self.rate_ppm[channel.index()] as i128
-                    / 1_000_000) as i64,
+                (amount.micros() as i128 * self.rate_ppm[channel.index()] as i128 / 1_000_000)
+                    as i64,
             )
     }
 
@@ -147,7 +147,7 @@ pub fn cheapest_path(
             continue;
         }
         let key = (cost, hops, w);
-        if first.map_or(true, |(best, _)| key < best) {
+        if first.is_none_or(|(best, _)| key < best) {
             first = Some((key, w));
         }
     }
@@ -168,10 +168,14 @@ mod tests {
     fn diamond() -> Network {
         // Two routes 0->3: via 1 and via 2.
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(100))
+            .unwrap();
         g
     }
 
@@ -192,7 +196,10 @@ mod tests {
         let f = FeeSchedule::uniform(&g, Amount::from_micros(100), 10_000); // 1%
         let c = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
         // fee(10) = 0.0001 + 0.1 = 0.1001 tokens
-        assert_eq!(f.fee(c, Amount::from_whole(10)), Amount::from_tokens(0.1001));
+        assert_eq!(
+            f.fee(c, Amount::from_whole(10)),
+            Amount::from_tokens(0.1001)
+        );
     }
 
     #[test]
@@ -205,7 +212,10 @@ mod tests {
         // (sender's own hop is free).
         assert_eq!(amounts[1], Amount::from_whole(10));
         assert_eq!(amounts[0], Amount::from_whole(11));
-        assert_eq!(f.total_fee(&p, Amount::from_whole(10)), Amount::from_whole(1));
+        assert_eq!(
+            f.total_fee(&p, Amount::from_whole(10)),
+            Amount::from_whole(1)
+        );
     }
 
     #[test]
@@ -258,7 +268,11 @@ mod tests {
         let c23 = g.channel_between(NodeId(2), NodeId(3)).unwrap().id;
         f.set(c23, Amount::from_micros(500), 0);
         let p = cheapest_path(&g, &f, NodeId(0), NodeId(3), Amount::from_whole(10)).unwrap();
-        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)], "free first hop wins");
+        assert_eq!(
+            p.nodes(),
+            &[NodeId(0), NodeId(1), NodeId(3)],
+            "free first hop wins"
+        );
         assert_eq!(f.total_fee(&p, Amount::from_whole(10)), Amount::ZERO);
     }
 
@@ -266,10 +280,14 @@ mod tests {
     fn fee_ties_break_to_fewer_hops() {
         // Equal fees: prefer the 2-hop route over a 3-hop one.
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(2), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(1), Amount::from_whole(10))
+            .unwrap();
         let f = FeeSchedule::uniform(&g, Amount::ZERO, 0);
         // Force the non-free branch by adding a tiny fee everywhere.
         let mut f2 = f.clone();

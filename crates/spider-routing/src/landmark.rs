@@ -33,13 +33,19 @@ impl SilentWhispersScheme {
         let mut nodes: Vec<NodeId> = network.nodes().collect();
         nodes.sort_by_key(|&n| (std::cmp::Reverse(network.degree(n)), n));
         nodes.truncate(num_landmarks);
-        SilentWhispersScheme { landmarks: nodes, cache: HashMap::new() }
+        SilentWhispersScheme {
+            landmarks: nodes,
+            cache: HashMap::new(),
+        }
     }
 
     /// Creates the scheme with an explicit landmark set.
     pub fn with_landmarks(landmarks: Vec<NodeId>) -> Self {
         assert!(!landmarks.is_empty());
-        SilentWhispersScheme { landmarks, cache: HashMap::new() }
+        SilentWhispersScheme {
+            landmarks,
+            cache: HashMap::new(),
+        }
     }
 
     /// The landmark set.
@@ -143,10 +149,12 @@ mod tests {
     fn hub_network() -> Network {
         let mut g = Network::new(6);
         for i in 1..6u32 {
-            g.add_channel(NodeId(0), NodeId(i), Amount::from_whole(20)).unwrap();
+            g.add_channel(NodeId(0), NodeId(i), Amount::from_whole(20))
+                .unwrap();
         }
         for i in 1..5u32 {
-            g.add_channel(NodeId(i), NodeId(i + 1), Amount::from_whole(20)).unwrap();
+            g.add_channel(NodeId(i), NodeId(i + 1), Amount::from_whole(20))
+                .unwrap();
         }
         g
     }
@@ -169,7 +177,10 @@ mod tests {
         assert_eq!(parts.len(), 1);
         let (path, amt) = &parts[0];
         assert_eq!(amt, &Amount::from_whole(5));
-        assert!(path.nodes().contains(&NodeId(0)), "must pass the landmark: {path}");
+        assert!(
+            path.nodes().contains(&NodeId(0)),
+            "must pass the landmark: {path}"
+        );
     }
 
     #[test]
@@ -200,10 +211,14 @@ mod tests {
         // Two landmarks whose paths share the src's only channel: the
         // overlay must catch the double-spend.
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap(); // 5 spendable
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(100)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap(); // 5 spendable
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(100))
+            .unwrap();
         let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(2), NodeId(3)]);
         // 8 tokens -> shares of 4+4, both crossing 0-1 which has only 5.
         assert!(s
@@ -220,8 +235,10 @@ mod tests {
         // src -> lm and lm -> dst retrace the same channel: collapse to the
         // direct segment.
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
+            .unwrap();
         // Landmark 0; payment 1 -> 2. Walk: 1->0 then 0->1->2 collapses to 1->2.
         let p = landmark_path(&g, NodeId(1), NodeId(0), NodeId(2)).unwrap();
         assert_eq!(p.nodes(), &[NodeId(1), NodeId(2)]);
@@ -240,8 +257,10 @@ mod tests {
     #[test]
     fn unroutable_when_disconnected() {
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         let mut s = SilentWhispersScheme::with_landmarks(vec![NodeId(0)]);
         assert!(s
             .route_payment(&g, &g, NodeId(0), NodeId(3), Amount::ONE)

@@ -32,11 +32,11 @@ pub use fees::{cheapest_path, FeeSchedule};
 pub use landmark::SilentWhispersScheme;
 pub use lp_scheme::LpScheme;
 pub use maxflow_scheme::MaxFlowScheme;
-pub use price_scheme::{PriceConfig, PriceScheme};
 pub use paths::{
-    edge_disjoint_paths, k_shortest_paths, path_bottleneck, shortest_path,
-    widest_paths, PathCache, PathStrategy,
+    edge_disjoint_paths, k_shortest_paths, path_bottleneck, shortest_path, widest_paths, PathCache,
+    PathStrategy,
 };
+pub use price_scheme::{PriceConfig, PriceScheme};
 pub use scheme::{split_evenly, BalanceOverlay, RoutingScheme, SchemeKind, UnitDecision};
 pub use shortest_path::ShortestPathScheme;
 pub use waterfilling::WaterfillingScheme;

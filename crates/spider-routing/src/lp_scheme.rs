@@ -41,11 +41,13 @@ impl LpScheme {
             if w < WEIGHT_FLOOR {
                 continue;
             }
-            let plan = plans.entry((p.source(), p.dest())).or_insert_with(|| PairPlan {
-                paths: Vec::new(),
-                weights: Vec::new(),
-                credits: Vec::new(),
-            });
+            let plan = plans
+                .entry((p.source(), p.dest()))
+                .or_insert_with(|| PairPlan {
+                    paths: Vec::new(),
+                    weights: Vec::new(),
+                    credits: Vec::new(),
+                });
             plan.paths.push(p.clone());
             plan.weights.push(w);
             plan.credits.push(0.0);
@@ -131,7 +133,10 @@ impl RoutingScheme for LpScheme {
         // Candidate order: decreasing credit (deterministic tie-break on index).
         let mut order: Vec<usize> = (0..plan.paths.len()).collect();
         order.sort_by(|&i, &j| {
-            plan.credits[j].partial_cmp(&plan.credits[i]).unwrap().then(i.cmp(&j))
+            plan.credits[j]
+                .partial_cmp(&plan.credits[i])
+                .unwrap()
+                .then(i.cmp(&j))
         });
         for &i in &order {
             if path_bottleneck(balances, &plan.paths[i]) >= unit {
@@ -152,7 +157,8 @@ mod tests {
     fn fig4_network() -> Network {
         let mut g = Network::new(5);
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)] {
-            g.add_channel(NodeId(a), NodeId(b), Amount::from_tokens(1e6)).unwrap();
+            g.add_channel(NodeId(a), NodeId(b), Amount::from_tokens(1e6))
+                .unwrap();
         }
         g
     }
@@ -168,13 +174,15 @@ mod tests {
         // network.
         let mut routable = 0;
         for (s, d, _) in demand.entries() {
-            if let UnitDecision::Route(_) =
-                scheme.route_unit(&g, &g, s, d, Amount::from_micros(1))
+            if let UnitDecision::Route(_) = scheme.route_unit(&g, &g, s, d, Amount::from_micros(1))
             {
                 routable += 1;
             }
         }
-        assert!(routable >= 5, "most circulation pairs routable, got {routable}");
+        assert!(
+            routable >= 5,
+            "most circulation pairs routable, got {routable}"
+        );
         assert!(scheme.active_pairs() <= demand.len());
     }
 
@@ -183,7 +191,8 @@ mod tests {
         // A one-way demand gets zero LP rate (no circulation), so the LP
         // scheme must answer `Never` — the paper's reported limitation.
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(1), 5.0);
         let paths = enumerate_demand_paths(&g, &demand, 2);
@@ -210,10 +219,14 @@ mod tests {
     fn drr_spreads_proportionally() {
         // Two parallel 2-hop paths with weights 3:1.
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(1000)).unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(1000)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(1000)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1000))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(1000))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(1000))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(1000))
+            .unwrap();
         let p1 = Path::new(&g, vec![NodeId(0), NodeId(1), NodeId(3)]).unwrap();
         let p2 = Path::new(&g, vec![NodeId(0), NodeId(2), NodeId(3)]).unwrap();
         let mut scheme = LpScheme::from_flows(&[p1.clone(), p2.clone()], &[3.0, 1.0]);
@@ -237,10 +250,14 @@ mod tests {
     #[test]
     fn falls_back_to_lower_weight_path_when_drained() {
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(1)).unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(1000)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(1000)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(1))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(1))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(1000))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(1000))
+            .unwrap();
         let p1 = Path::new(&g, vec![NodeId(0), NodeId(1), NodeId(3)]).unwrap();
         let p2 = Path::new(&g, vec![NodeId(0), NodeId(2), NodeId(3)]).unwrap();
         let mut scheme = LpScheme::from_flows(&[p1, p2.clone()], &[100.0, 1.0]);
@@ -256,8 +273,10 @@ mod tests {
         // Shared bottleneck: throughput LP may starve the 2-hop pair; the
         // fair LP must keep every routable pair active.
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(20))
+            .unwrap();
         let mut demand = DemandMatrix::new();
         demand.set(NodeId(0), NodeId(2), 100.0);
         demand.set(NodeId(2), NodeId(0), 100.0);
@@ -280,7 +299,10 @@ mod tests {
         let demand = DemandMatrix::fig4_example();
         let paths = enumerate_demand_paths(&g, &demand, 5);
         let exact = LpScheme::solve_exact(&g, &demand, &paths, 1.0);
-        let config = PrimalDualConfig { max_iters: 20_000, ..Default::default() };
+        let config = PrimalDualConfig {
+            max_iters: 20_000,
+            ..Default::default()
+        };
         let approx = LpScheme::solve_decentralized(&g, &demand, &paths, 1.0, &config);
         assert!(exact.active_pairs() > 0);
         assert!(approx.active_pairs() > 0);

@@ -45,8 +45,7 @@ impl RoutingScheme for MaxFlowScheme {
         }
         let mut parts = Vec::with_capacity(flow.paths.len());
         for (nodes, value) in flow.paths {
-            let path = Path::new(network, nodes)
-                .expect("flow decomposition yields valid trails");
+            let path = Path::new(network, nodes).expect("flow decomposition yields valid trails");
             parts.push((path, value));
         }
         debug_assert_eq!(
@@ -65,10 +64,14 @@ mod tests {
     fn diamond() -> Network {
         // 0 -> {1, 2} -> 3, each channel capacity 10 (5 spendable per side).
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         g
     }
 
@@ -109,7 +112,8 @@ mod tests {
     #[test]
     fn fails_when_disconnected() {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
         let mut s = MaxFlowScheme::new();
         assert!(s
             .route_payment(&g, &g, NodeId(0), NodeId(2), Amount::ONE)

@@ -62,12 +62,7 @@ pub fn shortest_path(network: &Network, src: NodeId, dst: NodeId) -> Option<Path
 /// Up to `k` mutually edge-disjoint shortest paths: repeatedly finds a BFS
 /// shortest path and removes its channels (the paper's "4 disjoint shortest
 /// paths" strategy).
-pub fn edge_disjoint_paths(
-    network: &Network,
-    src: NodeId,
-    dst: NodeId,
-    k: usize,
-) -> Vec<Path> {
+pub fn edge_disjoint_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
     let mut banned: HashSet<ChannelId> = HashSet::new();
     let mut out = Vec::new();
     for _ in 0..k {
@@ -134,9 +129,7 @@ pub fn k_shortest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -
             }
         }
         match next {
-            Some(nodes) => {
-                result.push(Path::new(network, nodes).expect("Yen builds valid paths"))
-            }
+            Some(nodes) => result.push(Path::new(network, nodes).expect("Yen builds valid paths")),
             None => break,
         }
     }
@@ -254,19 +247,22 @@ pub enum PathStrategy {
 impl PathCache {
     /// Creates an empty cache with the given strategy.
     pub fn new(strategy: PathStrategy) -> Self {
-        PathCache { strategy, cache: Default::default() }
+        PathCache {
+            strategy,
+            cache: Default::default(),
+        }
     }
 
     /// The paths for `(src, dst)`, computing and caching them on first use.
     pub fn paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Path] {
-        self.cache.entry((src, dst)).or_insert_with(|| match self.strategy {
-            PathStrategy::Shortest => {
-                shortest_path(network, src, dst).into_iter().collect()
-            }
-            PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
-            PathStrategy::KShortest(k) => k_shortest_paths(network, src, dst, k),
-            PathStrategy::WidestDisjoint(k) => widest_paths(network, src, dst, k),
-        })
+        self.cache
+            .entry((src, dst))
+            .or_insert_with(|| match self.strategy {
+                PathStrategy::Shortest => shortest_path(network, src, dst).into_iter().collect(),
+                PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
+                PathStrategy::KShortest(k) => k_shortest_paths(network, src, dst, k),
+                PathStrategy::WidestDisjoint(k) => widest_paths(network, src, dst, k),
+            })
     }
 
     /// Number of cached pairs.
@@ -289,9 +285,11 @@ mod tests {
     fn ring_with_chord() -> Network {
         let mut g = Network::new(6);
         for i in 0..6u32 {
-            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10)).unwrap();
+            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10))
+                .unwrap();
         }
-        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         g
     }
 
@@ -357,7 +355,8 @@ mod tests {
     fn yen_on_line_finds_single_path() {
         let mut g = Network::new(4);
         for i in 0..3u32 {
-            g.add_channel(NodeId(i), NodeId(i + 1), Amount::ONE).unwrap();
+            g.add_channel(NodeId(i), NodeId(i + 1), Amount::ONE)
+                .unwrap();
         }
         let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), 5);
         assert_eq!(paths.len(), 1);
@@ -405,9 +404,12 @@ mod tests {
     fn widest_path_prefers_fat_channels() {
         // 0-1-3 with fat channels vs direct thin chord 0-3.
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100)).unwrap();
-        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(2)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(2))
+            .unwrap();
         let p = widest_path_avoiding(&g, NodeId(0), NodeId(3), &HashSet::new()).unwrap();
         assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
     }
@@ -416,9 +418,12 @@ mod tests {
     fn widest_path_ties_break_to_fewer_hops() {
         // Two equal-capacity routes, 1 hop vs 2 hops.
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
+            .unwrap();
         let p = widest_path_avoiding(&g, NodeId(0), NodeId(2), &HashSet::new()).unwrap();
         assert_eq!(p.len(), 1);
     }

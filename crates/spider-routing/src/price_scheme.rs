@@ -104,13 +104,12 @@ impl PriceScheme {
     fn update_prices(&mut self, network: &Network) {
         for ch in network.channels() {
             let e = ch.id.index();
-            let cap_budget =
-                ch.capacity().as_tokens() * self.config.capacity_fraction;
+            let cap_budget = ch.capacity().as_tokens() * self.config.capacity_fraction;
             let fwd = self.window_flow[e][0];
             let rev = self.window_flow[e][1];
-            self.lambda[e] =
-                (self.lambda[e] + self.config.eta * ((fwd + rev) - cap_budget) / cap_budget.max(1.0))
-                    .max(0.0);
+            self.lambda[e] = (self.lambda[e]
+                + self.config.eta * ((fwd + rev) - cap_budget) / cap_budget.max(1.0))
+            .max(0.0);
             self.mu[e][0] =
                 (self.mu[e][0] + self.config.kappa * (fwd - rev) / cap_budget.max(1.0)).max(0.0);
             self.mu[e][1] =
@@ -178,8 +177,7 @@ impl RoutingScheme for PriceScheme {
             let better = match best {
                 None => true,
                 Some((bp, bi)) => {
-                    price < bp - 1e-12
-                        || ((price - bp).abs() <= 1e-12 && p.len() < paths[bi].len())
+                    price < bp - 1e-12 || ((price - bp).abs() <= 1e-12 && p.len() < paths[bi].len())
                 }
             };
             if better {
@@ -212,9 +210,11 @@ mod tests {
     fn ring_with_chord() -> Network {
         let mut g = Network::new(6);
         for i in 0..6u32 {
-            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(1000)).unwrap();
+            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(1000))
+                .unwrap();
         }
-        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(1000)).unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(1000))
+            .unwrap();
         g
     }
 
@@ -278,7 +278,10 @@ mod tests {
     #[test]
     fn opposing_traffic_keeps_prices_low() {
         let g = ring_with_chord();
-        let mut s = PriceScheme::with_config(PriceConfig { window: 8, ..Default::default() });
+        let mut s = PriceScheme::with_config(PriceConfig {
+            window: 8,
+            ..Default::default()
+        });
         let chord = g.channel_between(NodeId(0), NodeId(3)).unwrap().id;
         for _ in 0..128 {
             let _ = s.route_unit(&g, &g, NodeId(0), NodeId(3), Amount::ONE);

@@ -33,8 +33,11 @@ pub enum UnitDecision {
 /// A routing scheme under evaluation.
 ///
 /// Implementations may keep per-pair caches and internal round-robin state
-/// (hence `&mut self`), but must be deterministic.
-pub trait RoutingScheme {
+/// (hence `&mut self`), but must be deterministic. Schemes are `Send` so
+/// the experiment runner can move each (scheme, trial) cell onto a worker
+/// thread; they run single-threaded within a simulation, so `Sync` is not
+/// required.
+pub trait RoutingScheme: Send {
     /// Short display name used in reports ("spider-waterfilling", ...).
     fn name(&self) -> &'static str;
 
@@ -90,7 +93,10 @@ pub struct BalanceOverlay<'a> {
 impl<'a> BalanceOverlay<'a> {
     /// Wraps a balance view with an empty overlay.
     pub fn new(base: &'a dyn BalanceView) -> Self {
-        BalanceOverlay { base, debits: HashMap::new() }
+        BalanceOverlay {
+            base,
+            debits: HashMap::new(),
+        }
     }
 
     /// Records a hypothetical spend of `amount` from `from` on every hop of
@@ -110,7 +116,11 @@ impl<'a> BalanceOverlay<'a> {
 
 impl BalanceView for BalanceOverlay<'_> {
     fn available(&self, channel: ChannelId, from: NodeId) -> Amount {
-        let debit = self.debits.get(&(channel, from)).copied().unwrap_or(Amount::ZERO);
+        let debit = self
+            .debits
+            .get(&(channel, from))
+            .copied()
+            .unwrap_or(Amount::ZERO);
         (self.base.available(channel, from) - debit).max(Amount::ZERO)
     }
 }
@@ -132,8 +142,10 @@ mod tests {
 
     fn two_hop_net() -> Network {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
+            .unwrap();
         g
     }
 

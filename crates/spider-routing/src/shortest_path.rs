@@ -14,7 +14,9 @@ pub struct ShortestPathScheme {
 impl ShortestPathScheme {
     /// Creates the scheme.
     pub fn new() -> Self {
-        ShortestPathScheme { cache: PathCache::new(PathStrategy::Shortest) }
+        ShortestPathScheme {
+            cache: PathCache::new(PathStrategy::Shortest),
+        }
     }
 }
 
@@ -60,8 +62,10 @@ mod tests {
 
     fn line3() -> Network {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
+            .unwrap();
         g
     }
 

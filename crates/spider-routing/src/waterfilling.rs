@@ -31,7 +31,9 @@ impl WaterfillingScheme {
     /// Creates the scheme with an arbitrary candidate-path strategy
     /// (§5.3.1 discusses k-shortest and highest-capacity alternatives).
     pub fn with_strategy(strategy: PathStrategy) -> Self {
-        WaterfillingScheme { cache: PathCache::new(strategy) }
+        WaterfillingScheme {
+            cache: PathCache::new(strategy),
+        }
     }
 }
 
@@ -89,9 +91,11 @@ mod tests {
     fn ring_with_chord() -> Network {
         let mut g = Network::new(6);
         for i in 0..6u32 {
-            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10)).unwrap();
+            g.add_channel(NodeId(i), NodeId((i + 1) % 6), Amount::from_whole(10))
+                .unwrap();
         }
-        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(10))
+            .unwrap();
         g
     }
 

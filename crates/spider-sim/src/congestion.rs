@@ -46,12 +46,18 @@ impl CongestionConfig {
     /// Panics on nonsensical values (used by the engine at startup).
     pub fn validate(&self) {
         assert!(self.min_window >= 1.0, "min_window must be at least 1");
-        assert!(self.max_window >= self.min_window, "max_window < min_window");
+        assert!(
+            self.max_window >= self.min_window,
+            "max_window < min_window"
+        );
         assert!(
             self.initial_window >= self.min_window && self.initial_window <= self.max_window,
             "initial_window out of range"
         );
-        assert!(self.additive_increase > 0.0, "additive_increase must be positive");
+        assert!(
+            self.additive_increase > 0.0,
+            "additive_increase must be positive"
+        );
         assert!(
             (0.0..1.0).contains(&self.multiplicative_decrease),
             "multiplicative_decrease must be in (0, 1)"
@@ -76,14 +82,18 @@ impl CongestionControl {
     /// Creates the controller.
     pub fn new(config: CongestionConfig) -> Self {
         config.validate();
-        CongestionControl { config, pairs: HashMap::new() }
+        CongestionControl {
+            config,
+            pairs: HashMap::new(),
+        }
     }
 
     fn state(&mut self, src: NodeId, dst: NodeId) -> &mut PairState {
         let init = self.config.initial_window;
-        self.pairs
-            .entry((src, dst))
-            .or_insert(PairState { window: init, outstanding: 0 })
+        self.pairs.entry((src, dst)).or_insert(PairState {
+            window: init,
+            outstanding: 0,
+        })
     }
 
     /// `true` if the pair may put one more unit in flight.
@@ -124,7 +134,10 @@ impl CongestionControl {
 
     /// Units currently in flight for a pair.
     pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u32 {
-        self.pairs.get(&(src, dst)).map(|s| s.outstanding).unwrap_or(0)
+        self.pairs
+            .get(&(src, dst))
+            .map(|s| s.outstanding)
+            .unwrap_or(0)
     }
 }
 
@@ -204,6 +217,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiplicative_decrease")]
     fn validate_rejects_bad_beta() {
-        CongestionConfig { multiplicative_decrease: 1.5, ..Default::default() }.validate();
+        CongestionConfig {
+            multiplicative_decrease: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 }

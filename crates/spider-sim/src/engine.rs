@@ -18,6 +18,7 @@
 //! The engine is single-threaded and completely deterministic: identical
 //! inputs produce identical runs.
 
+use crate::audit::LedgerAudit;
 use crate::congestion::{CongestionConfig, CongestionControl};
 use crate::events::EventQueue;
 use crate::ledger::{Ledger, LedgerView};
@@ -61,6 +62,10 @@ pub struct SimConfig {
     /// Optional routing fees (§2/§7 extension, packet-switched schemes):
     /// senders pay each relay's base + proportional fee on every unit.
     pub fees: Option<FeeSchedule>,
+    /// Audit the ledger after every balance-mutating event: per-channel
+    /// non-negativity and exact global conservation of funds, reported as
+    /// [`SimReport::audit_violations`](crate::SimReport).
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -78,6 +83,7 @@ impl SimConfig {
             congestion: None,
             amp: false,
             fees: None,
+            audit: false,
         }
     }
 }
@@ -100,7 +106,9 @@ enum Event {
     /// Routers inspect channel skew (cadence: `RebalancePolicy::check_interval`).
     RebalanceCheck,
     /// A submitted on-chain rebalancing transaction confirms.
-    RebalanceApply { channel: spider_core::ChannelId },
+    RebalanceApply {
+        channel: spider_core::ChannelId,
+    },
 }
 
 /// Runs one simulation of `transactions` over `network` with `scheme`.
@@ -144,6 +152,7 @@ pub fn run(
     let mut units_sent: u64 = 0;
     let mut series: Vec<(f64, f64, f64)> = Vec::new();
     let packet_switched = scheme.kind() == SchemeKind::PacketSwitched;
+    let mut audit = config.audit.then(|| LedgerAudit::new(&ledger));
 
     while let Some((now, event)) = queue.pop() {
         if now > config.end_time {
@@ -194,7 +203,12 @@ pub fn run(
                     );
                 }
             }
-            Event::Settle { payment, path, amount, hop_amounts } => {
+            Event::Settle {
+                payment,
+                path,
+                amount,
+                hop_amounts,
+            } => {
                 if let Some(cc) = congestion.as_mut() {
                     if packet_switched {
                         let p = &payments[payment];
@@ -207,19 +221,30 @@ pub fn run(
                         // key, so this late unit bounces straight back.
                         refund_unit(network, &mut ledger, &path, amount, &hop_amounts);
                         payments[payment].inflight -= amount;
+                        if let Some(a) = audit.as_mut() {
+                            a.check(&ledger, now, "amp-bounce");
+                        }
                         continue;
                     }
                     // Withhold the key until the whole payment has arrived.
                     amp_arrived[payment] += amount;
-                    amp_held.entry(payment).or_default().push((path, amount, hop_amounts));
+                    amp_held
+                        .entry(payment)
+                        .or_default()
+                        .push((path, amount, hop_amounts));
                     if amp_arrived[payment] >= payments[payment].amount
                         && payments[payment].status == PaymentStatus::Pending
                     {
                         for (held_path, held_amount, held_hops) in
                             amp_held.remove(&payment).expect("held units exist")
                         {
-                            routing_fees_paid +=
-                                settle_unit(network, &mut ledger, &held_path, held_amount, &held_hops);
+                            routing_fees_paid += settle_unit(
+                                network,
+                                &mut ledger,
+                                &held_path,
+                                held_amount,
+                                &held_hops,
+                            );
                             let p = &mut payments[payment];
                             p.inflight -= held_amount;
                             p.delivered += held_amount;
@@ -241,6 +266,9 @@ pub fn run(
                         p.completed_at = Some(now);
                     }
                 }
+                if let Some(a) = audit.as_mut() {
+                    a.check(&ledger, now, "settle");
+                }
             }
             Event::Tick => {
                 // Expire deadlines.
@@ -252,8 +280,17 @@ pub fn run(
                         // receiver was holding is refunded to the senders.
                         if let Some(held) = amp_held.remove(&i) {
                             for (held_path, held_amount, held_hops) in held {
-                                refund_unit(network, &mut ledger, &held_path, held_amount, &held_hops);
+                                refund_unit(
+                                    network,
+                                    &mut ledger,
+                                    &held_path,
+                                    held_amount,
+                                    &held_hops,
+                                );
                                 p.inflight -= held_amount;
+                            }
+                            if let Some(a) = audit.as_mut() {
+                                a.check(&ledger, now, "deadline-refund");
                             }
                         }
                     }
@@ -327,12 +364,20 @@ pub fn run(
                     rebalance_stats.transactions += 1;
                     rebalance_stats.moved_volume += taken.as_tokens();
                     rebalance_stats.fees_paid += (taken - redeposit).as_tokens();
+                    if let Some(a) = audit.as_mut() {
+                        a.on_withdraw(taken);
+                        a.on_deposit(redeposit);
+                        a.check(&ledger, now, "rebalance");
+                    }
                 }
             }
         }
     }
 
     debug_assert!(ledger.conserves_all(), "ledger must conserve funds");
+    if let Some(a) = audit.as_mut() {
+        a.check(&ledger, config.end_time, "final");
+    }
     build_report(
         scheme,
         config,
@@ -342,6 +387,7 @@ pub fn run(
         series,
         rebalance_stats,
         routing_fees_paid,
+        audit,
     )
 }
 
@@ -396,7 +442,12 @@ fn pump_payment(
                 *units_sent += 1;
                 queue.push(
                     now + config.delta,
-                    Event::Settle { payment: idx, path, amount: unit, hop_amounts },
+                    Event::Settle {
+                        payment: idx,
+                        path,
+                        amount: unit,
+                        hop_amounts,
+                    },
                 );
             }
             UnitDecision::Unavailable => {
@@ -450,7 +501,12 @@ fn attempt_atomic(
         *units_sent += 1;
         queue.push(
             now + config.delta,
-            Event::Settle { payment: idx, path, amount, hop_amounts: None },
+            Event::Settle {
+                payment: idx,
+                path,
+                amount,
+                hop_amounts: None,
+            },
         );
     }
 }
@@ -494,12 +550,19 @@ fn running_metrics(payments: &[PaymentState]) -> (f64, f64) {
     if attempted == 0 {
         return (0.0, 0.0);
     }
-    let completed = payments.iter().filter(|p| p.status == PaymentStatus::Completed).count();
+    let completed = payments
+        .iter()
+        .filter(|p| p.status == PaymentStatus::Completed)
+        .count();
     let attempted_volume: f64 = payments.iter().map(|p| p.amount.as_tokens()).sum();
     let delivered_volume: f64 = payments.iter().map(|p| p.delivered.as_tokens()).sum();
     (
         completed as f64 / attempted as f64,
-        if attempted_volume > 0.0 { delivered_volume / attempted_volume } else { 0.0 },
+        if attempted_volume > 0.0 {
+            delivered_volume / attempted_volume
+        } else {
+            0.0
+        },
     )
 }
 
@@ -513,9 +576,12 @@ fn build_report(
     series: Vec<(f64, f64, f64)>,
     rebalance: RebalanceStats,
     routing_fees_paid: Amount,
+    audit: Option<LedgerAudit>,
 ) -> SimReport {
-    let completed: Vec<&PaymentState> =
-        payments.iter().filter(|p| p.status == PaymentStatus::Completed).collect();
+    let completed: Vec<&PaymentState> = payments
+        .iter()
+        .filter(|p| p.status == PaymentStatus::Completed)
+        .collect();
     let mean_completion_delay = if completed.is_empty() {
         0.0
     } else {
@@ -534,8 +600,14 @@ fn build_report(
         },
         attempted: payments.len(),
         completed: completed.len(),
-        abandoned: payments.iter().filter(|p| p.status == PaymentStatus::Abandoned).count(),
-        pending_at_end: payments.iter().filter(|p| p.status == PaymentStatus::Pending).count(),
+        abandoned: payments
+            .iter()
+            .filter(|p| p.status == PaymentStatus::Abandoned)
+            .count(),
+        pending_at_end: payments
+            .iter()
+            .filter(|p| p.status == PaymentStatus::Pending)
+            .count(),
         attempted_volume: payments.iter().map(|p| p.amount.as_tokens()).sum(),
         delivered_volume: payments.iter().map(|p| p.delivered.as_tokens()).sum(),
         completed_volume: completed.iter().map(|p| p.amount.as_tokens()).sum(),
@@ -545,6 +617,8 @@ fn build_report(
         rebalance,
         routing_fees_paid: routing_fees_paid.as_tokens(),
         series,
+        audit_checks: audit.as_ref().map_or(0, LedgerAudit::checks),
+        audit_violations: audit.map_or_else(Vec::new, LedgerAudit::into_violations),
     }
 }
 
@@ -556,8 +630,10 @@ mod tests {
 
     fn line3(cap: i64) -> Network {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(cap)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(cap)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(cap))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(cap))
+            .unwrap();
         g
     }
 
@@ -609,7 +685,10 @@ mod tests {
         let mut cfg = SimConfig::new(30.0);
         cfg.deadline = 20.0;
         let packet = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
-        assert_eq!(packet.completed, 2, "packet-switched should finish: {packet:?}");
+        assert_eq!(
+            packet.completed, 2,
+            "packet-switched should finish: {packet:?}"
+        );
     }
 
     #[test]
@@ -617,13 +696,8 @@ mod tests {
         // Only 20 spendable toward the destination; a 100-token payment
         // can deliver at most 20 + settled-refresh before the deadline.
         let mut g = Network::new(2);
-        g.add_channel_with_balances(
-            NodeId(0),
-            NodeId(1),
-            Amount::from_whole(20),
-            Amount::ZERO,
-        )
-        .unwrap();
+        g.add_channel_with_balances(NodeId(0), NodeId(1), Amount::from_whole(20), Amount::ZERO)
+            .unwrap();
         let txs = vec![tx(0, 0, 1, 100, 0.1)];
         let mut cfg = SimConfig::new(30.0);
         cfg.deadline = 2.0;
@@ -644,7 +718,8 @@ mod tests {
         // settles credit the RECEIVER, they never refresh the sender.
         // One-way flow drains after 1 unit of 10: delivered = 10 only.
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20))
+            .unwrap();
         let txs = vec![tx(0, 0, 1, 40, 0.1)];
         let mut cfg = SimConfig::new(20.0);
         cfg.deadline = 10.0;
@@ -657,7 +732,8 @@ mod tests {
     fn opposing_flows_sustain_each_other() {
         // Bidirectional demand keeps the channel balanced: both complete.
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20))
+            .unwrap();
         let txs = vec![tx(0, 0, 1, 40, 0.1), tx(1, 1, 0, 40, 0.1)];
         let mut cfg = SimConfig::new(60.0);
         cfg.deadline = 50.0;
@@ -669,16 +745,30 @@ mod tests {
     fn waterfilling_uses_multiple_paths() {
         // Diamond: two 2-hop paths between 0 and 3.
         let mut g = Network::new(4);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(20)).unwrap();
-        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(20)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(3), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(0), NodeId(2), Amount::from_whole(20))
+            .unwrap();
+        g.add_channel(NodeId(2), NodeId(3), Amount::from_whole(20))
+            .unwrap();
         let txs = vec![tx(0, 0, 3, 20, 0.1)];
-        let report = run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+        let report = run(
+            &g,
+            &txs,
+            &mut WaterfillingScheme::new(),
+            &SimConfig::new(10.0),
+        );
         assert_eq!(report.completed, 1);
         // 20 tokens across two paths of 10 spendable each: single-path
         // shortest-path in the same window would strand at 10.
-        let sp = run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(10.0));
+        let sp = run(
+            &g,
+            &txs,
+            &mut ShortestPathScheme::new(),
+            &SimConfig::new(10.0),
+        );
         assert!(sp.delivered_volume <= 10.0 + 1e-9);
     }
 
@@ -686,17 +776,41 @@ mod tests {
     fn arrivals_after_end_time_ignored() {
         let g = line3(100);
         let txs = vec![tx(0, 0, 2, 10, 0.1), tx(1, 0, 2, 10, 99.0)];
-        let report = run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(5.0));
+        let report = run(
+            &g,
+            &txs,
+            &mut ShortestPathScheme::new(),
+            &SimConfig::new(5.0),
+        );
         assert_eq!(report.attempted, 1);
     }
 
     #[test]
     fn deterministic_runs() {
         let g = line3(50);
-        let txs: Vec<Transaction> =
-            (0..20).map(|i| tx(i, (i % 2) as u32 * 2, 2 - (i % 2) as u32 * 2, 15, 0.1 * i as f64)).collect();
-        let a = run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
-        let b = run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+        let txs: Vec<Transaction> = (0..20)
+            .map(|i| {
+                tx(
+                    i,
+                    (i % 2) as u32 * 2,
+                    2 - (i % 2) as u32 * 2,
+                    15,
+                    0.1 * i as f64,
+                )
+            })
+            .collect();
+        let a = run(
+            &g,
+            &txs,
+            &mut WaterfillingScheme::new(),
+            &SimConfig::new(10.0),
+        );
+        let b = run(
+            &g,
+            &txs,
+            &mut WaterfillingScheme::new(),
+            &SimConfig::new(10.0),
+        );
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.units_sent, b.units_sent);
         assert_eq!(a.delivered_volume, b.delivered_volume);
@@ -725,7 +839,12 @@ mod tests {
         assert!((report.delivered_volume - 30.0).abs() < 1e-9);
         // All three units settle at the same instant (when the last
         // arrives), so completion time equals the plain run's.
-        let plain = run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(10.0));
+        let plain = run(
+            &g,
+            &txs,
+            &mut ShortestPathScheme::new(),
+            &SimConfig::new(10.0),
+        );
         assert!((report.mean_completion_delay - plain.mean_completion_delay).abs() < 0.2);
     }
 
@@ -734,13 +853,8 @@ mod tests {
         // Only 20 of 100 tokens can ever move: in AMP mode the receiver
         // must not keep the partial amount — everything is refunded.
         let mut g = Network::new(2);
-        g.add_channel_with_balances(
-            NodeId(0),
-            NodeId(1),
-            Amount::from_whole(20),
-            Amount::ZERO,
-        )
-        .unwrap();
+        g.add_channel_with_balances(NodeId(0), NodeId(1), Amount::from_whole(20), Amount::ZERO)
+            .unwrap();
         let txs = vec![tx(0, 0, 1, 100, 0.1)];
         let mut cfg = SimConfig::new(30.0);
         cfg.deadline = 2.0;
@@ -766,7 +880,10 @@ mod tests {
         let txs = vec![tx(0, 0, 2, 30, 0.1)];
         let report = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
         assert_eq!(report.completed, 1);
-        assert!((report.delivered_volume - 30.0).abs() < 1e-9, "receiver gets face value");
+        assert!(
+            (report.delivered_volume - 30.0).abs() < 1e-9,
+            "receiver gets face value"
+        );
         assert!(
             (report.routing_fees_paid - 3.0).abs() < 1e-9,
             "10% of 30 = 3 in fees, got {}",
@@ -793,7 +910,12 @@ mod tests {
         use spider_routing::fees::FeeSchedule;
         let g = line3(100);
         let txs = vec![tx(0, 0, 2, 30, 0.1)];
-        let plain = run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(10.0));
+        let plain = run(
+            &g,
+            &txs,
+            &mut ShortestPathScheme::new(),
+            &SimConfig::new(10.0),
+        );
         let mut cfg = SimConfig::new(10.0);
         cfg.fees = Some(FeeSchedule::zero(&g));
         let free = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
@@ -807,9 +929,11 @@ mod tests {
         // One-way demand drains the channel; with on-chain rebalancing the
         // router keeps topping the sender side back up.
         let mut g = Network::new(2);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(40)).unwrap();
-        let txs: Vec<Transaction> =
-            (0..8).map(|i| tx(i, 0, 1, 20, 1.0 + 4.0 * i as f64)).collect();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(40))
+            .unwrap();
+        let txs: Vec<Transaction> = (0..8)
+            .map(|i| tx(i, 0, 1, 20, 1.0 + 4.0 * i as f64))
+            .collect();
         let mut cfg = SimConfig::new(60.0);
         cfg.deadline = 30.0;
         let plain = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
@@ -882,13 +1006,8 @@ mod tests {
         // A drained channel generates Unavailable; the window must shrink
         // and the run must still terminate cleanly.
         let mut g = Network::new(2);
-        g.add_channel_with_balances(
-            NodeId(0),
-            NodeId(1),
-            Amount::from_whole(10),
-            Amount::ZERO,
-        )
-        .unwrap();
+        g.add_channel_with_balances(NodeId(0), NodeId(1), Amount::from_whole(10), Amount::ZERO)
+            .unwrap();
         let txs = vec![tx(0, 0, 1, 100, 0.1)];
         let mut cfg = SimConfig::new(10.0);
         cfg.deadline = 5.0;
@@ -899,11 +1018,95 @@ mod tests {
     }
 
     #[test]
+    fn audit_clean_across_features() {
+        // Exercise settles, deadline refunds, AMP bounces, fees, and
+        // rebalancing in one run each — the auditor must stay silent.
+        let base_txs = vec![tx(0, 0, 2, 80, 0.1), tx(1, 2, 0, 80, 0.1)];
+        let mut cfg = SimConfig::new(30.0);
+        cfg.deadline = 20.0;
+        cfg.audit = true;
+
+        let g = line3(100);
+        let plain = run(&g, &base_txs, &mut ShortestPathScheme::new(), &cfg);
+        assert!(plain.audit_checks > 0);
+        assert!(
+            plain.audit_violations.is_empty(),
+            "{:?}",
+            plain.audit_violations
+        );
+
+        let mut amp_cfg = cfg.clone();
+        amp_cfg.amp = true;
+        amp_cfg.deadline = 2.0;
+        let amp = run(&g, &base_txs, &mut ShortestPathScheme::new(), &amp_cfg);
+        assert!(
+            amp.audit_violations.is_empty(),
+            "{:?}",
+            amp.audit_violations
+        );
+
+        let mut fee_cfg = cfg.clone();
+        fee_cfg.fees = Some(spider_routing::fees::FeeSchedule::uniform(
+            &g,
+            Amount::ZERO,
+            100_000,
+        ));
+        let feed = run(&g, &base_txs, &mut ShortestPathScheme::new(), &fee_cfg);
+        assert!(
+            feed.audit_violations.is_empty(),
+            "{:?}",
+            feed.audit_violations
+        );
+
+        let mut reb_cfg = cfg.clone();
+        reb_cfg.rebalance = Some(crate::rebalancer::RebalancePolicy {
+            check_interval: 1.0,
+            imbalance_threshold: 0.4,
+            correction_fraction: 1.0,
+            fee: Amount::from_micros(100),
+            confirmation_delay: 2.0,
+        });
+        let mut g2 = Network::new(2);
+        g2.add_channel(NodeId(0), NodeId(1), Amount::from_whole(40))
+            .unwrap();
+        let one_way: Vec<Transaction> = (0..8)
+            .map(|i| tx(i, 0, 1, 20, 1.0 + 4.0 * i as f64))
+            .collect();
+        let reb = run(&g2, &one_way, &mut ShortestPathScheme::new(), &reb_cfg);
+        assert!(reb.rebalance.transactions > 0, "rebalancing must fire");
+        assert!(
+            reb.audit_violations.is_empty(),
+            "{:?}",
+            reb.audit_violations
+        );
+    }
+
+    #[test]
+    fn audit_disabled_reports_zero_checks() {
+        let g = line3(100);
+        let txs = vec![tx(0, 0, 2, 30, 0.1)];
+        let report = run(
+            &g,
+            &txs,
+            &mut ShortestPathScheme::new(),
+            &SimConfig::new(10.0),
+        );
+        assert_eq!(report.audit_checks, 0);
+        assert!(report.audit_violations.is_empty());
+    }
+
+    #[test]
     fn unroutable_pair_abandons_immediately() {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
         let txs = vec![tx(0, 0, 2, 5, 0.1)];
-        let report = run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(5.0));
+        let report = run(
+            &g,
+            &txs,
+            &mut ShortestPathScheme::new(),
+            &SimConfig::new(5.0),
+        );
         assert_eq!(report.abandoned, 1);
         assert_eq!(report.units_sent, 0);
     }

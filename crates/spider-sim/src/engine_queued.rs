@@ -129,9 +129,13 @@ enum Event {
     Arrival(usize),
     Tick,
     /// Unit finished traversing its most recently locked hop.
-    HopArrive { unit: usize },
+    HopArrive {
+        unit: usize,
+    },
     /// The receiver released the key; settle every locked hop.
-    SettleUnit { unit: usize },
+    SettleUnit {
+        unit: usize,
+    },
 }
 
 /// Runs the router-queue transport over `transactions`.
@@ -156,8 +160,9 @@ pub fn run_queued(
 
     // One queue per (channel, direction).
     let nq = network.num_channels();
-    let mut router_queues: Vec<[VecDeque<usize>; 2]> =
-        (0..nq).map(|_| [VecDeque::new(), VecDeque::new()]).collect();
+    let mut router_queues: Vec<[VecDeque<usize>; 2]> = (0..nq)
+        .map(|_| [VecDeque::new(), VecDeque::new()])
+        .collect();
     let slot = |d: Direction| match d {
         Direction::AtoB => 0usize,
         Direction::BtoA => 1usize,
@@ -197,8 +202,16 @@ pub fn run_queued(
                 });
                 pending.push(idx);
                 pump_source(
-                    network, &mut ledger, &mut paths, config, idx, &mut payments,
-                    &mut units, &mut queue, now, &mut units_sent,
+                    network,
+                    &mut ledger,
+                    &mut paths,
+                    config,
+                    idx,
+                    &mut payments,
+                    &mut units,
+                    &mut queue,
+                    now,
+                    &mut units_sent,
                 );
             }
             Event::Tick => {
@@ -218,8 +231,7 @@ pub fn run_queued(
                             .iter()
                             .copied()
                             .filter(|&u| {
-                                !units[u].dropped
-                                    && payments[units[u].payment].deadline <= now
+                                !units[u].dropped && payments[units[u].payment].deadline <= now
                             })
                             .collect();
                         if expired.is_empty() {
@@ -227,7 +239,14 @@ pub fn run_queued(
                         }
                         q.retain(|u| !expired.contains(u));
                         for u in expired {
-                            drop_unit(network, &mut ledger, u, &mut units, &mut payments, &mut stats);
+                            drop_unit(
+                                network,
+                                &mut ledger,
+                                u,
+                                &mut units,
+                                &mut payments,
+                                &mut stats,
+                            );
                         }
                     }
                 }
@@ -236,8 +255,16 @@ pub fn run_queued(
                 for i in order {
                     if payments[i].status == PaymentStatus::Pending {
                         pump_source(
-                            network, &mut ledger, &mut paths, config, i, &mut payments,
-                            &mut units, &mut queue, now, &mut units_sent,
+                            network,
+                            &mut ledger,
+                            &mut paths,
+                            config,
+                            i,
+                            &mut payments,
+                            &mut units,
+                            &mut queue,
+                            now,
+                            &mut units_sent,
                         );
                     }
                 }
@@ -291,20 +318,36 @@ pub fn run_queued(
                     let _ = i;
                     let rev = slot(d.reverse());
                     drain_queue(
-                        network, &mut ledger, config, c, rev, &mut units,
-                        &mut router_queues, &mut queue, &mut payments, now, &mut stats,
-                        &mut total_wait, &mut dequeues,
+                        network,
+                        &mut ledger,
+                        config,
+                        c,
+                        rev,
+                        &mut units,
+                        &mut router_queues,
+                        &mut queue,
+                        &mut payments,
+                        now,
+                        &mut stats,
+                        &mut total_wait,
+                        &mut dequeues,
                     );
                 }
             }
         }
     }
 
-    stats.mean_wait = if dequeues > 0 { total_wait / dequeues as f64 } else { 0.0 };
+    stats.mean_wait = if dequeues > 0 {
+        total_wait / dequeues as f64
+    } else {
+        0.0
+    };
     debug_assert!(ledger.conserves_all());
 
-    let completed: Vec<&PaymentState> =
-        payments.iter().filter(|p| p.status == PaymentStatus::Completed).collect();
+    let completed: Vec<&PaymentState> = payments
+        .iter()
+        .filter(|p| p.status == PaymentStatus::Completed)
+        .collect();
     let report = SimReport {
         scheme: "queued-waterfilling".to_string(),
         policy: format!("{}+{:?}", config.source_policy.name(), config.queue_policy),
@@ -335,8 +378,13 @@ pub fn run_queued(
         rebalance: RebalanceStats::default(),
         routing_fees_paid: 0.0,
         series: Vec::new(),
+        audit_checks: 0,
+        audit_violations: Vec::new(),
     };
-    QueuedReport { report, queues: stats }
+    QueuedReport {
+        report,
+        queues: stats,
+    }
 }
 
 /// Sends as many units of one pending payment as first-hop funding allows.
@@ -379,7 +427,9 @@ fn pump_source(
         if !ledger.can_lock_hop(network, c0, src, unit_amount) {
             break;
         }
-        ledger.lock_hop(network, c0, src, unit_amount).expect("checked");
+        ledger
+            .lock_hop(network, c0, src, unit_amount)
+            .expect("checked");
         let unit_id = units.len();
         units.push(UnitState {
             payment: idx,
@@ -450,8 +500,7 @@ fn insert_position(
         QueuePolicy::EarliestDeadline => q
             .iter()
             .position(|&other| {
-                payments[units[other].payment].deadline
-                    > payments[units[unit].payment].deadline
+                payments[units[other].payment].deadline > payments[units[unit].payment].deadline
             })
             .unwrap_or(q.len()),
     }
@@ -489,7 +538,9 @@ fn drain_queue(
             break; // head blocked; policy order preserved (no bypass)
         }
         router_queues[channel.index()][slot_idx].pop_front();
-        ledger.lock_hop(network, channel, from, amount).expect("checked");
+        ledger
+            .lock_hop(network, channel, from, amount)
+            .expect("checked");
         *total_wait += now - units[head].queued_at;
         *dequeues += 1;
         units[head].queued_at = f64::NAN;
@@ -528,8 +579,10 @@ mod tests {
 
     fn line3(cap: i64) -> Network {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(cap)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(cap)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(cap))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(cap))
+            .unwrap();
         g
     }
 
@@ -558,22 +611,22 @@ mod tests {
         // Second hop starts empty toward node 2: units are admitted on hop
         // one and must WAIT at router 1 until opposing traffic arrives.
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
-        g.add_channel_with_balances(
-            NodeId(1),
-            NodeId(2),
-            Amount::ZERO,
-            Amount::from_whole(50),
-        )
-        .unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::ZERO, Amount::from_whole(50))
+            .unwrap();
         let txs = vec![
-            tx(0, 0, 2, 20, 0.1),  // must queue at router 1
-            tx(1, 2, 0, 20, 1.0),  // opposing flow refills 1->2 side at settle
+            tx(0, 0, 2, 20, 0.1), // must queue at router 1
+            tx(1, 2, 0, 20, 1.0), // opposing flow refills 1->2 side at settle
         ];
         let mut cfg = QueuedConfig::new(30.0);
         cfg.deadline = 20.0;
         let out = run_queued(&g, &txs, &cfg);
-        assert!(out.queues.units_queued > 0, "units should queue: {:?}", out.queues);
+        assert!(
+            out.queues.units_queued > 0,
+            "units should queue: {:?}",
+            out.queues
+        );
         assert_eq!(out.report.completed, 2, "{:?}", out.report);
         assert!(out.queues.mean_wait > 0.0);
     }
@@ -583,14 +636,10 @@ mod tests {
         // Downstream never refills; queued units must drop and refund their
         // first-hop locks (conservation holds, delivered = 0).
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100)).unwrap();
-        g.add_channel_with_balances(
-            NodeId(1),
-            NodeId(2),
-            Amount::ZERO,
-            Amount::from_whole(50),
-        )
-        .unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(100))
+            .unwrap();
+        g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::ZERO, Amount::from_whole(50))
+            .unwrap();
         let txs = vec![tx(0, 0, 2, 20, 0.1)];
         let mut cfg = QueuedConfig::new(30.0);
         cfg.deadline = 2.0;
@@ -678,7 +727,10 @@ mod tests {
         ];
         let q: VecDeque<usize> = VecDeque::from([0]);
         // FIFO appends.
-        assert_eq!(insert_position(&q, &units, &payments, QueuePolicy::Fifo, 1), 1);
+        assert_eq!(
+            insert_position(&q, &units, &payments, QueuePolicy::Fifo, 1),
+            1
+        );
         // Smallest-first puts the 1-token unit ahead of the 5-token one.
         assert_eq!(
             insert_position(&q, &units, &payments, QueuePolicy::SmallestFirst, 1),
@@ -695,7 +747,15 @@ mod tests {
     fn deterministic() {
         let g = line3(50);
         let txs: Vec<Transaction> = (0..20)
-            .map(|i| tx(i, (i % 2) as u32 * 2, 2 - (i % 2) as u32 * 2, 15, 0.1 * i as f64))
+            .map(|i| {
+                tx(
+                    i,
+                    (i % 2) as u32 * 2,
+                    2 - (i % 2) as u32 * 2,
+                    15,
+                    0.1 * i as f64,
+                )
+            })
             .collect();
         let a = run_queued(&g, &txs, &QueuedConfig::new(15.0));
         let b = run_queued(&g, &txs, &QueuedConfig::new(15.0));

@@ -83,12 +83,19 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` at time `t` (seconds).
     pub fn push(&mut self, t: f64, event: E) {
-        let entry = Entry { time: Time::new(t), seq: self.next_seq, event };
+        let entry = Entry {
+            time: Time::new(t),
+            seq: self.next_seq,
+            event,
+        };
         self.next_seq += 1;
         self.heap.push(entry);
     }

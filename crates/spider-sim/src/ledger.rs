@@ -240,7 +240,10 @@ impl Ledger {
     ) {
         let side = Self::side(network, channel, to);
         let st = &mut self.channels[channel.index()];
-        debug_assert!(st.inflight >= amount, "settle exceeds inflight on {channel}");
+        debug_assert!(
+            st.inflight >= amount,
+            "settle exceeds inflight on {channel}"
+        );
         st.available[side] += amount;
         st.inflight -= amount;
         debug_assert!(self.conserves(channel));
@@ -335,6 +338,26 @@ impl Ledger {
     pub fn total_inflight(&self) -> Amount {
         self.channels.iter().map(|st| st.inflight).sum()
     }
+
+    /// Total spendable funds across the network (both sides of every
+    /// channel).
+    pub fn total_available(&self) -> Amount {
+        self.channels
+            .iter()
+            .map(|st| st.available[0] + st.available[1])
+            .sum()
+    }
+
+    /// Total escrowed capacity across the network (initial escrow plus net
+    /// on-chain deposits).
+    pub fn total_capacity(&self) -> Amount {
+        self.channels.iter().map(|st| st.capacity).sum()
+    }
+
+    /// Number of channels tracked by this ledger.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
 }
 
 /// A [`BalanceView`] of a ledger bound to its network (needed to resolve
@@ -361,8 +384,10 @@ mod tests {
 
     fn line3() -> Network {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
-        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
+            .unwrap();
         g
     }
 
@@ -376,7 +401,10 @@ mod tests {
         let mut ledger = Ledger::new(&g);
         let p = path02(&g);
         ledger.lock_path(&g, &p, Amount::from_whole(3)).unwrap();
-        let view = LedgerView { network: &g, ledger: &ledger };
+        let view = LedgerView {
+            network: &g,
+            ledger: &ledger,
+        };
         let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
         let c12 = g.channel_between(NodeId(1), NodeId(2)).unwrap().id;
         assert_eq!(view.available(c01, NodeId(0)), Amount::from_whole(2));
@@ -385,7 +413,10 @@ mod tests {
         assert!(ledger.conserves_all());
 
         ledger.settle_path(&g, &p, Amount::from_whole(3));
-        let view = LedgerView { network: &g, ledger: &ledger };
+        let view = LedgerView {
+            network: &g,
+            ledger: &ledger,
+        };
         assert_eq!(view.available(c01, NodeId(1)), Amount::from_whole(8));
         assert_eq!(view.available(c12, NodeId(2)), Amount::from_whole(8));
         assert_eq!(ledger.inflight(c01), Amount::ZERO);
@@ -395,7 +426,8 @@ mod tests {
     #[test]
     fn lock_fails_atomically_on_insufficient_hop() {
         let mut g = Network::new(3);
-        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10)).unwrap();
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
         g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::from_whole(1), Amount::ZERO)
             .unwrap();
         let mut ledger = Ledger::new(&g);
@@ -403,7 +435,10 @@ mod tests {
         let err = ledger.lock_path(&g, &p, Amount::from_whole(3)).unwrap_err();
         assert!(matches!(err, CoreError::InsufficientFunds { .. }));
         // First hop must NOT have been debited.
-        let view = LedgerView { network: &g, ledger: &ledger };
+        let view = LedgerView {
+            network: &g,
+            ledger: &ledger,
+        };
         let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
         assert_eq!(view.available(c01, NodeId(0)), Amount::from_whole(5));
         assert!(ledger.conserves_all());
@@ -416,7 +451,10 @@ mod tests {
         let p = path02(&g);
         ledger.lock_path(&g, &p, Amount::from_whole(4)).unwrap();
         ledger.refund_path(&g, &p, Amount::from_whole(4));
-        let view = LedgerView { network: &g, ledger: &ledger };
+        let view = LedgerView {
+            network: &g,
+            ledger: &ledger,
+        };
         let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
         assert_eq!(view.available(c01, NodeId(0)), Amount::from_whole(5));
         assert_eq!(ledger.total_inflight(), Amount::ZERO);
@@ -499,6 +537,71 @@ mod tests {
                 }
                 prop_assert!(ledger.conserves_all());
             }
+        }
+
+        /// The ledger auditor finds no violations under arbitrary
+        /// interleavings of lock/settle/refund plus on-chain deposits and
+        /// withdrawals, as long as the on-chain moves are reported to it.
+        /// Extends `prop_conservation_under_random_ops` with the capacity-
+        /// changing operations and the exact global-sum invariant.
+        #[test]
+        fn prop_audit_is_clean_under_random_ops(ops in proptest::collection::vec((0u8..6, 1i64..4), 1..60)) {
+            let g = line3();
+            let mut ledger = Ledger::new(&g);
+            let mut audit = crate::audit::LedgerAudit::new(&ledger);
+            let fwd = path02(&g);
+            let rev = Path::new(&g, vec![NodeId(2), NodeId(1), NodeId(0)]).unwrap();
+            let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
+            let mut outstanding: Vec<(bool, Amount)> = Vec::new();
+            let mut time = 0.0;
+            for (op, amt) in ops {
+                let amount = Amount::from_whole(amt);
+                let event = match op {
+                    0 => {
+                        if ledger.lock_path(&g, &fwd, amount).is_ok() {
+                            outstanding.push((true, amount));
+                        }
+                        "lock"
+                    }
+                    1 => {
+                        if ledger.lock_path(&g, &rev, amount).is_ok() {
+                            outstanding.push((false, amount));
+                        }
+                        "lock"
+                    }
+                    2 => {
+                        if let Some((is_fwd, a)) = outstanding.pop() {
+                            ledger.settle_path(&g, if is_fwd { &fwd } else { &rev }, a);
+                        }
+                        "settle"
+                    }
+                    3 => {
+                        if let Some((is_fwd, a)) = outstanding.pop() {
+                            ledger.refund_path(&g, if is_fwd { &fwd } else { &rev }, a);
+                        }
+                        "refund"
+                    }
+                    4 => {
+                        ledger.deposit(&g, c01, NodeId(amt as u32 % 2), amount);
+                        audit.on_deposit(amount);
+                        "deposit"
+                    }
+                    _ => {
+                        let taken = ledger.withdraw(&g, c01, NodeId(amt as u32 % 2), amount);
+                        audit.on_withdraw(taken);
+                        "withdraw"
+                    }
+                };
+                time += 0.5;
+                audit.check(&ledger, time, event);
+                prop_assert!(
+                    audit.violations().is_empty(),
+                    "violations after {event}: {:?}",
+                    audit.violations()
+                );
+            }
+            prop_assert!(audit.checks() > 0);
+            prop_assert!(audit.suppressed() == 0);
         }
     }
 }

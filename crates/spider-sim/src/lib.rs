@@ -9,11 +9,14 @@
 //!   LIFO/EDF service policies,
 //! - [`engine`] — the simulation loop driving any
 //!   [`spider_routing::RoutingScheme`],
-//! - [`metrics`] — success ratio / success volume reporting.
+//! - [`metrics`] — success ratio / success volume reporting,
+//! - [`audit`] — opt-in ledger invariant checking after every
+//!   balance-mutating event, reported as structured violations.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod congestion;
 pub mod engine;
 pub mod engine_queued;
@@ -25,12 +28,13 @@ pub mod rebalancer;
 pub mod scheduler;
 pub mod wire;
 
+pub use audit::{AuditViolation, AuditViolationKind, LedgerAudit};
+pub use congestion::{CongestionConfig, CongestionControl};
 pub use engine::{run, SimConfig};
 pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
 pub use events::{EventQueue, Time};
 pub use ledger::{Ledger, LedgerView};
 pub use metrics::SimReport;
-pub use congestion::{CongestionConfig, CongestionControl};
 pub use payment::{PaymentState, PaymentStatus};
 pub use rebalancer::{RebalancePolicy, RebalanceStats};
 pub use scheduler::SchedulePolicy;

@@ -1,6 +1,7 @@
 //! Evaluation metrics (§6.1): success ratio and success volume, plus
 //! supporting detail.
 
+use crate::audit::AuditViolation;
 use crate::rebalancer::RebalanceStats;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,13 @@ pub struct SimReport {
     /// Sampled time series of `(time, success_ratio, success_volume)`.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub series: Vec<(f64, f64, f64)>,
+    /// Ledger invariant checks performed (zero when auditing is disabled).
+    #[serde(default)]
+    pub audit_checks: u64,
+    /// Ledger invariant violations found by the auditor (always empty on a
+    /// correct engine; capped at 32 entries per run).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub audit_violations: Vec<AuditViolation>,
 }
 
 impl SimReport {
@@ -109,6 +117,8 @@ mod tests {
             rebalance: RebalanceStats::default(),
             routing_fees_paid: 0.0,
             series: vec![],
+            audit_checks: 0,
+            audit_violations: vec![],
         }
     }
 

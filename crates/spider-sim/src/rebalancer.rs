@@ -68,7 +68,10 @@ impl RebalancePolicy {
             "correction_fraction must be in [0, 1]"
         );
         assert!(!self.fee.is_negative(), "fee cannot be negative");
-        assert!(self.confirmation_delay >= 0.0, "confirmation_delay cannot be negative");
+        assert!(
+            self.confirmation_delay >= 0.0,
+            "confirmation_delay cannot be negative"
+        );
     }
 
     /// Given a channel's current sides, decides how much to move from the
@@ -126,10 +129,14 @@ mod tests {
     fn corrects_heavy_skew() {
         let p = RebalancePolicy::default();
         // 95/5 split: skew 0.9 > 0.8 -> move (90/2) = 45.
-        let m = p.correction(Amount::from_whole(95), Amount::from_whole(5)).unwrap();
+        let m = p
+            .correction(Amount::from_whole(95), Amount::from_whole(5))
+            .unwrap();
         assert_eq!(m, Amount::from_whole(45));
         // Symmetric.
-        let m2 = p.correction(Amount::from_whole(5), Amount::from_whole(95)).unwrap();
+        let m2 = p
+            .correction(Amount::from_whole(5), Amount::from_whole(95))
+            .unwrap();
         assert_eq!(m2, m);
     }
 
@@ -139,13 +146,18 @@ mod tests {
             correction_fraction: 0.5,
             ..RebalancePolicy::default()
         };
-        let m = p.correction(Amount::from_whole(95), Amount::from_whole(5)).unwrap();
+        let m = p
+            .correction(Amount::from_whole(95), Amount::from_whole(5))
+            .unwrap();
         assert_eq!(m, Amount::from_tokens(22.5));
     }
 
     #[test]
     fn skips_dust_corrections() {
-        let p = RebalancePolicy { fee: Amount::from_whole(10), ..Default::default() };
+        let p = RebalancePolicy {
+            fee: Amount::from_whole(10),
+            ..Default::default()
+        };
         // Moving 4.5 would cost a 10-token fee: skip.
         assert_eq!(p.correction(Amount::from_whole(9), Amount::ZERO), None);
     }
@@ -159,6 +171,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "imbalance_threshold")]
     fn validate_rejects_bad_threshold() {
-        RebalancePolicy { imbalance_threshold: 1.5, ..Default::default() }.validate();
+        RebalancePolicy {
+            imbalance_threshold: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 }

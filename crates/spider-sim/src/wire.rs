@@ -217,7 +217,10 @@ mod tests {
 
     fn sample() -> UnitPacket {
         packet_for_path(
-            UnitId { payment: PaymentId(42), seq: 7 },
+            UnitId {
+                payment: PaymentId(42),
+                seq: 7,
+            },
             Amount::from_tokens(12.5),
             91_500,
             &[NodeId(1), NodeId(5), NodeId(9), NodeId(3)],
@@ -298,25 +301,46 @@ mod tests {
 
     #[test]
     fn hash_locks_are_distinct_and_deterministic() {
-        let a = HashLock::derive(UnitId { payment: PaymentId(1), seq: 0 });
-        let b = HashLock::derive(UnitId { payment: PaymentId(1), seq: 1 });
-        let c = HashLock::derive(UnitId { payment: PaymentId(2), seq: 0 });
+        let a = HashLock::derive(UnitId {
+            payment: PaymentId(1),
+            seq: 0,
+        });
+        let b = HashLock::derive(UnitId {
+            payment: PaymentId(1),
+            seq: 1,
+        });
+        let c = HashLock::derive(UnitId {
+            payment: PaymentId(2),
+            seq: 0,
+        });
         assert_ne!(a, b);
         assert_ne!(a, c);
-        assert_eq!(a, HashLock::derive(UnitId { payment: PaymentId(1), seq: 0 }));
+        assert_eq!(
+            a,
+            HashLock::derive(UnitId {
+                payment: PaymentId(1),
+                seq: 0
+            })
+        );
     }
 
     #[test]
     fn per_hop_overhead_is_fixed() {
         let short = packet_for_path(
-            UnitId { payment: PaymentId(0), seq: 0 },
+            UnitId {
+                payment: PaymentId(0),
+                seq: 0,
+            },
             Amount::ONE,
             0,
             &[NodeId(0), NodeId(1)],
             0,
         );
         let long = packet_for_path(
-            UnitId { payment: PaymentId(0), seq: 0 },
+            UnitId {
+                payment: PaymentId(0),
+                seq: 0,
+            },
             Amount::ONE,
             0,
             &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],

@@ -37,7 +37,8 @@ pub fn star(n: usize, capacity: Amount) -> Network {
     assert!(n >= 2, "a star needs at least 2 nodes");
     let mut g = Network::new(n);
     for i in 1..n {
-        g.add_channel(NodeId(0), NodeId::from(i), capacity).expect("star edges are valid");
+        g.add_channel(NodeId(0), NodeId::from(i), capacity)
+            .expect("star edges are valid");
     }
     g
 }
@@ -85,14 +86,17 @@ pub fn erdos_renyi(n: usize, p: f64, capacity: Amount, seed: u64) -> Network {
     // node (a random recursive tree).
     for i in 1..n {
         let parent = rng.random_range(0..i);
-        g.add_channel(NodeId::from(i), NodeId::from(parent), capacity).unwrap();
+        g.add_channel(NodeId::from(i), NodeId::from(parent), capacity)
+            .unwrap();
     }
     for i in 0..n {
         for j in i + 1..n {
-            if g.channel_between(NodeId::from(i), NodeId::from(j)).is_none()
+            if g.channel_between(NodeId::from(i), NodeId::from(j))
+                .is_none()
                 && rng.random_bool(p)
             {
-                g.add_channel(NodeId::from(i), NodeId::from(j), capacity).unwrap();
+                g.add_channel(NodeId::from(i), NodeId::from(j), capacity)
+                    .unwrap();
             }
         }
     }
@@ -111,7 +115,8 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: Amount, seed: u64) -> Netwo
     let m0 = (m + 1).max(2);
     for i in 0..m0 {
         for j in i + 1..m0 {
-            g.add_channel(NodeId::from(i), NodeId::from(j), capacity).unwrap();
+            g.add_channel(NodeId::from(i), NodeId::from(j), capacity)
+                .unwrap();
         }
     }
     // Degree-proportional sampling via a repeated-endpoint urn.
@@ -136,7 +141,8 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: Amount, seed: u64) -> Netwo
             fill += 1;
         }
         for &t in &targets {
-            g.add_channel(NodeId::from(v), NodeId::from(t), capacity).unwrap();
+            g.add_channel(NodeId::from(v), NodeId::from(t), capacity)
+                .unwrap();
             urn.push(v);
             urn.push(t);
         }
@@ -160,10 +166,8 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, capacity: Amount, seed: u64
             edges.push((i, (i + d) % n));
         }
     }
-    let mut present: std::collections::BTreeSet<(usize, usize)> = edges
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect();
+    let mut present: std::collections::BTreeSet<(usize, usize)> =
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
     for edge in edges.iter_mut() {
         if rng.random_bool(beta) {
             let (a, b) = *edge;
@@ -180,15 +184,19 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, capacity: Amount, seed: u64
     }
     let mut g = Network::new(n);
     for (a, b) in present {
-        g.add_channel(NodeId::from(a), NodeId::from(b), capacity).unwrap();
+        g.add_channel(NodeId::from(a), NodeId::from(b), capacity)
+            .unwrap();
     }
     // Ensure connectivity by linking components along the ring if rewiring
     // broke it (rare for small beta).
     if !g.is_connected() {
         for i in 0..n {
             let j = (i + 1) % n;
-            if g.channel_between(NodeId::from(i), NodeId::from(j)).is_none() {
-                g.add_channel(NodeId::from(i), NodeId::from(j), capacity).unwrap();
+            if g.channel_between(NodeId::from(i), NodeId::from(j))
+                .is_none()
+            {
+                g.add_channel(NodeId::from(i), NodeId::from(j), capacity)
+                    .unwrap();
                 if g.is_connected() {
                     break;
                 }
@@ -205,7 +213,8 @@ pub fn random_tree(n: usize, capacity: Amount, seed: u64) -> Network {
     let mut g = Network::new(n);
     for i in 1..n {
         let parent = rng.random_range(0..i);
-        g.add_channel(NodeId::from(i), NodeId::from(parent), capacity).unwrap();
+        g.add_channel(NodeId::from(i), NodeId::from(parent), capacity)
+            .unwrap();
     }
     g
 }
@@ -214,7 +223,8 @@ pub fn random_tree(n: usize, capacity: Amount, seed: u64) -> Network {
 pub fn with_uniform_capacity(network: &Network, capacity: Amount) -> Network {
     let mut g = Network::new(network.num_nodes());
     for ch in network.channels() {
-        g.add_channel(ch.a, ch.b, capacity).expect("copying valid channels");
+        g.add_channel(ch.a, ch.b, capacity)
+            .expect("copying valid channels");
     }
     g
 }
@@ -222,23 +232,27 @@ pub fn with_uniform_capacity(network: &Network, capacity: Amount) -> Network {
 /// Randomly skews every channel's balance split while keeping capacity: one
 /// endpoint receives a `fraction ∈ [lo, hi]` share. Useful for studying
 /// pre-imbalanced networks.
-pub fn with_skewed_balances(
-    network: &Network,
-    lo: f64,
-    hi: f64,
-    seed: u64,
-) -> Network {
+pub fn with_skewed_balances(network: &Network, lo: f64, hi: f64, seed: u64) -> Network {
     assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Network::new(network.num_nodes());
     for ch in network.channels() {
-        let f = if lo == hi { lo } else { rng.random_range(lo..hi) };
+        let f = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..hi)
+        };
         let cap = ch.capacity();
         let a_side = cap.scale(f);
         let mut order = [true, false];
         order.shuffle(&mut rng);
-        let (ba, bb) = if order[0] { (a_side, cap - a_side) } else { (cap - a_side, a_side) };
-        g.add_channel_with_balances(ch.a, ch.b, ba, bb).expect("copying valid channels");
+        let (ba, bb) = if order[0] {
+            (a_side, cap - a_side)
+        } else {
+            (cap - a_side, a_side)
+        };
+        g.add_channel_with_balances(ch.a, ch.b, ba, bb)
+            .expect("copying valid channels");
     }
     g
 }
@@ -294,7 +308,10 @@ mod tests {
         // Overwhelmingly likely to differ.
         assert!(
             a.num_channels() != c.num_channels()
-                || a.channels().iter().zip(c.channels()).any(|(x, y)| x.a != y.a || x.b != y.b)
+                || a.channels()
+                    .iter()
+                    .zip(c.channels())
+                    .any(|(x, y)| x.a != y.a || x.b != y.b)
         );
     }
 

@@ -11,10 +11,19 @@ use std::fmt::Write as _;
 /// Serializes a network into the edge-list text format.
 pub fn to_edge_list(network: &Network) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# spider topology: {} nodes, {} channels", network.num_nodes(), network.num_channels());
+    let _ = writeln!(
+        out,
+        "# spider topology: {} nodes, {} channels",
+        network.num_nodes(),
+        network.num_channels()
+    );
     let _ = writeln!(out, "nodes {}", network.num_nodes());
     for ch in network.channels() {
-        let _ = writeln!(out, "{} {} {} {}", ch.a.0, ch.b.0, ch.balance_a, ch.balance_b);
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            ch.a.0, ch.b.0, ch.balance_a, ch.balance_b
+        );
     }
     out
 }
@@ -75,18 +84,22 @@ pub fn from_edge_list(text: &str) -> Result<Network, ParseError> {
             })
         };
         let parse_amt = |s: &str| -> Result<Amount, ParseError> {
-            s.parse::<f64>().map(Amount::from_tokens).map_err(|_| ParseError::BadLine {
-                line: idx + 1,
-                reason: format!("bad amount `{s}`"),
-            })
+            s.parse::<f64>()
+                .map(Amount::from_tokens)
+                .map_err(|_| ParseError::BadLine {
+                    line: idx + 1,
+                    reason: format!("bad amount `{s}`"),
+                })
         };
         let a = NodeId(parse_u32(parts[0])?);
         let b = NodeId(parse_u32(parts[1])?);
         let bal_a = parse_amt(parts[2])?;
         let bal_b = parse_amt(parts[3])?;
-        g.add_channel_with_balances(a, b, bal_a, bal_b).map_err(|e| {
-            ParseError::BadLine { line: idx + 1, reason: e.to_string() }
-        })?;
+        g.add_channel_with_balances(a, b, bal_a, bal_b)
+            .map_err(|e| ParseError::BadLine {
+                line: idx + 1,
+                reason: e.to_string(),
+            })?;
     }
     network.ok_or(ParseError::MissingHeader)
 }
@@ -104,7 +117,10 @@ mod tests {
         assert_eq!(g.num_nodes(), g2.num_nodes());
         assert_eq!(g.num_channels(), g2.num_channels());
         for (a, b) in g.channels().iter().zip(g2.channels()) {
-            assert_eq!((a.a, a.b, a.balance_a, a.balance_b), (b.a, b.b, b.balance_a, b.balance_b));
+            assert_eq!(
+                (a.a, a.b, a.balance_a, a.balance_b),
+                (b.a, b.b, b.balance_a, b.balance_b)
+            );
         }
     }
 
@@ -132,7 +148,10 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert_eq!(from_edge_list("0 1 5 5\n").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(
+            from_edge_list("0 1 5 5\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
         assert_eq!(from_edge_list("").unwrap_err(), ParseError::MissingHeader);
     }
 

@@ -89,15 +89,27 @@ mod tests {
         let g = isp_topology(Amount::from_whole(30_000));
         assert!(g.is_connected());
         let mean_degree = 2.0 * g.num_channels() as f64 / g.num_nodes() as f64;
-        assert!((9.0..10.0).contains(&mean_degree), "mean degree {mean_degree}");
+        assert!(
+            (9.0..10.0).contains(&mean_degree),
+            "mean degree {mean_degree}"
+        );
     }
 
     #[test]
     fn core_is_denser_than_access() {
         let g = isp_topology(Amount::from_whole(30_000));
-        let core_min = (0..8usize).map(|i| g.degree(NodeId::from(i))).min().unwrap();
-        let access_max = (20..32usize).map(|i| g.degree(NodeId::from(i))).max().unwrap();
-        assert!(core_min > access_max, "core {core_min} vs access {access_max}");
+        let core_min = (0..8usize)
+            .map(|i| g.degree(NodeId::from(i)))
+            .min()
+            .unwrap();
+        let access_max = (20..32usize)
+            .map(|i| g.degree(NodeId::from(i)))
+            .max()
+            .unwrap();
+        assert!(
+            core_min > access_max,
+            "core {core_min} vs access {access_max}"
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@ pub mod isp;
 pub mod ripple;
 
 pub use generators::{
-    barabasi_albert, complete, erdos_renyi, grid, line, random_tree, ring, star,
-    watts_strogatz, with_skewed_balances, with_uniform_capacity,
+    barabasi_albert, complete, erdos_renyi, grid, line, random_tree, ring, star, watts_strogatz,
+    with_skewed_balances, with_uniform_capacity,
 };
 pub use io::{from_edge_list, to_edge_list, ParseError};
 pub use isp::{isp_topology, ISP_EDGES, ISP_NODES};

@@ -35,8 +35,7 @@ pub fn ripple_topology(capacity: Amount, seed: u64) -> Network {
 /// or padded with preferential chords to land exactly on the target.
 pub fn ripple_topology_scaled(n: usize, capacity: Amount, seed: u64) -> Network {
     assert!(n >= 16, "ripple-like topology needs at least 16 nodes");
-    let target_edges = ((n as f64) * (RIPPLE_EDGES as f64 / RIPPLE_NODES as f64)).round()
-        as usize;
+    let target_edges = ((n as f64) * (RIPPLE_EDGES as f64 / RIPPLE_NODES as f64)).round() as usize;
     // Base: BA with m = 3 gives slightly fewer edges than target; pad after.
     let base = barabasi_albert(n, 3, capacity, seed);
     let mut g = Network::new(n);
@@ -44,7 +43,8 @@ pub fn ripple_topology_scaled(n: usize, capacity: Amount, seed: u64) -> Network 
         if g.num_channels() >= target_edges {
             break;
         }
-        g.add_channel(ch.a, ch.b, capacity).expect("copying valid channels");
+        g.add_channel(ch.a, ch.b, capacity)
+            .expect("copying valid channels");
     }
     // Pad with degree-biased chords until we hit the target.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -59,9 +59,11 @@ pub fn ripple_topology_scaled(n: usize, capacity: Amount, seed: u64) -> Network 
         let a = urn[rng.random_range(0..urn.len())];
         let b = rng.random_range(0..n);
         if a != b
-            && g.channel_between(NodeId::from(a), NodeId::from(b)).is_none()
+            && g.channel_between(NodeId::from(a), NodeId::from(b))
+                .is_none()
         {
-            g.add_channel(NodeId::from(a), NodeId::from(b), capacity).unwrap();
+            g.add_channel(NodeId::from(a), NodeId::from(b), capacity)
+                .unwrap();
             urn.push(a);
             urn.push(b);
         }

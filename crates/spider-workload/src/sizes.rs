@@ -158,7 +158,9 @@ mod tests {
         let d = isp_sizes();
         let mut rng = StdRng::seed_from_u64(3);
         let n = 100_000;
-        let over = (0..n).filter(|_| d.sample(&mut rng) > 3.0 * d.mean()).count();
+        let over = (0..n)
+            .filter(|_| d.sample(&mut rng) > 3.0 * d.mean())
+            .count();
         let frac = over as f64 / n as f64;
         assert!(frac > 0.02 && frac < 0.25, "tail fraction {frac}");
     }

@@ -94,7 +94,9 @@ impl TraceConfig {
             num_nodes,
             num_transactions,
             duration,
-            senders: SenderDistribution::Exponential { scale: num_nodes as f64 / 4.0 },
+            senders: SenderDistribution::Exponential {
+                scale: num_nodes as f64 / 4.0,
+            },
             nonstationary: false,
             seed: 0,
             pattern: ArrivalPattern::Poisson,
@@ -124,7 +126,9 @@ pub fn generate(config: &TraceConfig, sizes: &BoundedPareto) -> Vec<Transaction>
     let weights: Vec<f64> = match config.senders {
         SenderDistribution::Exponential { scale } => {
             assert!(scale > 0.0, "sender scale must be positive");
-            (0..config.num_nodes).map(|i| (-(i as f64) / scale).exp()).collect()
+            (0..config.num_nodes)
+                .map(|i| (-(i as f64) / scale).exp())
+                .collect()
         }
         SenderDistribution::Uniform => vec![1.0; config.num_nodes],
     };
@@ -163,7 +167,10 @@ pub fn generate(config: &TraceConfig, sizes: &BoundedPareto) -> Vec<Transaction>
                 }),
             )
         }
-        ArrivalPattern::Bursty { cycle, burst_fraction } => {
+        ArrivalPattern::Bursty {
+            cycle,
+            burst_fraction,
+        } => {
             assert!(cycle > 0.0, "cycle must be positive");
             assert!(
                 burst_fraction > 0.0 && burst_fraction <= 1.0,
@@ -313,7 +320,10 @@ mod tests {
             counts[t.src.index()] += 1;
         }
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        assert!(*max < 2 * *min, "uniform counts spread too wide: {min}..{max}");
+        assert!(
+            *max < 2 * *min,
+            "uniform counts spread too wide: {min}..{max}"
+        );
     }
 
     #[test]
@@ -341,10 +351,8 @@ mod tests {
             }
             counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
         };
-        let first: Vec<Transaction> =
-            trace.iter().copied().filter(|t| t.arrival < mid).collect();
-        let second: Vec<Transaction> =
-            trace.iter().copied().filter(|t| t.arrival >= mid).collect();
+        let first: Vec<Transaction> = trace.iter().copied().filter(|t| t.arrival < mid).collect();
+        let second: Vec<Transaction> = trace.iter().copied().filter(|t| t.arrival >= mid).collect();
         assert!(!first.is_empty() && !second.is_empty());
         // With 32 nodes the reshuffle moves the hottest sender with
         // probability 31/32; the fixed seed makes this deterministic.
@@ -355,7 +363,9 @@ mod tests {
     fn diurnal_pattern_peaks_mid_window() {
         let mut cfg = small_config();
         cfg.num_transactions = 20_000;
-        cfg.pattern = ArrivalPattern::Diurnal { peak_to_trough: 8.0 };
+        cfg.pattern = ArrivalPattern::Diurnal {
+            peak_to_trough: 8.0,
+        };
         let trace = generate(&cfg, &isp_sizes());
         let mid = cfg.duration / 2.0;
         let band = cfg.duration / 8.0;
@@ -377,7 +387,10 @@ mod tests {
     fn bursty_pattern_confines_arrivals_to_bursts() {
         let mut cfg = small_config();
         cfg.num_transactions = 5_000;
-        cfg.pattern = ArrivalPattern::Bursty { cycle: 10.0, burst_fraction: 0.2 };
+        cfg.pattern = ArrivalPattern::Bursty {
+            cycle: 10.0,
+            burst_fraction: 0.2,
+        };
         let trace = generate(&cfg, &isp_sizes());
         for t in &trace {
             let phase = (t.arrival % 10.0) / 10.0;
@@ -389,8 +402,13 @@ mod tests {
     fn patterns_preserve_transaction_count_and_rough_duration() {
         for pattern in [
             ArrivalPattern::Poisson,
-            ArrivalPattern::Diurnal { peak_to_trough: 4.0 },
-            ArrivalPattern::Bursty { cycle: 5.0, burst_fraction: 0.5 },
+            ArrivalPattern::Diurnal {
+                peak_to_trough: 4.0,
+            },
+            ArrivalPattern::Bursty {
+                cycle: 5.0,
+                burst_fraction: 0.5,
+            },
         ] {
             let mut cfg = small_config();
             cfg.pattern = pattern;

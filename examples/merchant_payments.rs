@@ -18,9 +18,13 @@ fn main() {
     // Hub-and-spoke shop: merchant (node 0) behind a router (node 1),
     // customers 2..8 each with a channel to the router.
     let mut network = spider::core::Network::new(8);
-    network.add_channel(NodeId(0), NodeId(1), Amount::from_whole(600)).unwrap();
+    network
+        .add_channel(NodeId(0), NodeId(1), Amount::from_whole(600))
+        .unwrap();
     for c in 2..8u32 {
-        network.add_channel(NodeId(1), NodeId(c), Amount::from_whole(200)).unwrap();
+        network
+            .add_channel(NodeId(1), NodeId(c), Amount::from_whole(200))
+            .unwrap();
     }
 
     // Customers buy coffee all day: 6 customers × 10 payments × 20 tokens.
@@ -41,8 +45,7 @@ fn main() {
 
     let mut config = SimConfig::new(40.0);
     config.deadline = 10.0;
-    let report =
-        spider::sim::run(&network, &payments, &mut WaterfillingScheme::new(), &config);
+    let report = spider::sim::run(&network, &payments, &mut WaterfillingScheme::new(), &config);
     println!("one-way merchant traffic, even the best routing drains out:");
     println!("  {}", report.summary());
     println!(
@@ -58,7 +61,10 @@ fn main() {
     let dec = spider::opt::circulation::decompose(&demand);
     println!("payment-graph decomposition (Proposition 1):");
     println!("  total demand rate:   {:>6.1} tokens/s", demand.total());
-    println!("  max circulation:     {:>6.1} tokens/s  <- balanced-routable ceiling", dec.value);
+    println!(
+        "  max circulation:     {:>6.1} tokens/s  <- balanced-routable ceiling",
+        dec.value
+    );
     println!("  DAG remainder:       {:>6.1} tokens/s\n", dec.dag.total());
     assert_eq!(dec.value, 0.0, "merchant demand has no circulation");
 

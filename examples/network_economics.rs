@@ -14,10 +14,18 @@ use spider::routing::fees::{cheapest_path, FeeSchedule};
 fn main() {
     // Corridor: customers (0) pay merchants (3); two competing relays 1, 2.
     let mut network = spider::core::Network::new(4);
-    let via_1a = network.add_channel(NodeId(0), NodeId(1), Amount::from_whole(4000)).unwrap();
-    let via_1b = network.add_channel(NodeId(1), NodeId(3), Amount::from_whole(4000)).unwrap();
-    let _via_2a = network.add_channel(NodeId(0), NodeId(2), Amount::from_whole(4000)).unwrap();
-    let via_2b = network.add_channel(NodeId(2), NodeId(3), Amount::from_whole(4000)).unwrap();
+    let via_1a = network
+        .add_channel(NodeId(0), NodeId(1), Amount::from_whole(4000))
+        .unwrap();
+    let via_1b = network
+        .add_channel(NodeId(1), NodeId(3), Amount::from_whole(4000))
+        .unwrap();
+    let _via_2a = network
+        .add_channel(NodeId(0), NodeId(2), Amount::from_whole(4000))
+        .unwrap();
+    let via_2b = network
+        .add_channel(NodeId(2), NodeId(3), Amount::from_whole(4000))
+        .unwrap();
 
     // Relay 1 charges 1%, relay 2 charges 0.2%.
     let mut fees = FeeSchedule::zero(&network);
@@ -25,8 +33,8 @@ fn main() {
     fees.set(via_2b, Amount::ZERO, 2_000); // 0.2%
 
     let probe = Amount::from_whole(100);
-    let chosen = cheapest_path(&network, &fees, NodeId(0), NodeId(3), probe)
-        .expect("corridor is connected");
+    let chosen =
+        cheapest_path(&network, &fees, NodeId(0), NodeId(3), probe).expect("corridor is connected");
     println!("rational sender for a 100-token payment routes: {chosen}");
     assert!(chosen.nodes().contains(&NodeId(2)), "cheaper relay wins");
     println!(
@@ -64,13 +72,11 @@ fn main() {
     let mut config = SimConfig::new(30.0);
     config.fees = Some(fees);
     config.deadline = 10.0;
-    let report = spider::sim::run(
-        &network,
-        &payments,
-        &mut WaterfillingScheme::new(),
-        &config,
+    let report = spider::sim::run(&network, &payments, &mut WaterfillingScheme::new(), &config);
+    println!(
+        "\nunder load ({} payments of 20 tokens each):",
+        report.attempted
     );
-    println!("\nunder load ({} payments of 20 tokens each):", report.attempted);
     println!("  {}", report.summary());
     println!(
         "  senders paid {:.2} tokens in routing fees ({:.3}% of delivered volume)",
@@ -91,12 +97,7 @@ fn main() {
             arrival: 0.1 + i as f64 * 0.05,
         })
         .collect();
-    let drained = spider::sim::run(
-        &network,
-        &one_way,
-        &mut WaterfillingScheme::new(),
-        &config,
-    );
+    let drained = spider::sim::run(&network, &one_way, &mut WaterfillingScheme::new(), &config);
     println!(
         "\nsame corridor, one-way only ({} payments, same total volume): \
          delivered {:.0} of {:.0} tokens, fee revenue {:.2} vs {:.2} two-way \

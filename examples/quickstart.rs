@@ -12,10 +12,12 @@ fn main() {
         .add_channel(NodeId(0), NodeId(3), Amount::from_whole(200))
         .expect("chord is a fresh channel");
 
-    println!("network: {} nodes, {} channels, {} total capacity",
+    println!(
+        "network: {} nodes, {} channels, {} total capacity",
         network.num_nodes(),
         network.num_channels(),
-        network.total_capacity());
+        network.total_capacity()
+    );
 
     // Three payments, one of them larger than any single path can carry at
     // once — packet switching splits it into transaction units.
@@ -51,9 +53,18 @@ fn main() {
     let report = spider::sim::run(&network, &payments, &mut scheme, &config);
 
     println!("\n{}", report.summary());
-    println!("delivered volume: {:.0} of {:.0} tokens", report.delivered_volume, report.attempted_volume);
-    println!("mean completion delay: {:.2}s", report.mean_completion_delay);
-    println!("final channel imbalance: {:.3}", report.final_mean_imbalance);
+    println!(
+        "delivered volume: {:.0} of {:.0} tokens",
+        report.delivered_volume, report.attempted_volume
+    );
+    println!(
+        "mean completion delay: {:.2}s",
+        report.mean_completion_delay
+    );
+    println!(
+        "final channel imbalance: {:.3}",
+        report.final_mean_imbalance
+    );
 
     assert_eq!(report.completed, 3, "all three payments should complete");
     println!("\nall payments delivered ✓");

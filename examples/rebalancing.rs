@@ -23,11 +23,17 @@ fn main() {
     let paths = enumerate_demand_paths(&network, &demand, 5);
     let problem = FluidProblem::new(&network, &demand, &paths, 1.0);
 
-    println!("demand: total {} tokens/s, circulation ceiling 8 (Prop. 1)\n", demand.total());
+    println!(
+        "demand: total {} tokens/s, circulation ceiling 8 (Prop. 1)\n",
+        demand.total()
+    );
 
     // Sweep the rebalancing price γ (eqs. 6-11).
     println!("priced rebalancing (γ = throughput needed to offset 1 unit of B):");
-    println!("{:>8} {:>12} {:>10} {:>12}", "γ", "throughput", "B", "objective");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12}",
+        "γ", "throughput", "B", "objective"
+    );
     for gamma in [0.0, 0.25, 0.5, 0.9, 1.1, 2.0] {
         let sol = problem.with_rebalancing(gamma);
         println!(
@@ -64,7 +70,11 @@ fn main() {
             "{:>8.1} {:>12.3} {:>18}",
             b,
             t,
-            if gain.is_nan() { "-".to_string() } else { format!("{gain:.3}") }
+            if gain.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{gain:.3}")
+            }
         );
         prev = Some((b, t));
     }

@@ -57,7 +57,12 @@ fn main() {
         &mut SpeedyMurmursScheme::new(&network, 3),
         &config,
     ));
-    report_line(spider::sim::run(&network, &trace, &mut MaxFlowScheme::new(), &config));
+    report_line(spider::sim::run(
+        &network,
+        &trace,
+        &mut MaxFlowScheme::new(),
+        &config,
+    ));
 
     // Packet-switched schemes.
     report_line(spider::sim::run(

@@ -48,8 +48,8 @@ pub use spider_workload as workload;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use spider_core::{
-        Amount, BalanceView, Channel, ChannelId, CoreError, DemandMatrix, Direction,
-        Network, NodeId, Path, PaymentId,
+        Amount, BalanceView, Channel, ChannelId, CoreError, DemandMatrix, Direction, Network,
+        NodeId, Path, PaymentId,
     };
     pub use spider_routing::{
         LpScheme, MaxFlowScheme, RoutingScheme, SchemeKind, ShortestPathScheme,

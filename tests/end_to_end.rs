@@ -36,19 +36,33 @@ fn full_pipeline_with_every_scheme() {
     for (s, d, _) in demand.entries() {
         paths.extend(cache.paths(&network, s, d).iter().cloned());
     }
-    let pd = spider::opt::PrimalDualConfig { max_iters: 3_000, ..Default::default() };
-    schemes.push(Box::new(LpScheme::solve_decentralized(&network, &demand, &paths, 0.5, &pd)));
+    let pd = spider::opt::PrimalDualConfig {
+        max_iters: 3_000,
+        ..Default::default()
+    };
+    schemes.push(Box::new(LpScheme::solve_decentralized(
+        &network, &demand, &paths, 0.5, &pd,
+    )));
 
     for scheme in &mut schemes {
         let report = spider::sim::run(&network, &txs, scheme.as_mut(), &config);
-        assert!(report.attempted > 900, "{}: attempted {}", report.scheme, report.attempted);
+        assert!(
+            report.attempted > 900,
+            "{}: attempted {}",
+            report.scheme,
+            report.attempted
+        );
         assert!(
             report.completed + report.abandoned + report.pending_at_end == report.attempted,
             "{}: accounting must add up",
             report.scheme
         );
         assert!(report.delivered_volume <= report.attempted_volume + 1e-6);
-        assert!(report.success_ratio() > 0.05, "{} did nothing", report.scheme);
+        assert!(
+            report.success_ratio() > 0.05,
+            "{} did nothing",
+            report.scheme
+        );
     }
 }
 
@@ -78,8 +92,12 @@ fn serde_round_trips_network_and_report() {
     assert!(back.channel_between(NodeId(0), NodeId(1)).is_some());
 
     let txs = trace(&network, 200, 10.0, 1);
-    let report =
-        spider::sim::run(&network, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(10.0));
+    let report = spider::sim::run(
+        &network,
+        &txs,
+        &mut ShortestPathScheme::new(),
+        &SimConfig::new(10.0),
+    );
     let json = serde_json::to_string(&report).unwrap();
     let back: SimReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.completed, report.completed);
@@ -107,8 +125,7 @@ fn scheduling_policies_change_outcomes_but_stay_consistent() {
     ] {
         let mut config = SimConfig::new(30.0);
         config.policy = policy;
-        let report =
-            spider::sim::run(&network, &txs, &mut WaterfillingScheme::new(), &config);
+        let report = spider::sim::run(&network, &txs, &mut WaterfillingScheme::new(), &config);
         assert!(report.success_ratio() > 0.3, "{:?} too weak", policy);
         results.push((policy, report.success_ratio()));
     }

@@ -4,7 +4,9 @@
 //! Absolute throughputs depend on the synthetic workload, but these
 //! relationships are the claims of §6.2 and must hold.
 
-use spider_bench::{fig4_fig5, fig6, rebalancing_curve, run_scheme, ExperimentConfig, SchemeChoice};
+use spider_bench::{
+    fig4_fig5, fig6, rebalancing_curve, run_scheme, ExperimentConfig, SchemeChoice,
+};
 use spider_core::DemandMatrix;
 use spider_workload::demand_matrix;
 
@@ -27,11 +29,16 @@ fn rebalancing_frontier_shape() {
     let budgets = [0.0, 1.0, 2.0, 3.0, 4.0, 8.0, 16.0];
     let pts = rebalancing_curve(&budgets);
     assert!((pts[0].throughput - 8.0).abs() < 1e-6, "t(0) = ν(C*)");
-    assert!((pts.last().unwrap().throughput - 12.0).abs() < 1e-6, "t(∞) = total demand");
+    assert!(
+        (pts.last().unwrap().throughput - 12.0).abs() < 1e-6,
+        "t(∞) = total demand"
+    );
     for w in pts.windows(2) {
         assert!(w[1].throughput >= w[0].throughput - 1e-9, "monotone");
     }
-    let gains: Vec<f64> = (1..5).map(|i| pts[i].throughput - pts[i - 1].throughput).collect();
+    let gains: Vec<f64> = (1..5)
+        .map(|i| pts[i].throughput - pts[i - 1].throughput)
+        .collect();
     for w in gains.windows(2) {
         assert!(w[1] <= w[0] + 1e-6, "concave: {gains:?}");
     }
@@ -149,7 +156,10 @@ fn fig7_capacity_trends() {
     let wf_gain = ratios[2][4] - ratios[0][4];
     let lp_gain = ratios[2][5] - ratios[0][5];
     assert!(wf_gain > 0.1, "waterfilling gain {wf_gain}");
-    assert!(lp_gain < wf_gain / 2.0, "lp gain {lp_gain} vs wf gain {wf_gain}");
+    assert!(
+        lp_gain < wf_gain / 2.0,
+        "lp gain {lp_gain} vs wf gain {wf_gain}"
+    );
 }
 
 /// Reports are deterministic: same config, same results.

@@ -1,0 +1,63 @@
+//! End-to-end: all six schemes of the paper on a small ISP workload with
+//! the ledger auditor enabled — sane success ratios, exact accounting, and
+//! zero invariant violations.
+
+use spider_bench::{run_grid, ExperimentConfig, GridConfig, SchemeChoice};
+
+#[test]
+fn all_six_schemes_run_audited_on_the_isp_topology() {
+    let mut base = ExperimentConfig::isp_quick();
+    base.num_transactions = 500;
+    base.duration = 20.0;
+    let grid = GridConfig {
+        base,
+        schemes: SchemeChoice::ALL.to_vec(),
+        capacities: vec![],
+        trials: 1,
+        audit: true,
+    };
+    let result = run_grid(&grid, 2);
+
+    assert_eq!(result.summaries.len(), SchemeChoice::ALL.len());
+    assert_eq!(result.cells.len(), SchemeChoice::ALL.len());
+    assert_eq!(
+        result.total_audit_violations(),
+        0,
+        "ledger invariants must hold"
+    );
+
+    for s in &result.summaries {
+        assert!(s.audit_checks > 0, "{}: auditor never ran", s.scheme_name);
+        assert_eq!(s.audit_violations, 0, "{}: audit violations", s.scheme_name);
+        assert!(
+            s.success_ratio.mean > 0.1 && s.success_ratio.mean <= 1.0,
+            "{}: implausible success ratio {}",
+            s.scheme_name,
+            s.success_ratio.mean
+        );
+        assert!(
+            s.success_volume.mean > 0.05 && s.success_volume.mean <= 1.0,
+            "{}: implausible success volume {}",
+            s.scheme_name,
+            s.success_volume.mean
+        );
+    }
+
+    for c in &result.cells {
+        let r = &c.report;
+        assert!(
+            r.attempted >= 450,
+            "{}: attempted only {}",
+            r.scheme,
+            r.attempted
+        );
+        assert_eq!(
+            r.completed + r.abandoned + r.pending_at_end,
+            r.attempted,
+            "{}: payment accounting must add up",
+            r.scheme
+        );
+        assert!(r.delivered_volume <= r.attempted_volume + 1e-6);
+        assert!(r.audit_checks > 0 && r.audit_violations.is_empty());
+    }
+}

@@ -36,7 +36,12 @@ fn fully_drained_direction_blocks_everything() {
     let txs = vec![tx(0, 0, 1, 10, 0.1)];
     for scheme in [true, false] {
         let report = if scheme {
-            spider::sim::run(&g, &txs, &mut ShortestPathScheme::new(), &SimConfig::new(5.0))
+            spider::sim::run(
+                &g,
+                &txs,
+                &mut ShortestPathScheme::new(),
+                &SimConfig::new(5.0),
+            )
         } else {
             spider::sim::run(&g, &txs, &mut MaxFlowScheme::new(), &SimConfig::new(5.0))
         };
@@ -58,8 +63,12 @@ fn one_micro_unit_payments() {
             arrival: 0.1 + i as f64 * 0.01,
         })
         .collect();
-    let report =
-        spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+    let report = spider::sim::run(
+        &g,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(10.0),
+    );
     assert_eq!(report.completed, 50, "dust payments must all clear");
     assert_sound(&report);
 }
@@ -79,12 +88,24 @@ fn payment_larger_than_network_capital() {
 #[test]
 fn mtu_larger_than_any_payment_degenerates_to_single_unit() {
     let g = spider::topology::ring(5, Amount::from_whole(1000));
-    let txs: Vec<Transaction> =
-        (0..20).map(|i| tx(i, (i % 5) as u32, ((i + 2) % 5) as u32, 50, 0.1 + i as f64 * 0.1)).collect();
+    let txs: Vec<Transaction> = (0..20)
+        .map(|i| {
+            tx(
+                i,
+                (i % 5) as u32,
+                ((i + 2) % 5) as u32,
+                50,
+                0.1 + i as f64 * 0.1,
+            )
+        })
+        .collect();
     let mut cfg = SimConfig::new(20.0);
     cfg.mtu = Amount::from_whole(1_000_000);
     let report = spider::sim::run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
-    assert_eq!(report.units_sent as usize, report.completed, "one unit per payment");
+    assert_eq!(
+        report.units_sent as usize, report.completed,
+        "one unit per payment"
+    );
     assert_sound(&report);
 }
 
@@ -96,8 +117,12 @@ fn heavily_skewed_initial_balances() {
     let mut cfg = TraceConfig::isp_default(skewed.num_nodes(), 2_000, 30.0);
     cfg.seed = 3;
     let txs = generate(&cfg, &isp_sizes());
-    let report =
-        spider::sim::run(&skewed, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(30.0));
+    let report = spider::sim::run(
+        &skewed,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(30.0),
+    );
     assert_sound(&report);
     // Must still deliver something: aggregate spendable funds are plentiful.
     assert!(report.success_ratio() > 0.2, "{}", report.summary());
@@ -115,11 +140,18 @@ fn heavily_skewed_initial_balances() {
 fn bursty_arrivals_stress_the_scheduler() {
     let g = spider::topology::isp_topology(Amount::from_whole(30_000));
     let mut cfg = TraceConfig::isp_default(g.num_nodes(), 3_000, 30.0);
-    cfg.pattern = ArrivalPattern::Bursty { cycle: 5.0, burst_fraction: 0.1 };
+    cfg.pattern = ArrivalPattern::Bursty {
+        cycle: 5.0,
+        burst_fraction: 0.1,
+    };
     cfg.seed = 9;
     let txs = generate(&cfg, &isp_sizes());
-    let report =
-        spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(30.0));
+    let report = spider::sim::run(
+        &g,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(30.0),
+    );
     assert_sound(&report);
     assert!(report.success_ratio() > 0.3, "{}", report.summary());
 }
@@ -145,7 +177,8 @@ fn queue_overflow_drops_cleanly() {
     // Tiny queue cap with a dry downstream: every queued unit beyond the
     // cap must be dropped (refunded), never lost.
     let mut g = spider::core::Network::new(3);
-    g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10_000)).unwrap();
+    g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10_000))
+        .unwrap();
     g.add_channel_with_balances(NodeId(1), NodeId(2), Amount::ZERO, Amount::from_whole(50))
         .unwrap();
     let txs = vec![tx(0, 0, 2, 5_000, 0.1)];
@@ -161,8 +194,12 @@ fn queue_overflow_drops_cleanly() {
 #[test]
 fn zero_transactions_is_a_noop() {
     let g = spider::topology::ring(4, Amount::from_whole(10));
-    let report =
-        spider::sim::run(&g, &[], &mut ShortestPathScheme::new(), &SimConfig::new(5.0));
+    let report = spider::sim::run(
+        &g,
+        &[],
+        &mut ShortestPathScheme::new(),
+        &SimConfig::new(5.0),
+    );
     assert_eq!(report.attempted, 0);
     assert_eq!(report.units_sent, 0);
     assert_eq!(report.success_ratio(), 0.0);
@@ -172,10 +209,21 @@ fn zero_transactions_is_a_noop() {
 fn simultaneous_arrivals_are_deterministic() {
     let g = spider::topology::ring(6, Amount::from_whole(100));
     // 30 payments all arriving at the exact same instant.
-    let txs: Vec<Transaction> =
-        (0..30).map(|i| tx(i, (i % 6) as u32, ((i + 3) % 6) as u32, 20, 1.0)).collect();
-    let a = spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
-    let b = spider::sim::run(&g, &txs, &mut WaterfillingScheme::new(), &SimConfig::new(10.0));
+    let txs: Vec<Transaction> = (0..30)
+        .map(|i| tx(i, (i % 6) as u32, ((i + 3) % 6) as u32, 20, 1.0))
+        .collect();
+    let a = spider::sim::run(
+        &g,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(10.0),
+    );
+    let b = spider::sim::run(
+        &g,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(10.0),
+    );
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.delivered_volume, b.delivered_volume);
     assert_sound(&a);

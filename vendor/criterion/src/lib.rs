@@ -1,0 +1,192 @@
+//! Minimal offline reimplementation of the subset of `criterion` this
+//! workspace uses. Vendored because the build environment has no access to
+//! crates.io; see `vendor/README.md`.
+//!
+//! It times each benchmark with `std::time::Instant` over a fixed number of
+//! iterations and prints mean wall-clock time per iteration — no warmup
+//! statistics, outlier analysis, or HTML reports. Good enough to run
+//! `cargo bench` and compare runs by eye.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmark
+/// bodies whose results are unused.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A label for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` label.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function_name.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    /// A bare parameter label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures and measures their wall-clock time.
+pub struct Bencher {
+    /// Iterations to time (set from the owning group's `sample_size`).
+    iters: u64,
+    /// Measured mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn print_result(name: &str, mean_ns: f64, iters: u64) {
+    let (value, unit) = if mean_ns >= 1.0e9 {
+        (mean_ns / 1.0e9, "s")
+    } else if mean_ns >= 1.0e6 {
+        (mean_ns / 1.0e6, "ms")
+    } else if mean_ns >= 1.0e3 {
+        (mean_ns / 1.0e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{name:<60} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+fn run_bench(name: &str, sample_size: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: sample_size,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    print_result(name, b.mean_ns, b.iters);
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Times one standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.default_sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Times one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op here; output is printed as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_add(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_add);
+
+    #[test]
+    fn runs_to_completion() {
+        benches();
+    }
+}

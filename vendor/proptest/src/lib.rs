@@ -1,0 +1,362 @@
+//! Minimal offline reimplementation of the subset of `proptest` this
+//! workspace uses. Vendored because the build environment has no access to
+//! crates.io; see `vendor/README.md`.
+//!
+//! Differences from upstream, deliberately accepted for a test-only stub:
+//! cases are sampled from a deterministic per-test RNG (seeded from the test
+//! name and case index) rather than an entropy source, there is **no
+//! shrinking**, and `.proptest-regressions` files are ignored. A failing
+//! case panics with the case number so it can be replayed — the stream for
+//! a given test name is stable across runs and platforms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+/// An explicit property failure, for bodies that `return Err(..)` instead
+/// of asserting.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value over the type's domain.
+    fn arbitrary<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Uniform in a wide symmetric range; avoids NaN/inf surprises that
+        // raw bit patterns would produce.
+        rng.random_range(-1.0e12..1.0e12)
+    }
+}
+
+/// The whole-domain strategy for `T` (`any::<u32>()` etc.).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Builds the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::{Rng, RngExt};
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-case RNG: FNV-1a over the test name, mixed with the
+/// case index. Exposed for the `proptest!` macro expansion, not user code.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Property assertion: like `assert!`, naming the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Property assertion: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                // Name the case in panics so a failure is replayable (the
+                // per-name stream is stable).
+                let __guard = $crate::__CaseReporter {
+                    name: stringify!($name),
+                    case: __case,
+                    armed: true,
+                };
+                // Upstream property bodies may `return Err(TestCaseError)`;
+                // run them in a Result-valued closure so both that style and
+                // plain assertions work.
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    Ok(()) => ::std::mem::forget(__guard),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Prints the failing case number when a property body panics.
+#[doc(hidden)]
+pub struct __CaseReporter {
+    #[doc(hidden)]
+    pub name: &'static str,
+    #[doc(hidden)]
+    pub case: u32,
+    #[doc(hidden)]
+    pub armed: bool,
+}
+
+impl Drop for __CaseReporter {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest (vendored stub): property `{}` failed at case {} of the \
+                 deterministic stream",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// The glob-import surface test modules use.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_stream_per_name() {
+        let mut a = crate::__case_rng("x", 3);
+        let mut b = crate::__case_rng("x", 3);
+        let s = 0u64..100;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 4usize..12,
+            frac in 0.0f64..1.0,
+        ) {
+            prop_assert!((4..12).contains(&n));
+            prop_assert!((0.0..1.0).contains(&frac));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in collection::vec((0u8..4, 1i64..4), 1..60)) {
+            prop_assert!(!v.is_empty() && v.len() < 60);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!((1..4).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(x in any::<u32>()) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! - named-field structs, tuple structs (newtypes serialize transparently),
+//!   unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default);
+//! - attributes `#[serde(transparent)]`, `#[serde(skip)]`,
+//!   `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Generics are intentionally unsupported (none of the workspace's derived
+//! types are generic); deriving on a generic type is a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Serde flags gathered from one `#[serde(...)]` attribute list.
+#[derive(Default)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+    transparent: bool,
+    skip_serializing_if: Option<String>,
+}
+
+fn parse_serde_flags(tokens: &[TokenTree], flags: &mut SerdeFlags) {
+    // tokens are the contents of the parens in `#[serde( ... )]`:
+    // comma-separated `ident` or `ident = "literal"` items.
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let key = id.to_string();
+            let mut value: Option<String> = None;
+            if let (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) =
+                (tokens.get(i + 1), tokens.get(i + 2))
+            {
+                if p.as_char() == '=' {
+                    let raw = lit.to_string();
+                    value = Some(raw.trim_matches('"').to_string());
+                    i += 2;
+                }
+            }
+            match key.as_str() {
+                "skip" => flags.skip = true,
+                "default" => flags.default = true,
+                "transparent" => flags.transparent = true,
+                "skip_serializing_if" => flags.skip_serializing_if = value,
+                // Unknown serde attributes are ignored, like a subset
+                // implementation should.
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Consumes leading attributes at `tokens[*i..]`, folding any
+/// `#[serde(...)]` contents into `flags`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize, flags: &mut SerdeFlags) {
+    while *i + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                        parse_serde_flags(&args, flags);
+                    }
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut flags = SerdeFlags::default();
+        skip_attributes(&tokens, &mut i, &mut flags);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        // Skip `:` then the type, up to a comma at angle-bracket depth 0.
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+            skip_serializing_if: flags.skip_serializing_if,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (top-level commas in the
+/// paren group, plus one — accounting for a possible trailing comma).
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth: i32 = 0;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                arity += 1;
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut flags = SerdeFlags::default();
+        skip_attributes(&tokens, &mut i, &mut flags);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                VariantBody::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                i += 1;
+                VariantBody::Tuple(arity)
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (Item, SerdeFlags) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container_flags = SerdeFlags::default();
+    skip_attributes(&tokens, &mut i, &mut container_flags);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic types ({name})");
+    }
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    (item, container_flags)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_named_serialize_body(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let access = format!("{access_prefix}{}", f.name);
+        let push = format!(
+            "__fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&{access})));\n",
+            f.name
+        );
+        match &f.skip_serializing_if {
+            Some(path) => {
+                out.push_str(&format!("if !({path}(&{access})) {{ {push} }}\n"));
+            }
+            None => out.push_str(&push),
+        }
+    }
+    out.push_str("::serde::Value::Object(__fields)");
+    out
+}
+
+fn gen_named_deserialize_fields(fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fallback = if f.skip || f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::DeError::missing_field(\"{}\"))",
+                f.name
+            )
+        };
+        out.push_str(&format!(
+            "{0}: match {source}.get_field(\"{0}\") {{\n\
+             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             None => {fallback},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let body = gen_named_serialize_body(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            // Newtypes serialize transparently (upstream serde's default for
+            // one-field tuple structs); wider tuples as arrays.
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut payload = String::from(
+                            "{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            if f.skip {
+                                continue;
+                            }
+                            payload.push_str(&format!(
+                                "__fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        payload.push_str("::serde::Value::Object(__fields) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let body = gen_named_deserialize_fields(fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+                 return Err(::serde::DeError::expected(\"object\", __v));\n}}\n\
+                 Ok({name} {{\n{body}}})\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                     Ok({name}({items})),\n\
+                     _ => Err(::serde::DeError::expected(\"{arity}-element array\", __v)),\n}}",
+                    items = items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_: &::serde::Value) -> Result<Self, ::serde::DeError> {{ Ok({name}) }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantBody::Tuple(arity) => {
+                        let expr = if *arity == 1 {
+                            format!(
+                                "Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match __payload {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                 Ok({name}::{vn}({items})),\n\
+                                 _ => Err(::serde::DeError::expected(\"{arity}-element array\", __payload)),\n}}",
+                                items = items.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vn}\" => {{ {expr} }}\n"));
+                    }
+                    VariantBody::Named(fields) => {
+                        let body = gen_named_deserialize_fields(fields, "__payload");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{body}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError::unknown_variant(__other)),\n}},\n\
+                 ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__vname, __payload) = &__obj[0];\n\
+                 match __vname.as_str() {{\n\
+                 {payload_arms}\
+                 __other => Err(::serde::DeError::unknown_variant(__other)),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::expected(\"enum value\", __v)),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (item, _flags) = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (item, _flags) = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,431 @@
+//! Minimal offline reimplementation of the subset of `serde` this workspace
+//! uses. Vendored because the build environment has no access to crates.io;
+//! see `vendor/README.md`.
+//!
+//! Instead of upstream serde's visitor-based data model, this stub
+//! serializes through an owned [`Value`] tree (the same model `serde_json`
+//! exposes as `serde_json::Value`). The `#[derive(Serialize, Deserialize)]`
+//! macros from the sibling `serde-derive` crate generate impls of the
+//! [`Serialize`]/[`Deserialize`] traits below, honoring the container and
+//! field attributes the workspace relies on: `#[serde(transparent)]`,
+//! `#[serde(skip)]`, `#[serde(default)]`, and
+//! `#[serde(skip_serializing_if = "path")]`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree. Object fields preserve insertion order so
+/// serialized output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (covers JSON numbers without a fraction).
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` when losslessly possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, and a rendering of what was
+/// found instead.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A general mismatch error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// A missing-field error.
+    pub fn missing_field(name: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError {
+            msg: format!("expected {what}, got {got:?}"),
+        }
+    }
+
+    /// An unknown-enum-variant error.
+    pub fn unknown_variant(name: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{name}`"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(raw).map_err(|_| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::I64(v),
+            Err(_) => Value::U64(*self),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            _ => Err(DeError::expected("u64", v)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected {expected}-tuple, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple array", v)),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Maps serialize as arrays of `[key, value]` pairs, which stays lossless
+/// for non-string keys (upstream serde_json would reject those).
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(<(K, V)>::from_value).collect(),
+            _ => Err(DeError::expected("array of [key, value] pairs", v)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output requires a stable order; sort by rendered key.
+        let mut pairs: Vec<(String, Value, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let kv = k.to_value();
+                (format!("{kv:?}"), kv, v.to_value())
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(_, k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(<(K, V)>::from_value).collect(),
+            _ => Err(DeError::expected("array of [key, value] pairs", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_value(&true.to_value()).unwrap());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![(1.0f64, 2.0f64, 3.0f64), (4.0, 5.0, 6.0)];
+        let round = Vec::<(f64, f64, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), 0.5f64);
+        let round = BTreeMap::<(u32, u32), f64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(round, m);
+
+        assert_eq!(Option::<i32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<i32>::from_value(&Value::I64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::I64(1))]);
+        assert_eq!(v.get_field("a"), Some(&Value::I64(1)));
+        assert_eq!(v.get_field("b"), None);
+    }
+}
