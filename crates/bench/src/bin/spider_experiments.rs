@@ -19,11 +19,22 @@
 //! `--jobs N`) with the ledger auditor on, and accepts `--trials N`,
 //! `--capacities A,B,...`, and `--no-audit`. Output is byte-identical for
 //! any worker count.
+//!
+//! Telemetry: `--telemetry` enables structured tracing for `fig6` and
+//! `grid` (reports then embed event counts, delay percentiles, and the
+//! channel time series); `--trace-out DIR` additionally writes the raw
+//! trace as JSONL, one file per scheme (`fig6`) or per grid cell
+//! (`cell-NNNN.jsonl`), and implies `--telemetry`. Trace files are named by
+//! cell index, never by worker, so they too are byte-identical for any
+//! `--jobs` value. `spider-experiments trace-check DIR` re-parses every
+//! trace file and fails on empty, malformed, or internally inconsistent
+//! traces (the CI smoke check).
 
 use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
-    ablation_scheduler, extension_schemes, fig4_fig5, fig6, fig7, jobs_from_env, rebalancing_curve,
-    run_grid, Ablation, ExperimentConfig, GridConfig, SchemeChoice,
+    ablation_scheduler, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7, jobs_from_env,
+    rebalancing_curve, run_grid, run_grid_traced, Ablation, ExperimentConfig, GridConfig,
+    SchemeChoice,
 };
 use spider_sim::SimReport;
 use std::io::Write;
@@ -43,26 +54,42 @@ fn main() {
         None => 1,
     };
     let json_path = flag_value(&args, "--json");
+    let trace_out = flag_value(&args, "--trace-out");
+    let telemetry = has_flag(&args, "--telemetry") || trace_out.is_some();
     let mut out = JsonSink::new(json_path);
 
     match command {
         "fig4" | "fig5" => run_fig4(&mut out),
         "fig6" => {
             let topology = flag_value(&args, "--topology").unwrap_or_else(|| "isp".into());
-            run_fig6(&topology, full, seed, &mut out);
+            run_fig6(
+                &topology,
+                full,
+                seed,
+                telemetry,
+                trace_out.as_deref(),
+                &mut out,
+            );
         }
         "fig7" => run_fig7(full, seed, &mut out),
         "rebalancing" => run_rebalancing(&mut out),
         "ablations" => run_ablations(seed, &mut out),
-        "grid" => run_grid_command(&args, full, seed, &mut out),
+        "grid" => run_grid_command(&args, full, seed, telemetry, trace_out.as_deref(), &mut out),
+        "trace-check" => {
+            let dir = args.get(1).cloned().unwrap_or_else(|| {
+                eprintln!("trace-check expects a directory of .jsonl trace files");
+                usage_and_exit();
+            });
+            run_trace_check(&dir);
+        }
         "all" => {
             run_fig4(&mut out);
-            run_fig6("isp", full, seed, &mut out);
-            run_fig6("ripple", full, seed, &mut out);
+            run_fig6("isp", full, seed, telemetry, trace_out.as_deref(), &mut out);
+            run_fig6("ripple", full, seed, telemetry, None, &mut out);
             run_fig7(full, seed, &mut out);
             run_rebalancing(&mut out);
             run_ablations(seed, &mut out);
-            run_grid_command(&args, full, seed, &mut out);
+            run_grid_command(&args, full, seed, telemetry, None, &mut out);
         }
         other => {
             eprintln!("unknown command `{other}`");
@@ -74,8 +101,9 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|all> \
+        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|all|trace-check DIR> \
          [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
+         [--telemetry] [--trace-out DIR] \
          [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit]"
     );
     std::process::exit(2);
@@ -192,15 +220,47 @@ fn print_fig6_table(reports: &[SimReport]) {
     }
 }
 
-fn run_fig6(topology: &str, full: bool, seed: u64, out: &mut JsonSink) {
+fn run_fig6(
+    topology: &str,
+    full: bool,
+    seed: u64,
+    telemetry: bool,
+    trace_out: Option<&str>,
+    out: &mut JsonSink,
+) {
     let cfg = config_for(topology, full, seed);
     println!(
         "=== Fig. 6 ({topology}): {} txns over {:.0}s, capacity {:.0}/channel ===",
         cfg.num_transactions, cfg.duration, cfg.capacity
     );
     let t0 = std::time::Instant::now();
-    let reports = fig6(&cfg);
+    let reports = if telemetry {
+        let traced = fig6_traced(&cfg);
+        if let Some(dir) = trace_out {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+            for (report, tel) in &traced {
+                let path = format!("{dir}/fig6-{topology}-{}.jsonl", report.scheme);
+                std::fs::write(&path, tel.trace_jsonl())
+                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            }
+            println!("wrote {} trace files to {dir}", traced.len());
+        }
+        traced.into_iter().map(|(r, _)| r).collect()
+    } else {
+        fig6(&cfg)
+    };
     print_fig6_table(&reports);
+    if telemetry {
+        println!("completion-delay percentiles (s):");
+        for r in &reports {
+            if let Some(p) = &r.completion_delay_percentiles {
+                println!(
+                    "  {:<22} p50={:.3} p95={:.3} p99={:.3}",
+                    r.scheme, p.p50, p.p95, p.p99
+                );
+            }
+        }
+    }
     println!("({:.1}s)", t0.elapsed().as_secs_f64());
     out.record(&format!("fig6_{topology}"), &reports);
     println!();
@@ -300,10 +360,18 @@ fn run_ablations(seed: u64, out: &mut JsonSink) {
     println!();
 }
 
-fn run_grid_command(args: &[String], full: bool, seed: u64, out: &mut JsonSink) {
+fn run_grid_command(
+    args: &[String],
+    full: bool,
+    seed: u64,
+    telemetry: bool,
+    trace_out: Option<&str>,
+    out: &mut JsonSink,
+) {
     let topology = flag_value(args, "--topology").unwrap_or_else(|| "isp".into());
     let base = config_for(&topology, full, seed);
     let mut grid = GridConfig::new(base);
+    grid.telemetry = telemetry;
     if let Some(v) = flag_value(args, "--trials") {
         grid.trials = v.parse().unwrap_or_else(|_| {
             eprintln!("--trials expects an integer, got `{v}`");
@@ -341,7 +409,18 @@ fn run_grid_command(args: &[String], full: bool, seed: u64, out: &mut JsonSink) 
         if grid.audit { "on" } else { "off" }
     );
     let t0 = std::time::Instant::now();
-    let result = run_grid(&grid, jobs);
+    let result = if let Some(dir) = trace_out {
+        let (result, traces) = run_grid_traced(&grid, jobs);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+        for (i, trace) in traces.iter().enumerate() {
+            let path = format!("{dir}/cell-{i:04}.jsonl");
+            std::fs::write(&path, trace).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        }
+        println!("wrote {} per-cell trace files to {dir}", traces.len());
+        result
+    } else {
+        run_grid(&grid, jobs)
+    };
     println!(
         "{:<22} {:>9} {:>24} {:>24} {:>12} {:>10}",
         "scheme", "capacity", "success_ratio", "success_volume", "audit_checks", "violations"
@@ -373,6 +452,74 @@ fn run_grid_command(args: &[String], full: bool, seed: u64, out: &mut JsonSink) 
     }
     out.record("grid", &result);
     println!();
+}
+
+/// CI smoke check: every `.jsonl` file in `dir` must be non-empty, parse as
+/// trace events, and be internally consistent (payments resolve at most
+/// once; units settle or refund at most once each).
+fn run_trace_check(dir: &str) {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("trace-check: cannot read {dir}: {e}");
+            std::process::exit(1);
+        })
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "jsonl")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("trace-check: no .jsonl files in {dir}");
+        std::process::exit(1);
+    }
+    let mut total_events = 0u64;
+    for path in &files {
+        let name = path.display();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace-check: cannot read {name}: {e}");
+            std::process::exit(1);
+        });
+        let events = match spider_telemetry::parse_jsonl(&text) {
+            Ok(events) => events,
+            Err((line, err)) => {
+                eprintln!("trace-check: {name} line {line}: {err}");
+                std::process::exit(1);
+            }
+        };
+        if events.is_empty() {
+            eprintln!("trace-check: {name} contains no events");
+            std::process::exit(1);
+        }
+        let counts = spider_telemetry::count_by_kind(&events);
+        let count = |kind: &str| {
+            counts
+                .iter()
+                .find(|(k, _)| k == kind)
+                .map(|&(_, n)| n)
+                .unwrap_or(0)
+        };
+        let arrived = count("payment_arrived");
+        let resolved = count("payment_completed") + count("payment_abandoned");
+        if resolved > arrived {
+            eprintln!(
+                "trace-check: {name}: {resolved} payments resolved but only {arrived} arrived"
+            );
+            std::process::exit(1);
+        }
+        let sent = count("unit_sent");
+        let finished = count("unit_settled") + count("unit_refunded");
+        if finished > sent {
+            eprintln!("trace-check: {name}: {finished} units finished but only {sent} sent");
+            std::process::exit(1);
+        }
+        total_events += events.len() as u64;
+    }
+    println!(
+        "trace-check: OK ({} files, {} events)",
+        files.len(),
+        total_events
+    );
 }
 
 fn run_rebalancing(out: &mut JsonSink) {

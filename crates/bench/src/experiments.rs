@@ -13,6 +13,7 @@ use spider_routing::{
     ShortestPathScheme, SilentWhispersScheme, SpeedyMurmursScheme, WaterfillingScheme,
 };
 use spider_sim::{run, SimConfig, SimReport};
+use spider_telemetry::Telemetry;
 use spider_topology::{isp_topology, ripple_topology_scaled};
 use spider_workload::{demand_matrix, isp_sizes, ripple_sizes, TraceConfig, Transaction};
 
@@ -233,10 +234,22 @@ pub fn lp_candidate_paths(
 
 /// Runs one scheme on one experiment config.
 pub fn run_scheme(config: &ExperimentConfig, choice: SchemeChoice) -> SimReport {
+    run_scheme_traced(config, choice, &Telemetry::disabled())
+}
+
+/// Runs one scheme with the given telemetry handle installed in the
+/// simulator; the handle keeps the full trace and metrics after the run.
+pub fn run_scheme_traced(
+    config: &ExperimentConfig,
+    choice: SchemeChoice,
+    telemetry: &Telemetry,
+) -> SimReport {
     let network = config.network();
     let trace = config.trace(&network);
     let mut scheme = build_scheme(choice, &network, &trace, config.duration);
-    run(&network, &trace, scheme.as_mut(), &config.sim_config())
+    let mut sim = config.sim_config();
+    sim.telemetry = telemetry.clone();
+    run(&network, &trace, scheme.as_mut(), &sim)
 }
 
 /// Fig. 6: all six schemes on one topology at fixed capacity.
@@ -250,6 +263,29 @@ pub fn fig6(config: &ExperimentConfig) -> Vec<SimReport> {
             .map(|&choice| {
                 let cfg = config.clone();
                 scope.spawn(move || run_scheme(&cfg, choice))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheme run must not panic"))
+            .collect()
+    })
+}
+
+/// Fig. 6 with telemetry enabled: every scheme runs with its own enabled
+/// [`Telemetry`] handle and the pairs are returned in scheme order, so the
+/// caller can write one trace file per scheme.
+pub fn fig6_traced(config: &ExperimentConfig) -> Vec<(SimReport, Telemetry)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = SchemeChoice::ALL
+            .iter()
+            .map(|&choice| {
+                let cfg = config.clone();
+                scope.spawn(move || {
+                    let tel = Telemetry::enabled();
+                    let report = run_scheme_traced(&cfg, choice, &tel);
+                    (report, tel)
+                })
             })
             .collect();
         handles

@@ -15,11 +15,11 @@ pub mod runner;
 
 pub use experiments::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
-    ablation_scheduler, build_scheme, extension_schemes, fig4_fig5, fig4_network, fig6, fig7,
-    lp_candidate_paths, rebalancing_curve, run_scheme, Ablation, ExperimentConfig, Fig4Result,
-    RebalancingPoint, SchemeChoice, Topology,
+    ablation_scheduler, build_scheme, extension_schemes, fig4_fig5, fig4_network, fig6,
+    fig6_traced, fig7, lp_candidate_paths, rebalancing_curve, run_scheme, run_scheme_traced,
+    Ablation, ExperimentConfig, Fig4Result, RebalancingPoint, SchemeChoice, Topology,
 };
 pub use runner::{
-    derive_cell_seed, expand, jobs_from_env, run_grid, CellResult, GridCell, GridConfig,
-    GridResult, GridSummary, MetricSummary,
+    derive_cell_seed, expand, jobs_from_env, run_grid, run_grid_traced, CellResult, GridCell,
+    GridConfig, GridResult, GridSummary, MetricSummary,
 };

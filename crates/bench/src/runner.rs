@@ -14,6 +14,7 @@
 use crate::experiments::{build_scheme, ExperimentConfig, SchemeChoice};
 use serde::{Deserialize, Serialize};
 use spider_sim::{run, SimReport};
+use spider_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -35,6 +36,12 @@ pub struct GridConfig {
     /// Run every cell with the ledger auditor enabled and report
     /// violations in the summaries.
     pub audit: bool,
+    /// Run every cell with telemetry enabled: reports carry summaries and
+    /// percentiles, and [`run_grid_traced`] returns per-cell trace JSONL.
+    /// Each cell gets its own handle and traces are index-addressed, so the
+    /// output stays byte-identical for any worker count.
+    #[serde(default)]
+    pub telemetry: bool,
 }
 
 impl GridConfig {
@@ -48,6 +55,7 @@ impl GridConfig {
             capacities,
             trials: 3,
             audit: true,
+            telemetry: false,
         }
     }
 }
@@ -219,7 +227,7 @@ pub fn jobs_from_env() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-fn run_cell(config: &GridConfig, cell: &GridCell) -> SimReport {
+fn run_cell(config: &GridConfig, cell: &GridCell) -> (SimReport, String) {
     let mut exp = config.base.clone();
     exp.capacity = cell.capacity;
     exp.seed = cell.seed;
@@ -228,7 +236,14 @@ fn run_cell(config: &GridConfig, cell: &GridCell) -> SimReport {
     let mut scheme = build_scheme(cell.scheme, &network, &trace, exp.duration);
     let mut sim = exp.sim_config();
     sim.audit = config.audit;
-    run(&network, &trace, scheme.as_mut(), &sim)
+    let tel = if config.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    sim.telemetry = tel.clone();
+    let report = run(&network, &trace, scheme.as_mut(), &sim);
+    (report, tel.trace_jsonl())
 }
 
 /// Runs every cell of the grid on `jobs` scoped worker threads (clamped to
@@ -238,10 +253,19 @@ fn run_cell(config: &GridConfig, cell: &GridCell) -> SimReport {
 /// into the slot addressed by its cell index, so the output — and its JSON
 /// serialization — does not depend on `jobs` or on scheduling order.
 pub fn run_grid(config: &GridConfig, jobs: usize) -> GridResult {
+    run_grid_traced(config, jobs).0
+}
+
+/// Like [`run_grid`], but also returns each cell's trace as JSONL, in cell
+/// index order (empty strings when `config.telemetry` is off). Traces are
+/// slot-addressed like the reports, so every byte of the return value is
+/// independent of the worker count.
+pub fn run_grid_traced(config: &GridConfig, jobs: usize) -> (GridResult, Vec<String>) {
     let cells = expand(config);
     let jobs = jobs.clamp(1, cells.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(SimReport, String)>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -250,20 +274,22 @@ pub fn run_grid(config: &GridConfig, jobs: usize) -> GridResult {
                 if i >= cells.len() {
                     break;
                 }
-                let report = run_cell(config, &cells[i]);
-                *slots[i].lock().unwrap() = Some(report);
+                let outcome = run_cell(config, &cells[i]);
+                *slots[i].lock().unwrap() = Some(outcome);
             });
         }
     });
 
-    let reports: Vec<SimReport> = slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every grid cell produced a report")
-        })
-        .collect();
+    let mut reports = Vec::with_capacity(cells.len());
+    let mut traces = Vec::with_capacity(cells.len());
+    for slot in slots {
+        let (report, trace) = slot
+            .into_inner()
+            .unwrap()
+            .expect("every grid cell produced a report");
+        reports.push(report);
+        traces.push(trace);
+    }
 
     let results: Vec<CellResult> = cells
         .into_iter()
@@ -271,10 +297,13 @@ pub fn run_grid(config: &GridConfig, jobs: usize) -> GridResult {
         .map(|(cell, report)| CellResult { cell, report })
         .collect();
     let summaries = summarize(config, &results);
-    GridResult {
-        cells: results,
-        summaries,
-    }
+    (
+        GridResult {
+            cells: results,
+            summaries,
+        },
+        traces,
+    )
 }
 
 fn summarize(config: &GridConfig, results: &[CellResult]) -> Vec<GridSummary> {
@@ -317,6 +346,7 @@ mod tests {
             capacities: vec![],
             trials: 2,
             audit: true,
+            telemetry: false,
         }
     }
 

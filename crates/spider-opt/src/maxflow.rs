@@ -25,6 +25,7 @@ struct FlowEdge {
 pub struct FlowNetwork {
     edges: Vec<FlowEdge>,
     adj: Vec<Vec<usize>>,
+    augmentations: u64,
 }
 
 impl FlowNetwork {
@@ -33,12 +34,20 @@ impl FlowNetwork {
         FlowNetwork {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
+            augmentations: 0,
         }
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.adj.len()
+    }
+
+    /// Augmenting paths pushed by all [`max_flow`](FlowNetwork::max_flow)
+    /// calls on this network so far — the paper's per-transaction overhead
+    /// argument (§3), made measurable.
+    pub fn augmentations(&self) -> u64 {
+        self.augmentations
     }
 
     /// Adds a directed edge `u -> v` with the given capacity and returns its
@@ -155,6 +164,7 @@ impl FlowNetwork {
                 v = self.edges[e ^ 1].to;
             }
             total += bottleneck;
+            self.augmentations += 1;
         }
         total
     }
@@ -235,6 +245,8 @@ pub struct ChannelFlow {
     pub value: Amount,
     /// Paths (as node sequences) with the amount routed on each.
     pub paths: Vec<(Vec<NodeId>, Amount)>,
+    /// Augmenting paths the Edmonds–Karp search pushed to reach `value`.
+    pub augmenting_paths: u64,
 }
 
 /// Computes a flow of value up to `limit` from `src` to `dst` over the
@@ -264,6 +276,7 @@ pub fn balance_limited_flow(
     ChannelFlow {
         value: Amount::from_micros(value),
         paths,
+        augmenting_paths: fnw.augmentations(),
     }
 }
 
@@ -380,6 +393,29 @@ mod tests {
         let flow = balance_limited_flow(&g, &g, NodeId(0), NodeId(1), Amount::from_whole(2));
         assert_eq!(flow.value, Amount::from_whole(2));
         assert_eq!(flow.paths[0].1, Amount::from_whole(2));
+    }
+
+    #[test]
+    fn augmenting_paths_are_counted() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 3);
+        f.add_edge(0, 2, 5);
+        f.add_edge(1, 3, 5);
+        f.add_edge(2, 3, 3);
+        f.add_edge(2, 1, 3);
+        assert_eq!(f.augmentations(), 0);
+        f.max_flow(0, 3, i64::MAX);
+        // Unit-capacity BFS augmentation needs at least one path per
+        // decomposed route; exact count is deterministic, bounded by value.
+        assert!(f.augmentations() >= 2 && f.augmentations() <= 8);
+
+        let mut g = Network::new(2);
+        g.add_channel(NodeId(0), NodeId(1), Amount::from_whole(10))
+            .unwrap();
+        let flow = balance_limited_flow(&g, &g, NodeId(0), NodeId(1), Amount::from_whole(2));
+        assert_eq!(flow.augmenting_paths, 1);
+        let dry = balance_limited_flow(&g, &g, NodeId(1), NodeId(0), Amount::ZERO);
+        assert_eq!(dry.augmenting_paths, 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use lp_scheme::LpScheme;
 pub use maxflow_scheme::MaxFlowScheme;
 pub use paths::{
     edge_disjoint_paths, k_shortest_paths, path_bottleneck, shortest_path, widest_paths, PathCache,
-    PathStrategy,
+    PathCacheStats, PathStrategy,
 };
 pub use price_scheme::{PriceConfig, PriceScheme};
 pub use scheme::{split_evenly, BalanceOverlay, RoutingScheme, SchemeKind, UnitDecision};

@@ -13,12 +13,15 @@ use spider_opt::maxflow::balance_limited_flow;
 
 /// The atomic max-flow routing scheme.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct MaxFlowScheme;
+pub struct MaxFlowScheme {
+    queries: u64,
+    augmenting_paths: u64,
+}
 
 impl MaxFlowScheme {
     /// Creates the scheme.
     pub fn new() -> Self {
-        MaxFlowScheme
+        MaxFlowScheme::default()
     }
 }
 
@@ -40,6 +43,8 @@ impl RoutingScheme for MaxFlowScheme {
         amount: Amount,
     ) -> Option<Vec<(Path, Amount)>> {
         let flow = balance_limited_flow(network, balances, src, dst, amount);
+        self.queries += 1;
+        self.augmenting_paths += flow.augmenting_paths;
         if flow.value < amount {
             return None;
         }
@@ -54,6 +59,13 @@ impl RoutingScheme for MaxFlowScheme {
             "decomposed parts must sum to the payment"
         );
         Some(parts)
+    }
+
+    fn telemetry_stats(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("routing.maxflow.queries", self.queries),
+            ("routing.maxflow.augmenting_paths", self.augmenting_paths),
+        ]
     }
 }
 
@@ -107,6 +119,26 @@ mod tests {
             .unwrap();
         let total: Amount = parts.iter().map(|(_, v)| *v).sum();
         assert_eq!(total, Amount::from_whole(3));
+    }
+
+    #[test]
+    fn telemetry_stats_track_queries_and_augmentations() {
+        let g = diamond();
+        let mut s = MaxFlowScheme::new();
+        assert_eq!(
+            s.telemetry_stats(),
+            vec![
+                ("routing.maxflow.queries", 0),
+                ("routing.maxflow.augmenting_paths", 0),
+            ]
+        );
+        s.route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(8))
+            .unwrap();
+        s.route_payment(&g, &g, NodeId(0), NodeId(3), Amount::from_whole(3))
+            .unwrap();
+        let stats = s.telemetry_stats();
+        assert_eq!(stats[0], ("routing.maxflow.queries", 2));
+        assert!(stats[1].1 >= 3, "two queries push >= 3 augmenting paths");
     }
 
     #[test]

@@ -229,6 +229,26 @@ pub fn path_bottleneck(balances: &dyn BalanceView, path: &Path) -> Amount {
 pub struct PathCache {
     strategy: PathStrategy,
     cache: std::collections::HashMap<(NodeId, NodeId), Vec<Path>>,
+    stats: PathCacheStats,
+}
+
+/// Deterministic work counters for a [`PathCache`] (no wall-clock timings,
+/// so they are identical across hosts and runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathCacheStats {
+    /// Total `paths()` lookups.
+    pub lookups: u64,
+    /// Lookups that had to run the path-computation strategy.
+    pub computed_pairs: u64,
+    /// Total candidate paths produced by those computations.
+    pub computed_paths: u64,
+}
+
+impl PathCacheStats {
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.lookups - self.computed_pairs
+    }
 }
 
 /// Which candidate-path strategy a [`PathCache`] uses.
@@ -250,19 +270,31 @@ impl PathCache {
         PathCache {
             strategy,
             cache: Default::default(),
+            stats: PathCacheStats::default(),
         }
     }
 
     /// The paths for `(src, dst)`, computing and caching them on first use.
     pub fn paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Path] {
-        self.cache
-            .entry((src, dst))
-            .or_insert_with(|| match self.strategy {
+        self.stats.lookups += 1;
+        let strategy = self.strategy;
+        let stats = &mut self.stats;
+        self.cache.entry((src, dst)).or_insert_with(|| {
+            let paths = match strategy {
                 PathStrategy::Shortest => shortest_path(network, src, dst).into_iter().collect(),
                 PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
                 PathStrategy::KShortest(k) => k_shortest_paths(network, src, dst, k),
                 PathStrategy::WidestDisjoint(k) => widest_paths(network, src, dst, k),
-            })
+            };
+            stats.computed_pairs += 1;
+            stats.computed_paths += paths.len() as u64;
+            paths
+        })
+    }
+
+    /// Work counters accumulated by this cache.
+    pub fn stats(&self) -> PathCacheStats {
+        self.stats
     }
 
     /// Number of cached pairs.
@@ -398,6 +430,21 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.paths(&g, NodeId(1), NodeId(4));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_stats_count_lookups_and_computations() {
+        let g = ring_with_chord();
+        let mut cache = PathCache::new(PathStrategy::EdgeDisjoint(4));
+        assert_eq!(cache.stats(), PathCacheStats::default());
+        let first = cache.paths(&g, NodeId(0), NodeId(3)).len() as u64;
+        cache.paths(&g, NodeId(0), NodeId(3));
+        cache.paths(&g, NodeId(1), NodeId(4));
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.computed_pairs, 2);
+        assert_eq!(stats.hits(), 1);
+        assert!(stats.computed_paths > first);
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub trait RoutingScheme: Send {
         let _ = (network, balances, src, dst, unit);
         UnitDecision::Never
     }
+
+    /// Deterministic work counters accumulated by this scheme (path-cache
+    /// activity, solver invocations, ...), as `(metric name, value)` pairs
+    /// for a telemetry registry. Counters must be pure functions of the
+    /// routing calls made — never wall-clock derived. The default reports
+    /// nothing.
+    fn telemetry_stats(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// A scratch overlay over a [`BalanceView`] that tracks hypothetical

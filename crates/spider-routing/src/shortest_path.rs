@@ -53,6 +53,15 @@ impl RoutingScheme for ShortestPathScheme {
             UnitDecision::Unavailable
         }
     }
+
+    fn telemetry_stats(&self) -> Vec<(&'static str, u64)> {
+        let s = self.cache.stats();
+        vec![
+            ("routing.paths.lookups", s.lookups),
+            ("routing.paths.computed_pairs", s.computed_pairs),
+            ("routing.paths.computed", s.computed_paths),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,15 @@ impl RoutingScheme for WaterfillingScheme {
             UnitDecision::Unavailable
         }
     }
+
+    fn telemetry_stats(&self) -> Vec<(&'static str, u64)> {
+        let s = self.cache.stats();
+        vec![
+            ("routing.paths.lookups", s.lookups),
+            ("routing.paths.computed_pairs", s.computed_pairs),
+            ("routing.paths.computed", s.computed_paths),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use crate::rebalancer::{RebalancePolicy, RebalanceStats};
 use crate::scheduler::SchedulePolicy;
 use spider_core::{Amount, Network, Path};
 use spider_routing::{fees::FeeSchedule, RoutingScheme, SchemeKind, UnitDecision};
+use spider_telemetry::{Histogram, NetworkSample, Telemetry, TraceEvent};
 use spider_workload::Transaction;
 
 /// Engine configuration.
@@ -66,6 +67,11 @@ pub struct SimConfig {
     /// non-negativity and exact global conservation of funds, reported as
     /// [`SimReport::audit_violations`](crate::SimReport).
     pub audit: bool,
+    /// Telemetry handle. Disabled by default; when enabled the engine
+    /// records payment-lifecycle trace events, a completion-delay histogram,
+    /// and periodic channel samples (piggybacked on scheduler ticks so the
+    /// event sequence — and therefore determinism — is unchanged).
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -84,6 +90,7 @@ impl SimConfig {
             amp: false,
             fees: None,
             audit: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -154,6 +161,12 @@ pub fn run(
     let packet_switched = scheme.kind() == SchemeKind::PacketSwitched;
     let mut audit = config.audit.then(|| LedgerAudit::new(&ledger));
 
+    let tel = &config.telemetry;
+    let mut network_series: Vec<NetworkSample> = Vec::new();
+    // Channel samples piggyback on Tick events at this cadence; no events
+    // of their own are queued, so (time, sequence) ordering is untouched.
+    let mut next_sample = tel.sample_interval().unwrap_or(f64::INFINITY);
+
     while let Some((now, event)) = queue.pop() {
         if now > config.end_time {
             break;
@@ -175,7 +188,23 @@ pub fn run(
                     completed_at: None,
                 });
                 amp_arrived.push(Amount::ZERO);
+                tel.counter_add("sim.payments.arrived", 1);
+                tel.emit(|| TraceEvent::PaymentArrived {
+                    t: now,
+                    payment: tx.id.0,
+                    src: tx.src.0,
+                    dst: tx.dst.0,
+                    amount: tx.amount.as_tokens(),
+                });
                 if packet_switched {
+                    tel.emit(|| TraceEvent::PaymentSplit {
+                        t: now,
+                        payment: tx.id.0,
+                        // ceil(amount / mtu) in exact micro-units.
+                        units: ((tx.amount.micros() + config.mtu.micros() - 1)
+                            / config.mtu.micros())
+                        .max(0) as u64,
+                    });
                     pending.push(idx);
                     pump_payment(
                         network,
@@ -221,6 +250,12 @@ pub fn run(
                         // key, so this late unit bounces straight back.
                         refund_unit(network, &mut ledger, &path, amount, &hop_amounts);
                         payments[payment].inflight -= amount;
+                        tel.counter_add("sim.units.refunded", 1);
+                        tel.emit(|| TraceEvent::UnitRefunded {
+                            t: now,
+                            payment: payments[payment].id.0,
+                            amount: amount.as_tokens(),
+                        });
                         if let Some(a) = audit.as_mut() {
                             a.check(&ledger, now, "amp-bounce");
                         }
@@ -248,11 +283,30 @@ pub fn run(
                             let p = &mut payments[payment];
                             p.inflight -= held_amount;
                             p.delivered += held_amount;
+                            tel.counter_add("sim.units.settled", 1);
+                            tel.emit(|| TraceEvent::UnitSettled {
+                                t: now,
+                                payment: payments[payment].id.0,
+                                amount: held_amount.as_tokens(),
+                            });
                         }
                         let p = &mut payments[payment];
                         if p.fully_delivered() {
                             p.status = PaymentStatus::Completed;
                             p.completed_at = Some(now);
+                            let delay = now - p.arrival;
+                            let pid = p.id.0;
+                            tel.counter_add("sim.payments.completed", 1);
+                            tel.histogram_observe(
+                                "sim.completion_delay",
+                                delay,
+                                Histogram::latency_default,
+                            );
+                            tel.emit(|| TraceEvent::PaymentCompleted {
+                                t: now,
+                                payment: pid,
+                                delay,
+                            });
                         }
                     }
                 } else {
@@ -261,9 +315,28 @@ pub fn run(
                     let p = &mut payments[payment];
                     p.inflight -= amount;
                     p.delivered += amount;
+                    let pid = p.id.0;
+                    tel.counter_add("sim.units.settled", 1);
+                    tel.emit(|| TraceEvent::UnitSettled {
+                        t: now,
+                        payment: pid,
+                        amount: amount.as_tokens(),
+                    });
                     if p.status == PaymentStatus::Pending && p.fully_delivered() {
                         p.status = PaymentStatus::Completed;
                         p.completed_at = Some(now);
+                        let delay = now - p.arrival;
+                        tel.counter_add("sim.payments.completed", 1);
+                        tel.histogram_observe(
+                            "sim.completion_delay",
+                            delay,
+                            Histogram::latency_default,
+                        );
+                        tel.emit(|| TraceEvent::PaymentCompleted {
+                            t: now,
+                            payment: pid,
+                            delay,
+                        });
                     }
                 }
                 if let Some(a) = audit.as_mut() {
@@ -271,11 +344,20 @@ pub fn run(
                 }
             }
             Event::Tick => {
+                tel.counter_add("sim.scheduler.polls", 1);
                 // Expire deadlines.
                 for &i in &pending {
                     let p = &mut payments[i];
                     if p.status == PaymentStatus::Pending && now >= p.deadline {
                         p.status = PaymentStatus::Abandoned;
+                        let pid = p.id.0;
+                        let delivered = p.delivered.as_tokens();
+                        tel.counter_add("sim.payments.abandoned", 1);
+                        tel.emit(|| TraceEvent::PaymentAbandoned {
+                            t: now,
+                            payment: pid,
+                            delivered,
+                        });
                         // AMP: the sender withholds the key; everything the
                         // receiver was holding is refunded to the senders.
                         if let Some(held) = amp_held.remove(&i) {
@@ -288,6 +370,12 @@ pub fn run(
                                     &held_hops,
                                 );
                                 p.inflight -= held_amount;
+                                tel.counter_add("sim.units.refunded", 1);
+                                tel.emit(|| TraceEvent::UnitRefunded {
+                                    t: now,
+                                    payment: pid,
+                                    amount: held_amount.as_tokens(),
+                                });
                             }
                             if let Some(a) = audit.as_mut() {
                                 a.check(&ledger, now, "deadline-refund");
@@ -323,6 +411,21 @@ pub fn run(
                 if config.record_series {
                     let (ratio, volume) = running_metrics(&payments);
                     series.push((now, ratio, volume));
+                }
+                if now + 1e-12 >= next_sample {
+                    sample_network(
+                        network,
+                        &ledger,
+                        &payments,
+                        now,
+                        tel,
+                        &mut network_series,
+                        &|_| 0,
+                    );
+                    let interval = tel.sample_interval().expect("sampling implies enabled");
+                    while next_sample <= now + 1e-12 {
+                        next_sample += interval;
+                    }
                 }
                 let next = now + config.poll_interval;
                 if next <= config.end_time {
@@ -364,6 +467,13 @@ pub fn run(
                     rebalance_stats.transactions += 1;
                     rebalance_stats.moved_volume += taken.as_tokens();
                     rebalance_stats.fees_paid += (taken - redeposit).as_tokens();
+                    tel.counter_add("sim.rebalance.applied", 1);
+                    tel.emit(|| TraceEvent::RebalanceApplied {
+                        t: now,
+                        channel: channel.index() as u32,
+                        moved: taken.as_tokens(),
+                        fee: (taken - redeposit).as_tokens(),
+                    });
                     if let Some(a) = audit.as_mut() {
                         a.on_withdraw(taken);
                         a.on_deposit(redeposit);
@@ -378,6 +488,9 @@ pub fn run(
     if let Some(a) = audit.as_mut() {
         a.check(&ledger, config.end_time, "final");
     }
+    for (name, value) in scheme.telemetry_stats() {
+        tel.counter_add(name, value);
+    }
     build_report(
         scheme,
         config,
@@ -388,7 +501,54 @@ pub fn run(
         rebalance_stats,
         routing_fees_paid,
         audit,
+        network_series,
     )
+}
+
+/// Emits one `ChannelSample` per channel plus one aggregate
+/// [`NetworkSample`], piggybacked on an existing scheduler tick — sampling
+/// never queues events of its own, so the `(time, sequence)` order of the
+/// simulation is identical with telemetry on or off.
+pub(crate) fn sample_network(
+    network: &Network,
+    ledger: &Ledger,
+    payments: &[PaymentState],
+    now: f64,
+    telemetry: &Telemetry,
+    series: &mut Vec<NetworkSample>,
+    queue_depth: &dyn Fn(spider_core::ChannelId) -> u32,
+) {
+    let mut max_depth: u32 = 0;
+    for ch in network.channels() {
+        let (a, b) = ledger.balances(ch.id);
+        let total = (a + b).as_tokens();
+        let imbalance = if total > 0.0 {
+            (a.as_tokens() - b.as_tokens()).abs() / total
+        } else {
+            0.0
+        };
+        let depth = queue_depth(ch.id);
+        max_depth = max_depth.max(depth);
+        let inflight = ledger.inflight(ch.id).as_tokens();
+        telemetry.emit(|| TraceEvent::ChannelSample {
+            t: now,
+            channel: ch.id.index() as u32,
+            imbalance,
+            inflight,
+            queue_depth: depth,
+        });
+    }
+    let pending = payments
+        .iter()
+        .filter(|p| p.status == PaymentStatus::Pending)
+        .count() as u32;
+    series.push(NetworkSample {
+        t: now,
+        mean_imbalance: ledger.mean_imbalance(),
+        total_inflight: ledger.total_inflight().as_tokens(),
+        pending,
+        max_queue_depth: max_depth,
+    });
 }
 
 /// Sends as many transaction units of one pending payment as the scheme and
@@ -413,6 +573,7 @@ fn pump_payment(
         }
         if let Some(cc) = congestion.as_deref_mut() {
             if !cc.may_send(p.src, p.dst) {
+                config.telemetry.counter_add("sim.congestion.blocked", 1);
                 break;
             }
         }
@@ -440,6 +601,13 @@ fn pump_payment(
                 }
                 p.inflight += unit;
                 *units_sent += 1;
+                config.telemetry.counter_add("sim.units.sent", 1);
+                config.telemetry.emit(|| TraceEvent::UnitSent {
+                    t: now,
+                    payment: p.id.0,
+                    amount: unit.as_tokens(),
+                    hops: path.len() as u32,
+                });
                 queue.push(
                     now + config.delta,
                     Event::Settle {
@@ -458,6 +626,12 @@ fn pump_payment(
             }
             UnitDecision::Never => {
                 p.status = PaymentStatus::Abandoned;
+                config.telemetry.counter_add("sim.payments.abandoned", 1);
+                config.telemetry.emit(|| TraceEvent::PaymentAbandoned {
+                    t: now,
+                    payment: p.id.0,
+                    delivered: p.delivered.as_tokens(),
+                });
                 break;
             }
         }
@@ -481,6 +655,12 @@ fn attempt_atomic(
     let view = LedgerView { network, ledger };
     let Some(parts) = scheme.route_payment(network, &view, p.src, p.dst, p.amount) else {
         p.status = PaymentStatus::Abandoned;
+        config.telemetry.counter_add("sim.payments.abandoned", 1);
+        config.telemetry.emit(|| TraceEvent::PaymentAbandoned {
+            t: now,
+            payment: p.id.0,
+            delivered: p.delivered.as_tokens(),
+        });
         return;
     };
     // Lock all parts; roll back everything if any lock fails (the schemes
@@ -492,6 +672,12 @@ fn attempt_atomic(
                 ledger.refund_path(network, &done_path, done_amount);
             }
             p.status = PaymentStatus::Abandoned;
+            config.telemetry.counter_add("sim.payments.abandoned", 1);
+            config.telemetry.emit(|| TraceEvent::PaymentAbandoned {
+                t: now,
+                payment: p.id.0,
+                delivered: p.delivered.as_tokens(),
+            });
             return;
         }
         locked.push((path, amount));
@@ -499,6 +685,13 @@ fn attempt_atomic(
     for (path, amount) in locked {
         p.inflight += amount;
         *units_sent += 1;
+        config.telemetry.counter_add("sim.units.sent", 1);
+        config.telemetry.emit(|| TraceEvent::UnitSent {
+            t: now,
+            payment: p.id.0,
+            amount: amount.as_tokens(),
+            hops: path.len() as u32,
+        });
         queue.push(
             now + config.delta,
             Event::Settle {
@@ -577,6 +770,7 @@ fn build_report(
     rebalance: RebalanceStats,
     routing_fees_paid: Amount,
     audit: Option<LedgerAudit>,
+    network_series: Vec<NetworkSample>,
 ) -> SimReport {
     let completed: Vec<&PaymentState> = payments
         .iter()
@@ -619,6 +813,8 @@ fn build_report(
         series,
         audit_checks: audit.as_ref().map_or(0, LedgerAudit::checks),
         audit_violations: audit.map_or_else(Vec::new, LedgerAudit::into_violations),
+        completion_delay_percentiles: config.telemetry.delay_percentiles("sim.completion_delay"),
+        telemetry: config.telemetry.summarize(network_series),
     }
 }
 

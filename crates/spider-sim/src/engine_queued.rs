@@ -21,6 +21,7 @@
 //! admit optimistically and absorb transient imbalance in the network
 //! instead of at the sender.
 
+use crate::engine::sample_network;
 use crate::events::EventQueue;
 use crate::ledger::Ledger;
 use crate::metrics::SimReport;
@@ -30,6 +31,7 @@ use crate::scheduler::SchedulePolicy;
 use serde::{Deserialize, Serialize};
 use spider_core::{Amount, ChannelId, Direction, Network, Path};
 use spider_routing::{path_bottleneck, PathCache, PathStrategy};
+use spider_telemetry::{Histogram, NetworkSample, Telemetry, TraceEvent};
 use spider_workload::Transaction;
 use std::collections::VecDeque;
 
@@ -70,6 +72,10 @@ pub struct QueuedConfig {
     /// Hard cap per channel-direction queue; beyond it units are dropped
     /// (and refunded) on arrival.
     pub max_queue_len: usize,
+    /// Telemetry handle (disabled by default). Channel samples — including
+    /// real router-queue depths — piggyback on scheduler ticks, so enabling
+    /// telemetry never changes the event order.
+    pub telemetry: Telemetry,
 }
 
 impl QueuedConfig {
@@ -86,6 +92,7 @@ impl QueuedConfig {
             queue_policy: QueuePolicy::Fifo,
             num_paths: 4,
             max_queue_len: 4_096,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -173,6 +180,11 @@ pub fn run_queued(
     let mut dequeues = 0usize;
     let mut units_sent: u64 = 0;
 
+    let tel = &config.telemetry;
+    let mut network_series: Vec<NetworkSample> = Vec::new();
+    // Sampling piggybacks on Tick events; see `sample_network`.
+    let mut next_sample = tel.sample_interval().unwrap_or(f64::INFINITY);
+
     for (i, tx) in transactions.iter().enumerate() {
         if tx.arrival <= config.end_time {
             queue.push(tx.arrival, Event::Arrival(i));
@@ -200,6 +212,21 @@ pub fn run_queued(
                     status: PaymentStatus::Pending,
                     completed_at: None,
                 });
+                tel.counter_add("sim.payments.arrived", 1);
+                tel.emit(|| TraceEvent::PaymentArrived {
+                    t: now,
+                    payment: tx.id.0,
+                    src: tx.src.0,
+                    dst: tx.dst.0,
+                    amount: tx.amount.as_tokens(),
+                });
+                tel.emit(|| TraceEvent::PaymentSplit {
+                    t: now,
+                    payment: tx.id.0,
+                    // ceil(amount / mtu) in exact micro-units.
+                    units: ((tx.amount.micros() + config.mtu.micros() - 1) / config.mtu.micros())
+                        .max(0) as u64,
+                });
                 pending.push(idx);
                 pump_source(
                     network,
@@ -215,10 +242,17 @@ pub fn run_queued(
                 );
             }
             Event::Tick => {
+                tel.counter_add("sim.scheduler.polls", 1);
                 for &i in &pending {
                     let p = &mut payments[i];
                     if p.status == PaymentStatus::Pending && now >= p.deadline {
                         p.status = PaymentStatus::Abandoned;
+                        tel.counter_add("sim.payments.abandoned", 1);
+                        tel.emit(|| TraceEvent::PaymentAbandoned {
+                            t: now,
+                            payment: p.id.0,
+                            delivered: p.delivered.as_tokens(),
+                        });
                     }
                 }
                 pending.retain(|&i| payments[i].status == PaymentStatus::Pending);
@@ -246,6 +280,8 @@ pub fn run_queued(
                                 &mut units,
                                 &mut payments,
                                 &mut stats,
+                                tel,
+                                now,
                             );
                         }
                     }
@@ -269,6 +305,24 @@ pub fn run_queued(
                     }
                 }
                 pending.retain(|&i| payments[i].status == PaymentStatus::Pending);
+                if now + 1e-12 >= next_sample {
+                    sample_network(
+                        network,
+                        &ledger,
+                        &payments,
+                        now,
+                        tel,
+                        &mut network_series,
+                        &|c| {
+                            (router_queues[c.index()][0].len() + router_queues[c.index()][1].len())
+                                as u32
+                        },
+                    );
+                    let interval = tel.sample_interval().expect("sampling implies enabled");
+                    while next_sample <= now + 1e-12 {
+                        next_sample += interval;
+                    }
+                }
                 let next = now + config.poll_interval;
                 if next <= config.end_time {
                     queue.push(next, Event::Tick);
@@ -308,9 +362,28 @@ pub fn run_queued(
                 let p = &mut payments[u.payment];
                 p.inflight -= u.amount;
                 p.delivered += u.amount;
+                let pid = p.id.0;
+                tel.counter_add("sim.units.settled", 1);
+                tel.emit(|| TraceEvent::UnitSettled {
+                    t: now,
+                    payment: pid,
+                    amount: u.amount.as_tokens(),
+                });
                 if p.status == PaymentStatus::Pending && p.fully_delivered() {
                     p.status = PaymentStatus::Completed;
                     p.completed_at = Some(now);
+                    let delay = now - p.arrival;
+                    tel.counter_add("sim.payments.completed", 1);
+                    tel.histogram_observe(
+                        "sim.completion_delay",
+                        delay,
+                        Histogram::latency_default,
+                    );
+                    tel.emit(|| TraceEvent::PaymentCompleted {
+                        t: now,
+                        payment: pid,
+                        delay,
+                    });
                 }
                 // Every hop's receiving side gained funds: drain the queues
                 // that send *from* those sides.
@@ -343,6 +416,11 @@ pub fn run_queued(
         0.0
     };
     debug_assert!(ledger.conserves_all());
+
+    let path_stats = paths.stats();
+    tel.counter_add("routing.paths.lookups", path_stats.lookups);
+    tel.counter_add("routing.paths.computed_pairs", path_stats.computed_pairs);
+    tel.counter_add("routing.paths.computed", path_stats.computed_paths);
 
     let completed: Vec<&PaymentState> = payments
         .iter()
@@ -380,6 +458,8 @@ pub fn run_queued(
         series: Vec::new(),
         audit_checks: 0,
         audit_violations: Vec::new(),
+        completion_delay_percentiles: tel.delay_percentiles("sim.completion_delay"),
+        telemetry: tel.summarize(network_series),
     };
     QueuedReport {
         report,
@@ -412,6 +492,13 @@ fn pump_source(
         let candidates = paths.paths(network, src, dst);
         if candidates.is_empty() {
             payments[idx].status = PaymentStatus::Abandoned;
+            let p = &payments[idx];
+            config.telemetry.counter_add("sim.payments.abandoned", 1);
+            config.telemetry.emit(|| TraceEvent::PaymentAbandoned {
+                t: now,
+                payment: p.id.0,
+                delivered: p.delivered.as_tokens(),
+            });
             break;
         }
         // Waterfilling preference by full-path bottleneck, but admission
@@ -441,6 +528,13 @@ fn pump_source(
         });
         payments[idx].inflight += unit_amount;
         *units_sent += 1;
+        config.telemetry.counter_add("sim.units.sent", 1);
+        config.telemetry.emit(|| TraceEvent::UnitSent {
+            t: now,
+            payment: payments[idx].id.0,
+            amount: unit_amount.as_tokens(),
+            hops: units[unit_id].path.len() as u32,
+        });
         queue.push(now + config.hop_delay, Event::HopArrive { unit: unit_id });
     }
 }
@@ -473,7 +567,16 @@ fn try_forward(
     // Queue at this router.
     let q = &mut router_queues[c.index()][slot(d)];
     if q.len() >= config.max_queue_len {
-        drop_unit(network, ledger, unit, units, payments, stats);
+        drop_unit(
+            network,
+            ledger,
+            unit,
+            units,
+            payments,
+            stats,
+            &config.telemetry,
+            now,
+        );
         return;
     }
     units[unit].queued_at = now;
@@ -481,6 +584,14 @@ fn try_forward(
     q.insert(pos, unit);
     stats.units_queued += 1;
     stats.max_queue_len = stats.max_queue_len.max(q.len());
+    let depth = q.len() as u32;
+    config.telemetry.counter_add("sim.units.queued", 1);
+    config.telemetry.emit(|| TraceEvent::UnitQueued {
+        t: now,
+        payment: payments[units[unit].payment].id.0,
+        channel: c.index() as u32,
+        depth,
+    });
 }
 
 /// Position a newly queued unit according to the queue policy.
@@ -528,7 +639,16 @@ fn drain_queue(
         if payments[units[head].payment].deadline <= now || units[head].dropped {
             router_queues[channel.index()][slot_idx].pop_front();
             if !units[head].dropped {
-                drop_unit(network, ledger, head, units, payments, stats);
+                drop_unit(
+                    network,
+                    ledger,
+                    head,
+                    units,
+                    payments,
+                    stats,
+                    &config.telemetry,
+                    now,
+                );
             }
             continue;
         }
@@ -551,6 +671,7 @@ fn drain_queue(
 
 /// Drops a unit: refunds every upstream lock. The payment's in-flight value
 /// shrinks so the source may retry (until its deadline).
+#[allow(clippy::too_many_arguments)]
 fn drop_unit(
     network: &Network,
     ledger: &mut Ledger,
@@ -558,6 +679,8 @@ fn drop_unit(
     units: &mut [UnitState],
     payments: &mut [PaymentState],
     stats: &mut QueueStats,
+    telemetry: &Telemetry,
+    now: f64,
 ) {
     let u = &mut units[unit];
     debug_assert!(!u.dropped);
@@ -567,6 +690,12 @@ fn drop_unit(
     }
     u.dropped = true;
     stats.units_dropped += 1;
+    telemetry.counter_add("sim.units.refunded", 1);
+    telemetry.emit(|| TraceEvent::UnitRefunded {
+        t: now,
+        payment: payments[u.payment].id.0,
+        amount: u.amount.as_tokens(),
+    });
     // The value returns to "remaining" so the source can resend it (until
     // the payment's own deadline).
     payments[u.payment].inflight -= u.amount;

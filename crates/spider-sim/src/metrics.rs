@@ -4,6 +4,7 @@
 use crate::audit::AuditViolation;
 use crate::rebalancer::RebalanceStats;
 use serde::{Deserialize, Serialize};
+use spider_telemetry::{DelayPercentiles, TelemetrySummary};
 
 /// Result of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -49,6 +50,15 @@ pub struct SimReport {
     /// correct engine; capped at 32 entries per run).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub audit_violations: Vec<AuditViolation>,
+    /// Completion-delay percentiles from the telemetry latency histogram
+    /// (present only when telemetry was enabled, so reports from
+    /// telemetry-off runs serialize byte-identically to older builds).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub completion_delay_percentiles: Option<DelayPercentiles>,
+    /// Full telemetry summary: event counts, network time series, metrics
+    /// snapshot (present only when telemetry was enabled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl SimReport {
@@ -84,13 +94,16 @@ impl SimReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:<22} success_ratio={:>6.3} success_volume={:>6.3} (strict {:>6.3}) completed={}/{} units={}",
+            "{:<22} {:<8} success_ratio={:>6.3} success_volume={:>6.3} (strict {:>6.3}) completed={}/{} abandoned={} pending={} units={}",
             self.scheme,
+            self.policy,
             self.success_ratio(),
             self.success_volume(),
             self.strict_success_volume(),
             self.completed,
             self.attempted,
+            self.abandoned,
+            self.pending_at_end,
             self.units_sent
         )
     }
@@ -119,6 +132,8 @@ mod tests {
             series: vec![],
             audit_checks: 0,
             audit_violations: vec![],
+            completion_delay_percentiles: None,
+            telemetry: None,
         }
     }
 
@@ -144,8 +159,35 @@ mod tests {
     fn summary_contains_key_numbers() {
         let s = report().summary();
         assert!(s.contains("test"));
+        assert!(s.contains("srpt"), "summary must show the policy: {s}");
         assert!(s.contains("0.700"));
         assert!(s.contains("7/10"));
+        assert!(
+            s.contains("abandoned=2"),
+            "summary must show abandoned: {s}"
+        );
+        assert!(s.contains("pending=1"), "summary must show pending: {s}");
+    }
+
+    #[test]
+    fn telemetry_fields_absent_from_json_when_disabled() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("completion_delay_percentiles"));
+        assert!(!json.contains("telemetry"));
+        let mut with = report();
+        with.completion_delay_percentiles = Some(DelayPercentiles {
+            p50: 0.5,
+            p95: 1.0,
+            p99: 2.0,
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("completion_delay_percentiles"));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.completion_delay_percentiles,
+            with.completion_delay_percentiles
+        );
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Structured telemetry substrate for the Spider workspace.
+//!
+//! Three layers, all deterministic:
+//!
+//! - [`registry`] — a lightweight metrics registry: counters, gauges, and
+//!   fixed-bucket histograms addressable by static name + label,
+//!   `Send + Sync`;
+//! - [`trace`] — typed payment-lifecycle events ([`TraceEvent`]) recorded
+//!   by a [`Tracer`] and serialized to JSON Lines;
+//! - [`summary`] — aggregated per-run telemetry ([`TelemetrySummary`])
+//!   embedded in simulation reports.
+//!
+//! The [`Telemetry`] handle ties them together. A disabled handle (the
+//! default) holds no allocation and every recording method is an inlined
+//! no-op branch on a `None`, so instrumented hot paths pay one predictable
+//! branch when telemetry is off. Serialized output carries **simulation
+//! time only** — never wall-clock timestamps — so traces are byte-identical
+//! across hosts and worker counts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod registry;
+pub mod summary;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{MetricEntry, MetricsRegistry, MetricsSnapshot};
+pub use summary::{DelayPercentiles, NetworkSample, TelemetrySummary};
+pub use trace::{count_by_kind, events_to_jsonl, parse_jsonl, TraceEvent, Tracer};
+
+use std::sync::Arc;
+
+/// Default cadence for per-channel state samples (simulation seconds).
+pub const DEFAULT_SAMPLE_INTERVAL: f64 = 1.0;
+
+#[derive(Debug)]
+struct TelemetryInner {
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    sample_interval: f64,
+}
+
+/// A cheap, cloneable telemetry handle: either disabled (no-op) or backed
+/// by a shared registry + tracer.
+///
+/// Engines take this by value inside their configs; callers keep a clone to
+/// read results back after the run. `Default` is disabled, so existing
+/// configs are unaffected unless telemetry is explicitly switched on.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: every method is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default channel-sampling cadence.
+    pub fn enabled() -> Self {
+        Self::with_sample_interval(DEFAULT_SAMPLE_INTERVAL)
+    }
+
+    /// An enabled handle sampling channel state every `sample_interval`
+    /// simulation seconds.
+    pub fn with_sample_interval(sample_interval: f64) -> Self {
+        assert!(sample_interval > 0.0, "sample interval must be positive");
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                registry: MetricsRegistry::new(),
+                tracer: Tracer::new(),
+                sample_interval,
+            })),
+        }
+    }
+
+    /// `true` when this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Channel-sampling cadence, or `None` when disabled.
+    #[inline]
+    pub fn sample_interval(&self) -> Option<f64> {
+        self.inner.as_ref().map(|i| i.sample_interval)
+    }
+
+    /// Records a trace event. The closure only runs when enabled, so
+    /// argument construction costs nothing when telemetry is off.
+    #[inline]
+    pub fn emit(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.tracer.record(event());
+        }
+    }
+
+    /// Adds `delta` to an unlabelled counter.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter_add(name, delta);
+        }
+    }
+
+    /// Adds `delta` to a labelled counter. The label closure only runs when
+    /// enabled.
+    #[inline]
+    pub fn counter_add_labelled(
+        &self,
+        name: &'static str,
+        label: impl FnOnce() -> String,
+        delta: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter_add_labelled(name, &label(), delta);
+        }
+    }
+
+    /// Sets an unlabelled gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge_set(name, "", value);
+        }
+    }
+
+    /// Records `value` into an unlabelled histogram created with `make` on
+    /// first use.
+    #[inline]
+    pub fn histogram_observe(
+        &self,
+        name: &'static str,
+        value: f64,
+        make: impl FnOnce() -> Histogram,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram_observe(name, "", value, make);
+        }
+    }
+
+    /// Reads percentiles out of an unlabelled histogram, if it exists.
+    pub fn delay_percentiles(&self, name: &'static str) -> Option<DelayPercentiles> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .registry
+            .with_histogram(name, "", |h| DelayPercentiles {
+                p50: h.quantile(0.50),
+                p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
+            })
+    }
+
+    /// Direct access to the registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// A copy of all trace events recorded so far (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.tracer.events())
+            .unwrap_or_default()
+    }
+
+    /// The whole trace as JSON Lines (empty when disabled).
+    pub fn trace_jsonl(&self) -> String {
+        self.inner
+            .as_ref()
+            .map(|i| i.tracer.to_jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Builds the per-run summary: event counts, the given network series,
+    /// and a metrics snapshot. `None` when disabled.
+    pub fn summarize(&self, network_series: Vec<NetworkSample>) -> Option<TelemetrySummary> {
+        let inner = self.inner.as_ref()?;
+        let events = inner.tracer.events();
+        Some(TelemetrySummary {
+            events: events.len() as u64,
+            event_counts: count_by_kind(&events),
+            network_series,
+            metrics: inner.registry.snapshot(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let mut ran = false;
+        t.emit(|| {
+            ran = true;
+            TraceEvent::PaymentArrived {
+                t: 0.0,
+                payment: 0,
+                src: 0,
+                dst: 0,
+                amount: 0.0,
+            }
+        });
+        assert!(!ran, "closure must not run when disabled");
+        t.counter_add("x", 1);
+        assert!(t.events().is_empty());
+        assert!(t.trace_jsonl().is_empty());
+        assert!(t.summarize(Vec::new()).is_none());
+        assert!(t.delay_percentiles("x").is_none());
+        assert!(t.sample_interval().is_none());
+    }
+
+    #[test]
+    fn enabled_handle_records_and_summarizes() {
+        let t = Telemetry::enabled();
+        assert!(t.is_enabled());
+        t.emit(|| TraceEvent::PaymentArrived {
+            t: 0.1,
+            payment: 1,
+            src: 0,
+            dst: 1,
+            amount: 5.0,
+        });
+        t.counter_add("sim.units_sent", 3);
+        t.histogram_observe("sim.completion_delay", 0.5, Histogram::latency_default);
+        let summary = t.summarize(Vec::new()).unwrap();
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.event_count("payment_arrived"), 1);
+        assert_eq!(summary.metrics.counter("sim.units_sent", ""), Some(3));
+        let p = t.delay_percentiles("sim.completion_delay").unwrap();
+        assert_eq!(p.p50, 0.5);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let clone = t.clone();
+        clone.counter_add("shared", 2);
+        assert_eq!(t.registry().unwrap().counter("shared", ""), 2);
+    }
+}

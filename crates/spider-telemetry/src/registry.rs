@@ -1,0 +1,230 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! addressable by static name + label.
+//!
+//! The registry is `Send + Sync` (interior mutability behind a mutex) so one
+//! registry can serve an engine and the harness around it, or be shared by
+//! scoped worker threads. Keys sort deterministically (`BTreeMap`), so
+//! snapshots — and anything serialized from them — are byte-stable for a
+//! given sequence of recordings, independent of thread interleaving of
+//! *distinct* metrics.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Metric address: static name plus an owned label ("" when unlabelled).
+type Key = (&'static str, String);
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+/// A thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (unlabelled).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        self.counter_add_labelled(name, "", delta);
+    }
+
+    /// Adds `delta` to the counter `name{label}`.
+    pub fn counter_add_labelled(&self, name: &'static str, label: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry((name, label.to_string())).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name{label}` (zero if never touched).
+    pub fn counter(&self, name: &'static str, label: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(&(name, label.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets the gauge `name{label}` to `value`.
+    pub fn gauge_set(&self, name: &'static str, label: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert((name, label.to_string()), value);
+    }
+
+    /// Records `value` into the histogram `name{label}`, creating it with
+    /// `make` on first use.
+    pub fn histogram_observe(
+        &self,
+        name: &'static str,
+        label: &str,
+        value: f64,
+        make: impl FnOnce() -> Histogram,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry((name, label.to_string()))
+            .or_insert_with(make)
+            .observe(value);
+    }
+
+    /// Runs `f` against the histogram `name{label}` if it exists.
+    pub fn with_histogram<T>(
+        &self,
+        name: &'static str,
+        label: &str,
+        f: impl FnOnce(&Histogram) -> T,
+    ) -> Option<T> {
+        let inner = self.inner.lock().unwrap();
+        inner.histograms.get(&(name, label.to_string())).map(f)
+    }
+
+    /// A deterministic, serializable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&(name, ref label), &value)| MetricEntry {
+                    name: name.to_string(),
+                    label: label.clone(),
+                    value: value as f64,
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(&(name, ref label), &value)| MetricEntry {
+                    name: name.to_string(),
+                    label: label.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&(name, ref label), h)| h.snapshot(name, label))
+                .collect(),
+        }
+    }
+}
+
+/// One named scalar metric in a snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    /// Metric name.
+    pub name: String,
+    /// Metric label (empty when unlabelled).
+    pub label: String,
+    /// Value (counters are exact integers widened to f64).
+    pub value: f64,
+}
+
+/// A serializable point-in-time copy of a [`MetricsRegistry`], sorted by
+/// (name, label) so output is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<MetricEntry>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<MetricEntry>,
+    /// Histograms with percentile estimates.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name + label.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|e| e.name == name && e.label == label)
+            .map(|e| e.value as u64)
+    }
+
+    /// Looks up a histogram snapshot by name + label.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("units", 3);
+        r.counter_add("units", 2);
+        r.counter_add_labelled("units", "retried", 1);
+        assert_eq!(r.counter("units", ""), 5);
+        assert_eq!(r.counter("units", "retried"), 1);
+        assert_eq!(r.counter("never", ""), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("imbalance", "", 0.4);
+        r.gauge_set("imbalance", "", 0.2);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.gauges[0].value, 0.2);
+    }
+
+    #[test]
+    fn histograms_created_on_first_use() {
+        let r = MetricsRegistry::new();
+        r.histogram_observe("delay", "", 0.5, Histogram::latency_default);
+        r.histogram_observe("delay", "", 1.5, Histogram::latency_default);
+        assert_eq!(r.with_histogram("delay", "", Histogram::count), Some(2));
+        assert!(r.with_histogram("none", "", Histogram::count).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializable() {
+        let r = MetricsRegistry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 2);
+        r.counter_add_labelled("a", "x", 3);
+        let snap = r.snapshot();
+        let names: Vec<(String, String)> = snap
+            .counters
+            .iter()
+            .map(|e| (e.name.clone(), e.label.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a".into(), "".into()),
+                ("a".into(), "x".into()),
+                ("z".into(), "".into())
+            ]
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("a", "x"), Some(3));
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricsRegistry>();
+    }
+}

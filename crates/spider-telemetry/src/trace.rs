@@ -1,0 +1,331 @@
+//! Typed payment-lifecycle trace events and the tracer that records them.
+//!
+//! Events carry **simulation timestamps only** — never wall-clock time — so
+//! a trace is a pure function of the simulation inputs and serializes to
+//! byte-identical JSONL regardless of host, load, or worker count.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// One structured telemetry event.
+///
+/// `t` is simulation time in seconds. Identifier fields are the raw indices
+/// used by the engine (payment id, channel index, node index) so traces can
+/// be joined against topology and workload dumps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A payment arrived at its sender.
+    PaymentArrived {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Source node index.
+        src: u32,
+        /// Destination node index.
+        dst: u32,
+        /// Face value in tokens.
+        amount: f64,
+    },
+    /// A packet-switched payment was split into MTU-bounded units.
+    PaymentSplit {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Planned unit count (`ceil(amount / mtu)`).
+        units: u64,
+    },
+    /// One transaction unit was routed and locked along a path.
+    UnitSent {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Unit value in tokens.
+        amount: f64,
+        /// Hop count of the chosen path.
+        hops: u32,
+    },
+    /// A unit settled end to end (receiver keeps the funds).
+    UnitSettled {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Unit value in tokens.
+        amount: f64,
+    },
+    /// A unit's locks were refunded (expired HTLC, AMP bounce, rollback, or
+    /// router-queue drop).
+    UnitRefunded {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Unit value in tokens.
+        amount: f64,
+    },
+    /// A unit entered a router queue (router-queue transport only).
+    UnitQueued {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Channel index of the queueing direction.
+        channel: u32,
+        /// Queue depth after insertion.
+        depth: u32,
+    },
+    /// A payment delivered its full value.
+    PaymentCompleted {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Completion delay since arrival (seconds).
+        delay: f64,
+    },
+    /// A payment was abandoned (deadline, unroutable, or atomic failure).
+    PaymentAbandoned {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Value delivered before abandonment (tokens).
+        delivered: f64,
+    },
+    /// An on-chain rebalancing transaction confirmed and moved funds.
+    RebalanceApplied {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Channel index.
+        channel: u32,
+        /// Tokens withdrawn from the rich side.
+        moved: f64,
+        /// On-chain fee paid (tokens).
+        fee: f64,
+    },
+    /// Periodic per-channel state sample.
+    ChannelSample {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Channel index.
+        channel: u32,
+        /// Relative imbalance `|a - b| / (a + b)` of spendable balances.
+        imbalance: f64,
+        /// In-flight (locked) tokens on the channel.
+        inflight: f64,
+        /// Units waiting in this channel's router queues (both directions;
+        /// zero for the source-queued engine).
+        queue_depth: u32,
+    },
+    /// Periodic solver progress sample (primal-dual iterations).
+    SolverSample {
+        /// Iteration number (1-based).
+        iter: u64,
+        /// Current objective value (total throughput).
+        objective: f64,
+        /// Convergence residual: smallest max-rate change seen in any sweep
+        /// so far (non-increasing along a run).
+        residual: f64,
+        /// Mean capacity price λ across channels.
+        mean_price: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind string, used for per-kind counting and reconciliation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PaymentArrived { .. } => "payment_arrived",
+            TraceEvent::PaymentSplit { .. } => "payment_split",
+            TraceEvent::UnitSent { .. } => "unit_sent",
+            TraceEvent::UnitSettled { .. } => "unit_settled",
+            TraceEvent::UnitRefunded { .. } => "unit_refunded",
+            TraceEvent::UnitQueued { .. } => "unit_queued",
+            TraceEvent::PaymentCompleted { .. } => "payment_completed",
+            TraceEvent::PaymentAbandoned { .. } => "payment_abandoned",
+            TraceEvent::RebalanceApplied { .. } => "rebalance_applied",
+            TraceEvent::ChannelSample { .. } => "channel_sample",
+            TraceEvent::SolverSample { .. } => "solver_sample",
+        }
+    }
+}
+
+/// Records [`TraceEvent`]s in arrival order.
+///
+/// Thread-safe so a tracer can be shared by a harness and its engine; within
+/// one deterministic single-threaded simulation the order is exactly the
+/// emission order.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Serializes all events as JSON Lines (one compact object per line,
+    /// trailing newline when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        events_to_jsonl(&self.events.lock().unwrap())
+    }
+}
+
+/// Serializes events as JSON Lines.
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace back into events.
+///
+/// Returns the 1-based line number and error message of the first malformed
+/// line, if any. Blank lines are ignored.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceEvent>(line) {
+            Ok(e) => out.push(e),
+            Err(err) => return Err((i + 1, format!("{err:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Counts events per kind, sorted by kind name (deterministic).
+pub fn count_by_kind(events: &[TraceEvent]) -> Vec<(String, u64)> {
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for e in events {
+        *counts.entry(e.kind()).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PaymentArrived {
+                t: 0.1,
+                payment: 7,
+                src: 0,
+                dst: 2,
+                amount: 30.0,
+            },
+            TraceEvent::UnitSent {
+                t: 0.1,
+                payment: 7,
+                amount: 10.0,
+                hops: 2,
+            },
+            TraceEvent::UnitSettled {
+                t: 0.6,
+                payment: 7,
+                amount: 10.0,
+            },
+            TraceEvent::PaymentCompleted {
+                t: 0.6,
+                payment: 7,
+                delay: 0.5,
+            },
+            TraceEvent::ChannelSample {
+                t: 1.0,
+                channel: 0,
+                imbalance: 0.25,
+                inflight: 20.0,
+                queue_depth: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let events = sample_events();
+        let jsonl = events_to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), events.len());
+        let back = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_number() {
+        let mut jsonl = events_to_jsonl(&sample_events());
+        jsonl.push_str("not json\n");
+        let err = parse_jsonl(&jsonl).unwrap_err();
+        assert_eq!(err.0, sample_events().len() + 1);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let jsonl = format!("\n{}\n", events_to_jsonl(&sample_events()));
+        assert_eq!(parse_jsonl(&jsonl).unwrap().len(), sample_events().len());
+    }
+
+    #[test]
+    fn kind_counting() {
+        let counts = count_by_kind(&sample_events());
+        let get = |k: &str| {
+            counts
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|&(_, n)| n)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("payment_arrived"), 1);
+        assert_eq!(get("unit_sent"), 1);
+        assert_eq!(get("channel_sample"), 1);
+        // Sorted by kind name.
+        let names: Vec<&str> = counts.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn tracer_preserves_order() {
+        let tracer = Tracer::new();
+        for e in sample_events() {
+            tracer.record(e);
+        }
+        assert_eq!(tracer.len(), 5);
+        assert_eq!(tracer.events(), sample_events());
+        assert_eq!(tracer.to_jsonl(), events_to_jsonl(&sample_events()));
+    }
+}

@@ -15,7 +15,9 @@
 //! - [`workload`] — heavy-tailed transaction traces and demand matrices,
 //! - [`routing`] — Spider (waterfilling, LP, prices) and the baselines
 //!   (shortest-path, max-flow, SpeedyMurmurs, SilentWhispers),
-//! - [`sim`] — the discrete-event simulator and metrics.
+//! - [`sim`] — the discrete-event simulator and metrics,
+//! - [`telemetry`] — metrics registry, payment-lifecycle tracing, and
+//!   report summaries (disabled by default, deterministic when enabled).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use spider_core as core;
 pub use spider_opt as opt;
 pub use spider_routing as routing;
 pub use spider_sim as sim;
+pub use spider_telemetry as telemetry;
 pub use spider_topology as topology;
 pub use spider_workload as workload;
 
@@ -58,5 +61,6 @@ pub mod prelude {
     pub use spider_sim::{
         run, run_queued, Ledger, QueuedConfig, SchedulePolicy, SimConfig, SimReport,
     };
+    pub use spider_telemetry::Telemetry;
     pub use spider_workload::{TraceConfig, Transaction};
 }

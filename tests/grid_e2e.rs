@@ -15,6 +15,7 @@ fn all_six_schemes_run_audited_on_the_isp_topology() {
         capacities: vec![],
         trials: 1,
         audit: true,
+        telemetry: false,
     };
     let result = run_grid(&grid, 2);
 

@@ -14,6 +14,7 @@ fn small_grid() -> GridConfig {
         capacities: vec![10_000.0, 30_000.0],
         trials: 2,
         audit: true,
+        telemetry: false,
     }
 }
 
