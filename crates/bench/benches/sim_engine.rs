@@ -43,7 +43,9 @@ fn bench_ledger(c: &mut Criterion) {
             ledger
                 .lock_path(&network, &path, amount)
                 .expect("funds available");
-            ledger.refund_path(&network, &path, amount);
+            ledger
+                .refund_path(&network, &path, amount)
+                .expect("exactly the locked amount");
         })
     });
 }

@@ -14,11 +14,18 @@
 //! Add `--full` for the paper's full scale (much slower), `--json PATH` to
 //! write machine-readable reports, `--seed N` to vary the workload.
 //!
-//! `grid` fans (scheme, capacity, trial) cells out over worker threads
-//! (count from `SPIDER_JOBS` or the machine's parallelism; override with
-//! `--jobs N`) with the ledger auditor on, and accepts `--trials N`,
+//! `grid` fans (scheme, capacity, outage-rate, trial) cells out over worker
+//! threads (count from `SPIDER_JOBS` or the machine's parallelism; override
+//! with `--jobs N`) with the ledger auditor on, and accepts `--trials N`,
 //! `--capacities A,B,...`, and `--no-audit`. Output is byte-identical for
 //! any worker count.
+//!
+//! Fault injection: `--faults <scenario|file.json>` runs every grid cell
+//! under a deterministic fault plan — a named scenario (`outages`, `churn`,
+//! `drops`, `jitter`, `griefing`, `stress`) or a JSON `FaultConfig` file.
+//! `--outage-rates A,B,...` sweeps the channel outage rate as an extra grid
+//! axis (the failure-recovery degradation curve), and `--no-retry` disables
+//! the sender retry policy so the recovery margin is measurable.
 //!
 //! Telemetry: `--telemetry` enables structured tracing for `fig6` and
 //! `grid` (reports then embed event counts, delay percentiles, and the
@@ -36,7 +43,7 @@ use spider_bench::{
     rebalancing_curve, run_grid, run_grid_traced, Ablation, ExperimentConfig, GridConfig,
     SchemeChoice,
 };
-use spider_sim::SimReport;
+use spider_sim::{FaultConfig, SimReport};
 use std::io::Write;
 
 fn main() {
@@ -104,7 +111,8 @@ fn usage_and_exit() -> ! {
         "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|all|trace-check DIR> \
          [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
          [--telemetry] [--trace-out DIR] \
-         [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit]"
+         [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit] \
+         [--faults SCENARIO|FILE.json] [--outage-rates A,B,...] [--no-retry]"
     );
     std::process::exit(2);
 }
@@ -392,6 +400,34 @@ fn run_grid_command(
     if has_flag(args, "--no-audit") {
         grid.audit = false;
     }
+    if let Some(v) = flag_value(args, "--faults") {
+        grid.faults = Some(parse_fault_config(&v));
+    }
+    if let Some(v) = flag_value(args, "--outage-rates") {
+        if grid.faults.is_none() {
+            // An outage sweep without a template still needs a config for
+            // the per-cell plans (durations, retry policy).
+            grid.faults = Some(FaultConfig::default());
+        }
+        grid.outage_rates = v
+            .split(',')
+            .map(|r| {
+                r.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--outage-rates expects comma-separated numbers, got `{r}`");
+                    usage_and_exit();
+                })
+            })
+            .collect();
+    }
+    if has_flag(args, "--no-retry") {
+        match &mut grid.faults {
+            Some(fc) => fc.retry = None,
+            None => {
+                eprintln!("--no-retry only makes sense with --faults or --outage-rates");
+                usage_and_exit();
+            }
+        }
+    }
     let jobs = match flag_value(args, "--jobs") {
         Some(v) => v.parse().unwrap_or_else(|_| {
             eprintln!("--jobs expects an integer, got `{v}`");
@@ -408,6 +444,22 @@ fn run_grid_command(
         jobs,
         if grid.audit { "on" } else { "off" }
     );
+    if let Some(fc) = &grid.faults {
+        println!(
+            "faults: outage_rate={} churn={} drop={} jitter={} grief={} retry={}{}",
+            fc.channel_outage_rate,
+            fc.node_churn_rate,
+            fc.unit_drop_prob,
+            fc.settle_jitter,
+            fc.grief_prob,
+            if fc.retry.is_some() { "on" } else { "off" },
+            if grid.outage_rates.is_empty() {
+                String::new()
+            } else {
+                format!(" sweeping outage rates {:?}", grid.outage_rates)
+            }
+        );
+    }
     let t0 = std::time::Instant::now();
     let result = if let Some(dir) = trace_out {
         let (result, traces) = run_grid_traced(&grid, jobs);
@@ -421,13 +473,25 @@ fn run_grid_command(
     } else {
         run_grid(&grid, jobs)
     };
+    let has_rates = result.summaries.iter().any(|s| s.outage_rate.is_some());
     println!(
-        "{:<22} {:>9} {:>24} {:>24} {:>12} {:>10}",
-        "scheme", "capacity", "success_ratio", "success_volume", "audit_checks", "violations"
+        "{:<22} {:>9}{} {:>24} {:>24} {:>12} {:>10}",
+        "scheme",
+        "capacity",
+        if has_rates { "  outages" } else { "" },
+        "success_ratio",
+        "success_volume",
+        "audit_checks",
+        "violations"
     );
     for s in &result.summaries {
+        let rate = match s.outage_rate {
+            Some(r) if has_rates => format!(" {r:>8.2}"),
+            _ if has_rates => " ".repeat(9),
+            _ => String::new(),
+        };
         println!(
-            "{:<22} {:>9.0} {:>10.3} ±{:<5.3} [{:.3}] {:>10.3} ±{:<5.3} [{:.3}] {:>12} {:>10}",
+            "{:<22} {:>9.0}{rate} {:>10.3} ±{:<5.3} [{:.3}] {:>10.3} ±{:<5.3} [{:.3}] {:>12} {:>10}",
             s.scheme_name,
             s.capacity,
             s.success_ratio.mean,
@@ -452,6 +516,31 @@ fn run_grid_command(
     }
     out.record("grid", &result);
     println!();
+}
+
+/// `--faults` argument: a named scenario, or a path to a JSON
+/// [`FaultConfig`] file (sparse files fill unspecified fields with
+/// defaults).
+fn parse_fault_config(arg: &str) -> FaultConfig {
+    if let Some(cfg) = FaultConfig::scenario(arg) {
+        return cfg;
+    }
+    let looks_like_path = arg.contains('/') || arg.ends_with(".json");
+    if !looks_like_path {
+        eprintln!(
+            "--faults: unknown scenario `{arg}` \
+             (use outages|churn|drops|jitter|griefing|stress, or a JSON file path)"
+        );
+        usage_and_exit();
+    }
+    let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        eprintln!("--faults: cannot read {arg}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("--faults: {arg} is not a valid fault config: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// CI smoke check: every `.jsonl` file in `dir` must be non-empty, parse as

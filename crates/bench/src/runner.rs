@@ -13,7 +13,7 @@
 
 use crate::experiments::{build_scheme, ExperimentConfig, SchemeChoice};
 use serde::{Deserialize, Serialize};
-use spider_sim::{run, SimReport};
+use spider_sim::{run, FaultConfig, FaultPlan, SimReport};
 use spider_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,6 +42,18 @@ pub struct GridConfig {
     /// output stays byte-identical for any worker count.
     #[serde(default)]
     pub telemetry: bool,
+    /// Fault-injection template applied to every cell. Each cell expands
+    /// its own [`FaultPlan`] from this config with a seed derived from the
+    /// cell seed, so fault schedules differ across trials but are byte-
+    /// reproducible at any worker count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultConfig>,
+    /// Channel-outage-rate sweep points (expected outages per channel over
+    /// the run). Non-empty only makes sense with `faults`; each point
+    /// overrides the template's `channel_outage_rate`, adding a grid axis
+    /// between capacity and trial.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub outage_rates: Vec<f64>,
 }
 
 impl GridConfig {
@@ -56,6 +68,8 @@ impl GridConfig {
             trials: 3,
             audit: true,
             telemetry: false,
+            faults: None,
+            outage_rates: Vec::new(),
         }
     }
 }
@@ -69,10 +83,15 @@ pub struct GridCell {
     pub scheme: SchemeChoice,
     /// Per-channel capacity for this cell (tokens).
     pub capacity: f64,
-    /// Trial number within the (scheme, capacity) group.
+    /// Trial number within the (scheme, capacity, outage-rate) group.
     pub trial: usize,
     /// Seed derived from the base seed and `index` (SplitMix64 stream).
     pub seed: u64,
+    /// Channel outage rate for this cell (only set when the grid sweeps
+    /// `outage_rates`; absent otherwise so fault-off grids serialize
+    /// byte-identically to older builds).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub outage_rate: Option<f64>,
 }
 
 /// A cell together with the report its simulation produced.
@@ -136,6 +155,10 @@ pub struct GridSummary {
     pub scheme_name: String,
     /// Per-channel capacity of this sweep point (tokens).
     pub capacity: f64,
+    /// Channel outage rate of this sweep point (absent when the grid has
+    /// no outage-rate axis).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub outage_rate: Option<f64>,
     /// Number of trials aggregated.
     pub trials: usize,
     /// Success ratio (completed / attempted) across trials.
@@ -191,26 +214,36 @@ pub fn derive_cell_seed(base_seed: u64, cell_index: u64) -> u64 {
     splitmix64_mix(base_seed.wrapping_add(cell_index.wrapping_add(1).wrapping_mul(GAMMA)))
 }
 
-/// Expands a grid config into its flat cell list: schemes outermost,
-/// capacities next, trials innermost.
+/// Expands a grid config into its flat cell list: schemes outermost, then
+/// capacities, then outage rates (when swept), trials innermost — so every
+/// (scheme, capacity, outage-rate) trial group stays contiguous.
 pub fn expand(config: &GridConfig) -> Vec<GridCell> {
     let capacities: &[f64] = if config.capacities.is_empty() {
         std::slice::from_ref(&config.base.capacity)
     } else {
         &config.capacities
     };
-    let mut cells = Vec::with_capacity(config.schemes.len() * capacities.len() * config.trials);
+    let rates: Vec<Option<f64>> = if config.outage_rates.is_empty() {
+        vec![None]
+    } else {
+        config.outage_rates.iter().copied().map(Some).collect()
+    };
+    let mut cells =
+        Vec::with_capacity(config.schemes.len() * capacities.len() * rates.len() * config.trials);
     for &scheme in &config.schemes {
         for &capacity in capacities {
-            for trial in 0..config.trials {
-                let index = cells.len();
-                cells.push(GridCell {
-                    index,
-                    scheme,
-                    capacity,
-                    trial,
-                    seed: derive_cell_seed(config.base.seed, index as u64),
-                });
+            for &outage_rate in &rates {
+                for trial in 0..config.trials {
+                    let index = cells.len();
+                    cells.push(GridCell {
+                        index,
+                        scheme,
+                        capacity,
+                        trial,
+                        seed: derive_cell_seed(config.base.seed, index as u64),
+                        outage_rate,
+                    });
+                }
             }
         }
     }
@@ -242,6 +275,16 @@ fn run_cell(config: &GridConfig, cell: &GridCell) -> (SimReport, String) {
         Telemetry::disabled()
     };
     sim.telemetry = tel.clone();
+    if let Some(template) = &config.faults {
+        let mut fc = template.clone();
+        // Decorrelate the fault schedule from the workload stream while
+        // keeping it a pure function of the cell.
+        fc.seed = splitmix64_mix(cell.seed ^ 0x9e37_79b9_7f4a_7c15);
+        if let Some(rate) = cell.outage_rate {
+            fc.channel_outage_rate = rate;
+        }
+        sim.faults = Some(FaultPlan::from_config(&fc, &network, exp.duration));
+    }
     let report = run(&network, &trace, scheme.as_mut(), &sim);
     (report, tel.trace_jsonl())
 }
@@ -308,7 +351,8 @@ pub fn run_grid_traced(config: &GridConfig, jobs: usize) -> (GridResult, Vec<Str
 
 fn summarize(config: &GridConfig, results: &[CellResult]) -> Vec<GridSummary> {
     let mut summaries = Vec::new();
-    // Cells are contiguous per (scheme, capacity) group by construction.
+    // Cells are contiguous per (scheme, capacity, outage-rate) group by
+    // construction.
     for group in results.chunks(config.trials.max(1)) {
         if group.is_empty() {
             continue;
@@ -320,6 +364,7 @@ fn summarize(config: &GridConfig, results: &[CellResult]) -> Vec<GridSummary> {
             scheme: group[0].cell.scheme,
             scheme_name: group[0].report.scheme.clone(),
             capacity: group[0].cell.capacity,
+            outage_rate: group[0].cell.outage_rate,
             trials: group.len(),
             success_ratio: metric(&SimReport::success_ratio),
             success_volume: metric(&SimReport::success_volume),
@@ -347,6 +392,8 @@ mod tests {
             trials: 2,
             audit: true,
             telemetry: false,
+            faults: None,
+            outage_rates: Vec::new(),
         }
     }
 
@@ -445,6 +492,56 @@ mod tests {
         config.audit = false;
         let result = run_grid(&config, 1);
         assert_eq!(result.summaries[0].audit_checks, 0);
+    }
+
+    #[test]
+    fn outage_rate_axis_expands_between_capacity_and_trial() {
+        let mut config = tiny_config();
+        config.faults = Some(FaultConfig::default());
+        config.outage_rates = vec![0.0, 1.0];
+        let cells = expand(&config);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells[0].outage_rate, Some(0.0));
+        assert_eq!(cells[1].outage_rate, Some(0.0));
+        assert_eq!(cells[1].trial, 1);
+        assert_eq!(cells[2].outage_rate, Some(1.0));
+        assert_eq!(cells[4].scheme, SchemeChoice::SpiderWaterfilling);
+        // No sweep -> the field stays absent (JSON unchanged from older
+        // builds).
+        let plain = expand(&tiny_config());
+        assert!(plain.iter().all(|c| c.outage_rate.is_none()));
+        let json = serde_json::to_string(&plain[0]).unwrap();
+        assert!(!json.contains("outage_rate"), "{json}");
+    }
+
+    #[test]
+    fn fault_grid_is_audit_clean_and_identical_at_any_job_count() {
+        let mut config = tiny_config();
+        config.schemes = vec![SchemeChoice::SpiderWaterfilling];
+        config.faults = Some(FaultConfig {
+            channel_outage_rate: 1.0,
+            outage_duration: 2.0,
+            node_churn_rate: 0.2,
+            node_downtime: 2.0,
+            ..FaultConfig::default()
+        });
+        let serial = run_grid(&config, 1);
+        let parallel = run_grid(&config, 4);
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "fault grids must not depend on worker count"
+        );
+        assert_eq!(serial.total_audit_violations(), 0);
+        let stats = serial.cells[0].report.faults.expect("fault stats");
+        assert!(stats.outages > 0, "outage rate 1.0 must fire: {stats:?}");
+        // Trials draw different fault schedules (seeds are per-cell).
+        let s0 = serial.cells[0].report.faults.unwrap();
+        let s1 = serial.cells[1].report.faults.unwrap();
+        assert!(
+            s0 != s1 || serial.cells[0].report.units_sent != serial.cells[1].report.units_sent,
+            "independent trials should differ"
+        );
     }
 
     #[test]

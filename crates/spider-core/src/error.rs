@@ -31,6 +31,16 @@ pub enum CoreError {
     },
     /// An amount was negative where a non-negative amount is required.
     NegativeAmount,
+    /// A settle or refund would release more than a channel's recorded
+    /// in-flight funds — a double-settle / double-refund in the caller.
+    ExcessRelease {
+        /// The channel whose in-flight pool would go negative.
+        channel: ChannelId,
+        /// Micro-units currently in flight.
+        inflight: i64,
+        /// Micro-units the caller tried to release.
+        requested: i64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +68,14 @@ impl fmt::Display for CoreError {
                 "insufficient funds on {channel} from {from}: have {available}µ, need {requested}µ"
             ),
             CoreError::NegativeAmount => write!(f, "amount must be non-negative"),
+            CoreError::ExcessRelease {
+                channel,
+                inflight,
+                requested,
+            } => write!(
+                f,
+                "release exceeds inflight on {channel}: have {inflight}µ locked, tried to release {requested}µ"
+            ),
         }
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::ledger::Ledger;
 use serde::{Deserialize, Serialize};
-use spider_core::{Amount, ChannelId};
+use spider_core::{Amount, ChannelId, CoreError};
 
 /// What exactly went wrong, with enough context to locate the bug.
 /// All amounts are in exact fixed-point micro-tokens.
@@ -58,6 +58,19 @@ pub enum AuditViolationKind {
         /// The expected total, in micro-tokens.
         expected_micros: i64,
     },
+    /// A settle/refund tried to release more than the channel's recorded
+    /// in-flight funds and was refused by the ledger. Unlike the other
+    /// kinds, the ledger stays uncorrupted — the violation records the
+    /// caller-side double-release bug itself. Recorded even when periodic
+    /// auditing is off, so release builds can't lose it.
+    ExcessRelease {
+        /// The channel whose in-flight pool would have gone negative.
+        channel: ChannelId,
+        /// Micro-tokens actually in flight at the time.
+        inflight_micros: i64,
+        /// Micro-tokens the caller tried to release.
+        requested_micros: i64,
+    },
 }
 
 /// One failed invariant check: when, after what, and what broke.
@@ -70,6 +83,31 @@ pub struct AuditViolation {
     pub event: String,
     /// The broken invariant.
     pub kind: AuditViolationKind,
+}
+
+impl AuditViolation {
+    /// Converts a ledger release refusal
+    /// ([`CoreError::ExcessRelease`]) into a structured violation, so
+    /// engines can surface double-release bugs in reports even when
+    /// periodic auditing is disabled. Returns `None` for other errors.
+    pub fn from_release_error(time: f64, event: &str, err: &CoreError) -> Option<AuditViolation> {
+        match *err {
+            CoreError::ExcessRelease {
+                channel,
+                inflight,
+                requested,
+            } => Some(AuditViolation {
+                time,
+                event: event.to_string(),
+                kind: AuditViolationKind::ExcessRelease {
+                    channel,
+                    inflight_micros: inflight,
+                    requested_micros: requested,
+                },
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// Caps how many violations one run records: the first violation usually
@@ -237,7 +275,9 @@ mod tests {
         audit.check(&ledger, 0.0, "initial");
         ledger.lock_path(&g, &path, Amount::from_whole(10)).unwrap();
         audit.check(&ledger, 0.1, "lock");
-        ledger.settle_path(&g, &path, Amount::from_whole(10));
+        ledger
+            .settle_path(&g, &path, Amount::from_whole(10))
+            .unwrap();
         audit.check(&ledger, 0.6, "settle");
 
         assert_eq!(audit.checks(), 3);
@@ -315,5 +355,34 @@ mod tests {
         assert!(json.contains("\"NegativeBalance\""), "{json}");
         let back: AuditViolation = serde_json::from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn release_refusals_become_structured_violations() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        let path = Path::new(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        ledger.lock_path(&g, &path, Amount::from_whole(2)).unwrap();
+        let err = ledger
+            .settle_path(&g, &path, Amount::from_whole(5))
+            .unwrap_err();
+        let v = AuditViolation::from_release_error(3.5, "settle", &err).unwrap();
+        assert_eq!(v.time, 3.5);
+        match v.kind {
+            AuditViolationKind::ExcessRelease {
+                inflight_micros,
+                requested_micros,
+                ..
+            } => {
+                assert_eq!(inflight_micros, Amount::from_whole(2).micros());
+                assert_eq!(requested_micros, Amount::from_whole(5).micros());
+            }
+            ref other => panic!("expected ExcessRelease, got {other:?}"),
+        }
+        // Other errors are not release violations.
+        assert!(AuditViolation::from_release_error(0.0, "x", &CoreError::NegativeAmount).is_none());
+        // The refused settle changed nothing.
+        assert!(ledger.conserves_all());
+        assert_eq!(ledger.total_inflight(), Amount::from_whole(4));
     }
 }

@@ -18,18 +18,23 @@
 //! The engine is single-threaded and completely deterministic: identical
 //! inputs produce identical runs.
 
-use crate::audit::LedgerAudit;
+use crate::audit::{AuditViolation, LedgerAudit};
 use crate::congestion::{CongestionConfig, CongestionControl};
 use crate::events::EventQueue;
+use crate::faults::{
+    Blacklist, FaultEvent, FaultPlan, FaultState, FaultStats, FaultView, RetryPolicy, UnitFate,
+};
 use crate::ledger::{Ledger, LedgerView};
 use crate::metrics::SimReport;
 use crate::payment::{PaymentState, PaymentStatus};
 use crate::rebalancer::{RebalancePolicy, RebalanceStats};
 use crate::scheduler::SchedulePolicy;
-use spider_core::{Amount, Network, Path};
+use spider_core::{Amount, ChannelId, CoreError, Network, Path};
 use spider_routing::{fees::FeeSchedule, RoutingScheme, SchemeKind, UnitDecision};
 use spider_telemetry::{Histogram, NetworkSample, Telemetry, TraceEvent};
 use spider_workload::Transaction;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -67,6 +72,10 @@ pub struct SimConfig {
     /// non-negativity and exact global conservation of funds, reported as
     /// [`SimReport::audit_violations`](crate::SimReport).
     pub audit: bool,
+    /// Optional deterministic fault injection: channel outages, node churn,
+    /// unit drops, settlement jitter, and HTLC griefing, plus the sender
+    /// retry policy carried in the plan's [`FaultConfig`](crate::faults::FaultConfig).
+    pub faults: Option<FaultPlan>,
     /// Telemetry handle. Disabled by default; when enabled the engine
     /// records payment-lifecycle trace events, a completion-delay histogram,
     /// and periodic channel samples (piggybacked on scheduler ticks so the
@@ -90,25 +99,100 @@ impl SimConfig {
             amp: false,
             fees: None,
             audit: false,
+            faults: None,
             telemetry: Telemetry::disabled(),
         }
     }
 }
 
-/// A unit held at the receiver under AMP: path, delivered value, and the
-/// per-hop locked amounts when fees apply.
-type HeldUnit = (Path, Amount, Option<Vec<Amount>>);
+/// How a unit was marked to fail in flight, with the blamed channel.
+#[derive(Clone, Copy, Debug)]
+enum UnitFault {
+    /// Dropped mid-path by the per-unit loss process.
+    Dropped(ChannelId),
+    /// HTLC griefed at the blamed hop: funds pinned until the hold expires.
+    Griefed(ChannelId),
+}
+
+/// One in-flight (or finished) transaction unit. Units live in a slab so
+/// fault events can find and refund them by scanning paths; `resolved`
+/// guards against double release when a refund races a scheduled settle.
+struct UnitRecord {
+    payment: usize,
+    path: Path,
+    amount: Amount,
+    /// Per-hop locked amounts when fees apply (upstream hops carry the
+    /// delivered amount plus downstream fees); `None` = uniform.
+    hop_amounts: Option<Vec<Amount>>,
+    fault: Option<UnitFault>,
+    resolved: bool,
+}
+
+/// What a payment timer means when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum TimerKind {
+    /// The payment's deadline passed: abandon it if still pending.
+    Deadline,
+    /// A retry backoff expired: pump the payment again.
+    Retry,
+}
+
+/// Min-heap entry for deadline and retry timers, keyed
+/// `(time, payment, kind)` so expiry processing is deterministic. Replaces
+/// the former O(n)-per-tick scan over all pending payments.
+#[derive(Debug)]
+struct Timer {
+    time: f64,
+    payment: usize,
+    kind: TimerKind,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Times are finite simulation instants, so total_cmp is a total
+        // order consistent with numeric comparison.
+        self.time
+            .total_cmp(&other.time)
+            .then(self.payment.cmp(&other.payment))
+            .then(self.kind.cmp(&other.kind))
+    }
+}
+
+/// Live fault-injection state: the channel/node mask, the sender blacklist,
+/// and per-payment retry accounting (vectors grow with arrivals).
+struct FaultRuntime {
+    state: FaultState,
+    blacklist: Blacklist,
+    retry: Option<RetryPolicy>,
+    fail_count: Vec<u32>,
+    not_before: Vec<f64>,
+}
 
 enum Event {
     Arrival(usize),
+    /// A unit reaches the end of its path and settles (index into the unit
+    /// slab; skipped if the unit was already refunded by a fault).
     Settle {
-        payment: usize,
-        path: Path,
-        amount: Amount,
-        /// Per-hop locked amounts when fees apply (upstream hops carry the
-        /// delivered amount plus downstream fees); `None` = uniform.
-        hop_amounts: Option<Vec<Amount>>,
+        unit: usize,
     },
+    /// A dropped or griefed unit's failure becomes visible to the sender
+    /// and its locked funds are refunded.
+    FaultExpire {
+        unit: usize,
+    },
+    /// A scheduled fault transition from the [`FaultPlan`].
+    Fault(FaultEvent),
     Tick,
     /// Routers inspect channel skew (cadence: `RebalancePolicy::check_interval`).
     RebalanceCheck,
@@ -116,6 +200,25 @@ enum Event {
     RebalanceApply {
         channel: spider_core::ChannelId,
     },
+}
+
+/// Caps engine-recorded release violations like the auditor caps its own.
+pub(crate) const MAX_RELEASE_VIOLATIONS: usize = 32;
+
+/// Records a refused over-release (see
+/// [`AuditViolationKind::ExcessRelease`](crate::audit::AuditViolationKind))
+/// so it surfaces in the report even when periodic auditing is off.
+pub(crate) fn record_release(
+    violations: &mut Vec<AuditViolation>,
+    time: f64,
+    event: &str,
+    err: &CoreError,
+) {
+    if violations.len() < MAX_RELEASE_VIOLATIONS {
+        if let Some(v) = AuditViolation::from_release_error(time, event, err) {
+            violations.push(v);
+        }
+    }
 }
 
 /// Runs one simulation of `transactions` over `network` with `scheme`.
@@ -146,15 +249,37 @@ pub fn run(
         policy.validate();
         queue.push(policy.check_interval, Event::RebalanceCheck);
     }
+    let mut faults: Option<FaultRuntime> = config.faults.as_ref().map(|plan| FaultRuntime {
+        state: FaultState::new(plan, network),
+        blacklist: Blacklist::new(network.num_channels()),
+        retry: plan.config.retry.clone(),
+        fail_count: Vec::new(),
+        not_before: Vec::new(),
+    });
+    if let Some(plan) = &config.faults {
+        for (t, ev) in &plan.events {
+            if *t <= config.end_time {
+                queue.push(*t, Event::Fault(ev.clone()));
+            }
+        }
+    }
     let mut rebalance_pending = vec![false; network.num_channels()];
     let mut rebalance_stats = RebalanceStats::default();
     let mut congestion = config.congestion.map(CongestionControl::new);
-    // AMP: units that reached the receiver but whose keys are withheld
-    // until the whole payment has arrived.
-    let mut amp_held: std::collections::HashMap<usize, Vec<HeldUnit>> =
+    // The unit slab: every sent unit, live or finished. Fault events scan
+    // it for unresolved units whose paths cross a newly-down channel.
+    let mut units: Vec<UnitRecord> = Vec::new();
+    // Deadline + retry timers (satellite of the fault work: replaces the
+    // former O(n)-per-tick deadline scan).
+    let mut timers: BinaryHeap<Reverse<Timer>> = BinaryHeap::new();
+    // AMP: unit indices that reached the receiver but whose keys are
+    // withheld until the whole payment has arrived.
+    let mut amp_held: std::collections::HashMap<usize, Vec<usize>> =
         std::collections::HashMap::new();
-    let mut amp_arrived: Vec<Amount> = Vec::new();
     let mut routing_fees_paid = Amount::ZERO;
+    // Refused over-releases (double settle/refund), surfaced in the report
+    // even when periodic auditing is off.
+    let mut release_violations: Vec<AuditViolation> = Vec::new();
 
     let mut units_sent: u64 = 0;
     let mut series: Vec<(f64, f64, f64)> = Vec::new();
@@ -187,7 +312,10 @@ pub fn run(
                     status: PaymentStatus::Pending,
                     completed_at: None,
                 });
-                amp_arrived.push(Amount::ZERO);
+                if let Some(fr) = faults.as_mut() {
+                    fr.fail_count.push(0);
+                    fr.not_before.push(f64::NEG_INFINITY);
+                }
                 tel.counter_add("sim.payments.arrived", 1);
                 tel.emit(|| TraceEvent::PaymentArrived {
                     t: now,
@@ -206,6 +334,11 @@ pub fn run(
                         .max(0) as u64,
                     });
                     pending.push(idx);
+                    timers.push(Reverse(Timer {
+                        time: payments[idx].deadline,
+                        payment: idx,
+                        kind: TimerKind::Deadline,
+                    }));
                     pump_payment(
                         network,
                         &mut ledger,
@@ -215,8 +348,10 @@ pub fn run(
                         config,
                         now,
                         &mut queue,
+                        &mut units,
                         &mut units_sent,
                         congestion.as_mut(),
+                        faults.as_mut(),
                     );
                 } else {
                     attempt_atomic(
@@ -228,16 +363,21 @@ pub fn run(
                         config,
                         now,
                         &mut queue,
+                        &mut units,
                         &mut units_sent,
+                        faults.as_mut(),
+                        &mut release_violations,
                     );
                 }
             }
-            Event::Settle {
-                payment,
-                path,
-                amount,
-                hop_amounts,
-            } => {
+            Event::Settle { unit } => {
+                // A fault may have refunded this unit while its settle was
+                // already scheduled.
+                if units[unit].resolved {
+                    continue;
+                }
+                let payment = units[unit].payment;
+                let amount = units[unit].amount;
                 if let Some(cc) = congestion.as_mut() {
                     if packet_switched {
                         let p = &payments[payment];
@@ -248,47 +388,67 @@ pub fn run(
                     if payments[payment].status == PaymentStatus::Abandoned {
                         // Deadline already passed: the sender withholds the
                         // key, so this late unit bounces straight back.
-                        refund_unit(network, &mut ledger, &path, amount, &hop_amounts);
-                        payments[payment].inflight -= amount;
-                        tel.counter_add("sim.units.refunded", 1);
-                        tel.emit(|| TraceEvent::UnitRefunded {
-                            t: now,
-                            payment: payments[payment].id.0,
-                            amount: amount.as_tokens(),
-                        });
+                        let res = {
+                            let u = &units[unit];
+                            refund_unit(network, &mut ledger, &u.path, u.amount, &u.hop_amounts)
+                        };
+                        units[unit].resolved = true;
+                        match res {
+                            Ok(()) => {
+                                payments[payment].inflight -= amount;
+                                tel.counter_add("sim.units.refunded", 1);
+                                tel.emit(|| TraceEvent::UnitRefunded {
+                                    t: now,
+                                    payment: payments[payment].id.0,
+                                    amount: amount.as_tokens(),
+                                });
+                            }
+                            Err(e) => {
+                                record_release(&mut release_violations, now, "amp-bounce", &e)
+                            }
+                        }
                         if let Some(a) = audit.as_mut() {
                             a.check(&ledger, now, "amp-bounce");
                         }
                         continue;
                     }
                     // Withhold the key until the whole payment has arrived.
-                    amp_arrived[payment] += amount;
-                    amp_held
-                        .entry(payment)
-                        .or_default()
-                        .push((path, amount, hop_amounts));
-                    if amp_arrived[payment] >= payments[payment].amount
+                    amp_held.entry(payment).or_default().push(unit);
+                    let arrived: Amount = amp_held[&payment]
+                        .iter()
+                        .filter(|&&ui| !units[ui].resolved)
+                        .map(|&ui| units[ui].amount)
+                        .sum();
+                    if arrived >= payments[payment].amount
                         && payments[payment].status == PaymentStatus::Pending
                     {
-                        for (held_path, held_amount, held_hops) in
-                            amp_held.remove(&payment).expect("held units exist")
-                        {
-                            routing_fees_paid += settle_unit(
-                                network,
-                                &mut ledger,
-                                &held_path,
-                                held_amount,
-                                &held_hops,
-                            );
-                            let p = &mut payments[payment];
-                            p.inflight -= held_amount;
-                            p.delivered += held_amount;
-                            tel.counter_add("sim.units.settled", 1);
-                            tel.emit(|| TraceEvent::UnitSettled {
-                                t: now,
-                                payment: payments[payment].id.0,
-                                amount: held_amount.as_tokens(),
-                            });
+                        for ui in amp_held.remove(&payment).expect("held units exist") {
+                            if units[ui].resolved {
+                                continue;
+                            }
+                            let res = {
+                                let u = &units[ui];
+                                settle_unit(network, &mut ledger, &u.path, u.amount, &u.hop_amounts)
+                            };
+                            units[ui].resolved = true;
+                            match res {
+                                Ok(fee) => {
+                                    routing_fees_paid += fee;
+                                    let held_amount = units[ui].amount;
+                                    let p = &mut payments[payment];
+                                    p.inflight -= held_amount;
+                                    p.delivered += held_amount;
+                                    tel.counter_add("sim.units.settled", 1);
+                                    tel.emit(|| TraceEvent::UnitSettled {
+                                        t: now,
+                                        payment: payments[payment].id.0,
+                                        amount: held_amount.as_tokens(),
+                                    });
+                                }
+                                Err(e) => {
+                                    record_release(&mut release_violations, now, "settle", &e)
+                                }
+                            }
                         }
                         let p = &mut payments[payment];
                         if p.fully_delivered() {
@@ -310,75 +470,286 @@ pub fn run(
                         }
                     }
                 } else {
-                    routing_fees_paid +=
-                        settle_unit(network, &mut ledger, &path, amount, &hop_amounts);
-                    let p = &mut payments[payment];
-                    p.inflight -= amount;
-                    p.delivered += amount;
-                    let pid = p.id.0;
-                    tel.counter_add("sim.units.settled", 1);
-                    tel.emit(|| TraceEvent::UnitSettled {
-                        t: now,
-                        payment: pid,
-                        amount: amount.as_tokens(),
-                    });
-                    if p.status == PaymentStatus::Pending && p.fully_delivered() {
-                        p.status = PaymentStatus::Completed;
-                        p.completed_at = Some(now);
-                        let delay = now - p.arrival;
-                        tel.counter_add("sim.payments.completed", 1);
-                        tel.histogram_observe(
-                            "sim.completion_delay",
-                            delay,
-                            Histogram::latency_default,
-                        );
-                        tel.emit(|| TraceEvent::PaymentCompleted {
-                            t: now,
-                            payment: pid,
-                            delay,
-                        });
+                    let res = {
+                        let u = &units[unit];
+                        settle_unit(network, &mut ledger, &u.path, u.amount, &u.hop_amounts)
+                    };
+                    units[unit].resolved = true;
+                    match res {
+                        Ok(fee) => {
+                            routing_fees_paid += fee;
+                            let p = &mut payments[payment];
+                            p.inflight -= amount;
+                            p.delivered += amount;
+                            let pid = p.id.0;
+                            tel.counter_add("sim.units.settled", 1);
+                            tel.emit(|| TraceEvent::UnitSettled {
+                                t: now,
+                                payment: pid,
+                                amount: amount.as_tokens(),
+                            });
+                            if p.status == PaymentStatus::Pending && p.fully_delivered() {
+                                p.status = PaymentStatus::Completed;
+                                p.completed_at = Some(now);
+                                let delay = now - p.arrival;
+                                tel.counter_add("sim.payments.completed", 1);
+                                tel.histogram_observe(
+                                    "sim.completion_delay",
+                                    delay,
+                                    Histogram::latency_default,
+                                );
+                                tel.emit(|| TraceEvent::PaymentCompleted {
+                                    t: now,
+                                    payment: pid,
+                                    delay,
+                                });
+                            }
+                        }
+                        Err(e) => record_release(&mut release_violations, now, "settle", &e),
                     }
                 }
                 if let Some(a) = audit.as_mut() {
                     a.check(&ledger, now, "settle");
                 }
             }
-            Event::Tick => {
-                tel.counter_add("sim.scheduler.polls", 1);
-                // Expire deadlines.
-                for &i in &pending {
-                    let p = &mut payments[i];
-                    if p.status == PaymentStatus::Pending && now >= p.deadline {
-                        p.status = PaymentStatus::Abandoned;
-                        let pid = p.id.0;
-                        let delivered = p.delivered.as_tokens();
-                        tel.counter_add("sim.payments.abandoned", 1);
-                        tel.emit(|| TraceEvent::PaymentAbandoned {
+            Event::FaultExpire { unit } => {
+                if units[unit].resolved {
+                    continue;
+                }
+                let payment = units[unit].payment;
+                let amount = units[unit].amount;
+                let fault = units[unit].fault.expect("fault expiry implies a fate");
+                let res = {
+                    let u = &units[unit];
+                    refund_unit(network, &mut ledger, &u.path, u.amount, &u.hop_amounts)
+                };
+                units[unit].resolved = true;
+                match res {
+                    Ok(()) => {
+                        payments[payment].inflight -= amount;
+                        let pid = payments[payment].id.0;
+                        let blamed = match fault {
+                            UnitFault::Dropped(c) => {
+                                tel.counter_add("sim.units.dropped", 1);
+                                tel.emit(|| TraceEvent::UnitDropped {
+                                    t: now,
+                                    payment: pid,
+                                    amount: amount.as_tokens(),
+                                    channel: c.index() as u32,
+                                });
+                                c
+                            }
+                            UnitFault::Griefed(c) => {
+                                let hold = config
+                                    .faults
+                                    .as_ref()
+                                    .map_or(0.0, |plan| plan.config.grief_hold);
+                                tel.counter_add("sim.units.griefed", 1);
+                                tel.emit(|| TraceEvent::UnitGriefed {
+                                    t: now,
+                                    payment: pid,
+                                    amount: amount.as_tokens(),
+                                    hold,
+                                });
+                                c
+                            }
+                        };
+                        tel.counter_add("sim.units.refunded", 1);
+                        tel.emit(|| TraceEvent::UnitRefunded {
                             t: now,
                             payment: pid,
-                            delivered,
+                            amount: amount.as_tokens(),
                         });
-                        // AMP: the sender withholds the key; everything the
-                        // receiver was holding is refunded to the senders.
-                        if let Some(held) = amp_held.remove(&i) {
-                            for (held_path, held_amount, held_hops) in held {
-                                refund_unit(
-                                    network,
-                                    &mut ledger,
-                                    &held_path,
-                                    held_amount,
-                                    &held_hops,
-                                );
-                                p.inflight -= held_amount;
+                        if let Some(fr) = faults.as_mut() {
+                            handle_unit_fault(
+                                payment,
+                                blamed,
+                                now,
+                                &mut payments,
+                                fr,
+                                &mut timers,
+                                tel,
+                                packet_switched,
+                            );
+                        }
+                    }
+                    Err(e) => record_release(&mut release_violations, now, "fault-expire", &e),
+                }
+                if let Some(a) = audit.as_mut() {
+                    a.check(&ledger, now, "fault-expire");
+                }
+            }
+            Event::Fault(ev) => {
+                let fr = faults.as_mut().expect("fault event implies a plan");
+                match &ev {
+                    FaultEvent::ChannelDown(c) => {
+                        let ch = c.index() as u32;
+                        tel.counter_add("sim.faults.outages", 1);
+                        tel.emit(|| TraceEvent::ChannelOutage {
+                            t: now,
+                            channel: ch,
+                        });
+                    }
+                    FaultEvent::ChannelUp(c) => {
+                        let ch = c.index() as u32;
+                        tel.emit(|| TraceEvent::ChannelRecovered {
+                            t: now,
+                            channel: ch,
+                        });
+                    }
+                    FaultEvent::NodeDown(n) => {
+                        let node = n.index() as u32;
+                        tel.counter_add("sim.faults.node_crashes", 1);
+                        tel.emit(|| TraceEvent::NodeCrashed { t: now, node });
+                    }
+                    FaultEvent::NodeUp(n) => {
+                        let node = n.index() as u32;
+                        tel.emit(|| TraceEvent::NodeRecovered { t: now, node });
+                    }
+                }
+                let newly = fr.state.apply(network, &ev);
+                if !newly.is_empty() {
+                    // Refund every in-flight unit whose path crosses a
+                    // channel that just went down — its HTLC can no longer
+                    // complete, so the locked funds bounce back hop by hop.
+                    for unit in units.iter_mut() {
+                        if unit.resolved {
+                            continue;
+                        }
+                        let blamed = unit
+                            .path
+                            .hops()
+                            .iter()
+                            .map(|&(c, _)| c)
+                            .find(|c| newly.contains(c));
+                        let Some(blamed) = blamed else { continue };
+                        let res = refund_unit(
+                            network,
+                            &mut ledger,
+                            &unit.path,
+                            unit.amount,
+                            &unit.hop_amounts,
+                        );
+                        unit.resolved = true;
+                        match res {
+                            Ok(()) => {
+                                let amount = unit.amount;
+                                let pidx = unit.payment;
+                                payments[pidx].inflight -= amount;
+                                fr.state.stats.units_refunded_by_outage += 1;
+                                let pid = payments[pidx].id.0;
                                 tel.counter_add("sim.units.refunded", 1);
                                 tel.emit(|| TraceEvent::UnitRefunded {
                                     t: now,
                                     payment: pid,
-                                    amount: held_amount.as_tokens(),
+                                    amount: amount.as_tokens(),
                                 });
+                                handle_unit_fault(
+                                    pidx,
+                                    blamed,
+                                    now,
+                                    &mut payments,
+                                    fr,
+                                    &mut timers,
+                                    tel,
+                                    packet_switched,
+                                );
                             }
-                            if let Some(a) = audit.as_mut() {
-                                a.check(&ledger, now, "deadline-refund");
+                            Err(e) => record_release(&mut release_violations, now, "fault", &e),
+                        }
+                    }
+                    if let Some(a) = audit.as_mut() {
+                        a.check(&ledger, now, "fault");
+                    }
+                }
+            }
+            Event::Tick => {
+                tel.counter_add("sim.scheduler.polls", 1);
+                // Expire deadlines and fire retry timers, in (time, payment)
+                // order off the shared min-heap — O(log n) per expiry instead
+                // of a scan over every pending payment per tick.
+                while let Some(Reverse(t)) = timers.peek() {
+                    if t.time > now {
+                        break;
+                    }
+                    let Reverse(timer) = timers.pop().expect("peeked");
+                    let i = timer.payment;
+                    match timer.kind {
+                        TimerKind::Deadline => {
+                            let p = &mut payments[i];
+                            if p.status != PaymentStatus::Pending {
+                                continue;
+                            }
+                            p.status = PaymentStatus::Abandoned;
+                            let pid = p.id.0;
+                            let delivered = p.delivered.as_tokens();
+                            tel.counter_add("sim.payments.abandoned", 1);
+                            tel.emit(|| TraceEvent::PaymentAbandoned {
+                                t: now,
+                                payment: pid,
+                                delivered,
+                            });
+                            // AMP: the sender withholds the key; everything
+                            // the receiver was holding is refunded to the
+                            // senders.
+                            if let Some(held) = amp_held.remove(&i) {
+                                for ui in held {
+                                    if units[ui].resolved {
+                                        continue;
+                                    }
+                                    let res = {
+                                        let u = &units[ui];
+                                        refund_unit(
+                                            network,
+                                            &mut ledger,
+                                            &u.path,
+                                            u.amount,
+                                            &u.hop_amounts,
+                                        )
+                                    };
+                                    units[ui].resolved = true;
+                                    match res {
+                                        Ok(()) => {
+                                            let held_amount = units[ui].amount;
+                                            payments[i].inflight -= held_amount;
+                                            tel.counter_add("sim.units.refunded", 1);
+                                            tel.emit(|| TraceEvent::UnitRefunded {
+                                                t: now,
+                                                payment: pid,
+                                                amount: held_amount.as_tokens(),
+                                            });
+                                        }
+                                        Err(e) => record_release(
+                                            &mut release_violations,
+                                            now,
+                                            "deadline-refund",
+                                            &e,
+                                        ),
+                                    }
+                                }
+                                if let Some(a) = audit.as_mut() {
+                                    a.check(&ledger, now, "deadline-refund");
+                                }
+                            }
+                        }
+                        TimerKind::Retry => {
+                            // Backoff expired: give the payment first shot
+                            // at liquidity before the policy-ordered pump.
+                            if payments[i].status == PaymentStatus::Pending {
+                                pump_payment(
+                                    network,
+                                    &mut ledger,
+                                    scheme,
+                                    i,
+                                    &mut payments[i],
+                                    config,
+                                    now,
+                                    &mut queue,
+                                    &mut units,
+                                    &mut units_sent,
+                                    congestion.as_mut(),
+                                    faults.as_mut(),
+                                );
                             }
                         }
                     }
@@ -401,8 +772,10 @@ pub fn run(
                             config,
                             now,
                             &mut queue,
+                            &mut units,
                             &mut units_sent,
                             congestion.as_mut(),
+                            faults.as_mut(),
                         );
                     }
                     pending.retain(|&i| payments[i].status == PaymentStatus::Pending);
@@ -502,7 +875,83 @@ pub fn run(
         routing_fees_paid,
         audit,
         network_series,
+        faults.map(|fr| fr.state.stats),
+        release_violations,
     )
+}
+
+/// Sender-side reaction to one failed unit: without a retry policy the
+/// payment is abandoned on its first fault failure; with one, the blamed
+/// channel is blacklisted, the payment backs off exponentially, and a retry
+/// timer is scheduled — until the per-payment attempt budget runs out.
+#[allow(clippy::too_many_arguments)]
+fn handle_unit_fault(
+    pidx: usize,
+    blamed: ChannelId,
+    now: f64,
+    payments: &mut [PaymentState],
+    fr: &mut FaultRuntime,
+    timers: &mut BinaryHeap<Reverse<Timer>>,
+    tel: &Telemetry,
+    packet_switched: bool,
+) {
+    let p = &mut payments[pidx];
+    if p.status != PaymentStatus::Pending {
+        return;
+    }
+    let abandon = |p: &mut PaymentState, fr: &mut FaultRuntime| {
+        p.status = PaymentStatus::Abandoned;
+        fr.state.stats.payments_failed += 1;
+        let pid = p.id.0;
+        let delivered = p.delivered.as_tokens();
+        tel.counter_add("sim.payments.abandoned", 1);
+        tel.emit(|| TraceEvent::PaymentAbandoned {
+            t: now,
+            payment: pid,
+            delivered,
+        });
+    };
+    // Atomic senders have no unit-level retry machinery: the payment's
+    // all-or-nothing guarantee is already broken, so it fails outright.
+    if !packet_switched {
+        abandon(p, fr);
+        return;
+    }
+    let Some(policy) = fr.retry.clone() else {
+        // Retries disabled: first fault failure is fatal.
+        abandon(p, fr);
+        return;
+    };
+    let until = now + policy.blacklist_duration;
+    fr.blacklist.block(blamed, until);
+    fr.state.stats.blacklistings += 1;
+    tel.emit(|| TraceEvent::ChannelBlacklisted {
+        t: now,
+        channel: blamed.index() as u32,
+        until,
+    });
+    fr.fail_count[pidx] += 1;
+    let fails = fr.fail_count[pidx];
+    if fails > policy.max_attempts {
+        abandon(p, fr);
+        return;
+    }
+    let backoff = policy.backoff_base * policy.backoff_mult.powi(fails as i32 - 1);
+    fr.not_before[pidx] = fr.not_before[pidx].max(now + backoff);
+    timers.push(Reverse(Timer {
+        time: now + backoff,
+        payment: pidx,
+        kind: TimerKind::Retry,
+    }));
+    fr.state.stats.retries += 1;
+    let pid = p.id.0;
+    tel.counter_add("sim.payments.retries", 1);
+    tel.emit(|| TraceEvent::PaymentRetry {
+        t: now,
+        payment: pid,
+        attempt: fails,
+        backoff,
+    });
 }
 
 /// Emits one `ChannelSample` per channel plus one aggregate
@@ -552,7 +1001,10 @@ pub(crate) fn sample_network(
 }
 
 /// Sends as many transaction units of one pending payment as the scheme and
-/// balances allow right now.
+/// balances allow right now. Under fault injection the scheme routes
+/// against a masked view (downed + blacklisted channels read as empty), a
+/// retry backoff gates the whole pump, and each sent unit draws its fate
+/// (deliver / drop / grief) from the seeded fault stream.
 #[allow(clippy::too_many_arguments)]
 fn pump_payment(
     network: &Network,
@@ -563,9 +1015,17 @@ fn pump_payment(
     config: &SimConfig,
     now: f64,
     queue: &mut EventQueue<Event>,
+    units: &mut Vec<UnitRecord>,
     units_sent: &mut u64,
     mut congestion: Option<&mut CongestionControl>,
+    mut faults: Option<&mut FaultRuntime>,
 ) {
+    if let Some(fr) = faults.as_deref() {
+        if now < fr.not_before[idx] {
+            // Backing off after a fault failure.
+            return;
+        }
+    }
     loop {
         let remaining = p.remaining();
         if !remaining.is_positive() {
@@ -579,8 +1039,28 @@ fn pump_payment(
         }
         let unit = remaining.min(config.mtu);
         let view = LedgerView { network, ledger };
-        match scheme.route_unit(network, &view, p.src, p.dst, unit) {
+        let decision = match faults.as_deref() {
+            Some(fr) => {
+                let masked = FaultView {
+                    inner: &view,
+                    faults: &fr.state,
+                    blacklist: &fr.blacklist,
+                    now,
+                };
+                scheme.route_unit(network, &masked, p.src, p.dst, unit)
+            }
+            None => scheme.route_unit(network, &view, p.src, p.dst, unit),
+        };
+        match decision {
             UnitDecision::Route(path) => {
+                // Defensive re-check: a scheme with cached paths may ignore
+                // the masked view; never lock across a dead or blacklisted
+                // channel.
+                if let Some(fr) = faults.as_deref() {
+                    if fr.state.path_blocked(&path) || fr.blacklist.path_blocked(&path, now) {
+                        break;
+                    }
+                }
                 // With fees, upstream hops carry the delivered amount plus
                 // downstream fees; without, every hop carries the unit.
                 let hop_amounts: Option<Vec<Amount>> = match &config.fees {
@@ -608,15 +1088,38 @@ fn pump_payment(
                     amount: unit.as_tokens(),
                     hops: path.len() as u32,
                 });
-                queue.push(
-                    now + config.delta,
-                    Event::Settle {
-                        payment: idx,
-                        path,
-                        amount: unit,
-                        hop_amounts,
-                    },
-                );
+                let fate = match faults.as_deref_mut() {
+                    Some(fr) => fr.state.unit_fate(&path),
+                    None => UnitFate::Deliver { jitter: 0.0 },
+                };
+                let unit_idx = units.len();
+                let (fault, fire_at) = match fate {
+                    UnitFate::Deliver { jitter } => (None, now + config.delta + jitter),
+                    UnitFate::Drop { at_frac, hop_index } => {
+                        let blamed = path.hops()[hop_index.min(path.hops().len() - 1)].0;
+                        (
+                            Some(UnitFault::Dropped(blamed)),
+                            now + at_frac * config.delta,
+                        )
+                    }
+                    UnitFate::Grief { hold } => {
+                        let blamed = path.hops().last().expect("paths have hops").0;
+                        (Some(UnitFault::Griefed(blamed)), now + config.delta + hold)
+                    }
+                };
+                units.push(UnitRecord {
+                    payment: idx,
+                    path,
+                    amount: unit,
+                    hop_amounts,
+                    fault,
+                    resolved: false,
+                });
+                if fault.is_some() {
+                    queue.push(fire_at, Event::FaultExpire { unit: unit_idx });
+                } else {
+                    queue.push(fire_at, Event::Settle { unit: unit_idx });
+                }
             }
             UnitDecision::Unavailable => {
                 if let Some(cc) = congestion.as_deref_mut() {
@@ -625,6 +1128,12 @@ fn pump_payment(
                 break;
             }
             UnitDecision::Never => {
+                // Under fault injection "no path" may just mean every route
+                // is currently masked out; keep the payment alive so it can
+                // retry once channels recover or the blacklist expires.
+                if faults.is_some() {
+                    break;
+                }
                 p.status = PaymentStatus::Abandoned;
                 config.telemetry.counter_add("sim.payments.abandoned", 1);
                 config.telemetry.emit(|| TraceEvent::PaymentAbandoned {
@@ -639,7 +1148,9 @@ fn pump_payment(
 }
 
 /// Attempts an atomic payment at arrival; fails it permanently if the
-/// scheme cannot deliver the whole value now.
+/// scheme cannot deliver the whole value now. Under fault injection the
+/// scheme routes against the masked view, so it never plans across downed
+/// channels.
 #[allow(clippy::too_many_arguments)]
 fn attempt_atomic(
     network: &Network,
@@ -650,10 +1161,25 @@ fn attempt_atomic(
     config: &SimConfig,
     now: f64,
     queue: &mut EventQueue<Event>,
+    units: &mut Vec<UnitRecord>,
     units_sent: &mut u64,
+    faults: Option<&mut FaultRuntime>,
+    release_violations: &mut Vec<AuditViolation>,
 ) {
     let view = LedgerView { network, ledger };
-    let Some(parts) = scheme.route_payment(network, &view, p.src, p.dst, p.amount) else {
+    let parts = match faults.as_deref() {
+        Some(fr) => {
+            let masked = FaultView {
+                inner: &view,
+                faults: &fr.state,
+                blacklist: &fr.blacklist,
+                now,
+            };
+            scheme.route_payment(network, &masked, p.src, p.dst, p.amount)
+        }
+        None => scheme.route_payment(network, &view, p.src, p.dst, p.amount),
+    };
+    let Some(parts) = parts else {
         p.status = PaymentStatus::Abandoned;
         config.telemetry.counter_add("sim.payments.abandoned", 1);
         config.telemetry.emit(|| TraceEvent::PaymentAbandoned {
@@ -669,7 +1195,9 @@ fn attempt_atomic(
     for (path, amount) in parts {
         if ledger.lock_path(network, &path, amount).is_err() {
             for (done_path, done_amount) in locked.drain(..) {
-                ledger.refund_path(network, &done_path, done_amount);
+                if let Err(e) = ledger.refund_path(network, &done_path, done_amount) {
+                    record_release(release_violations, now, "atomic-rollback", &e);
+                }
             }
             p.status = PaymentStatus::Abandoned;
             config.telemetry.counter_add("sim.payments.abandoned", 1);
@@ -692,46 +1220,49 @@ fn attempt_atomic(
             amount: amount.as_tokens(),
             hops: path.len() as u32,
         });
-        queue.push(
-            now + config.delta,
-            Event::Settle {
-                payment: idx,
-                path,
-                amount,
-                hop_amounts: None,
-            },
-        );
+        let unit_idx = units.len();
+        units.push(UnitRecord {
+            payment: idx,
+            path,
+            amount,
+            hop_amounts: None,
+            fault: None,
+            resolved: false,
+        });
+        queue.push(now + config.delta, Event::Settle { unit: unit_idx });
     }
 }
 
-/// Settles one unit (fee-aware); returns the fee the sender paid.
+/// Settles one unit (fee-aware); returns the fee the sender paid, or the
+/// ledger's refusal if the settle would over-release.
 fn settle_unit(
     network: &Network,
     ledger: &mut Ledger,
     path: &Path,
     amount: Amount,
     hop_amounts: &Option<Vec<Amount>>,
-) -> Amount {
+) -> Result<Amount, CoreError> {
     match hop_amounts {
         Some(amounts) => {
-            ledger.settle_path_amounts(network, path, amounts);
-            amounts[0] - amount
+            ledger.settle_path_amounts(network, path, amounts)?;
+            Ok(amounts[0] - amount)
         }
         None => {
-            ledger.settle_path(network, path, amount);
-            Amount::ZERO
+            ledger.settle_path(network, path, amount)?;
+            Ok(Amount::ZERO)
         }
     }
 }
 
-/// Refunds one unit (fee-aware).
+/// Refunds one unit (fee-aware); propagates the ledger's refusal if the
+/// refund would over-release.
 fn refund_unit(
     network: &Network,
     ledger: &mut Ledger,
     path: &Path,
     amount: Amount,
     hop_amounts: &Option<Vec<Amount>>,
-) {
+) -> Result<(), CoreError> {
     match hop_amounts {
         Some(amounts) => ledger.refund_path_amounts(network, path, amounts),
         None => ledger.refund_path(network, path, amount),
@@ -771,6 +1302,8 @@ fn build_report(
     routing_fees_paid: Amount,
     audit: Option<LedgerAudit>,
     network_series: Vec<NetworkSample>,
+    fault_stats: Option<FaultStats>,
+    release_violations: Vec<AuditViolation>,
 ) -> SimReport {
     let completed: Vec<&PaymentState> = payments
         .iter()
@@ -812,9 +1345,14 @@ fn build_report(
         routing_fees_paid: routing_fees_paid.as_tokens(),
         series,
         audit_checks: audit.as_ref().map_or(0, LedgerAudit::checks),
-        audit_violations: audit.map_or_else(Vec::new, LedgerAudit::into_violations),
+        audit_violations: {
+            let mut v = audit.map_or_else(Vec::new, LedgerAudit::into_violations);
+            v.extend(release_violations);
+            v
+        },
         completion_delay_percentiles: config.telemetry.delay_percentiles("sim.completion_delay"),
         telemetry: config.telemetry.summarize(network_series),
+        faults: fault_stats,
     }
 }
 
@@ -1305,5 +1843,155 @@ mod tests {
         );
         assert_eq!(report.abandoned, 1);
         assert_eq!(report.units_sent, 0);
+    }
+
+    #[test]
+    fn scripted_outage_refunds_inflight_then_retry_recovers() {
+        use crate::faults::{FaultConfig, FaultEvent, FaultPlan};
+        use spider_core::ChannelId;
+        // Channel 1 (the 1–2 hop) dies at t=0.3 with three 10-token units
+        // in flight (settle would land at 0.6), then recovers at 1.0. The
+        // sender must refund, blacklist, back off, and resend.
+        let g = line3(100);
+        let txs = vec![tx(0, 0, 2, 30, 0.1)];
+        let plan = FaultPlan::scripted(
+            vec![
+                (0.3, FaultEvent::ChannelDown(ChannelId(1))),
+                (1.0, FaultEvent::ChannelUp(ChannelId(1))),
+            ],
+            FaultConfig::default(), // retry enabled by default
+        );
+        let mut cfg = SimConfig::new(15.0);
+        cfg.deadline = 10.0;
+        cfg.audit = true;
+        cfg.faults = Some(plan);
+        let report = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
+        let stats = report.faults.expect("fault stats present");
+        assert_eq!(stats.outages, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.units_refunded_by_outage, 3, "{stats:?}");
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert!(stats.blacklistings >= 1, "{stats:?}");
+        assert_eq!(report.completed, 1, "retry must recover: {report:?}");
+        assert!(report.audit_checks > 0);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{:?}",
+            report.audit_violations
+        );
+    }
+
+    #[test]
+    fn node_crash_without_retry_abandons_on_first_fault() {
+        use crate::faults::{FaultConfig, FaultEvent, FaultPlan};
+        // Relay node 1 crashes mid-flight and the sender has no retry
+        // policy: the payment is abandoned immediately (the recovery
+        // baseline for the sweep in spider-experiments).
+        let g = line3(100);
+        let txs = vec![tx(0, 0, 2, 30, 0.1)];
+        let plan = FaultPlan::scripted(
+            vec![
+                (0.3, FaultEvent::NodeDown(NodeId(1))),
+                (1.0, FaultEvent::NodeUp(NodeId(1))),
+            ],
+            FaultConfig {
+                retry: None,
+                ..FaultConfig::default()
+            },
+        );
+        let mut cfg = SimConfig::new(15.0);
+        cfg.deadline = 10.0;
+        cfg.audit = true;
+        cfg.faults = Some(plan);
+        let report = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
+        let stats = report.faults.expect("fault stats present");
+        assert_eq!(stats.node_crashes, 1);
+        assert!(stats.units_refunded_by_outage > 0, "{stats:?}");
+        assert_eq!(stats.payments_failed, 1, "{stats:?}");
+        assert_eq!(report.completed, 0, "{report:?}");
+        assert_eq!(report.abandoned, 1, "{report:?}");
+        assert_eq!(report.delivered_volume, 0.0);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{:?}",
+            report.audit_violations
+        );
+    }
+
+    #[test]
+    fn random_fault_storm_is_audit_clean_and_deterministic() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        // Every fault class at once: outages, churn, drops, jitter, and
+        // griefing, with auditing after every balance-mutating event. Two
+        // identical runs must serialize byte-identically.
+        let g = line3(200);
+        let txs: Vec<Transaction> = (0..24)
+            .map(|i| {
+                tx(
+                    i,
+                    (i % 2) as u32 * 2,
+                    2 - (i % 2) as u32 * 2,
+                    15,
+                    0.1 + 0.4 * i as f64,
+                )
+            })
+            .collect();
+        let fc = FaultConfig {
+            seed: 7,
+            channel_outage_rate: 1.0,
+            outage_duration: 1.0,
+            node_churn_rate: 0.5,
+            node_downtime: 1.0,
+            unit_drop_prob: 0.1,
+            settle_jitter: 0.3,
+            grief_prob: 0.05,
+            ..FaultConfig::default()
+        };
+        let mut cfg = SimConfig::new(20.0);
+        cfg.deadline = 8.0;
+        cfg.audit = true;
+        cfg.faults = Some(FaultPlan::from_config(&fc, &g, 20.0));
+        let a = run(&g, &txs, &mut WaterfillingScheme::new(), &cfg);
+        let b = run(&g, &txs, &mut WaterfillingScheme::new(), &cfg);
+        assert!(a.audit_checks > 0);
+        assert!(a.audit_violations.is_empty(), "{:?}", a.audit_violations);
+        let stats = a.faults.expect("fault stats present");
+        assert!(stats.outages > 0, "storm must produce outages: {stats:?}");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "fault runs must be fully deterministic"
+        );
+    }
+
+    #[test]
+    fn griefed_units_pin_funds_then_refund() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        // With grief_prob = 1 every unit is griefed: nothing settles, funds
+        // stay pinned for `grief_hold` past Δ, then everything refunds with
+        // exact conservation.
+        let g = line3(100);
+        let txs = vec![tx(0, 0, 2, 30, 0.1)];
+        let fc = FaultConfig {
+            seed: 3,
+            grief_prob: 1.0,
+            grief_hold: 1.0,
+            retry: None,
+            ..FaultConfig::default()
+        };
+        let mut cfg = SimConfig::new(10.0);
+        cfg.deadline = 6.0;
+        cfg.audit = true;
+        cfg.faults = Some(FaultPlan::from_config(&fc, &g, 10.0));
+        let report = run(&g, &txs, &mut ShortestPathScheme::new(), &cfg);
+        let stats = report.faults.expect("fault stats present");
+        assert!(stats.units_griefed > 0, "{stats:?}");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.delivered_volume, 0.0);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{:?}",
+            report.audit_violations
+        );
     }
 }

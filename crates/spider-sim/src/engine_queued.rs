@@ -21,8 +21,10 @@
 //! admit optimistically and absorb transient imbalance in the network
 //! instead of at the sender.
 
-use crate::engine::sample_network;
+use crate::audit::AuditViolation;
+use crate::engine::{record_release, sample_network};
 use crate::events::EventQueue;
+use crate::faults::{Blacklist, FaultEvent, FaultPlan, FaultState, FaultView};
 use crate::ledger::Ledger;
 use crate::metrics::SimReport;
 use crate::payment::{PaymentState, PaymentStatus};
@@ -76,6 +78,11 @@ pub struct QueuedConfig {
     /// real router-queue depths — piggyback on scheduler ticks, so enabling
     /// telemetry never changes the event order.
     pub telemetry: Telemetry,
+    /// Deterministic fault schedule (outages / node churn). Units whose
+    /// locked prefix crosses a newly-downed channel are dropped and
+    /// refunded; queued units simply wait for recovery (router queues
+    /// absorb outages) until their payment's deadline.
+    pub faults: Option<FaultPlan>,
 }
 
 impl QueuedConfig {
@@ -93,6 +100,7 @@ impl QueuedConfig {
             num_paths: 4,
             max_queue_len: 4_096,
             telemetry: Telemetry::disabled(),
+            faults: None,
         }
     }
 }
@@ -143,6 +151,8 @@ enum Event {
     SettleUnit {
         unit: usize,
     },
+    /// A scheduled fault (outage / recovery / node churn) fires.
+    Fault(FaultEvent),
 }
 
 /// Runs the router-queue transport over `transactions`.
@@ -180,6 +190,15 @@ pub fn run_queued(
     let mut dequeues = 0usize;
     let mut units_sent: u64 = 0;
 
+    let mut faults: Option<FaultState> = config
+        .faults
+        .as_ref()
+        .map(|plan| FaultState::new(plan, network));
+    // This engine has no sender blacklist (routers absorb outages in their
+    // queues); an always-empty blacklist satisfies the masked view.
+    let blacklist = Blacklist::new(nq);
+    let mut release_violations: Vec<AuditViolation> = Vec::new();
+
     let tel = &config.telemetry;
     let mut network_series: Vec<NetworkSample> = Vec::new();
     // Sampling piggybacks on Tick events; see `sample_network`.
@@ -191,6 +210,13 @@ pub fn run_queued(
         }
     }
     queue.push(config.poll_interval, Event::Tick);
+    if let Some(plan) = &config.faults {
+        for (t, ev) in &plan.events {
+            if *t <= config.end_time {
+                queue.push(*t, Event::Fault(ev.clone()));
+            }
+        }
+    }
 
     while let Some((now, event)) = queue.pop() {
         if now > config.end_time {
@@ -239,6 +265,8 @@ pub fn run_queued(
                     &mut queue,
                     now,
                     &mut units_sent,
+                    faults.as_ref(),
+                    &blacklist,
                 );
             }
             Event::Tick => {
@@ -282,6 +310,7 @@ pub fn run_queued(
                                 &mut stats,
                                 tel,
                                 now,
+                                &mut release_violations,
                             );
                         }
                     }
@@ -301,6 +330,8 @@ pub fn run_queued(
                             &mut queue,
                             now,
                             &mut units_sent,
+                            faults.as_ref(),
+                            &blacklist,
                         );
                     }
                 }
@@ -350,14 +381,23 @@ pub fn run_queued(
                     now,
                     &mut stats,
                     slot,
+                    faults.as_ref(),
+                    &mut release_violations,
                 );
             }
             Event::SettleUnit { unit } => {
+                if units[unit].dropped {
+                    // An outage refunded this unit during its Δ-wait; the
+                    // receiver never got the key.
+                    continue;
+                }
                 let u = units[unit].clone();
                 debug_assert_eq!(u.locked, u.path.len());
                 for (i, &(c, _)) in u.path.hops().iter().enumerate() {
                     let to = u.path.nodes()[i + 1];
-                    ledger.settle_hop(network, c, to, u.amount);
+                    if let Err(err) = ledger.settle_hop(network, c, to, u.amount) {
+                        record_release(&mut release_violations, now, "queued-settle", &err);
+                    }
                 }
                 let p = &mut payments[u.payment];
                 p.inflight -= u.amount;
@@ -404,7 +444,109 @@ pub fn run_queued(
                         &mut stats,
                         &mut total_wait,
                         &mut dequeues,
+                        faults.as_ref(),
+                        &mut release_violations,
                     );
+                }
+            }
+            Event::Fault(ev) => {
+                let fs = faults.as_mut().expect("fault events imply a plan");
+                match &ev {
+                    FaultEvent::ChannelDown(c) => {
+                        let ch = c.index() as u32;
+                        tel.counter_add("sim.faults.outages", 1);
+                        tel.emit(|| TraceEvent::ChannelOutage {
+                            t: now,
+                            channel: ch,
+                        });
+                    }
+                    FaultEvent::ChannelUp(c) => {
+                        let ch = c.index() as u32;
+                        tel.emit(|| TraceEvent::ChannelRecovered {
+                            t: now,
+                            channel: ch,
+                        });
+                    }
+                    FaultEvent::NodeDown(n) => {
+                        tel.counter_add("sim.faults.node_crashes", 1);
+                        tel.emit(|| TraceEvent::NodeCrashed { t: now, node: n.0 });
+                    }
+                    FaultEvent::NodeUp(n) => {
+                        tel.emit(|| TraceEvent::NodeRecovered { t: now, node: n.0 });
+                    }
+                }
+                let newly_down = fs.apply(network, &ev);
+                if !newly_down.is_empty() {
+                    // Drop every unit whose *locked prefix* crosses a downed
+                    // channel: those in-flight locks can no longer settle and
+                    // must be refunded to conserve funds. Units merely queued
+                    // at the downed channel keep waiting for recovery.
+                    for u in 0..units.len() {
+                        if units[u].dropped {
+                            continue;
+                        }
+                        let crosses = units[u]
+                            .path
+                            .hops()
+                            .iter()
+                            .take(units[u].locked)
+                            .any(|(c, _)| newly_down.contains(c));
+                        if crosses {
+                            drop_unit(
+                                network,
+                                &mut ledger,
+                                u,
+                                &mut units,
+                                &mut payments,
+                                &mut stats,
+                                tel,
+                                now,
+                                &mut release_violations,
+                            );
+                            fs.stats.units_refunded_by_outage += 1;
+                        }
+                    }
+                    // Purge dropped units from router queues so they never
+                    // block a head-of-line drain.
+                    for queues in router_queues.iter_mut() {
+                        for q in queues.iter_mut() {
+                            q.retain(|&u| !units[u].dropped);
+                        }
+                    }
+                }
+                // A recovery re-opens the channel: service its queues now.
+                let mut revived: Vec<ChannelId> = Vec::new();
+                match &ev {
+                    FaultEvent::ChannelUp(c) if !fs.is_channel_down(*c) => revived.push(*c),
+                    FaultEvent::NodeUp(n) => {
+                        for &(_, c) in network.neighbors(*n) {
+                            if !fs.is_channel_down(c) {
+                                revived.push(c);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                for c in revived {
+                    for s in 0..2 {
+                        drain_queue(
+                            network,
+                            &mut ledger,
+                            config,
+                            c,
+                            s,
+                            &mut units,
+                            &mut router_queues,
+                            &mut queue,
+                            &mut payments,
+                            now,
+                            &mut stats,
+                            &mut total_wait,
+                            &mut dequeues,
+                            faults.as_ref(),
+                            &mut release_violations,
+                        );
+                    }
                 }
             }
         }
@@ -457,9 +599,10 @@ pub fn run_queued(
         routing_fees_paid: 0.0,
         series: Vec::new(),
         audit_checks: 0,
-        audit_violations: Vec::new(),
+        audit_violations: release_violations,
         completion_delay_percentiles: tel.delay_percentiles("sim.completion_delay"),
         telemetry: tel.summarize(network_series),
+        faults: faults.map(|fs| fs.stats),
     };
     QueuedReport {
         report,
@@ -480,6 +623,8 @@ fn pump_source(
     queue: &mut EventQueue<Event>,
     now: f64,
     units_sent: &mut u64,
+    faults: Option<&FaultState>,
+    blacklist: &Blacklist,
 ) {
     loop {
         let p = &payments[idx];
@@ -501,16 +646,27 @@ fn pump_source(
             });
             break;
         }
-        // Waterfilling preference by full-path bottleneck, but admission
-        // only requires the first hop to be fundable.
+        // Waterfilling preference by full-path bottleneck (fault-masked so
+        // downed channels look empty), but admission only requires the
+        // first hop to be fundable: downstream dry spells are absorbed by
+        // router queues.
         let view = crate::ledger::LedgerView { network, ledger };
-        let best = candidates
-            .iter()
-            .map(|path| (path_bottleneck(&view, path), path))
-            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len())))
-            .map(|(_, path)| path.clone())
-            .expect("non-empty candidates");
+        let best = match faults {
+            Some(fs) => best_path(
+                candidates,
+                &FaultView {
+                    inner: &view,
+                    faults: fs,
+                    blacklist,
+                    now,
+                },
+            ),
+            None => best_path(candidates, &view),
+        };
         let (c0, _) = best.hops()[0];
+        if faults.is_some_and(|fs| fs.is_channel_down(c0)) {
+            break;
+        }
         if !ledger.can_lock_hop(network, c0, src, unit_amount) {
             break;
         }
@@ -539,6 +695,16 @@ fn pump_source(
     }
 }
 
+/// Waterfilling path preference: max bottleneck, shorter path on ties.
+fn best_path<V: spider_core::BalanceView>(candidates: &[Path], view: &V) -> Path {
+    candidates
+        .iter()
+        .map(|path| (path_bottleneck(view, path), path))
+        .max_by(|a, b| a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len())))
+        .map(|(_, path)| path.clone())
+        .expect("non-empty candidates")
+}
+
 /// A unit at an intermediate router tries to lock its next hop; otherwise
 /// it joins the channel direction's queue.
 #[allow(clippy::too_many_arguments)]
@@ -554,17 +720,21 @@ fn try_forward(
     now: f64,
     stats: &mut QueueStats,
     slot: impl Fn(Direction) -> usize,
+    faults: Option<&FaultState>,
+    violations: &mut Vec<AuditViolation>,
 ) {
     let (c, d) = units[unit].path.hops()[units[unit].locked];
     let from = units[unit].path.nodes()[units[unit].locked];
     let amount = units[unit].amount;
-    if ledger.can_lock_hop(network, c, from, amount) {
+    let down = faults.is_some_and(|fs| fs.is_channel_down(c));
+    if !down && ledger.can_lock_hop(network, c, from, amount) {
         ledger.lock_hop(network, c, from, amount).expect("checked");
         units[unit].locked += 1;
         queue.push(now + config.hop_delay, Event::HopArrive { unit });
         return;
     }
-    // Queue at this router.
+    // Queue at this router (downed next hop queues too: the unit waits for
+    // recovery, bounded by its payment's deadline).
     let q = &mut router_queues[c.index()][slot(d)];
     if q.len() >= config.max_queue_len {
         drop_unit(
@@ -576,6 +746,7 @@ fn try_forward(
             stats,
             &config.telemetry,
             now,
+            violations,
         );
         return;
     }
@@ -633,7 +804,12 @@ fn drain_queue(
     stats: &mut QueueStats,
     total_wait: &mut f64,
     dequeues: &mut usize,
+    faults: Option<&FaultState>,
+    violations: &mut Vec<AuditViolation>,
 ) {
+    if faults.is_some_and(|fs| fs.is_channel_down(channel)) {
+        return; // nothing forwards over a downed channel
+    }
     while let Some(&head) = router_queues[channel.index()][slot_idx].front() {
         // Expired while waiting?
         if payments[units[head].payment].deadline <= now || units[head].dropped {
@@ -648,6 +824,7 @@ fn drain_queue(
                     stats,
                     &config.telemetry,
                     now,
+                    violations,
                 );
             }
             continue;
@@ -681,12 +858,15 @@ fn drop_unit(
     stats: &mut QueueStats,
     telemetry: &Telemetry,
     now: f64,
+    violations: &mut Vec<AuditViolation>,
 ) {
     let u = &mut units[unit];
     debug_assert!(!u.dropped);
     for (i, &(c, _)) in u.path.hops().iter().take(u.locked).enumerate() {
         let from = u.path.nodes()[i];
-        ledger.refund_hop(network, c, from, u.amount);
+        if let Err(err) = ledger.refund_hop(network, c, from, u.amount) {
+            record_release(violations, now, "queued-drop", &err);
+        }
     }
     u.dropped = true;
     stats.units_dropped += 1;
@@ -869,6 +1049,44 @@ mod tests {
         assert_eq!(
             insert_position(&q, &units, &payments, QueuePolicy::EarliestDeadline, 1),
             0
+        );
+    }
+
+    #[test]
+    fn outage_drops_locked_units_and_queues_absorb_recovery() {
+        use crate::faults::{FaultConfig, FaultEvent, FaultPlan};
+        use spider_core::ChannelId;
+        // Channel 1 dies while units are mid-path: locked prefixes crossing
+        // it are refunded. After recovery the source re-sends and the
+        // payment still completes — router queues plus source re-pumping
+        // absorb the outage.
+        let g = line3(100);
+        let txs = vec![tx(0, 0, 2, 30, 0.1)];
+        let plan = FaultPlan::scripted(
+            vec![
+                (0.3, FaultEvent::ChannelDown(ChannelId(1))),
+                (1.0, FaultEvent::ChannelUp(ChannelId(1))),
+            ],
+            FaultConfig::default(),
+        );
+        let mut cfg = QueuedConfig::new(20.0);
+        cfg.deadline = 15.0;
+        cfg.faults = Some(plan);
+        let out = run_queued(&g, &txs, &cfg);
+        let stats = out.report.faults.expect("fault stats present");
+        assert_eq!(stats.outages, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(out.report.completed, 1, "{:?}", out.report);
+        assert!(
+            out.report.audit_violations.is_empty(),
+            "{:?}",
+            out.report.audit_violations
+        );
+        // Determinism under faults.
+        let again = run_queued(&g, &txs, &cfg);
+        assert_eq!(
+            serde_json::to_string(&out.report).unwrap(),
+            serde_json::to_string(&again.report).unwrap()
         );
     }
 

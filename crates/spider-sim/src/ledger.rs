@@ -91,36 +91,75 @@ impl Ledger {
         Ok(())
     }
 
+    /// Checks that releasing `amount` from every hop of `path` stays within
+    /// each channel's recorded in-flight funds. Shared validation pass for
+    /// the settle/refund paths: a violation here is a double-settle /
+    /// double-refund bug in the caller, and we must refuse it *before*
+    /// mutating anything so release-side bugs can't corrupt balances in
+    /// release builds (where `debug_assert!` compiles out).
+    fn check_release(&self, path: &Path, amount: Amount) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        for &(c, _) in path.hops() {
+            let inflight = self.channels[c.index()].inflight;
+            if inflight < amount {
+                return Err(CoreError::ExcessRelease {
+                    channel: c,
+                    inflight: inflight.micros(),
+                    requested: amount.micros(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Settles a previously locked transfer: credits the receiving side of
     /// every hop and releases the in-flight funds.
     ///
-    /// # Panics
-    /// Panics (in debug builds) if settlement exceeds recorded in-flight
-    /// funds — that indicates a double-settle bug in the caller.
-    pub fn settle_path(&mut self, network: &Network, path: &Path, amount: Amount) {
+    /// Returns [`CoreError::ExcessRelease`] — and changes nothing — if the
+    /// settlement exceeds any hop's recorded in-flight funds (a
+    /// double-settle bug in the caller).
+    pub fn settle_path(
+        &mut self,
+        network: &Network,
+        path: &Path,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        self.check_release(path, amount)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let to = path.nodes()[i + 1];
             let side = Self::side(network, c, to);
             let st = &mut self.channels[c.index()];
-            debug_assert!(st.inflight >= amount, "settle exceeds inflight on {c}");
             st.available[side] += amount;
             st.inflight -= amount;
             debug_assert!(self.conserves(c));
         }
+        Ok(())
     }
 
     /// Cancels a previously locked transfer: refunds the sender side of
     /// every hop (an expired/failed HTLC).
-    pub fn refund_path(&mut self, network: &Network, path: &Path, amount: Amount) {
+    ///
+    /// Returns [`CoreError::ExcessRelease`] — and changes nothing — if the
+    /// refund exceeds any hop's recorded in-flight funds (a double-refund
+    /// bug in the caller).
+    pub fn refund_path(
+        &mut self,
+        network: &Network,
+        path: &Path,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        self.check_release(path, amount)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
             let side = Self::side(network, c, from);
             let st = &mut self.channels[c.index()];
-            debug_assert!(st.inflight >= amount, "refund exceeds inflight on {c}");
             st.available[side] += amount;
             st.inflight -= amount;
             debug_assert!(self.conserves(c));
         }
+        Ok(())
     }
 
     /// Locks a *per-hop* amount along `path` (`amounts[i]` on hop `i`) —
@@ -161,33 +200,67 @@ impl Ledger {
         Ok(())
     }
 
-    /// Settles a per-hop-amount transfer: hop `i`'s receiver is credited
-    /// `amounts[i]` (so each router keeps its fee margin).
-    pub fn settle_path_amounts(&mut self, network: &Network, path: &Path, amounts: &[Amount]) {
+    /// Per-hop-amount variant of
+    /// [`check_release`](Self::check_release).
+    fn check_release_amounts(&self, path: &Path, amounts: &[Amount]) -> Result<(), CoreError> {
         assert_eq!(amounts.len(), path.hops().len(), "one amount per hop");
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            if amounts[i].is_negative() {
+                return Err(CoreError::NegativeAmount);
+            }
+            let inflight = self.channels[c.index()].inflight;
+            if inflight < amounts[i] {
+                return Err(CoreError::ExcessRelease {
+                    channel: c,
+                    inflight: inflight.micros(),
+                    requested: amounts[i].micros(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Settles a per-hop-amount transfer: hop `i`'s receiver is credited
+    /// `amounts[i]` (so each router keeps its fee margin). All-or-nothing:
+    /// returns [`CoreError::ExcessRelease`] and changes nothing if any hop
+    /// would over-release.
+    pub fn settle_path_amounts(
+        &mut self,
+        network: &Network,
+        path: &Path,
+        amounts: &[Amount],
+    ) -> Result<(), CoreError> {
+        self.check_release_amounts(path, amounts)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let to = path.nodes()[i + 1];
             let side = Self::side(network, c, to);
             let st = &mut self.channels[c.index()];
-            debug_assert!(st.inflight >= amounts[i], "settle exceeds inflight on {c}");
             st.available[side] += amounts[i];
             st.inflight -= amounts[i];
             debug_assert!(self.conserves(c));
         }
+        Ok(())
     }
 
     /// Refunds a per-hop-amount transfer back to each hop's sender.
-    pub fn refund_path_amounts(&mut self, network: &Network, path: &Path, amounts: &[Amount]) {
-        assert_eq!(amounts.len(), path.hops().len(), "one amount per hop");
+    /// All-or-nothing like
+    /// [`settle_path_amounts`](Self::settle_path_amounts).
+    pub fn refund_path_amounts(
+        &mut self,
+        network: &Network,
+        path: &Path,
+        amounts: &[Amount],
+    ) -> Result<(), CoreError> {
+        self.check_release_amounts(path, amounts)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
             let side = Self::side(network, c, from);
             let st = &mut self.channels[c.index()];
-            debug_assert!(st.inflight >= amounts[i], "refund exceeds inflight on {c}");
             st.available[side] += amounts[i];
             st.inflight -= amounts[i];
             debug_assert!(self.conserves(c));
         }
+        Ok(())
     }
 
     /// Locks `amount` on `from`'s side of a single channel (hop-by-hop
@@ -231,33 +304,44 @@ impl Ledger {
     }
 
     /// Settles a single previously locked hop: credits `to`'s side.
+    ///
+    /// Returns [`CoreError::ExcessRelease`] — and changes nothing — if the
+    /// settlement exceeds the channel's recorded in-flight funds.
     pub fn settle_hop(
         &mut self,
         network: &Network,
         channel: ChannelId,
         to: NodeId,
         amount: Amount,
-    ) {
+    ) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
         let side = Self::side(network, channel, to);
         let st = &mut self.channels[channel.index()];
-        debug_assert!(
-            st.inflight >= amount,
-            "settle exceeds inflight on {channel}"
-        );
+        if st.inflight < amount {
+            return Err(CoreError::ExcessRelease {
+                channel,
+                inflight: st.inflight.micros(),
+                requested: amount.micros(),
+            });
+        }
         st.available[side] += amount;
         st.inflight -= amount;
         debug_assert!(self.conserves(channel));
+        Ok(())
     }
 
     /// Refunds a single previously locked hop back to `from`'s side.
+    /// Error behaviour matches [`settle_hop`](Self::settle_hop).
     pub fn refund_hop(
         &mut self,
         network: &Network,
         channel: ChannelId,
         from: NodeId,
         amount: Amount,
-    ) {
-        self.settle_hop(network, channel, from, amount);
+    ) -> Result<(), CoreError> {
+        self.settle_hop(network, channel, from, amount)
     }
 
     /// Deposits `amount` of fresh on-chain funds on `node`'s side of
@@ -412,7 +496,7 @@ mod tests {
         assert_eq!(ledger.inflight(c01), Amount::from_whole(3));
         assert!(ledger.conserves_all());
 
-        ledger.settle_path(&g, &p, Amount::from_whole(3));
+        ledger.settle_path(&g, &p, Amount::from_whole(3)).unwrap();
         let view = LedgerView {
             network: &g,
             ledger: &ledger,
@@ -450,7 +534,7 @@ mod tests {
         let mut ledger = Ledger::new(&g);
         let p = path02(&g);
         ledger.lock_path(&g, &p, Amount::from_whole(4)).unwrap();
-        ledger.refund_path(&g, &p, Amount::from_whole(4));
+        ledger.refund_path(&g, &p, Amount::from_whole(4)).unwrap();
         let view = LedgerView {
             network: &g,
             ledger: &ledger,
@@ -481,7 +565,7 @@ mod tests {
         assert_eq!(ledger.mean_imbalance(), 0.0);
         let p = path02(&g);
         ledger.lock_path(&g, &p, Amount::from_whole(5)).unwrap();
-        ledger.settle_path(&g, &p, Amount::from_whole(5));
+        ledger.settle_path(&g, &p, Amount::from_whole(5)).unwrap();
         // Both channels fully one-sided now.
         assert!((ledger.mean_imbalance() - 1.0).abs() < 1e-12);
     }
@@ -492,8 +576,61 @@ mod tests {
         let mut ledger = Ledger::new(&g);
         let p = path02(&g);
         ledger.lock_path(&g, &p, Amount::from_whole(4)).unwrap();
-        ledger.settle_path(&g, &p, Amount::from_whole(1));
-        ledger.refund_path(&g, &p, Amount::from_whole(3));
+        ledger.settle_path(&g, &p, Amount::from_whole(1)).unwrap();
+        ledger.refund_path(&g, &p, Amount::from_whole(3)).unwrap();
+        assert_eq!(ledger.total_inflight(), Amount::ZERO);
+        assert!(ledger.conserves_all());
+    }
+
+    #[test]
+    fn excess_release_is_rejected_without_corruption() {
+        let g = line3();
+        let mut ledger = Ledger::new(&g);
+        let p = path02(&g);
+        ledger.lock_path(&g, &p, Amount::from_whole(2)).unwrap();
+        let before = (
+            ledger.balances(g.channels()[0].id),
+            ledger.balances(g.channels()[1].id),
+            ledger.total_inflight(),
+        );
+
+        // Over-settling and over-refunding are both refused in full —
+        // no partial hop mutation — and the ledger still conserves.
+        let err = ledger
+            .settle_path(&g, &p, Amount::from_whole(3))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ExcessRelease { .. }));
+        let err = ledger
+            .refund_path(&g, &p, Amount::from_whole(3))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ExcessRelease { .. }));
+        let c01 = g.channels()[0].id;
+        let err = ledger
+            .settle_hop(&g, c01, NodeId(1), Amount::from_whole(3))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ExcessRelease { .. }));
+        let err = ledger
+            .refund_hop(&g, c01, NodeId(0), Amount::from_whole(3))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ExcessRelease { .. }));
+        let err = ledger
+            .settle_path_amounts(&g, &p, &[Amount::from_whole(2), Amount::from_whole(3)])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ExcessRelease { .. }));
+
+        assert_eq!(
+            before,
+            (
+                ledger.balances(g.channels()[0].id),
+                ledger.balances(g.channels()[1].id),
+                ledger.total_inflight(),
+            ),
+            "failed releases must not move any funds"
+        );
+        assert!(ledger.conserves_all());
+
+        // The legitimate settle still goes through afterwards.
+        ledger.settle_path(&g, &p, Amount::from_whole(2)).unwrap();
         assert_eq!(ledger.total_inflight(), Amount::ZERO);
         assert!(ledger.conserves_all());
     }
@@ -525,18 +662,118 @@ mod tests {
                     2 => {
                         if let Some((is_fwd, a)) = outstanding.pop() {
                             let p = if is_fwd { &fwd } else { &rev };
-                            ledger.settle_path(&g, p, a);
+                            ledger.settle_path(&g, p, a).unwrap();
                         }
                     }
                     _ => {
                         if let Some((is_fwd, a)) = outstanding.pop() {
                             let p = if is_fwd { &fwd } else { &rev };
-                            ledger.refund_path(&g, p, a);
+                            ledger.refund_path(&g, p, a).unwrap();
                         }
                     }
                 }
                 prop_assert!(ledger.conserves_all());
             }
+        }
+
+        /// Conservation holds — exactly, globally — when random channel
+        /// outages and node crashes are interleaved with lock/settle/refund.
+        /// An outage or crash forces an immediate refund of every
+        /// outstanding unit whose path crosses an affected channel, exactly
+        /// as the engines do, and the total escrow never moves.
+        #[test]
+        fn prop_conservation_under_faults(
+            ops in proptest::collection::vec((0u8..7, 1i64..4), 1..80),
+        ) {
+            use crate::faults::{FaultConfig, FaultEvent, FaultPlan, FaultState};
+            let g = line3();
+            let mut ledger = Ledger::new(&g);
+            let total = ledger.total_capacity();
+            let fwd = path02(&g);
+            let rev = Path::new(&g, vec![NodeId(2), NodeId(1), NodeId(0)]).unwrap();
+            let short = Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap();
+            let plan = FaultPlan::scripted(Vec::new(), FaultConfig::default());
+            let mut faults = FaultState::new(&plan, &g);
+            // Outstanding units: (path index 0=fwd 1=rev 2=short, amount).
+            let mut outstanding: Vec<(u8, Amount)> = Vec::new();
+            let paths = [&fwd, &rev, &short];
+            let crosses = |p: &Path, newly: &[spider_core::ChannelId]| {
+                p.hops().iter().any(|(c, _)| newly.contains(c))
+            };
+            for (op, amt) in ops {
+                let amount = Amount::from_whole(amt);
+                match op {
+                    0..=2 => {
+                        let which = op;
+                        let p = paths[which as usize];
+                        // Senders refuse paths through downed channels, as
+                        // the engines do via FaultView masking.
+                        if !faults.path_blocked(p)
+                            && ledger.lock_path(&g, p, amount).is_ok()
+                        {
+                            outstanding.push((which, amount));
+                        }
+                    }
+                    3 => {
+                        if let Some((which, a)) = outstanding.pop() {
+                            ledger.settle_path(&g, paths[which as usize], a).unwrap();
+                        }
+                    }
+                    4 => {
+                        if let Some((which, a)) = outstanding.pop() {
+                            ledger.refund_path(&g, paths[which as usize], a).unwrap();
+                        }
+                    }
+                    5 => {
+                        // Channel outage (channel picked by amount parity),
+                        // followed eventually by recovery; refund every
+                        // outstanding unit crossing a newly-down channel.
+                        let c = g.channels()[amt as usize % 2].id;
+                        let newly = faults.apply(&g, &FaultEvent::ChannelDown(c));
+                        let mut kept = Vec::new();
+                        for (which, a) in outstanding.drain(..) {
+                            if crosses(paths[which as usize], &newly) {
+                                ledger
+                                    .refund_path(&g, paths[which as usize], a)
+                                    .unwrap();
+                            } else {
+                                kept.push((which, a));
+                            }
+                        }
+                        outstanding = kept;
+                        faults.apply(&g, &FaultEvent::ChannelUp(c));
+                    }
+                    _ => {
+                        // Node crash takes all incident channels down.
+                        let n = NodeId(amt as u32 % 3);
+                        let newly = faults.apply(&g, &FaultEvent::NodeDown(n));
+                        let mut kept = Vec::new();
+                        for (which, a) in outstanding.drain(..) {
+                            if crosses(paths[which as usize], &newly) {
+                                ledger
+                                    .refund_path(&g, paths[which as usize], a)
+                                    .unwrap();
+                            } else {
+                                kept.push((which, a));
+                            }
+                        }
+                        outstanding = kept;
+                        faults.apply(&g, &FaultEvent::NodeUp(n));
+                    }
+                }
+                prop_assert!(ledger.conserves_all());
+                prop_assert_eq!(
+                    ledger.total_available() + ledger.total_inflight(),
+                    total,
+                    "global escrow must never move under faults"
+                );
+            }
+            // Drain everything; the network must return to full liquidity.
+            while let Some((which, a)) = outstanding.pop() {
+                ledger.refund_path(&g, paths[which as usize], a).unwrap();
+            }
+            prop_assert_eq!(ledger.total_inflight(), Amount::ZERO);
+            prop_assert_eq!(ledger.total_available(), total);
         }
 
         /// The ledger auditor finds no violations under arbitrary
@@ -571,13 +808,17 @@ mod tests {
                     }
                     2 => {
                         if let Some((is_fwd, a)) = outstanding.pop() {
-                            ledger.settle_path(&g, if is_fwd { &fwd } else { &rev }, a);
+                            ledger
+                                .settle_path(&g, if is_fwd { &fwd } else { &rev }, a)
+                                .unwrap();
                         }
                         "settle"
                     }
                     3 => {
                         if let Some((is_fwd, a)) = outstanding.pop() {
-                            ledger.refund_path(&g, if is_fwd { &fwd } else { &rev }, a);
+                            ledger
+                                .refund_path(&g, if is_fwd { &fwd } else { &rev }, a)
+                                .unwrap();
                         }
                         "refund"
                     }

@@ -21,6 +21,7 @@ pub mod congestion;
 pub mod engine;
 pub mod engine_queued;
 pub mod events;
+pub mod faults;
 pub mod ledger;
 pub mod metrics;
 pub mod payment;
@@ -33,6 +34,10 @@ pub use congestion::{CongestionConfig, CongestionControl};
 pub use engine::{run, SimConfig};
 pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
 pub use events::{EventQueue, Time};
+pub use faults::{
+    Blacklist, FaultConfig, FaultEvent, FaultPlan, FaultState, FaultStats, FaultView, RetryPolicy,
+    UnitFate,
+};
 pub use ledger::{Ledger, LedgerView};
 pub use metrics::SimReport;
 pub use payment::{PaymentState, PaymentStatus};

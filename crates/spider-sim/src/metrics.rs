@@ -2,6 +2,7 @@
 //! supporting detail.
 
 use crate::audit::AuditViolation;
+use crate::faults::FaultStats;
 use crate::rebalancer::RebalanceStats;
 use serde::{Deserialize, Serialize};
 use spider_telemetry::{DelayPercentiles, TelemetrySummary};
@@ -59,6 +60,11 @@ pub struct SimReport {
     /// snapshot (present only when telemetry was enabled).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub telemetry: Option<TelemetrySummary>,
+    /// Fault-injection statistics (present only when a fault plan was
+    /// configured, so fault-off reports serialize byte-identically to
+    /// older builds).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultStats>,
 }
 
 impl SimReport {
@@ -134,6 +140,7 @@ mod tests {
             audit_violations: vec![],
             completion_delay_percentiles: None,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -175,6 +182,7 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         assert!(!json.contains("completion_delay_percentiles"));
         assert!(!json.contains("telemetry"));
+        assert!(!json.contains("faults"), "fault-off reports stay unchanged");
         let mut with = report();
         with.completion_delay_percentiles = Some(DelayPercentiles {
             p50: 0.5,

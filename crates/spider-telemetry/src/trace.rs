@@ -120,6 +120,80 @@ pub enum TraceEvent {
         /// zero for the source-queued engine).
         queue_depth: u32,
     },
+    /// A channel went down (fault injection): its capacity is masked and
+    /// in-flight units crossing it are refunded.
+    ChannelOutage {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Channel index.
+        channel: u32,
+    },
+    /// A downed channel came back up.
+    ChannelRecovered {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Channel index.
+        channel: u32,
+    },
+    /// A node crashed (fault injection): every incident channel goes down.
+    NodeCrashed {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Node index.
+        node: u32,
+    },
+    /// A crashed node rejoined the network.
+    NodeRecovered {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Node index.
+        node: u32,
+    },
+    /// A unit was dropped in flight by fault injection (its locks are
+    /// refunded in a paired `UnitRefunded` event).
+    UnitDropped {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Unit value in tokens.
+        amount: f64,
+        /// Channel index of the hop blamed for the drop.
+        channel: u32,
+    },
+    /// A unit's HTLC was griefed: funds stay pinned until the hold expires,
+    /// then refund (paired `UnitRefunded`).
+    UnitGriefed {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Unit value in tokens.
+        amount: f64,
+        /// How long the funds were pinned (seconds).
+        hold: f64,
+    },
+    /// A sender scheduled a retry after a fault failure (exponential
+    /// backoff).
+    PaymentRetry {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Payment id.
+        payment: u64,
+        /// Fault-failure count for this payment so far.
+        attempt: u32,
+        /// Backoff delay before the next send attempt (seconds).
+        backoff: f64,
+    },
+    /// A sender blacklisted a channel after a fault failure on it.
+    ChannelBlacklisted {
+        /// Simulation time (seconds).
+        t: f64,
+        /// Channel index.
+        channel: u32,
+        /// Simulation time until which routing avoids the channel.
+        until: f64,
+    },
     /// Periodic solver progress sample (primal-dual iterations).
     SolverSample {
         /// Iteration number (1-based).
@@ -148,6 +222,14 @@ impl TraceEvent {
             TraceEvent::PaymentAbandoned { .. } => "payment_abandoned",
             TraceEvent::RebalanceApplied { .. } => "rebalance_applied",
             TraceEvent::ChannelSample { .. } => "channel_sample",
+            TraceEvent::ChannelOutage { .. } => "channel_outage",
+            TraceEvent::ChannelRecovered { .. } => "channel_recovered",
+            TraceEvent::NodeCrashed { .. } => "node_crashed",
+            TraceEvent::NodeRecovered { .. } => "node_recovered",
+            TraceEvent::UnitDropped { .. } => "unit_dropped",
+            TraceEvent::UnitGriefed { .. } => "unit_griefed",
+            TraceEvent::PaymentRetry { .. } => "payment_retry",
+            TraceEvent::ChannelBlacklisted { .. } => "channel_blacklisted",
             TraceEvent::SolverSample { .. } => "solver_sample",
         }
     }

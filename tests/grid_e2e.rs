@@ -16,6 +16,8 @@ fn all_six_schemes_run_audited_on_the_isp_topology() {
         trials: 1,
         audit: true,
         telemetry: false,
+        faults: None,
+        outage_rates: Vec::new(),
     };
     let result = run_grid(&grid, 2);
 

@@ -15,6 +15,8 @@ fn small_grid() -> GridConfig {
         trials: 2,
         audit: true,
         telemetry: false,
+        faults: None,
+        outage_rates: Vec::new(),
     }
 }
 

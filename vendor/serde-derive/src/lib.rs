@@ -9,7 +9,8 @@
 //! - enums with unit, tuple, and struct variants (externally tagged, like
 //!   upstream serde's default);
 //! - attributes `#[serde(transparent)]`, `#[serde(skip)]`,
-//!   `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]`.
+//!   `#[serde(default)]`, `#[serde(default = "path")]`, and
+//!   `#[serde(skip_serializing_if = "path")]`.
 //!
 //! Generics are intentionally unsupported (none of the workspace's derived
 //! types are generic); deriving on a generic type is a compile error.
@@ -21,6 +22,8 @@ struct Field {
     name: String,
     skip: bool,
     default: bool,
+    /// Path of a `fn() -> T` producing the default (`default = "path"`).
+    default_path: Option<String>,
     skip_serializing_if: Option<String>,
 }
 
@@ -60,6 +63,7 @@ enum Item {
 struct SerdeFlags {
     skip: bool,
     default: bool,
+    default_path: Option<String>,
     transparent: bool,
     skip_serializing_if: Option<String>,
 }
@@ -83,7 +87,10 @@ fn parse_serde_flags(tokens: &[TokenTree], flags: &mut SerdeFlags) {
             }
             match key.as_str() {
                 "skip" => flags.skip = true,
-                "default" => flags.default = true,
+                "default" => {
+                    flags.default = true;
+                    flags.default_path = value;
+                }
                 "transparent" => flags.transparent = true,
                 "skip_serializing_if" => flags.skip_serializing_if = value,
                 // Unknown serde attributes are ignored, like a subset
@@ -174,6 +181,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
             name,
             skip: flags.skip,
             default: flags.default,
+            default_path: flags.default_path,
             skip_serializing_if: flags.skip_serializing_if,
         });
     }
@@ -319,7 +327,9 @@ fn gen_named_serialize_body(fields: &[Field], access_prefix: &str) -> String {
 fn gen_named_deserialize_fields(fields: &[Field], source: &str) -> String {
     let mut out = String::new();
     for f in fields {
-        let fallback = if f.skip || f.default {
+        let fallback = if let Some(path) = &f.default_path {
+            format!("{path}()")
+        } else if f.skip || f.default {
             "::core::default::Default::default()".to_string()
         } else {
             format!(
