@@ -462,7 +462,8 @@ fn run_grid_command(
     }
     let t0 = std::time::Instant::now();
     let result = if let Some(dir) = trace_out {
-        let (result, traces) = run_grid_traced(&grid, jobs);
+        let (result, traces) =
+            run_grid_traced(&grid, jobs).unwrap_or_else(|e| panic!("grid run failed: {e}"));
         std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
         for (i, trace) in traces.iter().enumerate() {
             let path = format!("{dir}/cell-{i:04}.jsonl");
@@ -471,7 +472,7 @@ fn run_grid_command(
         println!("wrote {} per-cell trace files to {dir}", traces.len());
         result
     } else {
-        run_grid(&grid, jobs)
+        run_grid(&grid, jobs).unwrap_or_else(|e| panic!("grid run failed: {e}"))
     };
     let has_rates = result.summaries.iter().any(|s| s.outage_rate.is_some());
     println!(

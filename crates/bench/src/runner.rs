@@ -13,6 +13,7 @@
 
 use crate::experiments::{build_scheme, ExperimentConfig, SchemeChoice};
 use serde::{Deserialize, Serialize};
+use spider_core::CoreError;
 use spider_sim::{run, FaultConfig, FaultPlan, SimReport};
 use spider_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -193,8 +194,12 @@ impl GridResult {
     /// Serializes the whole result as pretty JSON. Because cells are slot-
     /// addressed and summaries walk the grid in declaration order, this
     /// string is byte-identical for any worker count.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("grid result serializes")
+    ///
+    /// Returns [`CoreError::Internal`] if serialization fails (a bug in the
+    /// report types, not a runtime condition).
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| CoreError::Internal(format!("grid result serialization failed: {e}")))
     }
 }
 
@@ -295,15 +300,21 @@ fn run_cell(config: &GridConfig, cell: &GridCell) -> (SimReport, String) {
 /// Workers claim cells from a shared atomic counter and write each report
 /// into the slot addressed by its cell index, so the output — and its JSON
 /// serialization — does not depend on `jobs` or on scheduling order.
-pub fn run_grid(config: &GridConfig, jobs: usize) -> GridResult {
-    run_grid_traced(config, jobs).0
+///
+/// Returns [`CoreError::Internal`] if any worker panicked before filling
+/// its slot; the error names the first unfilled cell.
+pub fn run_grid(config: &GridConfig, jobs: usize) -> Result<GridResult, CoreError> {
+    Ok(run_grid_traced(config, jobs)?.0)
 }
 
 /// Like [`run_grid`], but also returns each cell's trace as JSONL, in cell
 /// index order (empty strings when `config.telemetry` is off). Traces are
 /// slot-addressed like the reports, so every byte of the return value is
 /// independent of the worker count.
-pub fn run_grid_traced(config: &GridConfig, jobs: usize) -> (GridResult, Vec<String>) {
+pub fn run_grid_traced(
+    config: &GridConfig,
+    jobs: usize,
+) -> Result<(GridResult, Vec<String>), CoreError> {
     let cells = expand(config);
     let jobs = jobs.clamp(1, cells.len().max(1));
     let next = AtomicUsize::new(0);
@@ -318,18 +329,20 @@ pub fn run_grid_traced(config: &GridConfig, jobs: usize) -> (GridResult, Vec<Str
                     break;
                 }
                 let outcome = run_cell(config, &cells[i]);
-                *slots[i].lock().unwrap() = Some(outcome);
+                // A poisoned slot only means another worker panicked while
+                // holding the lock; the slot data itself is still valid.
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
             });
         }
     });
 
     let mut reports = Vec::with_capacity(cells.len());
     let mut traces = Vec::with_capacity(cells.len());
-    for slot in slots {
+    for (i, slot) in slots.into_iter().enumerate() {
         let (report, trace) = slot
             .into_inner()
-            .unwrap()
-            .expect("every grid cell produced a report");
+            .unwrap_or_else(|p| p.into_inner())
+            .ok_or_else(|| CoreError::Internal(format!("grid cell {i} produced no report")))?;
         reports.push(report);
         traces.push(trace);
     }
@@ -340,13 +353,13 @@ pub fn run_grid_traced(config: &GridConfig, jobs: usize) -> (GridResult, Vec<Str
         .map(|(cell, report)| CellResult { cell, report })
         .collect();
     let summaries = summarize(config, &results);
-    (
+    Ok((
         GridResult {
             cells: results,
             summaries,
         },
         traces,
-    )
+    ))
 }
 
 fn summarize(config: &GridConfig, results: &[CellResult]) -> Vec<GridSummary> {
@@ -455,8 +468,8 @@ mod tests {
     #[test]
     fn grid_runs_audited_and_identically_at_any_job_count() {
         let config = tiny_config();
-        let serial = run_grid(&config, 1);
-        let parallel = run_grid(&config, 3);
+        let serial = run_grid(&config, 1).unwrap();
+        let parallel = run_grid(&config, 3).unwrap();
 
         assert_eq!(serial.cells.len(), 4);
         assert_eq!(serial.summaries.len(), 2);
@@ -478,8 +491,8 @@ mod tests {
         }
         assert_eq!(serial.total_audit_violations(), 0);
         assert_eq!(
-            serial.to_json(),
-            parallel.to_json(),
+            serial.to_json().unwrap(),
+            parallel.to_json().unwrap(),
             "output depends on worker count"
         );
     }
@@ -490,7 +503,7 @@ mod tests {
         config.schemes = vec![SchemeChoice::ShortestPath];
         config.trials = 1;
         config.audit = false;
-        let result = run_grid(&config, 1);
+        let result = run_grid(&config, 1).unwrap();
         assert_eq!(result.summaries[0].audit_checks, 0);
     }
 
@@ -525,11 +538,11 @@ mod tests {
             node_downtime: 2.0,
             ..FaultConfig::default()
         });
-        let serial = run_grid(&config, 1);
-        let parallel = run_grid(&config, 4);
+        let serial = run_grid(&config, 1).unwrap();
+        let parallel = run_grid(&config, 4).unwrap();
         assert_eq!(
-            serial.to_json(),
-            parallel.to_json(),
+            serial.to_json().unwrap(),
+            parallel.to_json().unwrap(),
             "fault grids must not depend on worker count"
         );
         assert_eq!(serial.total_audit_violations(), 0);

@@ -70,10 +70,22 @@ impl Amount {
         );
         let micros = (tokens * MICROS_PER_TOKEN as f64).round();
         assert!(
-            micros >= i64::MIN as f64 && micros <= i64::MAX as f64,
+            in_i64_range(micros),
             "Amount::from_tokens({tokens}): out of range"
         );
         Amount(micros as i64)
+    }
+
+    /// Checked variant of [`from_tokens`](Self::from_tokens): `None` when
+    /// `tokens` is non-finite or the rounded micro-unit count does not fit
+    /// in `i64`.
+    #[inline]
+    pub fn checked_from_tokens(tokens: f64) -> Option<Self> {
+        if !tokens.is_finite() {
+            return None;
+        }
+        let micros = (tokens * MICROS_PER_TOKEN as f64).round();
+        in_i64_range(micros).then_some(Amount(micros as i64))
     }
 
     /// The raw micro-unit count.
@@ -144,10 +156,7 @@ impl Amount {
     pub fn scale(self, ratio: f64) -> Amount {
         assert!(ratio.is_finite(), "Amount::scale({ratio}): not finite");
         let scaled = (self.0 as f64 * ratio).round();
-        assert!(
-            scaled >= i64::MIN as f64 && scaled <= i64::MAX as f64,
-            "Amount::scale: overflow"
-        );
+        assert!(in_i64_range(scaled), "Amount::scale: overflow");
         Amount(scaled as i64)
     }
 
@@ -178,6 +187,20 @@ impl Amount {
             self.0 as f64 / other.0 as f64
         }
     }
+}
+
+/// `true` iff the (integral) float `v` fits in `i64` exactly.
+///
+/// The naive bound `v <= i64::MAX as f64` is itself lossy: `i64::MAX`
+/// (2⁶³ − 1) is not representable in `f64` — the nearest values are
+/// 2⁶³ − 1024 and 2⁶³ — so the comparison accepts 2⁶³, which an `as` cast
+/// then silently saturates to `i64::MAX`. The valid range is exactly
+/// `[-2⁶³, 2⁶³)`; both endpoints are representable, so the check is exact.
+/// (NaN fails both comparisons and is rejected.)
+#[inline]
+fn in_i64_range(v: f64) -> bool {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exactly representable
+    (-TWO_63..TWO_63).contains(&v)
 }
 
 impl Add for Amount {
@@ -363,6 +386,58 @@ mod tests {
     #[should_panic(expected = "not finite")]
     fn from_tokens_rejects_nan() {
         let _ = Amount::from_tokens(f64::NAN);
+    }
+
+    #[test]
+    fn micros_range_check_is_exact_at_i64_boundaries() {
+        const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+        // 2^63 micros is representable in f64 but NOT in i64. The old bound
+        // `micros <= i64::MAX as f64` compared against 2^63 and accepted it,
+        // after which the `as` cast silently saturated to i64::MAX. This is
+        // the bug the money-safety lint exists to prevent.
+        assert!(!in_i64_range(TWO_63));
+        // The largest f64 below 2^63 is 2^63 - 1024: valid, casts exactly.
+        assert!(in_i64_range(TWO_63 - 1024.0));
+        assert_eq!((TWO_63 - 1024.0) as i64, i64::MAX - 1023);
+        // -2^63 == i64::MIN is representable and valid...
+        assert!(in_i64_range(-TWO_63));
+        assert_eq!((-TWO_63) as i64, i64::MIN);
+        // ...but the next f64 below it (-(2^63 + 2048)) is not.
+        assert!(!in_i64_range(-(TWO_63 + 2048.0)));
+        assert!(!in_i64_range(f64::NAN));
+        assert!(!in_i64_range(f64::INFINITY));
+    }
+
+    #[test]
+    fn checked_from_tokens_round_trips_at_i64_edges() {
+        // Largest token value whose micros stay strictly below 2^63. The
+        // f64 product rounds to the nearest representable value (ULP is
+        // 1024 micros at this magnitude); what matters is that it is
+        // accepted and lands within one ULP, not saturated.
+        let a = Amount::checked_from_tokens(9_223_372_036_854.0).expect("in range");
+        assert!((a.micros() - 9_223_372_036_854_000_000).abs() <= 1024);
+        // The negative edge: ~-2^63 / 10^6 tokens lands within two ULPs of
+        // i64::MIN without being rejected or saturated past it.
+        let lo = Amount::checked_from_tokens(-9_223_372_036_854.775).expect("in range");
+        assert!(lo.micros() <= i64::MIN + 2048, "{}", lo.micros());
+        // Clearly out of range / non-finite inputs are rejected, not
+        // silently saturated.
+        assert_eq!(Amount::checked_from_tokens(1e19), None);
+        assert_eq!(Amount::checked_from_tokens(-1e19), None);
+        assert_eq!(Amount::checked_from_tokens(f64::NAN), None);
+        assert_eq!(Amount::checked_from_tokens(f64::NEG_INFINITY), None);
+        assert_eq!(
+            Amount::checked_from_tokens(1.5),
+            Some(Amount::from_micros(1_500_000))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_tokens_panics_instead_of_saturating() {
+        // 9_223_372_036_855 tokens = 2^63 + ~2.2e5 micros: over the line.
+        // Pre-fix this could silently saturate; now it must panic.
+        let _ = Amount::from_tokens(9_223_372_036_855.0);
     }
 
     proptest! {

@@ -41,6 +41,18 @@ pub enum CoreError {
         /// Micro-units the caller tried to release.
         requested: i64,
     },
+    /// A ledger operation named a node that is not an endpoint of the
+    /// channel it addressed.
+    NotAnEndpoint {
+        /// The node that is not an endpoint.
+        node: NodeId,
+        /// The channel it was used with.
+        channel: ChannelId,
+    },
+    /// An internal infrastructure invariant failed (serialization, worker
+    /// bookkeeping, ...) — a bug, surfaced as a typed error instead of a
+    /// panic.
+    Internal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -76,6 +88,10 @@ impl fmt::Display for CoreError {
                 f,
                 "release exceeds inflight on {channel}: have {inflight}µ locked, tried to release {requested}µ"
             ),
+            CoreError::NotAnEndpoint { node, channel } => {
+                write!(f, "{node} is not an endpoint of {channel}")
+            }
+            CoreError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }

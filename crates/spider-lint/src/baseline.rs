@@ -1,0 +1,223 @@
+//! The ratchet: a checked-in baseline of known violations, keyed by
+//! `(file, rule)` with a count.
+//!
+//! `check` fails when any `(file, rule)` count *exceeds* its baseline (a
+//! fresh violation) **or** falls *below* it (a stale entry: debt shrank and
+//! the baseline must be re-blessed so it can never grow back). Debt can
+//! therefore only move monotonically toward zero.
+
+use crate::rules::Violation;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One baselined `(file, rule)` debt entry.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Number of baselined violations of `rule` in `file`.
+    pub count: usize,
+}
+
+/// The checked-in ratchet baseline (`lint-baseline.json`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Entries sorted by `(file, rule)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a scan, sorted by `(file, rule)`.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *counts.entry((v.file.clone(), v.rule.clone())).or_insert(0) += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((file, rule), count)| BaselineEntry { file, rule, count })
+                .collect(),
+        }
+    }
+
+    /// Total baselined violations.
+    pub fn total(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Total baselined violations of one rule.
+    pub fn rule_total(&self, rule: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.rule == rule)
+            .map(|e| e.count)
+            .sum()
+    }
+}
+
+/// A `(file, rule)` group that now has more violations than the baseline
+/// allows.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Regression {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Baselined count (0 when the group is new).
+    pub baseline: usize,
+    /// Count found by this scan.
+    pub actual: usize,
+    /// Every current violation in the group (line numbers locate the new
+    /// ones; the ratchet is count-based, so lines are advisory).
+    pub violations: Vec<Violation>,
+}
+
+/// A baseline entry whose debt shrank (or whose file/rule vanished): the
+/// baseline is stale and must be re-blessed so the ratchet tightens.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StaleEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Baselined count.
+    pub baseline: usize,
+    /// Count found by this scan (strictly less than `baseline`).
+    pub actual: usize,
+}
+
+/// Result of comparing a scan against the baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckOutcome {
+    /// Groups over their baselined count.
+    pub regressions: Vec<Regression>,
+    /// Entries under their baselined count.
+    pub stale: Vec<StaleEntry>,
+}
+
+impl CheckOutcome {
+    /// `true` when the scan matches the baseline exactly.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares current violations against the baseline.
+pub fn check(current: &[Violation], baseline: &Baseline) -> CheckOutcome {
+    let mut groups: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    for v in current {
+        groups
+            .entry((v.file.clone(), v.rule.clone()))
+            .or_default()
+            .push(v.clone());
+    }
+    let allowed: BTreeMap<(&str, &str), usize> = baseline
+        .entries
+        .iter()
+        .map(|e| ((e.file.as_str(), e.rule.as_str()), e.count))
+        .collect();
+
+    let mut outcome = CheckOutcome::default();
+    for ((file, rule), violations) in &groups {
+        let permitted = allowed
+            .get(&(file.as_str(), rule.as_str()))
+            .copied()
+            .unwrap_or(0);
+        if violations.len() > permitted {
+            outcome.regressions.push(Regression {
+                file: file.clone(),
+                rule: rule.clone(),
+                baseline: permitted,
+                actual: violations.len(),
+                violations: violations.clone(),
+            });
+        }
+    }
+    for e in &baseline.entries {
+        let actual = groups
+            .get(&(e.file.clone(), e.rule.clone()))
+            .map_or(0, Vec::len);
+        if actual < e.count {
+            outcome.stale.push(StaleEntry {
+                file: e.file.clone(),
+                rule: e.rule.clone(),
+                baseline: e.count,
+                actual,
+            });
+        }
+    }
+    outcome.regressions.sort();
+    outcome.stale.sort();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: u32, rule: &str) -> Violation {
+        Violation {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn exact_match_is_ok() {
+        let cur = vec![v("a.rs", 1, "panic-hygiene"), v("a.rs", 9, "panic-hygiene")];
+        let base = Baseline::from_violations(&cur);
+        assert_eq!(base.total(), 2);
+        assert!(check(&cur, &base).ok());
+    }
+
+    #[test]
+    fn extra_violation_regresses() {
+        let cur = vec![v("a.rs", 1, "panic-hygiene")];
+        let base = Baseline::from_violations(&cur);
+        let more = vec![v("a.rs", 1, "panic-hygiene"), v("a.rs", 2, "panic-hygiene")];
+        let out = check(&more, &base);
+        assert!(!out.ok());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].baseline, 1);
+        assert_eq!(out.regressions[0].actual, 2);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn new_group_regresses_from_zero() {
+        let base = Baseline::default();
+        let out = check(&[v("b.rs", 3, "unsafe-audit")], &base);
+        assert_eq!(out.regressions[0].baseline, 0);
+    }
+
+    #[test]
+    fn shrunk_debt_is_stale() {
+        let base = Baseline::from_violations(&[
+            v("a.rs", 1, "money-safety"),
+            v("a.rs", 2, "money-safety"),
+        ]);
+        let out = check(&[v("a.rs", 1, "money-safety")], &base);
+        assert!(!out.ok());
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].actual, 1);
+        // Fully fixed file is stale too.
+        let out = check(&[], &base);
+        assert_eq!(out.stale[0].actual, 0);
+    }
+
+    #[test]
+    fn baseline_round_trips_json() {
+        let base = Baseline::from_violations(&[v("a.rs", 1, "determinism")]);
+        let json = serde_json::to_string_pretty(&base).unwrap_or_default();
+        let back: Baseline = match serde_json::from_str(&json) {
+            Ok(b) => b,
+            Err(e) => panic!("round trip failed: {e}"),
+        };
+        assert_eq!(back, base);
+    }
+}

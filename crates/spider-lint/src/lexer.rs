@@ -1,0 +1,405 @@
+//! A small comment/string/attribute-aware Rust lexer.
+//!
+//! The workspace builds offline against stub dependencies, so `syn` is not
+//! available; the lint rules instead run over this token stream. It is not a
+//! full Rust lexer — it only has to be exact about the things that create
+//! lint false positives: string/char/byte/raw-string literals, line and
+//! block comments (captured, because `spider-lint: allow(...)` directives
+//! live in them), lifetimes vs. char literals, and raw identifiers.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token payload. Literal contents are deliberately dropped: rules must
+/// never match inside string/char/number literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `as`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `#`, `{`, ...).
+    Punct(char),
+    /// A string/char/byte/number literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A comment, captured so allow-directives can be parsed from it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text, including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The identifier at token index `i`, if any.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i)?.kind {
+            TokKind::Ident(ref s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The punctuation character at token index `i`, if any.
+    pub fn punct(&self, i: usize) -> Option<char> {
+        match self.toks.get(i)?.kind {
+            TokKind::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments.
+pub fn lex(source: &str) -> Lexed {
+    // Work over a char vector: the lexer needs two characters of lookahead
+    // (`'a` vs `'a'`, `r#"` vs `r#ident`), which `Peekable` cannot give.
+    let chars: Vec<char> = source.chars().collect();
+    let mut lx = VecLexer {
+        chars,
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+struct VecLexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl VecLexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, line: u32, kind: TokKind) {
+        self.out.toks.push(Tok { line, kind });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.bump();
+                self.string_body();
+                self.push_tok(line, TokKind::Literal);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line);
+            } else if c.is_ascii_digit() {
+                self.number();
+                self.push_tok(line, TokKind::Literal);
+            } else {
+                self.bump();
+                if !c.is_whitespace() {
+                    self.push_tok(line, TokKind::Punct(c));
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '/' && self.peek(0) == Some('*') {
+                depth += 1;
+                text.push('*');
+                self.bump();
+            } else if c == '*' && self.peek(0) == Some('/') {
+                text.push('/');
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Consumes a (non-raw) string body after the opening `"`.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a raw string after its prefix ident, given `#`s or `"` next.
+    /// Returns `false` if this was actually a raw identifier (`r#name`).
+    fn raw_string_or_raw_ident(&mut self, line: u32) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes) {
+            Some('"') => {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                // Scan for `"` followed by `hashes` hashes.
+                'outer: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        for k in 0..hashes {
+                            if self.peek(k) != Some('#') {
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                self.push_tok(line, TokKind::Literal);
+                true
+            }
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#type`.
+                self.bump(); // '#'
+                let id = self.ident_text();
+                self.push_tok(line, TokKind::Ident(id));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut id = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                id.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        id
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let id = self.ident_text();
+        let next = self.peek(0);
+        match (id.as_str(), next) {
+            ("r" | "br" | "cr", Some('"' | '#')) => {
+                if !self.raw_string_or_raw_ident(line) {
+                    self.push_tok(line, TokKind::Ident(id));
+                }
+            }
+            ("b" | "c", Some('"')) => {
+                self.bump();
+                self.string_body();
+                self.push_tok(line, TokKind::Literal);
+            }
+            ("b", Some('\'')) => {
+                self.bump();
+                self.char_body();
+                self.push_tok(line, TokKind::Literal);
+            }
+            _ => self.push_tok(line, TokKind::Ident(id)),
+        }
+    }
+
+    /// Consumes a char-literal body after the opening `'`.
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+    }
+
+    /// `'` — either a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                // Lifetime: consume the ident, no closing quote.
+                self.ident_text();
+                self.push_tok(line, TokKind::Lifetime);
+            }
+            Some(_) => {
+                self.char_body();
+                self.push_tok(line, TokKind::Literal);
+            }
+            None => {}
+        }
+    }
+
+    /// Consumes a numeric literal (decimal, hex, float, exponent, suffix).
+    fn number(&mut self) {
+        let mut prev_exp = false;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                prev_exp = c == 'e' || c == 'E';
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1..n` and `x.0.1` do not
+                // (a second `.` right after means a range).
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (c == '+' || c == '-') && prev_exp {
+                prev_exp = false;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let lx = lex("let x = a.unwrap();");
+        assert_eq!(idents("let x = a.unwrap();"), ["let", "x", "a", "unwrap"]);
+        assert!(lx.toks.iter().any(|t| t.kind == TokKind::Punct('.')));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        assert_eq!(idents(r#"let s = "HashMap.unwrap()";"#), ["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"unsafe { }"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"unwrap";"#), ["let", "s"]);
+        // Escaped quote does not end the string early.
+        assert_eq!(idents(r#"let s = "a\"unsafe\"b";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lx = lex("// HashMap here\nlet x = 1; /* unsafe\nblock */\n");
+        assert_eq!(idents("// HashMap here\nlet x = 1;"), ["let", "x"]);
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].line, 1);
+        assert!(lx.comments[0].text.contains("HashMap"));
+        assert_eq!(lx.comments[1].line, 2);
+        assert!(lx.comments[1].text.contains("block"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(idents("fn f<'a>(x: &'a str) {}"), ["fn", "f", "x", "str"]);
+        // Char literals (with content 'u') must not produce an ident.
+        assert_eq!(
+            idents("let c = 'u'; let d = '\\n';"),
+            ["let", "c", "let", "d"]
+        );
+        assert_eq!(idents("let e = '_';"), ["let", "e"]);
+        assert_eq!(idents("let l: &'static str = x;"), ["let", "l", "str", "x"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_hex() {
+        assert_eq!(
+            idents("for i in 0..=5 { x[i] = 0x9e37_79b9; }"),
+            ["for", "i", "in", "x", "i"]
+        );
+        assert_eq!(idents("let f = 1.5e-3f64;"), ["let", "f"]);
+        // `x.0` tuple access: the 0 is a literal, the dot a punct.
+        assert_eq!(idents("let y = x.0;"), ["let", "y", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lx = lex("a\nb\n  c");
+        let lines: Vec<u32> = lx.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+        // Multi-line string literals advance the line counter.
+        let lx = lex("let s = \"x\ny\";\nz");
+        let z = lx.toks.last().expect("token");
+        assert_eq!(z.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(idents("/* a /* b */ c */ let x = 1;"), ["let", "x"]);
+        assert_eq!(lx.comments.len(), 1);
+    }
+}

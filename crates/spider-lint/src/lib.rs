@@ -1,0 +1,237 @@
+//! # spider-lint — workspace invariant linter with ratcheted baselines
+//!
+//! A self-contained static-analysis pass over all first-party workspace
+//! sources (vendored crates excluded) enforcing the invariants the rest of
+//! the reproduction depends on:
+//!
+//! - **determinism** — no unordered `HashMap`/`HashSet`, wall-clock time, or
+//!   OS randomness on deterministic simulation/routing paths,
+//! - **money-safety** — no f64 <-> [`Amount`] conversions or lossy casts on
+//!   micro-units outside the declared `spider-opt` boundary,
+//! - **panic-hygiene** — no `.unwrap()`/`.expect()` in library non-test
+//!   code,
+//! - **unsafe-audit** — no `unsafe` anywhere first-party,
+//! - **serde-compat** — new fields on fixture-frozen report structs must
+//!   carry `#[serde(default)]`/`skip_serializing_if`.
+//!
+//! Existing debt is checked into `lint-baseline.json`; the ratchet fails on
+//! any *new* violation and on any *stale* entry, so debt can only shrink.
+//! Violations can be suppressed inline with
+//! `// spider-lint: allow(<rule>) — <reason>`.
+//!
+//! See `LINTS.md` at the workspace root for the full rule catalogue.
+//!
+//! [`Amount`]: https://docs.rs/spider-core
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{check, Baseline, BaselineEntry, CheckOutcome, Regression, StaleEntry};
+pub use rules::{lint_source, Violation, RULES};
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's manifest directory at
+/// compile time (`crates/spider-lint` -> two levels up).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .components()
+        .collect()
+}
+
+/// Default baseline path for a workspace root.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("lint-baseline.json")
+}
+
+/// Collects every first-party `.rs` file under `root`, sorted by relative
+/// path so scans are deterministic. Walks `src/`, `crates/`, `tests/`, and
+/// `examples/`; skips `vendor/`, `target/`, and hidden directories.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort_by_key(|p| rel_path(root, p));
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "vendor" || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+pub fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Scans every first-party file under `root`, returning all violations
+/// sorted by `(file, line, rule, message)`.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for file in collect_files(root)? {
+        let rel = rel_path(root, &file);
+        let source = std::fs::read_to_string(&file)?;
+        all.extend(rules::lint_source(&rel, &source));
+    }
+    all.sort();
+    Ok(all)
+}
+
+/// Loads the baseline at `path`. A missing file is an empty baseline (so a
+/// never-blessed tree treats every violation as new).
+pub fn load_baseline(path: &Path) -> io::Result<Baseline> {
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Serializes a baseline deterministically (pretty JSON + trailing newline).
+pub fn render_baseline(baseline: &Baseline) -> String {
+    match serde_json::to_string_pretty(baseline) {
+        Ok(mut s) => {
+            s.push('\n');
+            s
+        }
+        Err(_) => String::new(),
+    }
+}
+
+/// Per-rule violation count.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleTotal {
+    /// Rule name.
+    pub rule: String,
+    /// Current violations of the rule (baselined + new).
+    pub count: usize,
+}
+
+/// Machine-readable `check --json` report. Field order and the sortedness
+/// of every list are fixed, so serializing this is byte-identical across
+/// runs over the same tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Report schema version.
+    pub schema: u32,
+    /// `true` when the scan matches the baseline exactly.
+    pub ok: bool,
+    /// Total current violations (baselined + new).
+    pub total_violations: usize,
+    /// Per-rule totals, sorted by rule name (all five rules always listed).
+    pub rule_totals: Vec<RuleTotal>,
+    /// `(file, rule)` groups over their baselined count.
+    pub regressions: Vec<Regression>,
+    /// Baseline entries whose debt shrank; re-bless to tighten the ratchet.
+    pub stale: Vec<StaleEntry>,
+}
+
+/// Builds the full check report for a scan against a baseline.
+pub fn check_report(current: &[Violation], base: &Baseline) -> CheckReport {
+    let outcome = check(current, base);
+    let rule_totals = RULES
+        .iter()
+        .map(|&rule| RuleTotal {
+            rule: rule.to_string(),
+            count: current.iter().filter(|v| v.rule == rule).count(),
+        })
+        .collect();
+    CheckReport {
+        schema: 1,
+        ok: outcome.ok(),
+        total_violations: current.len(),
+        rule_totals,
+        regressions: outcome.regressions,
+        stale: outcome.stale,
+    }
+}
+
+/// Renders a check report as deterministic pretty JSON (trailing newline).
+pub fn render_json(report: &CheckReport) -> String {
+    match serde_json::to_string_pretty(report) {
+        Ok(mut s) => {
+            s.push('\n');
+            s
+        }
+        Err(_) => String::new(),
+    }
+}
+
+/// Renders a check report as human-readable text.
+pub fn render_text(report: &CheckReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    if report.ok {
+        let _ = write!(
+            s,
+            "spider-lint: OK — 0 new violations, {} baselined (",
+            report.total_violations
+        );
+        for (i, rt) in report.rule_totals.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(s, "{sep}{} {}", rt.count, rt.rule);
+        }
+        s.push_str(")\n");
+        return s;
+    }
+    for r in &report.regressions {
+        let _ = writeln!(
+            s,
+            "NEW: {} [{}] — {} found, {} baselined",
+            r.file, r.rule, r.actual, r.baseline
+        );
+        for v in &r.violations {
+            let _ = writeln!(s, "  {}:{}: {}", v.file, v.line, v.message);
+        }
+    }
+    for e in &report.stale {
+        let _ = writeln!(
+            s,
+            "STALE: {} [{}] — baseline {}, found {} (debt shrank; run `cargo run -p spider-lint -- bless`)",
+            e.file, e.rule, e.baseline, e.actual
+        );
+    }
+    let _ = writeln!(
+        s,
+        "spider-lint: FAILED — {} regressing group(s), {} stale baseline entr(ies)",
+        report.regressions.len(),
+        report.stale.len()
+    );
+    s
+}

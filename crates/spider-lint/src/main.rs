@@ -1,0 +1,105 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p spider-lint -- check [--json] [--root DIR]   # verify tree against lint-baseline.json
+//! cargo run -p spider-lint -- bless [--root DIR]            # regenerate the baseline
+//! ```
+//!
+//! `check` exits 0 only when the tree matches the baseline exactly: any new
+//! violation of any rule fails, and any stale entry (debt that shrank but
+//! was not re-blessed) fails too, so the checked-in baseline can only move
+//! toward zero.
+
+use spider_lint::{
+    baseline_path, check_report, load_baseline, render_baseline, render_json, render_text,
+    scan_workspace, workspace_root, Baseline,
+};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: spider-lint <check [--json] | bless> [--root DIR] [--baseline FILE]";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut json = false;
+    let mut root = workspace_root();
+    let mut baseline_file: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "bless" if command.is_none() => command = Some(arg.clone()),
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match it.next() {
+                Some(f) => baseline_file = Some(PathBuf::from(f)),
+                None => return usage("--baseline needs a file"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(command) = command else {
+        return usage("missing command");
+    };
+    let baseline_file = baseline_file.unwrap_or_else(|| baseline_path(&root));
+
+    let current = match scan_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("spider-lint: scan failed under {}: {e}", root.display());
+            return 2;
+        }
+    };
+
+    match command.as_str() {
+        "bless" => {
+            let base = Baseline::from_violations(&current);
+            if let Err(e) = std::fs::write(&baseline_file, render_baseline(&base)) {
+                eprintln!("spider-lint: cannot write {}: {e}", baseline_file.display());
+                return 2;
+            }
+            println!(
+                "spider-lint: blessed {} violation(s) in {} (file, rule) group(s) to {}",
+                base.total(),
+                base.entries.len(),
+                baseline_file.display()
+            );
+            for rule in spider_lint::RULES {
+                println!("  {rule}: {}", base.rule_total(rule));
+            }
+            0
+        }
+        _ => {
+            let base = match load_baseline(&baseline_file) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("spider-lint: cannot load baseline: {e}");
+                    return 2;
+                }
+            };
+            let report = check_report(&current, &base);
+            if json {
+                print!("{}", render_json(&report));
+            } else {
+                print!("{}", render_text(&report));
+            }
+            if report.ok {
+                0
+            } else {
+                1
+            }
+        }
+    }
+}
+
+fn usage(problem: &str) -> i32 {
+    eprintln!("spider-lint: {problem}\n{USAGE}");
+    2
+}

@@ -1,0 +1,330 @@
+//! Integration tests for the workspace linter: per-rule fixtures, allow
+//! directives, false-positive resistance (strings/comments/test code),
+//! scan determinism, ratchet behavior, and the committed baseline itself.
+
+use spider_lint::{
+    check, check_report, lint_source, load_baseline, render_json, scan_workspace, workspace_root,
+    Baseline, BaselineEntry, Violation,
+};
+
+/// Lints `source` as if it lived at `rel`, returning `(rule, line)` pairs.
+fn hits(rel: &str, source: &str) -> Vec<(String, u32)> {
+    lint_source(rel, source)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+fn rules_of(rel: &str, source: &str) -> Vec<String> {
+    let mut rules: Vec<String> = lint_source(rel, source)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+const SIM_PATH: &str = "crates/spider-sim/src/fixture.rs";
+const LIB_PATH: &str = "crates/spider-topology/src/fixture.rs";
+const BIN_PATH: &str = "crates/bench/src/bin/fixture.rs";
+const TEST_PATH: &str = "tests/fixture.rs";
+
+// ---------------------------------------------------------- determinism --
+
+#[test]
+fn determinism_flags_unordered_collections_on_sim_paths() {
+    let src =
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let got = hits(SIM_PATH, src);
+    assert_eq!(got.len(), 3, "{got:?}");
+    assert!(got.iter().all(|(r, _)| r == "determinism"));
+    assert_eq!(got[0].1, 1);
+    assert_eq!(got[1].1, 2);
+}
+
+#[test]
+fn determinism_flags_wall_clock_and_os_randomness() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert_eq!(rules_of(SIM_PATH, src), ["determinism"]);
+    let src = "fn f() { let t = SystemTime::now(); }\n";
+    assert_eq!(rules_of(SIM_PATH, src), ["determinism"]);
+    let src = "fn f() { let mut rng = thread_rng(); }\n";
+    assert_eq!(rules_of(SIM_PATH, src), ["determinism"]);
+    // `Instant` without `::now` is fine (e.g. a type in a signature).
+    let src = "fn f(t: std::time::Instant) {}\n";
+    assert!(hits(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn determinism_ignores_ordered_collections_and_other_crates() {
+    let src = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n";
+    assert!(hits(SIM_PATH, src).is_empty());
+    // Same code in a non-deterministic crate is out of scope.
+    let src = "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    // The experiments CLI is deliberately allowlisted.
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert!(hits("crates/bench/src/bin/spider_experiments.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_skips_test_modules_and_mentions_in_strings_or_comments() {
+    let src = "\
+// A HashMap would be wrong here; Instant::now() too.
+fn f() { let s = \"HashMap and SystemTime::now()\"; }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u32, u32>::new(); }
+}
+";
+    assert!(hits(SIM_PATH, src).is_empty(), "{:?}", hits(SIM_PATH, src));
+}
+
+#[test]
+fn determinism_respects_allow_directive() {
+    let src = "\
+// spider-lint: allow(determinism) — membership-only set, never iterated
+fn f() { let s: std::collections::HashSet<u32> = Default::default(); }
+";
+    assert!(hits(SIM_PATH, src).is_empty());
+    // The directive covers its own line and the next one only.
+    let src = "\
+// spider-lint: allow(determinism)
+fn f() {}
+fn g() { let s: std::collections::HashSet<u32> = Default::default(); }
+";
+    assert_eq!(rules_of(SIM_PATH, src), ["determinism"]);
+    // Allowing one rule does not allow another.
+    let src = "\
+// spider-lint: allow(panic-hygiene)
+fn f() { let s: std::collections::HashSet<u32> = Default::default(); }
+";
+    assert_eq!(rules_of(SIM_PATH, src), ["determinism"]);
+}
+
+// ---------------------------------------------------------- money-safety --
+
+#[test]
+fn money_safety_flags_float_conversions_outside_boundary() {
+    let src = "fn f() { let a = Amount::from_tokens(1.5); let b = a.as_tokens(); }\n";
+    let got = hits(SIM_PATH, src);
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got.iter().all(|(r, _)| r == "money-safety"));
+    let src = "fn f(a: Amount) -> f64 { a.micros() as f64 }\n";
+    assert_eq!(rules_of(SIM_PATH, src), ["money-safety"]);
+}
+
+#[test]
+fn money_safety_permits_the_declared_boundary_and_tests() {
+    let src = "fn f() { let a = Amount::from_tokens(1.5); }\n";
+    assert!(hits("crates/spider-opt/src/fluid.rs", src).is_empty());
+    assert!(hits("crates/spider-core/src/amount.rs", src).is_empty());
+    assert!(hits(TEST_PATH, src).is_empty());
+    // `micros()` without a cast is fine.
+    let src = "fn f(a: Amount) -> i64 { a.micros() }\n";
+    assert!(hits(SIM_PATH, src).is_empty());
+}
+
+// --------------------------------------------------------- panic-hygiene --
+
+#[test]
+fn panic_hygiene_flags_unwrap_and_expect_in_library_code() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(rules_of(LIB_PATH, src), ["panic-hygiene"]);
+    let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }\n";
+    assert_eq!(rules_of(LIB_PATH, src), ["panic-hygiene"]);
+}
+
+#[test]
+fn panic_hygiene_skips_tests_bins_and_lookalikes() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(hits(BIN_PATH, src).is_empty());
+    assert!(hits(TEST_PATH, src).is_empty());
+    let src = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    // unwrap_or / unwrap_or_else / into_inner are different idents.
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0).max(x.unwrap_or(1)) }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    // A doc string mentioning `.unwrap()` is not a call.
+    let src = "fn f() { let s = \"call .unwrap() here\"; } // .expect(\"no\")\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------- unsafe-audit --
+
+#[test]
+fn unsafe_audit_flags_unsafe_everywhere_first_party() {
+    let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+    assert_eq!(rules_of(LIB_PATH, src), ["unsafe-audit"]);
+    // Even in test code and bins.
+    let src = "#[test]\nfn t() { unsafe {} }\n";
+    assert_eq!(rules_of(TEST_PATH, src), ["unsafe-audit"]);
+    assert_eq!(rules_of(BIN_PATH, src), ["unsafe-audit"]);
+    // ...but not inside strings or comments.
+    let src = "// unsafe\nfn f() { let s = \"unsafe\"; }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------- serde-compat --
+
+#[test]
+fn serde_compat_requires_default_on_frozen_struct_fields() {
+    let src = "\
+#[derive(Serialize, Deserialize)]
+pub struct SimReport {
+    pub completed: usize,
+    #[serde(default)]
+    pub extra: Option<u32>,
+    #[serde(default, skip_serializing_if = \"Option::is_none\")]
+    pub faults: Option<u8>,
+}
+";
+    let got = lint_source(LIB_PATH, src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].rule, "serde-compat");
+    assert_eq!(got[0].line, 3);
+    assert!(got[0].message.contains("completed"));
+}
+
+#[test]
+fn serde_compat_ignores_unfrozen_structs_and_generic_fields() {
+    let src = "pub struct Other { pub a: Vec<(u32, u32)>, pub b: std::collections::BTreeMap<String, u32> }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    // Generic types with commas inside angle brackets must not confuse the
+    // field walker: only `plain` lacks the attribute.
+    let src = "\
+pub struct GridSummary {
+    #[serde(default)]
+    pub m: std::collections::BTreeMap<(String, u32), Vec<u8>>,
+    pub plain: u32,
+}
+";
+    let got = lint_source(LIB_PATH, src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].message.contains("plain"));
+}
+
+// ------------------------------------------------------------ the ratchet --
+
+fn v(file: &str, line: u32, rule: &str) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule: rule.to_string(),
+        message: format!("synthetic {rule}"),
+    }
+}
+
+#[test]
+fn ratchet_fails_on_new_violations_and_stale_entries() {
+    let baselined = [v("a.rs", 3, "panic-hygiene"), v("a.rs", 9, "panic-hygiene")];
+    let base = Baseline::from_violations(&baselined);
+
+    // Exactly at baseline: ok (line numbers may shift, counts matter).
+    let moved = [
+        v("a.rs", 7, "panic-hygiene"),
+        v("a.rs", 30, "panic-hygiene"),
+    ];
+    assert!(check(&moved, &base).ok());
+
+    // One new violation: regression.
+    let more = [
+        v("a.rs", 3, "panic-hygiene"),
+        v("a.rs", 9, "panic-hygiene"),
+        v("a.rs", 11, "panic-hygiene"),
+    ];
+    let outcome = check(&more, &base);
+    assert!(!outcome.ok());
+    assert_eq!(outcome.regressions.len(), 1);
+    assert_eq!(outcome.regressions[0].baseline, 2);
+    assert_eq!(outcome.regressions[0].actual, 3);
+
+    // Debt shrank without re-blessing: stale, also a failure.
+    let fewer = [v("a.rs", 3, "panic-hygiene")];
+    let outcome = check(&fewer, &base);
+    assert!(!outcome.ok());
+    assert_eq!(outcome.stale.len(), 1);
+
+    // A violation in a file with no baseline entry is a regression from 0.
+    let elsewhere = [v("b.rs", 1, "unsafe-audit")];
+    let base_b = Baseline {
+        entries: Vec::new(),
+    };
+    let outcome = check(&elsewhere, &base_b);
+    assert_eq!(outcome.regressions.len(), 1);
+    assert_eq!(outcome.regressions[0].baseline, 0);
+}
+
+#[test]
+fn ratchet_keys_are_per_file_and_per_rule() {
+    let base = Baseline {
+        entries: vec![BaselineEntry {
+            file: "a.rs".to_string(),
+            rule: "panic-hygiene".to_string(),
+            count: 1,
+        }],
+    };
+    // Same count under a different rule does not satisfy the entry.
+    let current = [v("a.rs", 1, "unsafe-audit")];
+    let outcome = check(&current, &base);
+    assert_eq!(outcome.regressions.len(), 1, "{outcome:?}");
+    assert_eq!(outcome.stale.len(), 1);
+}
+
+// ---------------------------------------------- the workspace, as committed --
+
+#[test]
+fn workspace_scan_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = scan_workspace(&root).expect("scan");
+    let b = scan_workspace(&root).expect("scan");
+    let base = load_baseline(&spider_lint::baseline_path(&root)).expect("baseline");
+    let ja = render_json(&check_report(&a, &base));
+    let jb = render_json(&check_report(&b, &base));
+    assert_eq!(ja, jb, "check --json must be byte-identical across runs");
+    assert!(ja.ends_with('\n'));
+}
+
+#[test]
+fn committed_tree_matches_committed_baseline() {
+    let root = workspace_root();
+    let current = scan_workspace(&root).expect("scan");
+    let base = load_baseline(&spider_lint::baseline_path(&root)).expect("baseline");
+    let report = check_report(&current, &base);
+    assert!(
+        report.ok,
+        "tree deviates from lint-baseline.json:\n{}",
+        spider_lint::render_text(&report)
+    );
+    // The ratchet's headline numbers for this tree.
+    let total_of = |rule: &str| {
+        report
+            .rule_totals
+            .iter()
+            .find(|rt| rt.rule == rule)
+            .map_or(0, |rt| rt.count)
+    };
+    assert_eq!(
+        total_of("determinism"),
+        0,
+        "determinism debt must stay zero"
+    );
+    assert_eq!(total_of("unsafe-audit"), 0, "unsafe debt must stay zero");
+}
+
+#[test]
+fn synthetic_regression_against_committed_baseline_fails() {
+    let root = workspace_root();
+    let mut current = scan_workspace(&root).expect("scan");
+    let base = load_baseline(&spider_lint::baseline_path(&root)).expect("baseline");
+    current.push(v("crates/spider-sim/src/engine.rs", 1, "determinism"));
+    current.sort();
+    let report = check_report(&current, &base);
+    assert!(!report.ok);
+    assert!(report
+        .regressions
+        .iter()
+        .any(|r| r.rule == "determinism" && r.file == "crates/spider-sim/src/engine.rs"));
+}

@@ -14,7 +14,7 @@
 use crate::paths::shortest_path;
 use crate::scheme::{split_evenly, BalanceOverlay, RoutingScheme, SchemeKind};
 use spider_core::{Amount, BalanceView, Network, NodeId, Path};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The SilentWhispers-style landmark routing scheme.
 #[derive(Debug)]
@@ -22,7 +22,7 @@ pub struct SilentWhispersScheme {
     landmarks: Vec<NodeId>,
     /// Cached landmark paths per (src, dst): one entry per landmark that has
     /// a valid loop-collapsed path.
-    cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    cache: BTreeMap<(NodeId, NodeId), Vec<Path>>,
 }
 
 impl SilentWhispersScheme {
@@ -35,7 +35,7 @@ impl SilentWhispersScheme {
         nodes.truncate(num_landmarks);
         SilentWhispersScheme {
             landmarks: nodes,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -44,7 +44,7 @@ impl SilentWhispersScheme {
         assert!(!landmarks.is_empty());
         SilentWhispersScheme {
             landmarks,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -82,7 +82,7 @@ fn landmark_path(network: &Network, src: NodeId, lm: NodeId, dst: NodeId) -> Opt
     // Collapse loops: keep only the segment between the first and last use
     // of each revisited node.
     let mut collapsed: Vec<NodeId> = Vec::with_capacity(nodes.len());
-    let mut position: HashMap<NodeId, usize> = HashMap::new();
+    let mut position: BTreeMap<NodeId, usize> = BTreeMap::new();
     for node in nodes {
         if let Some(&at) = position.get(&node) {
             for removed in collapsed.drain(at + 1..) {

@@ -12,7 +12,7 @@ use crate::scheme::{RoutingScheme, SchemeKind, UnitDecision};
 use spider_core::{Amount, BalanceView, DemandMatrix, Network, NodeId, Path};
 use spider_opt::fluid::FluidProblem;
 use spider_opt::primal_dual::{self, PrimalDualConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minimum LP rate (tokens/sec) for a path to participate in routing.
 const WEIGHT_FLOOR: f64 = 1e-6;
@@ -28,7 +28,7 @@ struct PairPlan {
 /// The Spider (LP) routing scheme.
 #[derive(Clone, Debug)]
 pub struct LpScheme {
-    plans: HashMap<(NodeId, NodeId), PairPlan>,
+    plans: BTreeMap<(NodeId, NodeId), PairPlan>,
 }
 
 impl LpScheme {
@@ -36,7 +36,7 @@ impl LpScheme {
     /// (aligned slices, as returned by the fluid solvers).
     pub fn from_flows(paths: &[Path], flows: &[f64]) -> Self {
         assert_eq!(paths.len(), flows.len(), "paths and flows must align");
-        let mut plans: HashMap<(NodeId, NodeId), PairPlan> = HashMap::new();
+        let mut plans: BTreeMap<(NodeId, NodeId), PairPlan> = BTreeMap::new();
         for (p, &w) in paths.iter().zip(flows) {
             if w < WEIGHT_FLOOR {
                 continue;

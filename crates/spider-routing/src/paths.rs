@@ -7,7 +7,7 @@
 //! highest-capacity paths" (§5.3.1). All of those strategies live here.
 
 use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// Breadth-first shortest path by hop count, avoiding `banned` channels.
 /// Ties are broken toward lower node ids, so results are deterministic.
@@ -15,7 +15,7 @@ pub fn shortest_path_avoiding(
     network: &Network,
     src: NodeId,
     dst: NodeId,
-    banned: &HashSet<ChannelId>,
+    banned: &BTreeSet<ChannelId>,
 ) -> Option<Path> {
     if src == dst {
         return None;
@@ -56,14 +56,14 @@ pub fn shortest_path_avoiding(
 
 /// Shortest path by hop count.
 pub fn shortest_path(network: &Network, src: NodeId, dst: NodeId) -> Option<Path> {
-    shortest_path_avoiding(network, src, dst, &HashSet::new())
+    shortest_path_avoiding(network, src, dst, &BTreeSet::new())
 }
 
 /// Up to `k` mutually edge-disjoint shortest paths: repeatedly finds a BFS
 /// shortest path and removes its channels (the paper's "4 disjoint shortest
 /// paths" strategy).
 pub fn edge_disjoint_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    let mut banned: HashSet<ChannelId> = HashSet::new();
+    let mut banned: BTreeSet<ChannelId> = BTreeSet::new();
     let mut out = Vec::new();
     for _ in 0..k {
         let Some(p) = shortest_path_avoiding(network, src, dst, &banned) else {
@@ -87,7 +87,10 @@ pub fn k_shortest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -
     let mut result: Vec<Path> = vec![first];
     // Candidate set ordered by (len, node sequence) for determinism.
     let mut candidates: BinaryHeap<std::cmp::Reverse<(usize, Vec<NodeId>)>> = BinaryHeap::new();
-    let mut seen_candidates: HashSet<Vec<NodeId>> = HashSet::new();
+    // Insert-and-membership only, never iterated, and hashing a Vec<NodeId>
+    // beats a full lexicographic BTreeSet comparison on long paths.
+    // spider-lint: allow(determinism) — membership-only set, no iteration
+    let mut seen_candidates: std::collections::HashSet<Vec<NodeId>> = Default::default();
 
     while result.len() < k {
         let last = result.last().unwrap().nodes().to_vec();
@@ -95,7 +98,7 @@ pub fn k_shortest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -
             let spur_node = last[i];
             let root: Vec<NodeId> = last[..=i].to_vec();
             // Ban channels used by previously accepted paths sharing the root.
-            let mut banned: HashSet<ChannelId> = HashSet::new();
+            let mut banned: BTreeSet<ChannelId> = BTreeSet::new();
             for p in &result {
                 if p.nodes().len() > i && p.nodes()[..=i] == root[..] {
                     let ch = network
@@ -143,7 +146,7 @@ pub fn widest_path_avoiding(
     network: &Network,
     src: NodeId,
     dst: NodeId,
-    banned: &HashSet<ChannelId>,
+    banned: &BTreeSet<ChannelId>,
 ) -> Option<Path> {
     if src == dst {
         return None;
@@ -197,7 +200,7 @@ pub fn widest_path_avoiding(
 /// Up to `k` mutually edge-disjoint widest paths (successive widest path
 /// with channel removal).
 pub fn widest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    let mut banned: HashSet<ChannelId> = HashSet::new();
+    let mut banned: BTreeSet<ChannelId> = BTreeSet::new();
     let mut out = Vec::new();
     for _ in 0..k {
         let Some(p) = widest_path_avoiding(network, src, dst, &banned) else {
@@ -228,7 +231,7 @@ pub fn path_bottleneck(balances: &dyn BalanceView, path: &Path) -> Amount {
 #[derive(Debug)]
 pub struct PathCache {
     strategy: PathStrategy,
-    cache: std::collections::HashMap<(NodeId, NodeId), Vec<Path>>,
+    cache: std::collections::BTreeMap<(NodeId, NodeId), Vec<Path>>,
     stats: PathCacheStats,
 }
 
@@ -375,7 +378,7 @@ mod tests {
             assert!(w[0].len() <= w[1].len());
         }
         // All distinct and valid.
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for p in &paths {
             assert!(seen.insert(p.nodes().to_vec()), "duplicate {p}");
             assert_eq!(p.source(), NodeId(0));
@@ -457,7 +460,7 @@ mod tests {
             .unwrap();
         g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(2))
             .unwrap();
-        let p = widest_path_avoiding(&g, NodeId(0), NodeId(3), &HashSet::new()).unwrap();
+        let p = widest_path_avoiding(&g, NodeId(0), NodeId(3), &BTreeSet::new()).unwrap();
         assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
     }
 
@@ -471,7 +474,7 @@ mod tests {
             .unwrap();
         g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
             .unwrap();
-        let p = widest_path_avoiding(&g, NodeId(0), NodeId(2), &HashSet::new()).unwrap();
+        let p = widest_path_avoiding(&g, NodeId(0), NodeId(2), &BTreeSet::new()).unwrap();
         assert_eq!(p.len(), 1);
     }
 
@@ -493,8 +496,8 @@ mod tests {
     fn widest_path_none_when_disconnected() {
         let mut g = Network::new(3);
         g.add_channel(NodeId(0), NodeId(1), Amount::ONE).unwrap();
-        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(2), &HashSet::new()).is_none());
-        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(0), &HashSet::new()).is_none());
+        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(2), &BTreeSet::new()).is_none());
+        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(0), &BTreeSet::new()).is_none());
     }
 
     #[test]

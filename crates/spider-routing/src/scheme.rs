@@ -7,7 +7,7 @@
 
 use crate::paths::path_bottleneck;
 use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Whether a scheme delivers payments atomically or unit-by-unit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,7 +96,7 @@ pub trait RoutingScheme: Send {
 /// overlay before checking the next.
 pub struct BalanceOverlay<'a> {
     base: &'a dyn BalanceView,
-    debits: HashMap<(ChannelId, NodeId), Amount>,
+    debits: BTreeMap<(ChannelId, NodeId), Amount>,
 }
 
 impl<'a> BalanceOverlay<'a> {
@@ -104,7 +104,7 @@ impl<'a> BalanceOverlay<'a> {
     pub fn new(base: &'a dyn BalanceView) -> Self {
         BalanceOverlay {
             base,
-            debits: HashMap::new(),
+            debits: BTreeMap::new(),
         }
     }
 

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use spider_core::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// AIMD parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -75,7 +75,7 @@ struct PairState {
 #[derive(Clone, Debug)]
 pub struct CongestionControl {
     config: CongestionConfig,
-    pairs: HashMap<(NodeId, NodeId), PairState>,
+    pairs: BTreeMap<(NodeId, NodeId), PairState>,
 }
 
 impl CongestionControl {
@@ -84,7 +84,7 @@ impl CongestionControl {
         config.validate();
         CongestionControl {
             config,
-            pairs: HashMap::new(),
+            pairs: BTreeMap::new(),
         }
     }
 

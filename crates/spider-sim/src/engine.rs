@@ -274,8 +274,8 @@ pub fn run(
     let mut timers: BinaryHeap<Reverse<Timer>> = BinaryHeap::new();
     // AMP: unit indices that reached the receiver but whose keys are
     // withheld until the whole payment has arrived.
-    let mut amp_held: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut amp_held: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     let mut routing_fees_paid = Amount::ZERO;
     // Refused over-releases (double settle/refund), surfaced in the report
     // even when periodic auditing is off.
@@ -422,7 +422,7 @@ pub fn run(
                     if arrived >= payments[payment].amount
                         && payments[payment].status == PaymentStatus::Pending
                     {
-                        for ui in amp_held.remove(&payment).expect("held units exist") {
+                        for ui in amp_held.remove(&payment).unwrap_or_default() {
                             if units[ui].resolved {
                                 continue;
                             }
@@ -672,7 +672,9 @@ pub fn run(
                     if t.time > now {
                         break;
                     }
-                    let Reverse(timer) = timers.pop().expect("peeked");
+                    let Some(Reverse(timer)) = timers.pop() else {
+                        break;
+                    };
                     let i = timer.payment;
                     match timer.kind {
                         TimerKind::Deadline => {
@@ -795,7 +797,7 @@ pub fn run(
                         &mut network_series,
                         &|_| 0,
                     );
-                    let interval = tel.sample_interval().expect("sampling implies enabled");
+                    let interval = tel.sample_interval().unwrap_or(f64::INFINITY);
                     while next_sample <= now + 1e-12 {
                         next_sample += interval;
                     }
@@ -1314,7 +1316,7 @@ fn build_report(
     } else {
         completed
             .iter()
-            .map(|p| p.completed_at.expect("completed payments have a time") - p.arrival)
+            .filter_map(|p| p.completed_at.map(|t| t - p.arrival))
             .sum::<f64>()
             / completed.len() as f64
     };

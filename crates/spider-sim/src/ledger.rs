@@ -42,14 +42,25 @@ impl Ledger {
         Ledger { channels }
     }
 
-    fn side(network: &Network, channel: ChannelId, node: NodeId) -> usize {
+    /// Which side (`0` = `a`, `1` = `b`) of `channel` belongs to `node`,
+    /// or [`CoreError::NotAnEndpoint`] when `node` is neither endpoint.
+    fn try_side(network: &Network, channel: ChannelId, node: NodeId) -> Result<usize, CoreError> {
         let ch = network.channel(channel);
         if node == ch.a {
-            0
+            Ok(0)
         } else if node == ch.b {
-            1
+            Ok(1)
         } else {
-            panic!("{node} is not an endpoint of {channel}")
+            Err(CoreError::NotAnEndpoint { node, channel })
+        }
+    }
+
+    /// Panicking variant of [`try_side`](Self::try_side), for the
+    /// infallible-signature entry points ([`BalanceView`], deposits).
+    fn side(network: &Network, channel: ChannelId, node: NodeId) -> usize {
+        match Self::try_side(network, channel, node) {
+            Ok(side) => side,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -68,7 +79,7 @@ impl Ledger {
         // checks cannot double-count within one path.
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
-            let side = Self::side(network, c, from);
+            let side = Self::try_side(network, c, from)?;
             let have = self.channels[c.index()].available[side];
             if have < amount {
                 return Err(CoreError::InsufficientFunds {
@@ -82,7 +93,7 @@ impl Ledger {
         // Commit pass.
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
-            let side = Self::side(network, c, from);
+            let side = Self::try_side(network, c, from)?;
             let st = &mut self.channels[c.index()];
             st.available[side] -= amount;
             st.inflight += amount;
@@ -129,7 +140,7 @@ impl Ledger {
         self.check_release(path, amount)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let to = path.nodes()[i + 1];
-            let side = Self::side(network, c, to);
+            let side = Self::try_side(network, c, to)?;
             let st = &mut self.channels[c.index()];
             st.available[side] += amount;
             st.inflight -= amount;
@@ -153,7 +164,7 @@ impl Ledger {
         self.check_release(path, amount)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
-            let side = Self::side(network, c, from);
+            let side = Self::try_side(network, c, from)?;
             let st = &mut self.channels[c.index()];
             st.available[side] += amount;
             st.inflight -= amount;
@@ -178,7 +189,7 @@ impl Ledger {
                 return Err(CoreError::NegativeAmount);
             }
             let from = path.nodes()[i];
-            let side = Self::side(network, c, from);
+            let side = Self::try_side(network, c, from)?;
             let have = self.channels[c.index()].available[side];
             if have < amounts[i] {
                 return Err(CoreError::InsufficientFunds {
@@ -191,7 +202,7 @@ impl Ledger {
         }
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
-            let side = Self::side(network, c, from);
+            let side = Self::try_side(network, c, from)?;
             let st = &mut self.channels[c.index()];
             st.available[side] -= amounts[i];
             st.inflight += amounts[i];
@@ -233,7 +244,7 @@ impl Ledger {
         self.check_release_amounts(path, amounts)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let to = path.nodes()[i + 1];
-            let side = Self::side(network, c, to);
+            let side = Self::try_side(network, c, to)?;
             let st = &mut self.channels[c.index()];
             st.available[side] += amounts[i];
             st.inflight -= amounts[i];
@@ -254,7 +265,7 @@ impl Ledger {
         self.check_release_amounts(path, amounts)?;
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
-            let side = Self::side(network, c, from);
+            let side = Self::try_side(network, c, from)?;
             let st = &mut self.channels[c.index()];
             st.available[side] += amounts[i];
             st.inflight -= amounts[i];
@@ -275,7 +286,7 @@ impl Ledger {
         if amount.is_negative() {
             return Err(CoreError::NegativeAmount);
         }
-        let side = Self::side(network, channel, from);
+        let side = Self::try_side(network, channel, from)?;
         let st = &mut self.channels[channel.index()];
         if st.available[side] < amount {
             return Err(CoreError::InsufficientFunds {
@@ -317,7 +328,7 @@ impl Ledger {
         if amount.is_negative() {
             return Err(CoreError::NegativeAmount);
         }
-        let side = Self::side(network, channel, to);
+        let side = Self::try_side(network, channel, to)?;
         let st = &mut self.channels[channel.index()];
         if st.inflight < amount {
             return Err(CoreError::ExcessRelease {

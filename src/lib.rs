@@ -40,6 +40,9 @@
 //! assert_eq!(report.completed, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use spider_core as core;
 pub use spider_opt as opt;
 pub use spider_routing as routing;

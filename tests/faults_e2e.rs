@@ -35,11 +35,11 @@ fn fault_grid(retry: bool) -> GridConfig {
 #[test]
 fn fault_grid_is_byte_identical_at_any_worker_count() {
     let config = fault_grid(true);
-    let serial = run_grid(&config, 1);
-    let parallel = run_grid(&config, 4);
+    let serial = run_grid(&config, 1).unwrap();
+    let parallel = run_grid(&config, 4).unwrap();
     assert_eq!(
-        serial.to_json(),
-        parallel.to_json(),
+        serial.to_json().unwrap(),
+        parallel.to_json().unwrap(),
         "fault-injected grid output must not depend on --jobs"
     );
     assert_eq!(
@@ -64,8 +64,8 @@ fn fault_grid_is_byte_identical_at_any_worker_count() {
 
 #[test]
 fn retry_and_blacklisting_recover_success_ratio() {
-    let with_retry = run_grid(&fault_grid(true), 4);
-    let without = run_grid(&fault_grid(false), 4);
+    let with_retry = run_grid(&fault_grid(true), 4).unwrap();
+    let without = run_grid(&fault_grid(false), 4).unwrap();
     assert_eq!(with_retry.total_audit_violations(), 0);
     assert_eq!(without.total_audit_violations(), 0);
 
@@ -102,7 +102,7 @@ fn outage_rate_sweep_produces_degradation_curve() {
     let mut config = fault_grid(true);
     config.schemes = vec![SchemeChoice::SpiderWaterfilling];
     config.outage_rates = vec![0.0, 2.0];
-    let result = run_grid(&config, 2);
+    let result = run_grid(&config, 2).unwrap();
     assert_eq!(result.summaries.len(), 2);
     assert_eq!(result.summaries[0].outage_rate, Some(0.0));
     assert_eq!(result.summaries[1].outage_rate, Some(2.0));

@@ -19,7 +19,7 @@ fn all_six_schemes_run_audited_on_the_isp_topology() {
         faults: None,
         outage_rates: Vec::new(),
     };
-    let result = run_grid(&grid, 2);
+    let result = run_grid(&grid, 2).unwrap();
 
     assert_eq!(result.summaries.len(), SchemeChoice::ALL.len());
     assert_eq!(result.cells.len(), SchemeChoice::ALL.len());

@@ -23,19 +23,23 @@ fn small_grid() -> GridConfig {
 #[test]
 fn same_config_twice_is_byte_identical() {
     let config = small_grid();
-    let a = run_grid(&config, 2);
-    let b = run_grid(&config, 2);
-    assert_eq!(a.to_json(), b.to_json(), "grid runs must be reproducible");
+    let a = run_grid(&config, 2).unwrap();
+    let b = run_grid(&config, 2).unwrap();
+    assert_eq!(
+        a.to_json().unwrap(),
+        b.to_json().unwrap(),
+        "grid runs must be reproducible"
+    );
 }
 
 #[test]
 fn one_vs_four_workers_is_byte_identical() {
     let config = small_grid();
-    let serial = run_grid(&config, 1);
-    let parallel = run_grid(&config, 4);
+    let serial = run_grid(&config, 1).unwrap();
+    let parallel = run_grid(&config, 4).unwrap();
     assert_eq!(
-        serial.to_json(),
-        parallel.to_json(),
+        serial.to_json().unwrap(),
+        parallel.to_json().unwrap(),
         "aggregated output must not depend on SPIDER_JOBS / worker count"
     );
     // And the runs were audited for real, with a clean ledger.
@@ -46,7 +50,7 @@ fn one_vs_four_workers_is_byte_identical() {
 #[test]
 fn cell_seeds_differ_across_trials_and_match_the_derivation() {
     let config = small_grid();
-    let result = run_grid(&config, 2);
+    let result = run_grid(&config, 2).unwrap();
     let mut seeds: Vec<u64> = result.cells.iter().map(|c| c.cell.seed).collect();
     for (i, cell) in result.cells.iter().enumerate() {
         assert_eq!(cell.cell.index, i);

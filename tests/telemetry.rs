@@ -189,8 +189,8 @@ fn grid_traces_are_byte_identical_at_any_worker_count() {
     grid.trials = 2;
     grid.telemetry = true;
 
-    let (serial, serial_traces) = run_grid_traced(&grid, 1);
-    let (parallel, parallel_traces) = run_grid_traced(&grid, 4);
+    let (serial, serial_traces) = run_grid_traced(&grid, 1).unwrap();
+    let (parallel, parallel_traces) = run_grid_traced(&grid, 4).unwrap();
 
     assert_eq!(serial_traces.len(), 4);
     assert_eq!(
@@ -198,8 +198,8 @@ fn grid_traces_are_byte_identical_at_any_worker_count() {
         "per-cell trace bytes must not depend on the worker count"
     );
     assert_eq!(
-        serial.to_json(),
-        parallel.to_json(),
+        serial.to_json().unwrap(),
+        parallel.to_json().unwrap(),
         "grid result JSON must not depend on the worker count"
     );
     for trace in &serial_traces {
