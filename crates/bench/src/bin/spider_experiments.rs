@@ -39,9 +39,9 @@
 
 use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
-    ablation_scheduler, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7, jobs_from_env,
-    rebalancing_curve, run_grid, run_grid_traced, Ablation, ExperimentConfig, GridConfig,
-    SchemeChoice,
+    ablation_scheduler, bench_matrix, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7,
+    jobs_from_env, rebalancing_curve, run_bench, run_grid, run_grid_traced, Ablation, BenchFloor,
+    ExperimentConfig, GridConfig, SchemeChoice,
 };
 use spider_sim::{FaultConfig, SimReport};
 use std::io::Write;
@@ -82,6 +82,7 @@ fn main() {
         "rebalancing" => run_rebalancing(&mut out),
         "ablations" => run_ablations(seed, &mut out),
         "grid" => run_grid_command(&args, full, seed, telemetry, trace_out.as_deref(), &mut out),
+        "bench" => run_bench_command(&args),
         "trace-check" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| {
                 eprintln!("trace-check expects a directory of .jsonl trace files");
@@ -108,11 +109,12 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|all|trace-check DIR> \
+        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|bench|all|trace-check DIR> \
          [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
          [--telemetry] [--trace-out DIR] \
          [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit] \
-         [--faults SCENARIO|FILE.json] [--outage-rates A,B,...] [--no-retry]"
+         [--faults SCENARIO|FILE.json] [--outage-rates A,B,...] [--no-retry]\n\
+         bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json]"
     );
     std::process::exit(2);
 }
@@ -517,6 +519,73 @@ fn run_grid_command(
     }
     out.record("grid", &result);
     println!();
+}
+
+/// `bench [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE]`:
+/// runs the fixed benchmark matrix with a median-of-N protocol and writes
+/// `BENCH_smoke.json` / `BENCH_full.json`. The report's `results` section is
+/// byte-identical across runs and `--jobs` values; only `timing` varies.
+/// With `--floor`, exits non-zero if any listed scenario's events/sec drops
+/// more than 30% below its checked-in floor.
+fn run_bench_command(args: &[String]) {
+    let smoke = has_flag(args, "--smoke");
+    let name = if smoke { "smoke" } else { "full" };
+    let repeats: usize = match flag_value(args, "--repeats") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--repeats expects an integer, got `{v}`");
+            usage_and_exit();
+        }),
+        None => 3,
+    };
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects an integer, got `{v}`");
+            usage_and_exit();
+        }),
+        None => jobs_from_env(),
+    };
+    let out_dir = flag_value(args, "--out").unwrap_or_else(|| ".".into());
+    let matrix = bench_matrix(smoke);
+    println!(
+        "=== Bench ({name}): {} scenarios, median of {repeats}, {jobs} worker(s) ===",
+        matrix.len()
+    );
+    let report = run_bench(&matrix, name, repeats, jobs);
+    println!(
+        "{:<36} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "scenario", "events", "success", "wall_ms", "events/sec", ""
+    );
+    for (r, t) in report.results.iter().zip(&report.timing.scenarios) {
+        println!(
+            "{:<36} {:>12} {:>10.3} {:>10.1} {:>12.0}",
+            r.name, r.events, r.success_ratio, t.median_wall_ms, t.events_per_sec
+        );
+    }
+    println!("({:.1}s total)", report.timing.total_wall_ms / 1e3);
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("cannot create {out_dir}: {e}"));
+    let path = format!("{out_dir}/BENCH_{name}.json");
+    std::fs::write(&path, report.to_json()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+    if let Some(floor_path) = flag_value(args, "--floor") {
+        let text = std::fs::read_to_string(&floor_path).unwrap_or_else(|e| {
+            eprintln!("--floor: cannot read {floor_path}: {e}");
+            std::process::exit(2);
+        });
+        let floor = BenchFloor::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("--floor: {floor_path}: {e}");
+            std::process::exit(2);
+        });
+        match floor.check(&report) {
+            Ok(()) => println!(
+                "floor check OK ({} scenario(s))",
+                floor.events_per_sec.len()
+            ),
+            Err(e) => {
+                eprintln!("FLOOR REGRESSION: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// `--faults` argument: a named scenario, or a path to a JSON

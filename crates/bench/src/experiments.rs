@@ -227,7 +227,12 @@ pub fn lp_candidate_paths(
     let mut paths = Vec::new();
     for &(s, d, r) in &pairs {
         kept.set(s, d, r);
-        paths.extend(cache.paths(network, s, d).iter().cloned());
+        paths.extend(
+            cache
+                .paths(network, s, d)
+                .iter()
+                .map(|p| spider_core::Path::clone(p)),
+        );
     }
     (paths, kept)
 }

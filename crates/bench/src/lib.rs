@@ -10,9 +10,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod benchmarks;
 pub mod experiments;
 pub mod runner;
 
+pub use benchmarks::{
+    bench_matrix, event_count, run_bench, BenchFloor, BenchReport, BenchScenario,
+    BenchScenarioResult, BenchScenarioTiming, BenchTiming, BENCH_SCHEMA_VERSION,
+};
 pub use experiments::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
     ablation_scheduler, build_scheme, extension_schemes, fig4_fig5, fig4_network, fig6,

@@ -11,6 +11,7 @@ use crate::error::CoreError;
 use crate::ids::{ChannelId, Direction, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A bidirectional payment channel between nodes `a` and `b`.
 ///
@@ -37,33 +38,61 @@ impl Channel {
         self.balance_a + self.balance_b
     }
 
+    /// The endpoint opposite to `node`, or
+    /// [`CoreError::NotAnEndpoint`] when `node` is neither endpoint.
+    #[inline]
+    pub fn try_other(&self, node: NodeId) -> Result<NodeId, CoreError> {
+        if node == self.a {
+            Ok(self.b)
+        } else if node == self.b {
+            Ok(self.a)
+        } else {
+            Err(CoreError::NotAnEndpoint {
+                node,
+                channel: self.id,
+            })
+        }
+    }
+
     /// The endpoint opposite to `node`.
     ///
     /// # Panics
-    /// Panics if `node` is not an endpoint of this channel.
+    /// Panics if `node` is not an endpoint of this channel; library code
+    /// should prefer [`try_other`](Self::try_other).
     #[inline]
     pub fn other(&self, node: NodeId) -> NodeId {
+        match self.try_other(node) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The direction of this channel when sending *from* `node`, or
+    /// [`CoreError::NotAnEndpoint`] when `node` is neither endpoint.
+    #[inline]
+    pub fn try_direction_from(&self, node: NodeId) -> Result<Direction, CoreError> {
         if node == self.a {
-            self.b
+            Ok(Direction::AtoB)
         } else if node == self.b {
-            self.a
+            Ok(Direction::BtoA)
         } else {
-            panic!("{node} is not an endpoint of {:?}", self.id)
+            Err(CoreError::NotAnEndpoint {
+                node,
+                channel: self.id,
+            })
         }
     }
 
     /// The direction of this channel when sending *from* `node`.
     ///
     /// # Panics
-    /// Panics if `node` is not an endpoint of this channel.
+    /// Panics if `node` is not an endpoint of this channel; library code
+    /// should prefer [`try_direction_from`](Self::try_direction_from).
     #[inline]
     pub fn direction_from(&self, node: NodeId) -> Direction {
-        if node == self.a {
-            Direction::AtoB
-        } else if node == self.b {
-            Direction::BtoA
-        } else {
-            panic!("{node} is not an endpoint of {:?}", self.id)
+        match self.try_direction_from(node) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -93,17 +122,74 @@ impl Channel {
 pub trait BalanceView {
     /// Funds currently spendable on `channel` when sending from `from`.
     fn available(&self, channel: ChannelId, from: NodeId) -> Amount;
+
+    /// Funds spendable on a hop whose crossing direction is already known —
+    /// `(from, dir)` must come from a validated [`crate::Path`] hop. Views
+    /// backed by per-side state override this to skip the endpoint lookup
+    /// that [`available`](BalanceView::available) needs; the default simply
+    /// delegates.
+    fn available_dir(&self, channel: ChannelId, from: NodeId, dir: Direction) -> Amount {
+        let _ = dir;
+        self.available(channel, from)
+    }
+}
+
+/// Prebuilt CSR (compressed sparse row) adjacency: all `(neighbor, channel)`
+/// pairs in one contiguous slab, with per-node offsets. Node `u`'s neighbors
+/// are `entries[offsets[u] .. offsets[u + 1]]`, in channel-id order — the
+/// same deterministic order incremental insertion used to produce.
+#[derive(Clone, Debug, Default)]
+struct CsrAdjacency {
+    offsets: Vec<u32>,
+    entries: Vec<(NodeId, ChannelId)>,
+}
+
+impl CsrAdjacency {
+    fn build(num_nodes: usize, channels: &[Channel]) -> Self {
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for c in channels {
+            offsets[c.a.index() + 1] += 1;
+            offsets[c.b.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        // Fill in channel-id order; `cursor` tracks each node's next free
+        // slot, so per-node neighbor order is channel-id order.
+        let mut cursor = offsets.clone();
+        let mut entries = vec![(NodeId(0), ChannelId(0)); 2 * channels.len()];
+        for c in channels {
+            let ia = cursor[c.a.index()] as usize;
+            entries[ia] = (c.b, c.id);
+            cursor[c.a.index()] += 1;
+            let ib = cursor[c.b.index()] as usize;
+            entries[ib] = (c.a, c.id);
+            cursor[c.b.index()] += 1;
+        }
+        CsrAdjacency { offsets, entries }
+    }
+
+    #[inline]
+    fn neighbors(&self, node: NodeId) -> &[(NodeId, ChannelId)] {
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
 }
 
 /// The static payment channel network topology.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Network {
     channels: Vec<Channel>,
-    /// adjacency: for each node, the list of `(neighbor, channel)` pairs.
-    adj: Vec<Vec<(NodeId, ChannelId)>>,
+    num_nodes: usize,
     /// lookup from a normalized `(min, max)` node pair to the channel id.
     #[serde(skip)]
     pair_index: HashMap<(NodeId, NodeId), ChannelId>,
+    /// Dense adjacency, built lazily on first traversal and dropped on any
+    /// mutation; purely derived from `channels`, so it is skipped by serde
+    /// and rebuilt identically after a round trip.
+    #[serde(skip)]
+    csr: OnceLock<CsrAdjacency>,
 }
 
 impl Network {
@@ -111,15 +197,23 @@ impl Network {
     pub fn new(n: usize) -> Self {
         Network {
             channels: Vec::new(),
-            adj: vec![Vec::new(); n],
+            num_nodes: n,
             pair_index: HashMap::new(),
+            csr: OnceLock::new(),
         }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.num_nodes
+    }
+
+    /// The prebuilt CSR adjacency, building it on first use.
+    #[inline]
+    fn csr(&self) -> &CsrAdjacency {
+        self.csr
+            .get_or_init(|| CsrAdjacency::build(self.num_nodes, &self.channels))
     }
 
     /// Number of channels.
@@ -130,7 +224,7 @@ impl Network {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..self.num_nodes as u32).map(NodeId)
     }
 
     /// All channels.
@@ -141,8 +235,9 @@ impl Network {
 
     /// Appends a new node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
-        NodeId((self.adj.len() - 1) as u32)
+        self.num_nodes += 1;
+        self.csr.take();
+        NodeId((self.num_nodes - 1) as u32)
     }
 
     /// Opens a channel between `a` and `b` with the total `capacity` split
@@ -197,9 +292,8 @@ impl Network {
             balance_a: bal_lo,
             balance_b: bal_hi,
         });
-        self.adj[lo.index()].push((hi, id));
-        self.adj[hi.index()].push((lo, id));
         self.pair_index.insert(key, id);
+        self.csr.take();
         Ok(id)
     }
 
@@ -215,14 +309,17 @@ impl Network {
             .map(|&id| &self.channels[id.index()])
     }
 
-    /// `(neighbor, channel)` pairs adjacent to `node`.
+    /// `(neighbor, channel)` pairs adjacent to `node`, as one contiguous
+    /// CSR slice in channel-id order.
+    #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[(NodeId, ChannelId)] {
-        &self.adj[node.index()]
+        self.csr().neighbors(node)
     }
 
     /// Degree of `node`.
+    #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adj[node.index()].len()
+        self.neighbors(node).len()
     }
 
     /// Total funds escrowed across all channels.
@@ -282,7 +379,17 @@ impl Network {
 impl BalanceView for Network {
     fn available(&self, channel: ChannelId, from: NodeId) -> Amount {
         let c = self.channel(channel);
-        c.balance_in(c.direction_from(from))
+        match c.try_direction_from(from) {
+            Ok(dir) => c.balance_in(dir),
+            // A non-endpoint can never spend on this channel.
+            Err(_) => Amount::ZERO,
+        }
+    }
+
+    fn available_dir(&self, channel: ChannelId, from: NodeId, dir: Direction) -> Amount {
+        let c = self.channel(channel);
+        debug_assert_eq!(c.try_direction_from(from), Ok(dir));
+        c.balance_in(dir)
     }
 }
 

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod amount;
+pub mod dense;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -25,6 +26,7 @@ pub mod path;
 pub mod payment_graph;
 
 pub use amount::{Amount, MICROS_PER_TOKEN};
+pub use dense::{ChannelSet, PairTable};
 pub use error::CoreError;
 pub use graph::{BalanceView, Channel, Network};
 pub use ids::{ChannelId, Direction, NodeId, PaymentId, UnitId};

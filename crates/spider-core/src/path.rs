@@ -4,11 +4,11 @@
 //! edge (repeating nodes is permitted). [`Path`] enforces this at
 //! construction time against a concrete [`Network`].
 
+use crate::dense::ChannelSet;
 use crate::error::CoreError;
 use crate::graph::Network;
 use crate::ids::{ChannelId, Direction, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use std::fmt;
 
 /// A validated trail through the network: a sequence of at least two nodes
@@ -30,7 +30,7 @@ impl Path {
             )));
         }
         let mut hops = Vec::with_capacity(nodes.len() - 1);
-        let mut used = HashSet::with_capacity(nodes.len() - 1);
+        let mut used = ChannelSet::new();
         for w in nodes.windows(2) {
             let (u, v) = (w[0], w[1]);
             let channel = network
@@ -42,7 +42,7 @@ impl Path {
                     channel.id
                 )));
             }
-            hops.push((channel.id, channel.direction_from(u)));
+            hops.push((channel.id, channel.try_direction_from(u)?));
         }
         Ok(Path { nodes, hops })
     }
@@ -68,7 +68,8 @@ impl Path {
     /// Destination node.
     #[inline]
     pub fn dest(&self) -> NodeId {
-        *self.nodes.last().unwrap()
+        // A constructed Path always has >= 2 nodes.
+        self.nodes[self.nodes.len() - 1]
     }
 
     /// Number of hops (edges).

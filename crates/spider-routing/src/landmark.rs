@@ -13,7 +13,7 @@
 
 use crate::paths::shortest_path;
 use crate::scheme::{split_evenly, BalanceOverlay, RoutingScheme, SchemeKind};
-use spider_core::{Amount, BalanceView, Network, NodeId, Path};
+use spider_core::{Amount, BalanceView, Network, NodeId, PairTable, Path};
 use std::collections::BTreeMap;
 
 /// The SilentWhispers-style landmark routing scheme.
@@ -22,7 +22,7 @@ pub struct SilentWhispersScheme {
     landmarks: Vec<NodeId>,
     /// Cached landmark paths per (src, dst): one entry per landmark that has
     /// a valid loop-collapsed path.
-    cache: BTreeMap<(NodeId, NodeId), Vec<Path>>,
+    cache: PairTable<Vec<Path>>,
 }
 
 impl SilentWhispersScheme {
@@ -35,7 +35,7 @@ impl SilentWhispersScheme {
         nodes.truncate(num_landmarks);
         SilentWhispersScheme {
             landmarks: nodes,
-            cache: BTreeMap::new(),
+            cache: PairTable::new(),
         }
     }
 
@@ -44,7 +44,7 @@ impl SilentWhispersScheme {
         assert!(!landmarks.is_empty());
         SilentWhispersScheme {
             landmarks,
-            cache: BTreeMap::new(),
+            cache: PairTable::new(),
         }
     }
 
@@ -55,7 +55,7 @@ impl SilentWhispersScheme {
 
     fn landmark_paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Path] {
         let landmarks = self.landmarks.clone();
-        self.cache.entry((src, dst)).or_insert_with(|| {
+        self.cache.entry_or_insert_with(src, dst, || {
             landmarks
                 .iter()
                 .filter_map(|&lm| landmark_path(network, src, lm, dst))
@@ -96,7 +96,8 @@ fn landmark_path(network: &Network, src: NodeId, lm: NodeId, dst: NodeId) -> Opt
     if collapsed.len() < 2 {
         return None;
     }
-    Some(Path::new(network, collapsed).expect("collapsed walk is a simple path"))
+    // Loop collapsing leaves a simple path, which is always a valid trail.
+    Path::new(network, collapsed).ok()
 }
 
 impl RoutingScheme for SilentWhispersScheme {

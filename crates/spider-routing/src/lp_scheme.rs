@@ -9,10 +9,9 @@
 
 use crate::paths::path_bottleneck;
 use crate::scheme::{RoutingScheme, SchemeKind, UnitDecision};
-use spider_core::{Amount, BalanceView, DemandMatrix, Network, NodeId, Path};
+use spider_core::{Amount, BalanceView, DemandMatrix, Network, NodeId, PairTable, Path};
 use spider_opt::fluid::FluidProblem;
 use spider_opt::primal_dual::{self, PrimalDualConfig};
-use std::collections::BTreeMap;
 
 /// Minimum LP rate (tokens/sec) for a path to participate in routing.
 const WEIGHT_FLOOR: f64 = 1e-6;
@@ -20,7 +19,7 @@ const WEIGHT_FLOOR: f64 = 1e-6;
 /// Per-pair weighted path set with deficit-round-robin state.
 #[derive(Clone, Debug)]
 struct PairPlan {
-    paths: Vec<Path>,
+    paths: Vec<std::sync::Arc<Path>>,
     weights: Vec<f64>,
     credits: Vec<f64>,
 }
@@ -28,7 +27,7 @@ struct PairPlan {
 /// The Spider (LP) routing scheme.
 #[derive(Clone, Debug)]
 pub struct LpScheme {
-    plans: BTreeMap<(NodeId, NodeId), PairPlan>,
+    plans: PairTable<PairPlan>,
 }
 
 impl LpScheme {
@@ -36,19 +35,17 @@ impl LpScheme {
     /// (aligned slices, as returned by the fluid solvers).
     pub fn from_flows(paths: &[Path], flows: &[f64]) -> Self {
         assert_eq!(paths.len(), flows.len(), "paths and flows must align");
-        let mut plans: BTreeMap<(NodeId, NodeId), PairPlan> = BTreeMap::new();
+        let mut plans: PairTable<PairPlan> = PairTable::new();
         for (p, &w) in paths.iter().zip(flows) {
             if w < WEIGHT_FLOOR {
                 continue;
             }
-            let plan = plans
-                .entry((p.source(), p.dest()))
-                .or_insert_with(|| PairPlan {
-                    paths: Vec::new(),
-                    weights: Vec::new(),
-                    credits: Vec::new(),
-                });
-            plan.paths.push(p.clone());
+            let plan = plans.entry_or_insert_with(p.source(), p.dest(), || PairPlan {
+                paths: Vec::new(),
+                weights: Vec::new(),
+                credits: Vec::new(),
+            });
+            plan.paths.push(std::sync::Arc::new(p.clone()));
             plan.weights.push(w);
             plan.credits.push(0.0);
         }
@@ -120,7 +117,7 @@ impl RoutingScheme for LpScheme {
         dst: NodeId,
         unit: Amount,
     ) -> UnitDecision {
-        let Some(plan) = self.plans.get_mut(&(src, dst)) else {
+        let Some(plan) = self.plans.get_mut(src, dst) else {
             // The LP assigned this commodity zero flow.
             return UnitDecision::Never;
         };
@@ -132,12 +129,7 @@ impl RoutingScheme for LpScheme {
         }
         // Candidate order: decreasing credit (deterministic tie-break on index).
         let mut order: Vec<usize> = (0..plan.paths.len()).collect();
-        order.sort_by(|&i, &j| {
-            plan.credits[j]
-                .partial_cmp(&plan.credits[i])
-                .unwrap()
-                .then(i.cmp(&j))
-        });
+        order.sort_by(|&i, &j| plan.credits[j].total_cmp(&plan.credits[i]).then(i.cmp(&j)));
         for &i in &order {
             if path_bottleneck(balances, &plan.paths[i]) >= unit {
                 plan.credits[i] -= 1.0;

@@ -6,8 +6,9 @@
 //! implementations would pick "the K shortest paths or the K
 //! highest-capacity paths" (§5.3.1). All of those strategies live here.
 
-use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use spider_core::{Amount, BalanceView, ChannelSet, Network, NodeId, PairTable, Path};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Breadth-first shortest path by hop count, avoiding `banned` channels.
 /// Ties are broken toward lower node ids, so results are deterministic.
@@ -15,7 +16,7 @@ pub fn shortest_path_avoiding(
     network: &Network,
     src: NodeId,
     dst: NodeId,
-    banned: &BTreeSet<ChannelId>,
+    banned: &ChannelSet,
 ) -> Option<Path> {
     if src == dst {
         return None;
@@ -29,7 +30,7 @@ pub fn shortest_path_avoiding(
         // Deterministic neighbor order: as stored (insertion order), which is
         // fixed for a given Network construction.
         for &(v, c) in network.neighbors(u) {
-            if banned.contains(&c) || seen[v.index()] {
+            if banned.contains(c) || seen[v.index()] {
                 continue;
             }
             seen[v.index()] = true;
@@ -51,19 +52,20 @@ pub fn shortest_path_avoiding(
     }
     nodes.reverse();
     debug_assert_eq!(nodes[0], src);
-    Some(Path::new(network, nodes).expect("BFS produces a valid simple path"))
+    // BFS predecessor chains always form a valid simple path.
+    Path::new(network, nodes).ok()
 }
 
 /// Shortest path by hop count.
 pub fn shortest_path(network: &Network, src: NodeId, dst: NodeId) -> Option<Path> {
-    shortest_path_avoiding(network, src, dst, &BTreeSet::new())
+    shortest_path_avoiding(network, src, dst, &ChannelSet::new())
 }
 
 /// Up to `k` mutually edge-disjoint shortest paths: repeatedly finds a BFS
 /// shortest path and removes its channels (the paper's "4 disjoint shortest
 /// paths" strategy).
 pub fn edge_disjoint_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    let mut banned: BTreeSet<ChannelId> = BTreeSet::new();
+    let mut banned = ChannelSet::new();
     let mut out = Vec::new();
     for _ in 0..k {
         let Some(p) = shortest_path_avoiding(network, src, dst, &banned) else {
@@ -91,19 +93,24 @@ pub fn k_shortest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -
     // beats a full lexicographic BTreeSet comparison on long paths.
     // spider-lint: allow(determinism) — membership-only set, no iteration
     let mut seen_candidates: std::collections::HashSet<Vec<NodeId>> = Default::default();
+    // One reusable ban set; `clear()` is O(1) thanks to epoch versioning.
+    let mut banned = ChannelSet::new();
 
     while result.len() < k {
-        let last = result.last().unwrap().nodes().to_vec();
+        let last = match result.last() {
+            Some(p) => p.nodes().to_vec(),
+            None => break,
+        };
         for i in 0..last.len() - 1 {
             let spur_node = last[i];
             let root: Vec<NodeId> = last[..=i].to_vec();
+            banned.clear();
             // Ban channels used by previously accepted paths sharing the root.
-            let mut banned: BTreeSet<ChannelId> = BTreeSet::new();
             for p in &result {
                 if p.nodes().len() > i && p.nodes()[..=i] == root[..] {
-                    let ch = network
-                        .channel_between(p.nodes()[i], p.nodes()[i + 1])
-                        .expect("accepted path hop must exist");
+                    let Some(ch) = network.channel_between(p.nodes()[i], p.nodes()[i + 1]) else {
+                        continue;
+                    };
                     banned.insert(ch.id);
                 }
             }
@@ -131,8 +138,8 @@ pub fn k_shortest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -
                 break;
             }
         }
-        match next {
-            Some(nodes) => result.push(Path::new(network, nodes).expect("Yen builds valid paths")),
+        match next.and_then(|nodes| Path::new(network, nodes).ok()) {
+            Some(p) => result.push(p),
             None => break,
         }
     }
@@ -146,7 +153,7 @@ pub fn widest_path_avoiding(
     network: &Network,
     src: NodeId,
     dst: NodeId,
-    banned: &BTreeSet<ChannelId>,
+    banned: &ChannelSet,
 ) -> Option<Path> {
     if src == dst {
         return None;
@@ -166,7 +173,7 @@ pub fn widest_path_avoiding(
             break;
         }
         for &(v, c) in network.neighbors(u) {
-            if banned.contains(&c) {
+            if banned.contains(c) {
                 continue;
             }
             let cap = network.channel(c).capacity();
@@ -200,7 +207,7 @@ pub fn widest_path_avoiding(
 /// Up to `k` mutually edge-disjoint widest paths (successive widest path
 /// with channel removal).
 pub fn widest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    let mut banned: BTreeSet<ChannelId> = BTreeSet::new();
+    let mut banned = ChannelSet::new();
     let mut out = Vec::new();
     for _ in 0..k {
         let Some(p) = widest_path_avoiding(network, src, dst, &banned) else {
@@ -218,9 +225,9 @@ pub fn widest_paths(network: &Network, src: NodeId, dst: NodeId, k: usize) -> Ve
 /// balance along its hops.
 pub fn path_bottleneck(balances: &dyn BalanceView, path: &Path) -> Amount {
     let mut min = Amount::MAX;
-    for (i, &(c, _)) in path.hops().iter().enumerate() {
+    for (i, &(c, dir)) in path.hops().iter().enumerate() {
         let from = path.nodes()[i];
-        min = min.min(balances.available(c, from));
+        min = min.min(balances.available_dir(c, from, dir));
     }
     min
 }
@@ -231,7 +238,9 @@ pub fn path_bottleneck(balances: &dyn BalanceView, path: &Path) -> Amount {
 #[derive(Debug)]
 pub struct PathCache {
     strategy: PathStrategy,
-    cache: std::collections::BTreeMap<(NodeId, NodeId), Vec<Path>>,
+    /// Paths are `Arc`-shared so schemes can hand them to the engine (one
+    /// per in-flight unit) without cloning the node/hop vectors.
+    cache: PairTable<Vec<Arc<Path>>>,
     stats: PathCacheStats,
 }
 
@@ -278,11 +287,11 @@ impl PathCache {
     }
 
     /// The paths for `(src, dst)`, computing and caching them on first use.
-    pub fn paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Path] {
+    pub fn paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Arc<Path>] {
         self.stats.lookups += 1;
         let strategy = self.strategy;
         let stats = &mut self.stats;
-        self.cache.entry((src, dst)).or_insert_with(|| {
+        self.cache.entry_or_insert_with(src, dst, || {
             let paths = match strategy {
                 PathStrategy::Shortest => shortest_path(network, src, dst).into_iter().collect(),
                 PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
@@ -291,7 +300,7 @@ impl PathCache {
             };
             stats.computed_pairs += 1;
             stats.computed_paths += paths.len() as u64;
-            paths
+            paths.into_iter().map(Arc::new).collect()
         })
     }
 
@@ -378,7 +387,7 @@ mod tests {
             assert!(w[0].len() <= w[1].len());
         }
         // All distinct and valid.
-        let mut seen = BTreeSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for p in &paths {
             assert!(seen.insert(p.nodes().to_vec()), "duplicate {p}");
             assert_eq!(p.source(), NodeId(0));
@@ -460,7 +469,7 @@ mod tests {
             .unwrap();
         g.add_channel(NodeId(0), NodeId(3), Amount::from_whole(2))
             .unwrap();
-        let p = widest_path_avoiding(&g, NodeId(0), NodeId(3), &BTreeSet::new()).unwrap();
+        let p = widest_path_avoiding(&g, NodeId(0), NodeId(3), &ChannelSet::new()).unwrap();
         assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
     }
 
@@ -474,7 +483,7 @@ mod tests {
             .unwrap();
         g.add_channel(NodeId(1), NodeId(2), Amount::from_whole(10))
             .unwrap();
-        let p = widest_path_avoiding(&g, NodeId(0), NodeId(2), &BTreeSet::new()).unwrap();
+        let p = widest_path_avoiding(&g, NodeId(0), NodeId(2), &ChannelSet::new()).unwrap();
         assert_eq!(p.len(), 1);
     }
 
@@ -496,8 +505,8 @@ mod tests {
     fn widest_path_none_when_disconnected() {
         let mut g = Network::new(3);
         g.add_channel(NodeId(0), NodeId(1), Amount::ONE).unwrap();
-        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(2), &BTreeSet::new()).is_none());
-        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(0), &BTreeSet::new()).is_none());
+        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(2), &ChannelSet::new()).is_none());
+        assert!(widest_path_avoiding(&g, NodeId(0), NodeId(0), &ChannelSet::new()).is_none());
     }
 
     #[test]

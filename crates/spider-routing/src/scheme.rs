@@ -6,8 +6,8 @@
 //! are asked for a route one *transaction unit* at a time and may defer.
 
 use crate::paths::path_bottleneck;
-use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
-use std::collections::BTreeMap;
+use spider_core::{Amount, BalanceView, ChannelId, Direction, Network, NodeId, Path};
+use std::sync::Arc;
 
 /// Whether a scheme delivers payments atomically or unit-by-unit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,8 +21,9 @@ pub enum SchemeKind {
 /// Outcome of asking a packet-switched scheme for a unit route.
 #[derive(Clone, Debug, PartialEq)]
 pub enum UnitDecision {
-    /// Send the unit on this path now.
-    Route(Path),
+    /// Send the unit on this path now. The path is shared with the scheme's
+    /// cache, so routing a unit costs one refcount bump, not a deep clone.
+    Route(Arc<Path>),
     /// No capacity right now; retry after balances change.
     Unavailable,
     /// This pair can never be routed by this scheme (e.g. the LP assigned it
@@ -96,15 +97,22 @@ pub trait RoutingScheme: Send {
 /// overlay before checking the next.
 pub struct BalanceOverlay<'a> {
     base: &'a dyn BalanceView,
-    debits: BTreeMap<(ChannelId, NodeId), Amount>,
+    /// Per-channel debit slots, indexed by `ChannelId`. A channel has exactly
+    /// two endpoints, so each record holds two `(spender, debit)` slots;
+    /// [`NO_NODE`] marks an unused slot. Grown lazily to the highest debited
+    /// channel id.
+    debits: Vec<[(NodeId, Amount); 2]>,
 }
+
+/// Sentinel for an unused debit slot (no real node id this large).
+const NO_NODE: NodeId = NodeId(u32::MAX);
 
 impl<'a> BalanceOverlay<'a> {
     /// Wraps a balance view with an empty overlay.
     pub fn new(base: &'a dyn BalanceView) -> Self {
         BalanceOverlay {
             base,
-            debits: BTreeMap::new(),
+            debits: Vec::new(),
         }
     }
 
@@ -113,7 +121,17 @@ impl<'a> BalanceOverlay<'a> {
     pub fn debit_path(&mut self, path: &Path, amount: Amount) {
         for (i, &(c, _)) in path.hops().iter().enumerate() {
             let from = path.nodes()[i];
-            *self.debits.entry((c, from)).or_insert(Amount::ZERO) += amount;
+            if c.index() >= self.debits.len() {
+                self.debits
+                    .resize(c.index() + 1, [(NO_NODE, Amount::ZERO); 2]);
+            }
+            let slots = &mut self.debits[c.index()];
+            let slot = match slots.iter().position(|&(n, _)| n == from) {
+                Some(i) => i,
+                // Claim the first free slot for this spender.
+                None => slots.iter().position(|&(n, _)| n == NO_NODE).unwrap_or(0),
+            };
+            slots[slot] = (from, slots[slot].1 + amount);
         }
     }
 
@@ -123,14 +141,25 @@ impl<'a> BalanceOverlay<'a> {
     }
 }
 
+impl BalanceOverlay<'_> {
+    fn debit_for(&self, channel: ChannelId, from: NodeId) -> Amount {
+        self.debits
+            .get(channel.index())
+            .and_then(|slots| slots.iter().find(|&&(n, _)| n == from))
+            .map(|&(_, d)| d)
+            .unwrap_or(Amount::ZERO)
+    }
+}
+
 impl BalanceView for BalanceOverlay<'_> {
     fn available(&self, channel: ChannelId, from: NodeId) -> Amount {
-        let debit = self
-            .debits
-            .get(&(channel, from))
-            .copied()
-            .unwrap_or(Amount::ZERO);
+        let debit = self.debit_for(channel, from);
         (self.base.available(channel, from) - debit).max(Amount::ZERO)
+    }
+
+    fn available_dir(&self, channel: ChannelId, from: NodeId, dir: Direction) -> Amount {
+        let debit = self.debit_for(channel, from);
+        (self.base.available_dir(channel, from, dir) - debit).max(Amount::ZERO)
     }
 }
 

@@ -48,7 +48,7 @@ impl RoutingScheme for ShortestPathScheme {
             return UnitDecision::Never;
         };
         if path_bottleneck(balances, path) >= unit {
-            UnitDecision::Route(path.clone())
+            UnitDecision::Route(std::sync::Arc::clone(path))
         } else {
             UnitDecision::Unavailable
         }

@@ -74,7 +74,7 @@ impl RoutingScheme for WaterfillingScheme {
             })
             .expect("non-empty path set");
         if best.0 >= unit {
-            UnitDecision::Route(best.1.clone())
+            UnitDecision::Route(std::sync::Arc::clone(best.1))
         } else {
             UnitDecision::Unavailable
         }

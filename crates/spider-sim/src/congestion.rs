@@ -9,8 +9,7 @@
 //! window when [`crate::SimConfig::congestion`] is set.
 
 use serde::{Deserialize, Serialize};
-use spider_core::NodeId;
-use std::collections::BTreeMap;
+use spider_core::{NodeId, PairTable};
 
 /// AIMD parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -75,7 +74,7 @@ struct PairState {
 #[derive(Clone, Debug)]
 pub struct CongestionControl {
     config: CongestionConfig,
-    pairs: BTreeMap<(NodeId, NodeId), PairState>,
+    pairs: PairTable<PairState>,
 }
 
 impl CongestionControl {
@@ -84,13 +83,13 @@ impl CongestionControl {
         config.validate();
         CongestionControl {
             config,
-            pairs: BTreeMap::new(),
+            pairs: PairTable::new(),
         }
     }
 
     fn state(&mut self, src: NodeId, dst: NodeId) -> &mut PairState {
         let init = self.config.initial_window;
-        self.pairs.entry((src, dst)).or_insert(PairState {
+        self.pairs.entry_or_insert_with(src, dst, || PairState {
             window: init,
             outstanding: 0,
         })
@@ -127,17 +126,14 @@ impl CongestionControl {
     /// Current window for a pair (for diagnostics).
     pub fn window(&self, src: NodeId, dst: NodeId) -> f64 {
         self.pairs
-            .get(&(src, dst))
+            .get(src, dst)
             .map(|s| s.window)
             .unwrap_or(self.config.initial_window)
     }
 
     /// Units currently in flight for a pair.
     pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u32 {
-        self.pairs
-            .get(&(src, dst))
-            .map(|s| s.outstanding)
-            .unwrap_or(0)
+        self.pairs.get(src, dst).map(|s| s.outstanding).unwrap_or(0)
     }
 }
 

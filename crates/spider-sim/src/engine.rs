@@ -119,7 +119,7 @@ enum UnitFault {
 /// guards against double release when a refund races a scheduled settle.
 struct UnitRecord {
     payment: usize,
-    path: Path,
+    path: std::sync::Arc<Path>,
     amount: Amount,
     /// Per-hop locked amounts when fees apply (upstream hops carry the
     /// delivered amount plus downstream fees); `None` = uniform.
@@ -273,9 +273,9 @@ pub fn run(
     // former O(n)-per-tick deadline scan).
     let mut timers: BinaryHeap<Reverse<Timer>> = BinaryHeap::new();
     // AMP: unit indices that reached the receiver but whose keys are
-    // withheld until the whole payment has arrived.
-    let mut amp_held: std::collections::BTreeMap<usize, Vec<usize>> =
-        std::collections::BTreeMap::new();
+    // withheld until the whole payment has arrived. Indexed by payment
+    // slot, grown on demand.
+    let mut amp_held: Vec<Vec<usize>> = Vec::new();
     let mut routing_fees_paid = Amount::ZERO;
     // Refused over-releases (double settle/refund), surfaced in the report
     // even when periodic auditing is off.
@@ -413,8 +413,11 @@ pub fn run(
                         continue;
                     }
                     // Withhold the key until the whole payment has arrived.
-                    amp_held.entry(payment).or_default().push(unit);
-                    let arrived: Amount = amp_held[&payment]
+                    if payment >= amp_held.len() {
+                        amp_held.resize_with(payment + 1, Vec::new);
+                    }
+                    amp_held[payment].push(unit);
+                    let arrived: Amount = amp_held[payment]
                         .iter()
                         .filter(|&&ui| !units[ui].resolved)
                         .map(|&ui| units[ui].amount)
@@ -422,7 +425,7 @@ pub fn run(
                     if arrived >= payments[payment].amount
                         && payments[payment].status == PaymentStatus::Pending
                     {
-                        for ui in amp_held.remove(&payment).unwrap_or_default() {
+                        for ui in std::mem::take(&mut amp_held[payment]) {
                             if units[ui].resolved {
                                 continue;
                             }
@@ -694,7 +697,7 @@ pub fn run(
                             // AMP: the sender withholds the key; everything
                             // the receiver was holding is refunded to the
                             // senders.
-                            if let Some(held) = amp_held.remove(&i) {
+                            if let Some(held) = amp_held.get_mut(i).map(std::mem::take) {
                                 for ui in held {
                                     if units[ui].resolved {
                                         continue;
@@ -1225,7 +1228,7 @@ fn attempt_atomic(
         let unit_idx = units.len();
         units.push(UnitRecord {
             payment: idx,
-            path,
+            path: std::sync::Arc::new(path),
             amount,
             hop_amounts: None,
             fault: None,

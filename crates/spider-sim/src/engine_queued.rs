@@ -131,7 +131,7 @@ pub struct QueuedReport {
 struct UnitState {
     payment: usize,
     amount: Amount,
-    path: Path,
+    path: std::sync::Arc<Path>,
     /// Hops 0..locked are locked; the unit currently sits at
     /// `path.nodes()[locked]`.
     locked: usize,
@@ -696,12 +696,15 @@ fn pump_source(
 }
 
 /// Waterfilling path preference: max bottleneck, shorter path on ties.
-fn best_path<V: spider_core::BalanceView>(candidates: &[Path], view: &V) -> Path {
+fn best_path<V: spider_core::BalanceView>(
+    candidates: &[std::sync::Arc<Path>],
+    view: &V,
+) -> std::sync::Arc<Path> {
     candidates
         .iter()
         .map(|path| (path_bottleneck(view, path), path))
         .max_by(|a, b| a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len())))
-        .map(|(_, path)| path.clone())
+        .map(|(_, path)| std::sync::Arc::clone(path))
         .expect("non-empty candidates")
 }
 
@@ -990,7 +993,7 @@ mod tests {
                 amount: Amount::from_whole(5),
                 path: {
                     let g = line3(10);
-                    Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap()
+                    std::sync::Arc::new(Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap())
                 },
                 locked: 1,
                 queued_at: 0.0,
@@ -1001,7 +1004,7 @@ mod tests {
                 amount: Amount::from_whole(1),
                 path: {
                     let g = line3(10);
-                    Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap()
+                    std::sync::Arc::new(Path::new(&g, vec![NodeId(0), NodeId(1)]).unwrap())
                 },
                 locked: 1,
                 queued_at: 0.0,

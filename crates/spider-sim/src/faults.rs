@@ -22,7 +22,7 @@
 //! same schedule, unit fates, and trace on any host or worker count.
 
 use serde::{Deserialize, Serialize};
-use spider_core::{Amount, BalanceView, ChannelId, Network, NodeId, Path};
+use spider_core::{Amount, BalanceView, ChannelId, Direction, Network, NodeId, Path};
 
 /// SplitMix64 (Steele, Lea & Flood 2014): a tiny, high-quality,
 /// fully deterministic 64-bit generator. Used for both schedule expansion
@@ -514,6 +514,14 @@ impl<V: BalanceView> BalanceView for FaultView<'_, V> {
             Amount::ZERO
         } else {
             self.inner.available(channel, from)
+        }
+    }
+
+    fn available_dir(&self, channel: ChannelId, from: NodeId, dir: Direction) -> Amount {
+        if self.faults.is_channel_down(channel) || self.blacklist.blocked(channel, self.now) {
+            Amount::ZERO
+        } else {
+            self.inner.available_dir(channel, from, dir)
         }
     }
 }

@@ -7,7 +7,18 @@
 //! of every hop. Conservation is exact: for every channel,
 //! `available_a + available_b + inflight == capacity` at all times.
 
-use spider_core::{Amount, BalanceView, ChannelId, CoreError, Network, NodeId, Path};
+use spider_core::{Amount, BalanceView, ChannelId, CoreError, Direction, Network, NodeId, Path};
+
+/// Which side (`0` = `a`, `1` = `b`) of a channel *sends* when the channel
+/// is crossed in `dir`. A path hop's direction therefore resolves the
+/// sender/receiver sides without touching the `Network` at all.
+#[inline]
+fn sender_side(dir: Direction) -> usize {
+    match dir {
+        Direction::AtoB => 0,
+        Direction::BtoA => 1,
+    }
+}
 
 /// Live balance state for one channel.
 #[derive(Clone, Debug)]
@@ -76,26 +87,25 @@ impl Ledger {
             return Err(CoreError::NegativeAmount);
         }
         // Validation pass: because a trail never repeats a channel, per-hop
-        // checks cannot double-count within one path.
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let from = path.nodes()[i];
-            let side = Self::try_side(network, c, from)?;
+        // checks cannot double-count within one path. The hop direction
+        // resolves the sender side directly (validated at Path construction).
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
+            let side = sender_side(dir);
+            debug_assert_eq!(Self::try_side(network, c, path.nodes()[i]), Ok(side));
             let have = self.channels[c.index()].available[side];
             if have < amount {
                 return Err(CoreError::InsufficientFunds {
                     channel: c,
-                    from,
+                    from: path.nodes()[i],
                     available: have.micros(),
                     requested: amount.micros(),
                 });
             }
         }
         // Commit pass.
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let from = path.nodes()[i];
-            let side = Self::try_side(network, c, from)?;
+        for &(c, dir) in path.hops() {
             let st = &mut self.channels[c.index()];
-            st.available[side] -= amount;
+            st.available[sender_side(dir)] -= amount;
             st.inflight += amount;
             debug_assert!(self.conserves(c));
         }
@@ -138,9 +148,9 @@ impl Ledger {
         amount: Amount,
     ) -> Result<(), CoreError> {
         self.check_release(path, amount)?;
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let to = path.nodes()[i + 1];
-            let side = Self::try_side(network, c, to)?;
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
+            let side = 1 - sender_side(dir);
+            debug_assert_eq!(Self::try_side(network, c, path.nodes()[i + 1]), Ok(side));
             let st = &mut self.channels[c.index()];
             st.available[side] += amount;
             st.inflight -= amount;
@@ -162,9 +172,9 @@ impl Ledger {
         amount: Amount,
     ) -> Result<(), CoreError> {
         self.check_release(path, amount)?;
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let from = path.nodes()[i];
-            let side = Self::try_side(network, c, from)?;
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
+            let side = sender_side(dir);
+            debug_assert_eq!(Self::try_side(network, c, path.nodes()[i]), Ok(side));
             let st = &mut self.channels[c.index()];
             st.available[side] += amount;
             st.inflight -= amount;
@@ -184,27 +194,25 @@ impl Ledger {
         amounts: &[Amount],
     ) -> Result<(), CoreError> {
         assert_eq!(amounts.len(), path.hops().len(), "one amount per hop");
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
             if amounts[i].is_negative() {
                 return Err(CoreError::NegativeAmount);
             }
-            let from = path.nodes()[i];
-            let side = Self::try_side(network, c, from)?;
+            let side = sender_side(dir);
+            debug_assert_eq!(Self::try_side(network, c, path.nodes()[i]), Ok(side));
             let have = self.channels[c.index()].available[side];
             if have < amounts[i] {
                 return Err(CoreError::InsufficientFunds {
                     channel: c,
-                    from,
+                    from: path.nodes()[i],
                     available: have.micros(),
                     requested: amounts[i].micros(),
                 });
             }
         }
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let from = path.nodes()[i];
-            let side = Self::try_side(network, c, from)?;
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
             let st = &mut self.channels[c.index()];
-            st.available[side] -= amounts[i];
+            st.available[sender_side(dir)] -= amounts[i];
             st.inflight += amounts[i];
             debug_assert!(self.conserves(c));
         }
@@ -242,9 +250,9 @@ impl Ledger {
         amounts: &[Amount],
     ) -> Result<(), CoreError> {
         self.check_release_amounts(path, amounts)?;
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let to = path.nodes()[i + 1];
-            let side = Self::try_side(network, c, to)?;
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
+            let side = 1 - sender_side(dir);
+            debug_assert_eq!(Self::try_side(network, c, path.nodes()[i + 1]), Ok(side));
             let st = &mut self.channels[c.index()];
             st.available[side] += amounts[i];
             st.inflight -= amounts[i];
@@ -263,9 +271,9 @@ impl Ledger {
         amounts: &[Amount],
     ) -> Result<(), CoreError> {
         self.check_release_amounts(path, amounts)?;
-        for (i, &(c, _)) in path.hops().iter().enumerate() {
-            let from = path.nodes()[i];
-            let side = Self::try_side(network, c, from)?;
+        for (i, &(c, dir)) in path.hops().iter().enumerate() {
+            let side = sender_side(dir);
+            debug_assert_eq!(Self::try_side(network, c, path.nodes()[i]), Ok(side));
             let st = &mut self.channels[c.index()];
             st.available[side] += amounts[i];
             st.inflight -= amounts[i];
@@ -467,6 +475,12 @@ pub struct LedgerView<'a> {
 impl BalanceView for LedgerView<'_> {
     fn available(&self, channel: ChannelId, from: NodeId) -> Amount {
         let side = Ledger::side(self.network, channel, from);
+        self.ledger.channels[channel.index()].available[side]
+    }
+
+    fn available_dir(&self, channel: ChannelId, from: NodeId, dir: Direction) -> Amount {
+        let side = sender_side(dir);
+        debug_assert_eq!(Ledger::try_side(self.network, channel, from), Ok(side));
         self.ledger.channels[channel.index()].available[side]
     }
 }

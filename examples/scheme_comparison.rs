@@ -85,7 +85,7 @@ fn main() {
     let mut cache = PathCache::new(PathStrategy::EdgeDisjoint(4));
     let mut paths = Vec::new();
     for (s, d, _) in demand.entries() {
-        paths.extend(cache.paths(&network, s, d).iter().cloned());
+        paths.extend(cache.paths(&network, s, d).iter().map(|p| (**p).clone()));
     }
     let pd_config = spider::opt::PrimalDualConfig {
         alpha: 0.05,

@@ -1,0 +1,101 @@
+//! Fixture-equivalence lockdown for the dense-state refactor.
+//!
+//! `tests/fixtures/fig6_pre_pr.json` holds the full fig6 report set (all six
+//! schemes) produced by the map-keyed build immediately before the dense
+//! refactor. The refactor is behavior-preserving, so the dense engines must
+//! reproduce every report **field by field** — any divergence names the
+//! exact scheme and JSON field that moved.
+
+use serde_json::Value;
+use spider_bench::{fig6, ExperimentConfig};
+
+fn fixture_config() -> ExperimentConfig {
+    // Must match the capture config used to record the fixture.
+    let mut cfg = ExperimentConfig::isp_quick();
+    cfg.num_transactions = 1_000;
+    cfg.duration = 20.0;
+    cfg.seed = 7;
+    cfg
+}
+
+/// Recursively diffs two JSON values, collecting the dotted path of every
+/// leaf that differs.
+fn diff_json(path: &str, pre: &Value, post: &Value, out: &mut Vec<String>) {
+    match (pre, post) {
+        (Value::Object(a), Value::Object(b)) => {
+            for (key, x) in a {
+                let p = format!("{path}.{key}");
+                match post.get_field(key) {
+                    Some(y) => diff_json(&p, x, y, out),
+                    None => out.push(format!("{p}: missing in post-refactor report")),
+                }
+            }
+            for (key, _) in b {
+                if pre.get_field(key).is_none() {
+                    out.push(format!("{path}.{key}: new field absent from fixture"));
+                }
+            }
+        }
+        (Value::Array(a), Value::Array(b)) => {
+            if a.len() != b.len() {
+                out.push(format!("{path}: length {} vs {}", a.len(), b.len()));
+            }
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                diff_json(&format!("{path}[{i}]"), x, y, out);
+            }
+        }
+        _ => {
+            if pre != post {
+                out.push(format!("{path}: {pre:?} vs {post:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6_reports_match_pre_refactor_fixture_field_by_field() {
+    let fixture_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/fig6_pre_pr.json"
+    ))
+    .expect("fixture exists");
+    let pre: Vec<Value> = serde_json::from_str(&fixture_text).expect("fixture parses");
+
+    let reports = fig6(&fixture_config());
+    assert_eq!(
+        pre.len(),
+        reports.len(),
+        "scheme count changed: the fixture has {} reports",
+        pre.len()
+    );
+
+    let mut diffs = Vec::new();
+    for (pre_report, report) in pre.iter().zip(&reports) {
+        let scheme = match pre_report.get_field("scheme") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => String::from("?"),
+        };
+        let post = serde_json::to_value(report).expect("report serializes");
+        diff_json(&scheme, pre_report, &post, &mut diffs);
+    }
+    assert!(
+        diffs.is_empty(),
+        "dense engines diverged from the pre-refactor build on {} field(s):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+/// The same scenario run twice in-process stays identical — the dense
+/// structures introduce no run-to-run nondeterminism.
+#[test]
+fn fig6_reports_are_run_to_run_identical() {
+    let cfg = fixture_config();
+    let a = fig6(&cfg);
+    let b = fig6(&cfg);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "fig6 must be deterministic"
+    );
+}

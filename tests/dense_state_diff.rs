@@ -1,0 +1,519 @@
+//! Differential lockdown of the dense (`Vec`-indexed) ledger.
+//!
+//! [`ShadowLedger`] is a deliberately naive, map-keyed reimplementation of
+//! the HTLC ledger semantics — `BTreeMap<ChannelId, ..>` outside,
+//! `BTreeMap<NodeId, Amount>` per channel — mirroring the pre-dense
+//! bookkeeping style. Both ledgers are driven through identical random
+//! operation sequences (path locks/settles/refunds, single-hop forwarding,
+//! on-chain rebalancing deposits/withdrawals, and deliberately invalid
+//! "fault" operations), and must agree on every balance, every conservation
+//! check, and every error value.
+
+use proptest::prelude::*;
+use spider_core::{Amount, ChannelId, CoreError, Network, NodeId, Path};
+use spider_routing::{edge_disjoint_paths, shortest_path};
+use spider_sim::{Ledger, LedgerAudit};
+use spider_topology::erdos_renyi;
+use std::collections::BTreeMap;
+
+/// Map-keyed reference ledger. Same observable semantics as
+/// [`spider_sim::Ledger`], different data layout: every lookup goes through
+/// ordered maps, every balance is keyed by endpoint node rather than a
+/// side index.
+struct ShadowLedger {
+    channels: BTreeMap<ChannelId, ShadowChannel>,
+}
+
+struct ShadowChannel {
+    available: BTreeMap<NodeId, Amount>,
+    inflight: Amount,
+    capacity: Amount,
+}
+
+impl ShadowLedger {
+    fn new(network: &Network) -> Self {
+        let channels = network
+            .channels()
+            .iter()
+            .map(|ch| {
+                let mut available = BTreeMap::new();
+                available.insert(ch.a, ch.balance_a);
+                available.insert(ch.b, ch.balance_b);
+                (
+                    ch.id,
+                    ShadowChannel {
+                        available,
+                        inflight: Amount::ZERO,
+                        capacity: ch.capacity(),
+                    },
+                )
+            })
+            .collect();
+        ShadowLedger { channels }
+    }
+
+    fn endpoint(network: &Network, channel: ChannelId, node: NodeId) -> Result<NodeId, CoreError> {
+        let ch = network.channel(channel);
+        if node == ch.a || node == ch.b {
+            Ok(node)
+        } else {
+            Err(CoreError::NotAnEndpoint { node, channel })
+        }
+    }
+
+    fn lock_path(&mut self, path: &Path, amount: Amount) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let have = self.channels[&c].available[&from];
+            if have < amount {
+                return Err(CoreError::InsufficientFunds {
+                    channel: c,
+                    from,
+                    available: have.micros(),
+                    requested: amount.micros(),
+                });
+            }
+        }
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let st = self.channels.get_mut(&c).unwrap();
+            *st.available.get_mut(&from).unwrap() -= amount;
+            st.inflight += amount;
+        }
+        Ok(())
+    }
+
+    fn check_release(&self, path: &Path, amount: Amount) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        for &(c, _) in path.hops() {
+            let inflight = self.channels[&c].inflight;
+            if inflight < amount {
+                return Err(CoreError::ExcessRelease {
+                    channel: c,
+                    inflight: inflight.micros(),
+                    requested: amount.micros(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn settle_path(&mut self, path: &Path, amount: Amount) -> Result<(), CoreError> {
+        self.check_release(path, amount)?;
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let to = path.nodes()[i + 1];
+            let st = self.channels.get_mut(&c).unwrap();
+            *st.available.get_mut(&to).unwrap() += amount;
+            st.inflight -= amount;
+        }
+        Ok(())
+    }
+
+    fn refund_path(&mut self, path: &Path, amount: Amount) -> Result<(), CoreError> {
+        self.check_release(path, amount)?;
+        for (i, &(c, _)) in path.hops().iter().enumerate() {
+            let from = path.nodes()[i];
+            let st = self.channels.get_mut(&c).unwrap();
+            *st.available.get_mut(&from).unwrap() += amount;
+            st.inflight -= amount;
+        }
+        Ok(())
+    }
+
+    fn lock_hop(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        from: NodeId,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        let from = Self::endpoint(network, channel, from)?;
+        let st = self.channels.get_mut(&channel).unwrap();
+        let have = st.available[&from];
+        if have < amount {
+            return Err(CoreError::InsufficientFunds {
+                channel,
+                from,
+                available: have.micros(),
+                requested: amount.micros(),
+            });
+        }
+        *st.available.get_mut(&from).unwrap() -= amount;
+        st.inflight += amount;
+        Ok(())
+    }
+
+    fn settle_hop(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        to: NodeId,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        let to = Self::endpoint(network, channel, to)?;
+        let st = self.channels.get_mut(&channel).unwrap();
+        if st.inflight < amount {
+            return Err(CoreError::ExcessRelease {
+                channel,
+                inflight: st.inflight.micros(),
+                requested: amount.micros(),
+            });
+        }
+        *st.available.get_mut(&to).unwrap() += amount;
+        st.inflight -= amount;
+        Ok(())
+    }
+
+    fn deposit(&mut self, channel: ChannelId, node: NodeId, amount: Amount) {
+        let st = self.channels.get_mut(&channel).unwrap();
+        *st.available.get_mut(&node).unwrap() += amount;
+        st.capacity += amount;
+    }
+
+    fn withdraw(&mut self, channel: ChannelId, node: NodeId, amount: Amount) -> Amount {
+        let st = self.channels.get_mut(&channel).unwrap();
+        let have = st.available[&node];
+        let taken = amount.min(have);
+        *st.available.get_mut(&node).unwrap() -= taken;
+        st.capacity -= taken;
+        taken
+    }
+
+    fn balances(&self, network: &Network, channel: ChannelId) -> (Amount, Amount) {
+        let ch = network.channel(channel);
+        let st = &self.channels[&channel];
+        (st.available[&ch.a], st.available[&ch.b])
+    }
+
+    fn conserves(&self, channel: ChannelId) -> bool {
+        let st = &self.channels[&channel];
+        let total: Amount = st.available.values().copied().sum::<Amount>() + st.inflight;
+        total == st.capacity
+    }
+}
+
+/// Asserts the dense ledger and the shadow agree on every observable:
+/// per-channel balances, in-flight pools, capacities, and conservation.
+fn assert_equivalent(network: &Network, dense: &Ledger, shadow: &ShadowLedger) {
+    for ch in network.channels() {
+        let c = ch.id;
+        assert_eq!(
+            dense.balances(c),
+            shadow.balances(network, c),
+            "balances diverged on {c}"
+        );
+        assert_eq!(
+            dense.inflight(c),
+            shadow.channels[&c].inflight,
+            "inflight diverged on {c}"
+        );
+        assert_eq!(
+            dense.capacity(c),
+            shadow.channels[&c].capacity,
+            "capacity diverged on {c}"
+        );
+        assert_eq!(
+            dense.conserves(c),
+            shadow.conserves(c),
+            "conservation verdicts diverged on {c}"
+        );
+    }
+}
+
+/// One step of the generated workload.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Lock `amount` along a multipath route between two nodes (kept in a
+    /// pool so it can later settle or refund).
+    Lock { pair: usize, amount: u32 },
+    /// Settle the oldest pooled lock.
+    Settle,
+    /// Refund the oldest pooled lock.
+    Refund,
+    /// Single-hop forwarding lock (router-queue style).
+    LockHop {
+        channel: usize,
+        side: bool,
+        amount: u32,
+    },
+    /// Single-hop settle toward an endpoint.
+    SettleHop {
+        channel: usize,
+        side: bool,
+        amount: u32,
+    },
+    /// On-chain top-up (rebalancing deposit).
+    Deposit {
+        channel: usize,
+        side: bool,
+        amount: u32,
+    },
+    /// On-chain withdrawal (rebalancing drain).
+    Withdraw {
+        channel: usize,
+        side: bool,
+        amount: u32,
+    },
+    /// Fault op: settle a path that was never locked for that amount, or
+    /// with a non-endpoint hop node — must fail identically on both.
+    BogusRelease { pair: usize, amount: u32 },
+    /// Fault op: lock on a channel from a node that is not an endpoint.
+    BogusHop {
+        channel: usize,
+        node: usize,
+        amount: u32,
+    },
+}
+
+/// Decodes one raw generated tuple into an [`Op`]. The vendored proptest
+/// stub has no `prop_oneof`/`prop_map`, so ops are drawn as flat tuples
+/// (`kind` selector + generic operands) and decoded here.
+fn decode_op(raw: ((u8, usize), (usize, u32, bool))) -> Op {
+    let ((kind, channel), (pair, amount, side)) = raw;
+    match kind {
+        0 => Op::Lock { pair, amount },
+        1 => Op::Settle,
+        2 => Op::Refund,
+        3 => Op::LockHop {
+            channel,
+            side,
+            amount,
+        },
+        4 => Op::SettleHop {
+            channel,
+            side,
+            amount,
+        },
+        5 => Op::Deposit {
+            channel,
+            side,
+            amount: amount % 2_000 + 1,
+        },
+        6 => Op::Withdraw {
+            channel,
+            side,
+            amount: amount % 2_000 + 1,
+        },
+        7 => Op::BogusRelease { pair, amount },
+        _ => Op::BogusHop {
+            channel,
+            node: pair,
+            amount: amount % 100 + 1,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The dense ledger and the map-keyed shadow stay bit-for-bit
+    /// equivalent — balances, audits, and error values — under arbitrary
+    /// op sequences.
+    #[test]
+    fn dense_ledger_matches_map_reference(
+        n in 6usize..16,
+        seed in 0u64..500,
+        raw_ops in proptest::collection::vec(
+            ((0u8..9, 0usize..256), (0usize..64, 1u32..5_000, any::<bool>())),
+            1..120,
+        ),
+    ) {
+        let network = erdos_renyi(n, 0.5, Amount::from_whole(200), seed);
+        let num_channels = network.num_channels();
+        if num_channels == 0 {
+            // Degenerate draw: nothing to exercise.
+            return Ok(());
+        }
+        let nodes: Vec<NodeId> = network.nodes().collect();
+
+        // Candidate multipath routes between a fixed set of pairs.
+        let mut routes: Vec<Path> = Vec::new();
+        for (i, &s) in nodes.iter().enumerate() {
+            for &d in &nodes[i + 1..] {
+                routes.extend(edge_disjoint_paths(&network, s, d, 2));
+            }
+        }
+        if routes.is_empty() {
+            return Ok(());
+        }
+
+        let mut dense = Ledger::new(&network);
+        let mut audit = LedgerAudit::new(&dense);
+        let mut shadow = ShadowLedger::new(&network);
+        // Pool of successful path locks available to settle/refund.
+        let mut locked: Vec<(Path, Amount)> = Vec::new();
+
+        let ops: Vec<Op> = raw_ops.into_iter().map(decode_op).collect();
+        for op in &ops {
+            match *op {
+                Op::Lock { pair, amount } => {
+                    let path = routes[pair % routes.len()].clone();
+                    let amount = Amount::from_whole(i64::from(amount % 400));
+                    let a = dense.lock_path(&network, &path, amount);
+                    let b = shadow.lock_path(&path, amount);
+                    prop_assert_eq!(&a, &b, "lock_path verdicts diverged");
+                    if a.is_ok() {
+                        locked.push((path, amount));
+                    }
+                }
+                Op::Settle => {
+                    if let Some((path, amount)) = locked.pop() {
+                        let a = dense.settle_path(&network, &path, amount);
+                        let b = shadow.settle_path(&path, amount);
+                        prop_assert_eq!(&a, &b, "settle_path verdicts diverged");
+                    }
+                }
+                Op::Refund => {
+                    if let Some((path, amount)) = locked.pop() {
+                        let a = dense.refund_path(&network, &path, amount);
+                        let b = shadow.refund_path(&path, amount);
+                        prop_assert_eq!(&a, &b, "refund_path verdicts diverged");
+                    }
+                }
+                Op::LockHop { channel, side, amount } => {
+                    let c = ChannelId((channel % num_channels) as u32);
+                    let ch = network.channel(c);
+                    let from = if side { ch.b } else { ch.a };
+                    let amount = Amount::from_whole(i64::from(amount % 400));
+                    let a = dense.lock_hop(&network, c, from, amount);
+                    let b = shadow.lock_hop(&network, c, from, amount);
+                    prop_assert_eq!(&a, &b, "lock_hop verdicts diverged");
+                }
+                Op::SettleHop { channel, side, amount } => {
+                    let c = ChannelId((channel % num_channels) as u32);
+                    let ch = network.channel(c);
+                    let to = if side { ch.b } else { ch.a };
+                    let amount = Amount::from_whole(i64::from(amount % 400));
+                    let a = dense.settle_hop(&network, c, to, amount);
+                    let b = shadow.settle_hop(&network, c, to, amount);
+                    prop_assert_eq!(&a, &b, "settle_hop verdicts diverged");
+                }
+                Op::Deposit { channel, side, amount } => {
+                    let c = ChannelId((channel % num_channels) as u32);
+                    let ch = network.channel(c);
+                    let node = if side { ch.b } else { ch.a };
+                    let amount = Amount::from_whole(i64::from(amount));
+                    dense.deposit(&network, c, node, amount);
+                    shadow.deposit(c, node, amount);
+                    audit.on_deposit(amount);
+                }
+                Op::Withdraw { channel, side, amount } => {
+                    let c = ChannelId((channel % num_channels) as u32);
+                    let ch = network.channel(c);
+                    let node = if side { ch.b } else { ch.a };
+                    let amount = Amount::from_whole(i64::from(amount));
+                    let a = dense.withdraw(&network, c, node, amount);
+                    let b = shadow.withdraw(c, node, amount);
+                    prop_assert_eq!(a, b, "withdraw amounts diverged");
+                    audit.on_withdraw(a);
+                }
+                Op::BogusRelease { pair, amount } => {
+                    // Release far more than could ever be in flight; both
+                    // ledgers must refuse with the same error and leave
+                    // state untouched.
+                    let path = routes[pair % routes.len()].clone();
+                    let amount = Amount::from_whole(i64::from(amount) + 1_000_000);
+                    let a = dense.settle_path(&network, &path, amount);
+                    let b = shadow.settle_path(&path, amount);
+                    prop_assert_eq!(&a, &b, "bogus settle verdicts diverged");
+                    prop_assert!(a.is_err());
+                }
+                Op::BogusHop { channel, node, amount } => {
+                    let c = ChannelId((channel % num_channels) as u32);
+                    let ch = network.channel(c);
+                    let node = nodes[node % nodes.len()];
+                    let amount = Amount::from_whole(i64::from(amount));
+                    let a = dense.lock_hop(&network, c, node, amount);
+                    let b = shadow.lock_hop(&network, c, node, amount);
+                    prop_assert_eq!(&a, &b, "bogus hop verdicts diverged");
+                    if node != ch.a && node != ch.b {
+                        prop_assert_eq!(
+                            a,
+                            Err(CoreError::NotAnEndpoint { node, channel: c })
+                        );
+                    }
+                }
+            }
+            audit.check(&dense, 0.0, "diff-op");
+            assert_equivalent(&network, &dense, &shadow);
+        }
+        // The auditor must agree nothing was violated: every divergence
+        // from conservation would have been a shadow divergence too.
+        prop_assert_eq!(audit.violations().len(), 0, "auditor found violations");
+
+        // Drain the pool: settle half, refund half; both ledgers must
+        // conserve and agree to the end.
+        for (i, (path, amount)) in locked.into_iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert_eq!(
+                    dense.settle_path(&network, &path, amount),
+                    shadow.settle_path(&path, amount)
+                );
+            } else {
+                prop_assert_eq!(
+                    dense.refund_path(&network, &path, amount),
+                    shadow.refund_path(&path, amount)
+                );
+            }
+        }
+        // Hop-level locks have no pooled counterpart, so in-flight funds may
+        // legitimately remain — but both ledgers must agree on them and
+        // every channel must still conserve.
+        assert_equivalent(&network, &dense, &shadow);
+        prop_assert!(dense.conserves_all());
+    }
+}
+
+/// Deterministic single-path smoke version of the differential test, so a
+/// regression fails fast with a readable trace even if proptest shrinking
+/// misbehaves.
+#[test]
+fn dense_ledger_matches_reference_smoke() {
+    let network = erdos_renyi(8, 0.6, Amount::from_whole(100), 7);
+    let nodes: Vec<NodeId> = network.nodes().collect();
+    let mut dense = Ledger::new(&network);
+    let mut shadow = ShadowLedger::new(&network);
+    let mut pool = Vec::new();
+    for (i, &s) in nodes.iter().enumerate() {
+        for &d in &nodes[i + 1..] {
+            let Some(path) = shortest_path(&network, s, d) else {
+                continue;
+            };
+            let amount = Amount::from_whole(3);
+            let a = dense.lock_path(&network, &path, amount);
+            let b = shadow.lock_path(&path, amount);
+            assert_eq!(a, b);
+            if a.is_ok() {
+                pool.push((path, amount));
+            }
+            assert_equivalent(&network, &dense, &shadow);
+        }
+    }
+    assert!(!pool.is_empty());
+    for (i, (path, amount)) in pool.into_iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(
+                dense.settle_path(&network, &path, amount),
+                shadow.settle_path(&path, amount)
+            );
+        } else {
+            assert_eq!(
+                dense.refund_path(&network, &path, amount),
+                shadow.refund_path(&path, amount)
+            );
+        }
+        assert_equivalent(&network, &dense, &shadow);
+    }
+    assert!(dense.conserves_all());
+}

@@ -34,7 +34,7 @@ fn full_pipeline_with_every_scheme() {
     let mut cache = PathCache::new(PathStrategy::EdgeDisjoint(4));
     let mut paths = Vec::new();
     for (s, d, _) in demand.entries() {
-        paths.extend(cache.paths(&network, s, d).iter().cloned());
+        paths.extend(cache.paths(&network, s, d).iter().map(|p| (**p).clone()));
     }
     let pd = spider::opt::PrimalDualConfig {
         max_iters: 3_000,

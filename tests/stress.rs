@@ -1,9 +1,18 @@
 //! Fault-injection and edge-case stress tests: adversarial topologies,
 //! drained channels, extreme parameters — the simulator must stay sound
 //! (exact conservation, clean accounting) in all of them.
+//!
+//! Two tiers live in this file (see EXPERIMENTS.md "Test tiers"):
+//!
+//! - **Tier 1** (default): the fast edge-case tests below, run on every
+//!   `cargo test`.
+//! - **Tier 2** (`#[ignore]`-tagged `tier2_*` tests): full-scale stress at
+//!   ≥10k nodes / ≥100k payments. Run explicitly with
+//!   `cargo test --release --test stress -- --ignored` — they take minutes,
+//!   not seconds, and are meant for release-profile soak runs.
 
 use spider::prelude::*;
-use spider::workload::{generate, isp_sizes, ArrivalPattern, TraceConfig};
+use spider::workload::{generate, isp_sizes, ripple_sizes, ArrivalPattern, TraceConfig};
 
 fn tx(id: u64, src: u32, dst: u32, amount: i64, arrival: f64) -> Transaction {
     Transaction {
@@ -227,6 +236,60 @@ fn simultaneous_arrivals_are_deterministic() {
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.delivered_volume, b.delivered_volume);
     assert_sound(&a);
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: full-scale stress. `cargo test --release --test stress -- --ignored`
+// ---------------------------------------------------------------------------
+
+/// 10k-node scale-free network, 100k payments, packet-switched routing.
+/// The dense `Vec`-indexed state must keep exact conservation and clean
+/// accounting at two orders of magnitude above the tier-1 scenarios.
+#[test]
+#[ignore = "tier-2 scale test (10k nodes / 100k payments); run with --ignored"]
+fn tier2_packet_switched_10k_nodes_100k_payments() {
+    let g = spider::topology::ripple_topology_scaled(10_000, Amount::from_whole(5_000), 42);
+    assert!(g.num_nodes() >= 10_000);
+    let mut cfg = TraceConfig::ripple_default(g.num_nodes(), 100_000, 600.0);
+    cfg.seed = 42;
+    let txs = generate(&cfg, &ripple_sizes());
+    assert!(txs.len() >= 100_000);
+    // Arrivals are Poisson-targeted at `duration`, so the tail can spill a
+    // few seconds past it; the sim window must cover the whole trace for
+    // every payment to be admitted.
+    let end = txs.last().map_or(600.0, |t| t.arrival) + 1.0;
+    let report = spider::sim::run(
+        &g,
+        &txs,
+        &mut WaterfillingScheme::new(),
+        &SimConfig::new(end),
+    );
+    assert_sound(&report);
+    assert!(report.attempted >= 100_000);
+    assert!(
+        report.success_ratio() > 0.1,
+        "scale run must route real volume: {}",
+        report.summary()
+    );
+}
+
+/// Same scale through the router-queue engine: queue bookkeeping (dense
+/// per-channel slots) must stay internally consistent at 10k nodes.
+#[test]
+#[ignore = "tier-2 scale test (10k nodes / 100k payments); run with --ignored"]
+fn tier2_queued_engine_10k_nodes_100k_payments() {
+    let g = spider::topology::ripple_topology_scaled(10_000, Amount::from_whole(5_000), 43);
+    let mut cfg = TraceConfig::ripple_default(g.num_nodes(), 100_000, 600.0);
+    cfg.seed = 43;
+    let txs = generate(&cfg, &ripple_sizes());
+    let end = txs.last().map_or(600.0, |t| t.arrival) + 1.0;
+    let mut qcfg = QueuedConfig::new(end);
+    qcfg.deadline = 30.0;
+    let out = spider::sim::run_queued(&g, &txs, &qcfg);
+    assert_sound(&out.report);
+    assert!(out.report.attempted >= 100_000);
+    assert!(out.queues.units_dropped <= out.queues.units_queued);
+    assert!(out.queues.mean_wait >= 0.0);
 }
 
 #[test]

@@ -327,9 +327,18 @@ fn gen_named_serialize_body(fields: &[Field], access_prefix: &str) -> String {
 fn gen_named_deserialize_fields(fields: &[Field], source: &str) -> String {
     let mut out = String::new();
     for f in fields {
+        if f.skip {
+            // Skipped fields are never read from the input (and need not
+            // implement `Deserialize`); they always take their default.
+            out.push_str(&format!(
+                "{0}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+            continue;
+        }
         let fallback = if let Some(path) = &f.default_path {
             format!("{path}()")
-        } else if f.skip || f.default {
+        } else if f.default {
             "::core::default::Default::default()".to_string()
         } else {
             format!(
