@@ -17,9 +17,12 @@
 //! events/sec against a conservative checked-in floor
 //! ([`BenchFloor::check`]).
 
-use crate::experiments::{run_scheme, ExperimentConfig, SchemeChoice, Topology};
+use crate::experiments::{
+    run_scheme, run_sharded_scheme, sharded_scheme_for, ExperimentConfig, SchemeChoice, Topology,
+};
 use serde::{Deserialize, Serialize};
 use spider_sim::SimReport;
+use spider_telemetry::Telemetry;
 use std::time::Instant;
 
 /// Version stamp of the `BENCH_*.json` schema.
@@ -34,6 +37,10 @@ pub struct BenchScenario {
     pub config: ExperimentConfig,
     /// Routing scheme under test.
     pub scheme: SchemeChoice,
+    /// `Some(n)`: run on the partition-parallel engine with `n` shards
+    /// (`scheme` must be one the sharded engine supports). `None`: the
+    /// sequential engine.
+    pub shards: Option<usize>,
 }
 
 fn scenario(
@@ -57,7 +64,14 @@ fn scenario(
             ..base
         },
         scheme,
+        shards: None,
     }
+}
+
+fn sharded(mut s: BenchScenario, shards: usize) -> BenchScenario {
+    s.name = format!("{}-shards{shards}", s.name);
+    s.shards = Some(shards);
+    s
 }
 
 /// The fixed benchmark matrix. `smoke` selects the small-topology subset
@@ -88,6 +102,18 @@ pub fn bench_matrix(smoke: bool) -> Vec<BenchScenario> {
             ));
         }
     }
+    // Sharded smoke pair: same scenario on the partition-parallel engine at
+    // 1 and 4 shards. Their deterministic `results` rows must be identical
+    // (only the name differs) — CI also byte-compares full reports/traces.
+    let sharded_base = scenario(
+        "small-isp-sharded-waterfilling-1k",
+        Topology::Isp,
+        1_000,
+        20.0,
+        SchemeChoice::SpiderWaterfilling,
+    );
+    out.push(sharded(sharded_base.clone(), 1));
+    out.push(sharded(sharded_base, 4));
     if smoke {
         return out;
     }
@@ -112,6 +138,32 @@ pub fn bench_matrix(smoke: bool) -> Vec<BenchScenario> {
         30_000,
         85.0,
         SchemeChoice::SpiderWaterfilling,
+    ));
+    // Sharded speedup pair: the medium workload on the partition-parallel
+    // engine at 1 vs 4 shards — the multi-core speedup record in
+    // BENCH_baseline.json is the ratio of these two cells' events/sec.
+    let medium_sharded = scenario(
+        "medium-ripple400-sharded-waterfilling-10k",
+        Topology::Ripple { nodes: 400 },
+        10_000,
+        85.0,
+        SchemeChoice::SpiderWaterfilling,
+    );
+    out.push(sharded(medium_sharded.clone(), 1));
+    out.push(sharded(medium_sharded, 4));
+    // Tier-3: a 100k-node graph only the sharded engine can turn around.
+    // Payment count is kept modest (path discovery is per unique pair) —
+    // the cell exists to exercise scale, and its floor lives in
+    // bench-floor-full.json.
+    out.push(sharded(
+        scenario(
+            "huge-ripple100k-sharded-shortest-3k",
+            Topology::Ripple { nodes: 100_000 },
+            3_000,
+            30.0,
+            SchemeChoice::ShortestPath,
+        ),
+        4,
     ));
     out
 }
@@ -263,7 +315,18 @@ fn run_scenario(s: &BenchScenario, repeats: usize) -> (BenchScenarioResult, Benc
     let mut result: Option<BenchScenarioResult> = None;
     for _ in 0..repeats {
         let t0 = Instant::now();
-        let report = run_scheme(&s.config, s.scheme);
+        let report = match s.shards {
+            Some(shards) => {
+                let Some(scheme) = sharded_scheme_for(s.scheme) else {
+                    panic!(
+                        "scenario {}: scheme {:?} is not supported by the sharded engine",
+                        s.name, s.scheme
+                    );
+                };
+                run_sharded_scheme(&s.config, scheme, shards, &Telemetry::disabled())
+            }
+            None => run_scheme(&s.config, s.scheme),
+        };
         wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         let r = BenchScenarioResult {
             name: s.name.clone(),

@@ -40,10 +40,11 @@
 use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
     ablation_scheduler, bench_matrix, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7,
-    jobs_from_env, rebalancing_curve, run_bench, run_grid, run_grid_traced, Ablation, BenchFloor,
-    ExperimentConfig, GridConfig, SchemeChoice,
+    jobs_from_env, rebalancing_curve, run_bench, run_grid, run_grid_traced,
+    run_sharded_scheme_audited, Ablation, BenchFloor, ExperimentConfig, GridConfig, SchemeChoice,
 };
-use spider_sim::{FaultConfig, SimReport};
+use spider_sim::{FaultConfig, ShardScheme, SimReport};
+use spider_telemetry::Telemetry;
 use std::io::Write;
 
 fn main() {
@@ -83,6 +84,9 @@ fn main() {
         "ablations" => run_ablations(seed, &mut out),
         "grid" => run_grid_command(&args, full, seed, telemetry, trace_out.as_deref(), &mut out),
         "bench" => run_bench_command(&args),
+        "sharded" => {
+            run_sharded_command(&args, full, seed, telemetry, trace_out.as_deref(), &mut out)
+        }
         "trace-check" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| {
                 eprintln!("trace-check expects a directory of .jsonl trace files");
@@ -109,12 +113,13 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|bench|all|trace-check DIR> \
+        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|bench|sharded|all|trace-check DIR> \
          [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
          [--telemetry] [--trace-out DIR] \
          [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit] \
          [--faults SCENARIO|FILE.json] [--outage-rates A,B,...] [--no-retry]\n\
-         bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json]"
+         bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json] [--only SUBSTR]\n\
+         sharded flags: [--shards N] [--scheme shortest|waterfilling] [--audit]"
     );
     std::process::exit(2);
 }
@@ -545,7 +550,14 @@ fn run_bench_command(args: &[String]) {
         None => jobs_from_env(),
     };
     let out_dir = flag_value(args, "--out").unwrap_or_else(|| ".".into());
-    let matrix = bench_matrix(smoke);
+    let mut matrix = bench_matrix(smoke);
+    if let Some(filter) = flag_value(args, "--only") {
+        matrix.retain(|s| s.name.contains(&filter));
+        if matrix.is_empty() {
+            eprintln!("--only `{filter}` matches no scenario in the {name} matrix");
+            std::process::exit(2);
+        }
+    }
     println!(
         "=== Bench ({name}): {} scenarios, median of {repeats}, {jobs} worker(s) ===",
         matrix.len()
@@ -586,6 +598,74 @@ fn run_bench_command(args: &[String]) {
             }
         }
     }
+}
+
+/// `sharded [--shards N] [--scheme shortest|waterfilling] [--audit]`:
+/// one run on the partition-parallel engine. The printed report, `--json`
+/// output, and `--trace-out` trace are byte-identical for any `--shards`
+/// value — CI compares shard counts 1 and 4 on the smoke scenario.
+fn run_sharded_command(
+    args: &[String],
+    full: bool,
+    seed: u64,
+    telemetry: bool,
+    trace_out: Option<&str>,
+    out: &mut JsonSink,
+) {
+    let topology = flag_value(args, "--topology").unwrap_or_else(|| "isp".into());
+    let cfg = config_for(&topology, full, seed);
+    let shards: usize = match flag_value(args, "--shards") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--shards expects an integer, got `{v}`");
+            usage_and_exit();
+        }),
+        None => 4,
+    };
+    let scheme = match flag_value(args, "--scheme").as_deref() {
+        None | Some("waterfilling") => ShardScheme::Waterfilling,
+        Some("shortest") => ShardScheme::ShortestPath,
+        Some(other) => {
+            eprintln!("--scheme expects shortest or waterfilling, got `{other}`");
+            usage_and_exit();
+        }
+    };
+    let audit = has_flag(args, "--audit");
+    println!(
+        "=== Sharded ({topology}): {} txns over {:.0}s on {shards} shard(s), audit {} ===",
+        cfg.num_transactions,
+        cfg.duration,
+        if audit { "on" } else { "off" }
+    );
+    let tel = if telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let t0 = std::time::Instant::now();
+    let report = run_sharded_scheme_audited(&cfg, scheme, shards, &tel, audit);
+    print_fig6_table(std::slice::from_ref(&report));
+    println!(
+        "audit checks {} violations {} ({:.1}s)",
+        report.audit_checks,
+        report.audit_violations.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    if !report.audit_violations.is_empty() {
+        eprintln!(
+            "WARNING: the ledger auditor found {} violation(s)",
+            report.audit_violations.len()
+        );
+        std::process::exit(1);
+    }
+    if let Some(dir) = trace_out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+        let path = format!("{dir}/sharded-{topology}.jsonl");
+        std::fs::write(&path, tel.trace_jsonl())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    out.record("sharded", &report);
+    println!();
 }
 
 /// `--faults` argument: a named scenario, or a path to a JSON

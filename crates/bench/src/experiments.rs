@@ -12,9 +12,9 @@ use spider_routing::{
     LpScheme, MaxFlowScheme, PathCache, PathStrategy, PriceScheme, RoutingScheme,
     ShortestPathScheme, SilentWhispersScheme, SpeedyMurmursScheme, WaterfillingScheme,
 };
-use spider_sim::{run, SimConfig, SimReport};
+use spider_sim::{run, run_sharded, ShardScheme, ShardedConfig, SimConfig, SimReport};
 use spider_telemetry::Telemetry;
-use spider_topology::{isp_topology, ripple_topology_scaled};
+use spider_topology::{isp_topology, ripple_topology_scaled, Partition};
 use spider_workload::{demand_matrix, isp_sizes, ripple_sizes, TraceConfig, Transaction};
 
 /// Which evaluation topology an experiment runs on.
@@ -172,6 +172,63 @@ impl ExperimentConfig {
         cfg.mtu = Amount::from_tokens(self.mtu);
         cfg
     }
+
+    /// Sharded-engine settings for this config (same deadline/MTU/window
+    /// as [`sim_config`](Self::sim_config)).
+    pub fn sharded_config(&self, scheme: ShardScheme) -> ShardedConfig {
+        let sim = self.sim_config();
+        let mut cfg = ShardedConfig::new(self.duration);
+        cfg.deadline = sim.deadline;
+        cfg.mtu = sim.mtu;
+        cfg.scheme = scheme;
+        cfg
+    }
+}
+
+/// The sharded-engine scheme corresponding to a [`SchemeChoice`], for the
+/// schemes the partition-parallel engine supports.
+pub fn sharded_scheme_for(choice: SchemeChoice) -> Option<ShardScheme> {
+    match choice {
+        SchemeChoice::ShortestPath => Some(ShardScheme::ShortestPath),
+        SchemeChoice::SpiderWaterfilling => Some(ShardScheme::Waterfilling),
+        _ => None,
+    }
+}
+
+/// Runs one experiment on the partition-parallel engine: same topology and
+/// trace as [`run_scheme`], split over `shards` threads by a deterministic
+/// [`Partition`] seeded from the experiment seed. The report (and trace,
+/// when `telemetry` is enabled) is byte-identical for any `shards` value.
+pub fn run_sharded_scheme(
+    config: &ExperimentConfig,
+    scheme: ShardScheme,
+    shards: usize,
+    telemetry: &Telemetry,
+) -> SimReport {
+    run_sharded_scheme_audited(config, scheme, shards, telemetry, false)
+}
+
+/// [`run_sharded_scheme`] with the per-epoch ledger auditor switchable on
+/// (every shard checks its own ledger copy each epoch; violations surface
+/// in the report).
+pub fn run_sharded_scheme_audited(
+    config: &ExperimentConfig,
+    scheme: ShardScheme,
+    shards: usize,
+    telemetry: &Telemetry,
+    audit: bool,
+) -> SimReport {
+    let network = config.network();
+    let trace = config.trace(&network);
+    let partition = if shards <= 1 {
+        Partition::single(&network)
+    } else {
+        Partition::build(&network, shards, config.seed)
+    };
+    let mut cfg = config.sharded_config(scheme);
+    cfg.telemetry = telemetry.clone();
+    cfg.audit = audit;
+    run_sharded(&network, &trace, &partition, &cfg)
 }
 
 /// Builds a scheme instance for a given experiment.

@@ -22,7 +22,8 @@ pub use experiments::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
     ablation_scheduler, build_scheme, extension_schemes, fig4_fig5, fig4_network, fig6,
     fig6_traced, fig7, lp_candidate_paths, rebalancing_curve, run_scheme, run_scheme_traced,
-    Ablation, ExperimentConfig, Fig4Result, RebalancingPoint, SchemeChoice, Topology,
+    run_sharded_scheme, run_sharded_scheme_audited, sharded_scheme_for, Ablation, ExperimentConfig,
+    Fig4Result, RebalancingPoint, SchemeChoice, Topology,
 };
 pub use runner::{
     derive_cell_seed, expand, jobs_from_env, run_grid, run_grid_traced, CellResult, GridCell,

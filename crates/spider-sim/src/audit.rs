@@ -71,6 +71,19 @@ pub enum AuditViolationKind {
         /// Micro-tokens the caller tried to release.
         requested_micros: i64,
     },
+    /// A channel's ledger slots were about to be mutated by a shard that
+    /// does not own the channel — a breach of the sharded engine's
+    /// ownership discipline. The mutation is refused, so the ledger stays
+    /// uncorrupted; the violation records the engine bug itself. Checked in
+    /// debug *and* release builds.
+    ForeignSlotMutation {
+        /// The channel whose slots were touched.
+        channel: ChannelId,
+        /// The shard that owns the channel's ledger slots.
+        owner_shard: u32,
+        /// The shard that attempted the mutation.
+        mutating_shard: u32,
+    },
 }
 
 /// One failed invariant check: when, after what, and what broke.

@@ -461,6 +461,13 @@ impl Ledger {
     pub fn num_channels(&self) -> usize {
         self.channels.len()
     }
+
+    /// Copies channel `c`'s full state (balances, in-flight, capacity) from
+    /// `other`. Used by the sharded engine to assemble the merged final
+    /// ledger out of each owner shard's copy.
+    pub(crate) fn copy_channel_state_from(&mut self, other: &Ledger, c: ChannelId) {
+        self.channels[c.index()] = other.channels[c.index()].clone();
+    }
 }
 
 /// A [`BalanceView`] of a ledger bound to its network (needed to resolve

@@ -9,6 +9,9 @@
 //!   LIFO/EDF service policies,
 //! - [`engine`] — the simulation loop driving any
 //!   [`spider_routing::RoutingScheme`],
+//! - [`engine_sharded`] — the partition-parallel engine: one simulation
+//!   split across threads by a [`spider_topology::Partition`], merged
+//!   byte-identically at any shard count,
 //! - [`metrics`] — success ratio / success volume reporting,
 //! - [`audit`] — opt-in ledger invariant checking after every
 //!   balance-mutating event, reported as structured violations.
@@ -20,6 +23,7 @@ pub mod audit;
 pub mod congestion;
 pub mod engine;
 pub mod engine_queued;
+pub mod engine_sharded;
 pub mod events;
 pub mod faults;
 pub mod ledger;
@@ -33,6 +37,7 @@ pub use audit::{AuditViolation, AuditViolationKind, LedgerAudit};
 pub use congestion::{CongestionConfig, CongestionControl};
 pub use engine::{run, SimConfig};
 pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
+pub use engine_sharded::{run_sharded, ShardScheme, ShardedConfig};
 pub use events::{EventQueue, Time};
 pub use faults::{
     Blacklist, FaultConfig, FaultEvent, FaultPlan, FaultState, FaultStats, FaultView, RetryPolicy,

@@ -5,6 +5,8 @@
 //! - [`isp`] — the deterministic 32-node/152-edge ISP-like topology of the
 //!   paper's evaluation,
 //! - [`ripple`] — scale-free Ripple-like credit network stand-ins,
+//! - [`partition`] — deterministic landmark partitioning for the
+//!   shard-parallel engine,
 //! - [`io`] — a plain-text edge-list format for export/import.
 //!
 //! All generators are deterministic given a seed and produce connected
@@ -16,6 +18,7 @@
 pub mod generators;
 pub mod io;
 pub mod isp;
+pub mod partition;
 pub mod ripple;
 
 pub use generators::{
@@ -24,4 +27,5 @@ pub use generators::{
 };
 pub use io::{from_edge_list, to_edge_list, ParseError};
 pub use isp::{isp_topology, ISP_EDGES, ISP_NODES};
+pub use partition::Partition;
 pub use ripple::{ripple_topology, ripple_topology_scaled, RIPPLE_EDGES, RIPPLE_NODES};

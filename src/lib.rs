@@ -62,8 +62,10 @@ pub mod prelude {
         SilentWhispersScheme, SpeedyMurmursScheme, UnitDecision, WaterfillingScheme,
     };
     pub use spider_sim::{
-        run, run_queued, Ledger, QueuedConfig, SchedulePolicy, SimConfig, SimReport,
+        run, run_queued, run_sharded, Ledger, QueuedConfig, SchedulePolicy, ShardScheme,
+        ShardedConfig, SimConfig, SimReport,
     };
     pub use spider_telemetry::Telemetry;
+    pub use spider_topology::Partition;
     pub use spider_workload::{TraceConfig, Transaction};
 }

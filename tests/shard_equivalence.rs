@@ -1,0 +1,208 @@
+//! Sequential-vs-sharded differential lockdown for the partition-parallel
+//! engine (`spider::sim::run_sharded`).
+//!
+//! The engine's contract is *partition independence*: the partition decides
+//! where work happens, never what happens. These tests enforce the strong
+//! form of that contract — for any topology, workload, and fault plan, the
+//! run at 1 shard and the runs at 2/4/7 shards must produce
+//!
+//! - **byte-identical** `SimReport` JSON (every counter, every float),
+//! - **byte-identical** trace JSONL (same events, same global order), and
+//! - **zero** ledger-audit violations with the per-epoch auditor on
+//!   (including the `ForeignSlotMutation` owner guard, which is active in
+//!   release builds too).
+//!
+//! Deterministic scenarios pin the paper topologies; the proptest sweeps
+//! random graphs × workloads × fault plans.
+
+use proptest::prelude::*;
+use spider::prelude::*;
+use spider::sim::{run_sharded, FaultConfig, FaultPlan, ShardedConfig};
+use spider::workload::{generate, isp_sizes, TraceConfig};
+
+/// Shard counts differenced against the single-shard reference: even,
+/// power-of-two, and a prime that never divides the payment count evenly.
+const SHARD_COUNTS: [usize; 3] = [2, 4, 7];
+
+/// Runs the scenario at one shard count, returning the report and trace.
+fn run_at(
+    network: &Network,
+    txs: &[Transaction],
+    config: &ShardedConfig,
+    shards: usize,
+    seed: u64,
+) -> (SimReport, String) {
+    let partition = if shards <= 1 {
+        Partition::single(network)
+    } else {
+        Partition::build(network, shards, seed)
+    };
+    let tel = Telemetry::enabled();
+    let mut cfg = config.clone();
+    cfg.telemetry = tel.clone();
+    cfg.audit = true;
+    let report = run_sharded(network, txs, &partition, &cfg);
+    (report, tel.trace_jsonl())
+}
+
+/// The core differential assertion: every shard count in [`SHARD_COUNTS`]
+/// must reproduce the single-shard run byte for byte, with a clean audit.
+fn assert_shard_equivalence(
+    network: &Network,
+    txs: &[Transaction],
+    config: &ShardedConfig,
+    seed: u64,
+) {
+    let (ref_report, ref_trace) = run_at(network, txs, config, 1, seed);
+    assert!(
+        ref_report.audit_violations.is_empty(),
+        "single-shard run violated the ledger audit: {:?}",
+        ref_report.audit_violations
+    );
+    let ref_json = serde_json::to_string_pretty(&ref_report).expect("report serializes");
+    for &shards in &SHARD_COUNTS {
+        let (report, trace) = run_at(network, txs, config, shards, seed);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{shards}-shard run violated the ledger audit: {:?}",
+            report.audit_violations
+        );
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert_eq!(
+            ref_json, json,
+            "SimReport JSON diverged between 1 and {shards} shards"
+        );
+        assert_eq!(
+            ref_trace, trace,
+            "trace JSONL diverged between 1 and {shards} shards"
+        );
+    }
+}
+
+fn base_config(end_time: f64) -> ShardedConfig {
+    let mut cfg = ShardedConfig::new(end_time);
+    cfg.record_series = true;
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic scenarios on the paper topologies.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn isp_workload_is_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(300));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 400, 20.0);
+    trace_cfg.seed = 11;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    assert_shard_equivalence(&network, &txs, &base_config(25.0), 11);
+}
+
+#[test]
+fn ripple_workload_is_partition_independent() {
+    let network = spider::topology::ripple_topology_scaled(120, Amount::from_whole(2_000), 5);
+    let mut trace_cfg = TraceConfig::ripple_default(network.num_nodes(), 300, 15.0);
+    trace_cfg.seed = 5;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    assert_shard_equivalence(&network, &txs, &base_config(20.0), 5);
+}
+
+#[test]
+fn shortest_path_scheme_is_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(200));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 300, 15.0);
+    trace_cfg.seed = 23;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut cfg = base_config(20.0);
+    cfg.scheme = spider::sim::ShardScheme::ShortestPath;
+    assert_shard_equivalence(&network, &txs, &cfg, 23);
+}
+
+#[test]
+fn contended_channels_are_partition_independent() {
+    // Tight capacity: units race for the same channels, so the lock-order
+    // and refund paths are exercised hard.
+    let network = spider::topology::isp_topology(Amount::from_whole(40));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 500, 10.0);
+    trace_cfg.seed = 7;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    assert_shard_equivalence(&network, &txs, &base_config(15.0), 7);
+}
+
+#[test]
+fn fault_stress_scenario_is_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(300));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 300, 15.0);
+    trace_cfg.seed = 3;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let fault_cfg = FaultConfig::scenario("stress").expect("stress scenario exists");
+    let mut cfg = base_config(20.0);
+    cfg.faults = Some(FaultPlan::from_config(&fault_cfg, &network, 20.0));
+    assert_shard_equivalence(&network, &txs, &cfg, 3);
+}
+
+#[test]
+fn no_retry_fault_scenario_is_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(300));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 200, 12.0);
+    trace_cfg.seed = 9;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut fault_cfg = FaultConfig::scenario("outages").expect("outages scenario exists");
+    fault_cfg.retry = None;
+    let mut cfg = base_config(16.0);
+    cfg.faults = Some(FaultPlan::from_config(&fault_cfg, &network, 16.0));
+    assert_shard_equivalence(&network, &txs, &cfg, 9);
+}
+
+// ---------------------------------------------------------------------------
+// Property-based sweep: random topologies × workloads × fault plans.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_scenarios_are_partition_independent(
+        n in 8usize..28,
+        p in 0.15f64..0.5,
+        topo_seed in any::<u64>(),
+        trace_seed in any::<u64>(),
+        num_txs in 20usize..120,
+        capacity in 20i64..400,
+        // Fault plan, drawn flat (the vendored proptest stub has no
+        // combinators): `fault_sel == 0` ≈ a third of cases means "no
+        // faults" so the fault-free path stays covered.
+        fault_sel in 0u8..3,
+        fault_seed in any::<u64>(),
+        outage_rate in 0.0f64..0.4,
+        drop_prob in 0.0f64..0.15,
+        grief_prob in 0.0f64..0.1,
+        retry in any::<bool>(),
+    ) {
+        let network = spider::topology::erdos_renyi(
+            n, p, Amount::from_whole(capacity), topo_seed,
+        );
+        if network.num_channels() == 0 {
+            return Ok(());
+        }
+        let duration = 10.0;
+        let mut trace_cfg = TraceConfig::isp_default(n, num_txs, duration);
+        trace_cfg.seed = trace_seed;
+        let txs = generate(&trace_cfg, &isp_sizes());
+        let mut cfg = base_config(14.0);
+        if fault_sel > 0 {
+            let mut fc = FaultConfig {
+                seed: fault_seed,
+                channel_outage_rate: outage_rate,
+                unit_drop_prob: drop_prob,
+                grief_prob,
+                ..FaultConfig::default()
+            };
+            if !retry {
+                fc.retry = None;
+            }
+            cfg.faults = Some(FaultPlan::from_config(&fc, &network, 14.0));
+        }
+        assert_shard_equivalence(&network, &txs, &cfg, topo_seed ^ trace_seed);
+    }
+}

@@ -242,6 +242,66 @@ fn simultaneous_arrivals_are_deterministic() {
 // Tier 2: full-scale stress. `cargo test --release --test stress -- --ignored`
 // ---------------------------------------------------------------------------
 
+/// Graduated tier-2: a 10k-node network through the partition-parallel
+/// engine, bounded to a payment count CI can afford in debug builds. The
+/// partitioner, the four-shard epoch loop, the owner guard, and the merge
+/// all run at real scale; the full 100k-payment soak (with 1-vs-4-shard
+/// byte-identity) stays `#[ignore]`d below.
+#[test]
+fn tier2_sharded_engine_10k_nodes_bounded() {
+    use spider::sim::{run_sharded, ShardScheme, ShardedConfig};
+    let g = spider::topology::ripple_topology_scaled(10_000, Amount::from_whole(5_000), 42);
+    assert!(g.num_nodes() >= 10_000);
+    let mut cfg = TraceConfig::ripple_default(g.num_nodes(), 400, 10.0);
+    cfg.seed = 42;
+    let txs = generate(&cfg, &ripple_sizes());
+    let partition = Partition::build(&g, 4, 42);
+    assert_eq!(partition.num_shards(), 4);
+    let mut sim_cfg = ShardedConfig::new(15.0);
+    sim_cfg.scheme = ShardScheme::ShortestPath;
+    sim_cfg.audit = true;
+    let report = run_sharded(&g, &txs, &partition, &sim_cfg);
+    assert_sound(&report);
+    assert!(report.attempted >= 390, "attempted {}", report.attempted);
+    assert!(
+        report.audit_violations.is_empty(),
+        "sharded 10k-node run violated the audit: {:?}",
+        report.audit_violations
+    );
+    assert!(
+        report.success_ratio() > 0.1,
+        "scale run must route real volume: {}",
+        report.summary()
+    );
+}
+
+/// Full tier-2 sharded soak: 10k nodes / 100k payments, run at 1 and 4
+/// shards — the two reports must be byte-identical and audit-clean.
+#[test]
+#[ignore = "tier-2 scale test (10k nodes / 100k payments, 2 runs); run with --ignored"]
+fn tier2_sharded_engine_10k_nodes_100k_payments_identity() {
+    use spider::sim::{run_sharded, ShardScheme, ShardedConfig};
+    let g = spider::topology::ripple_topology_scaled(10_000, Amount::from_whole(5_000), 42);
+    let mut cfg = TraceConfig::ripple_default(g.num_nodes(), 100_000, 600.0);
+    cfg.seed = 42;
+    let txs = generate(&cfg, &ripple_sizes());
+    assert!(txs.len() >= 100_000);
+    let end = txs.last().map_or(600.0, |t| t.arrival) + 1.0;
+    let mut sim_cfg = ShardedConfig::new(end);
+    sim_cfg.scheme = ShardScheme::Waterfilling;
+    sim_cfg.audit = true;
+    let r1 = run_sharded(&g, &txs, &Partition::single(&g), &sim_cfg);
+    let r4 = run_sharded(&g, &txs, &Partition::build(&g, 4, 42), &sim_cfg);
+    assert_sound(&r1);
+    assert!(r1.audit_violations.is_empty() && r4.audit_violations.is_empty());
+    assert_eq!(
+        serde_json::to_string(&r1).expect("report serializes"),
+        serde_json::to_string(&r4).expect("report serializes"),
+        "sharded report diverged between 1 and 4 shards at full scale"
+    );
+    assert!(r1.attempted >= 100_000);
+}
+
 /// 10k-node scale-free network, 100k payments, packet-switched routing.
 /// The dense `Vec`-indexed state must keep exact conservation and clean
 /// accounting at two orders of magnitude above the tier-1 scenarios.
