@@ -18,11 +18,12 @@
 //! ([`BenchFloor::check`]).
 
 use crate::experiments::{
-    run_scheme, run_sharded_scheme, sharded_scheme_for, ExperimentConfig, SchemeChoice, Topology,
+    run_scheme, run_scheme_traced, run_sharded_scheme, sharded_scheme_for, ExperimentConfig,
+    SchemeChoice, Topology,
 };
 use serde::{Deserialize, Serialize};
 use spider_sim::SimReport;
-use spider_telemetry::Telemetry;
+use spider_telemetry::{PhaseWallStat, Telemetry};
 use std::time::Instant;
 
 /// Version stamp of the `BENCH_*.json` schema.
@@ -208,6 +209,11 @@ pub struct BenchScenarioTiming {
     pub median_wall_ms: f64,
     /// `events / median wall seconds` — the regression-gated rate.
     pub events_per_sec: f64,
+    /// Per-phase wall-clock breakdown from the last repeat (present only
+    /// under `bench --profile`). Lives in the `timing` section so the
+    /// stripped report stays byte-identical with or without profiling.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub phases: Vec<PhaseWallStat>,
 }
 
 /// The `timing` section of a [`BenchReport`].
@@ -309,11 +315,26 @@ fn median(sorted_ms: &mut [f64]) -> f64 {
 /// Runs one scenario `repeats` times, asserting every repeat produces the
 /// identical deterministic result, and returns that result with the
 /// median-of-N timing.
-fn run_scenario(s: &BenchScenario, repeats: usize) -> (BenchScenarioResult, BenchScenarioTiming) {
+///
+/// With `profile` set, every repeat runs under a fresh
+/// [`Telemetry::profiled`] handle and the last repeat's per-phase
+/// wall-clock breakdown is attached to the timing (profiler overhead is
+/// included in `wall_ms`, so profiled rates are not comparable to floors).
+fn run_scenario(
+    s: &BenchScenario,
+    repeats: usize,
+    profile: bool,
+) -> (BenchScenarioResult, BenchScenarioTiming) {
     let repeats = repeats.max(1);
     let mut wall_ms = Vec::with_capacity(repeats);
     let mut result: Option<BenchScenarioResult> = None;
+    let mut phases: Vec<PhaseWallStat> = Vec::new();
     for _ in 0..repeats {
+        let tel = if profile {
+            Telemetry::profiled()
+        } else {
+            Telemetry::disabled()
+        };
         let t0 = Instant::now();
         let report = match s.shards {
             Some(shards) => {
@@ -323,11 +344,20 @@ fn run_scenario(s: &BenchScenario, repeats: usize) -> (BenchScenarioResult, Benc
                         s.name, s.scheme
                     );
                 };
-                run_sharded_scheme(&s.config, scheme, shards, &Telemetry::disabled())
+                run_sharded_scheme(&s.config, scheme, shards, &tel)
             }
-            None => run_scheme(&s.config, s.scheme),
+            None => {
+                if profile {
+                    run_scheme_traced(&s.config, s.scheme, &tel)
+                } else {
+                    run_scheme(&s.config, s.scheme)
+                }
+            }
         };
         wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if let Some(profiler) = tel.profiler() {
+            phases = profiler.wall_phases();
+        }
         let r = BenchScenarioResult {
             name: s.name.clone(),
             topology: topology_label(&s.config),
@@ -364,6 +394,7 @@ fn run_scenario(s: &BenchScenario, repeats: usize) -> (BenchScenarioResult, Benc
         wall_ms,
         median_wall_ms,
         events_per_sec,
+        phases,
     };
     (result, timing)
 }
@@ -374,6 +405,20 @@ fn run_scenario(s: &BenchScenario, repeats: usize) -> (BenchScenarioResult, Benc
 ///
 /// [`stripped_json`]: BenchReport::stripped_json
 pub fn run_bench(matrix: &[BenchScenario], name: &str, repeats: usize, jobs: usize) -> BenchReport {
+    run_bench_profiled(matrix, name, repeats, jobs, false)
+}
+
+/// [`run_bench`] with an optional span-profiler attachment: when `profile`
+/// is set, each scenario's timing carries a per-phase wall-clock breakdown
+/// (see [`BenchScenarioTiming::phases`]). The deterministic `results`
+/// section — and therefore [`BenchReport::stripped_json`] — is unaffected.
+pub fn run_bench_profiled(
+    matrix: &[BenchScenario],
+    name: &str,
+    repeats: usize,
+    jobs: usize,
+    profile: bool,
+) -> BenchReport {
     let t0 = Instant::now();
     let n = matrix.len();
     let jobs = jobs.clamp(1, n.max(1));
@@ -386,7 +431,7 @@ pub fn run_bench(matrix: &[BenchScenario], name: &str, repeats: usize, jobs: usi
                     let mut out = Vec::new();
                     let mut i = w;
                     while i < n {
-                        out.push((i, run_scenario(&matrix[i], repeats)));
+                        out.push((i, run_scenario(&matrix[i], repeats, profile)));
                         i += jobs;
                     }
                     out

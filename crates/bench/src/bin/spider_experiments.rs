@@ -36,15 +36,30 @@
 //! `--jobs` value. `spider-experiments trace-check DIR` re-parses every
 //! trace file and fails on empty, malformed, or internally inconsistent
 //! traces (the CI smoke check).
+//!
+//! Flight recorder: `--trace-format bin` switches `--trace-out` to the
+//! compact indexed binary format (`.bin`, ~5-10x smaller than JSONL,
+//! byte-identical across runs / `--jobs` / `--shards`).
+//! `spider-experiments inspect FILE` answers channel/node/payment/kind/
+//! time-window queries against a trace — using the per-block index on
+//! `.bin` files so most blocks are never decoded — and prints top-K hot
+//! channels and nodes; on a `--json` report it prints the embedded
+//! per-phase profile breakdowns instead.
+//! `spider-experiments trace-convert IN OUT` converts losslessly between
+//! the two formats (direction from the output extension).
+//! `bench --profile` attaches a per-phase wall-clock breakdown to the
+//! report's `timing` section; the stripped deterministic section is
+//! byte-identical with or without it.
 
 use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
     ablation_scheduler, bench_matrix, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7,
-    jobs_from_env, rebalancing_curve, run_bench, run_grid, run_grid_traced,
+    jobs_from_env, rebalancing_curve, run_bench_profiled, run_grid, run_grid_traced,
     run_sharded_scheme_audited, Ablation, BenchFloor, ExperimentConfig, GridConfig, SchemeChoice,
 };
 use spider_sim::{FaultConfig, ShardScheme, SimReport};
-use spider_telemetry::Telemetry;
+use spider_telemetry::spans::render_wall_breakdown;
+use spider_telemetry::{bintrace, Telemetry, TraceEvent, TraceQuery};
 use std::io::Write;
 
 fn main() {
@@ -64,6 +79,14 @@ fn main() {
     let json_path = flag_value(&args, "--json");
     let trace_out = flag_value(&args, "--trace-out");
     let telemetry = has_flag(&args, "--telemetry") || trace_out.is_some();
+    let format = match flag_value(&args, "--trace-format").as_deref() {
+        None | Some("jsonl") => TraceFormat::Jsonl,
+        Some("bin") => TraceFormat::Bin,
+        Some(other) => {
+            eprintln!("--trace-format expects jsonl or bin, got `{other}`");
+            usage_and_exit();
+        }
+    };
     let mut out = JsonSink::new(json_path);
 
     match command {
@@ -76,32 +99,72 @@ fn main() {
                 seed,
                 telemetry,
                 trace_out.as_deref(),
+                format,
                 &mut out,
             );
         }
         "fig7" => run_fig7(full, seed, &mut out),
         "rebalancing" => run_rebalancing(&mut out),
         "ablations" => run_ablations(seed, &mut out),
-        "grid" => run_grid_command(&args, full, seed, telemetry, trace_out.as_deref(), &mut out),
+        "grid" => run_grid_command(
+            &args,
+            full,
+            seed,
+            telemetry,
+            trace_out.as_deref(),
+            format,
+            &mut out,
+        ),
         "bench" => run_bench_command(&args),
-        "sharded" => {
-            run_sharded_command(&args, full, seed, telemetry, trace_out.as_deref(), &mut out)
-        }
+        "sharded" => run_sharded_command(
+            &args,
+            full,
+            seed,
+            telemetry,
+            trace_out.as_deref(),
+            format,
+            &mut out,
+        ),
         "trace-check" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| {
-                eprintln!("trace-check expects a directory of .jsonl trace files");
+                eprintln!("trace-check expects a directory of .jsonl/.bin trace files");
                 usage_and_exit();
             });
             run_trace_check(&dir);
         }
+        "inspect" => {
+            let file = args.get(1).cloned().unwrap_or_else(|| {
+                eprintln!("inspect expects a trace file (.bin or .jsonl) or a --json report");
+                usage_and_exit();
+            });
+            run_inspect(&file, &args);
+        }
+        "trace-convert" => {
+            let (input, output) = match (args.get(1), args.get(2)) {
+                (Some(i), Some(o)) => (i.clone(), o.clone()),
+                _ => {
+                    eprintln!("trace-convert expects an input and an output path");
+                    usage_and_exit();
+                }
+            };
+            run_trace_convert(&input, &output);
+        }
         "all" => {
             run_fig4(&mut out);
-            run_fig6("isp", full, seed, telemetry, trace_out.as_deref(), &mut out);
-            run_fig6("ripple", full, seed, telemetry, None, &mut out);
+            run_fig6(
+                "isp",
+                full,
+                seed,
+                telemetry,
+                trace_out.as_deref(),
+                format,
+                &mut out,
+            );
+            run_fig6("ripple", full, seed, telemetry, None, format, &mut out);
             run_fig7(full, seed, &mut out);
             run_rebalancing(&mut out);
             run_ablations(seed, &mut out);
-            run_grid_command(&args, full, seed, telemetry, None, &mut out);
+            run_grid_command(&args, full, seed, telemetry, None, format, &mut out);
         }
         other => {
             eprintln!("unknown command `{other}`");
@@ -111,15 +174,48 @@ fn main() {
     out.finish();
 }
 
+/// On-disk trace encoding selected by `--trace-format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    /// One JSON object per line — human-greppable, the default.
+    Jsonl,
+    /// Compact indexed binary (`spider_telemetry::bintrace`).
+    Bin,
+}
+
+impl TraceFormat {
+    fn ext(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Bin => "bin",
+        }
+    }
+}
+
+/// Writes one trace file under `dir` as `<stem>.<ext>` in the selected
+/// format and returns the path.
+fn write_trace(dir: &str, stem: &str, format: TraceFormat, events: &[TraceEvent]) -> String {
+    let path = format!("{dir}/{stem}.{}", format.ext());
+    let bytes = match format {
+        TraceFormat::Jsonl => spider_telemetry::events_to_jsonl(events).into_bytes(),
+        TraceFormat::Bin => bintrace::encode(events),
+    };
+    std::fs::write(&path, bytes).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    path
+}
+
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|bench|sharded|all|trace-check DIR> \
+        "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|bench|sharded|all|\
+         trace-check DIR|inspect FILE|trace-convert IN OUT> \
          [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
-         [--telemetry] [--trace-out DIR] \
+         [--telemetry] [--trace-out DIR] [--trace-format jsonl|bin] \
          [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit] \
          [--faults SCENARIO|FILE.json] [--outage-rates A,B,...] [--no-retry]\n\
-         bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json] [--only SUBSTR]\n\
-         sharded flags: [--shards N] [--scheme shortest|waterfilling] [--audit]"
+         bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json] [--only SUBSTR] [--profile]\n\
+         sharded flags: [--shards N] [--scheme shortest|waterfilling] [--audit]\n\
+         inspect flags: [--channel N] [--node N] [--payment N] [--kind K] [--from T] [--to T] \
+         [--limit N] [--top K]"
     );
     std::process::exit(2);
 }
@@ -241,6 +337,7 @@ fn run_fig6(
     seed: u64,
     telemetry: bool,
     trace_out: Option<&str>,
+    format: TraceFormat,
     out: &mut JsonSink,
 ) {
     let cfg = config_for(topology, full, seed);
@@ -254,9 +351,8 @@ fn run_fig6(
         if let Some(dir) = trace_out {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
             for (report, tel) in &traced {
-                let path = format!("{dir}/fig6-{topology}-{}.jsonl", report.scheme);
-                std::fs::write(&path, tel.trace_jsonl())
-                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                let stem = format!("fig6-{topology}-{}", report.scheme);
+                write_trace(dir, &stem, format, &tel.events());
             }
             println!("wrote {} trace files to {dir}", traced.len());
         }
@@ -381,6 +477,7 @@ fn run_grid_command(
     seed: u64,
     telemetry: bool,
     trace_out: Option<&str>,
+    format: TraceFormat,
     out: &mut JsonSink,
 ) {
     let topology = flag_value(args, "--topology").unwrap_or_else(|| "isp".into());
@@ -473,8 +570,20 @@ fn run_grid_command(
             run_grid_traced(&grid, jobs).unwrap_or_else(|e| panic!("grid run failed: {e}"));
         std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
         for (i, trace) in traces.iter().enumerate() {
-            let path = format!("{dir}/cell-{i:04}.jsonl");
-            std::fs::write(&path, trace).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            match format {
+                TraceFormat::Jsonl => {
+                    let path = format!("{dir}/cell-{i:04}.jsonl");
+                    std::fs::write(&path, trace)
+                        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                }
+                TraceFormat::Bin => {
+                    let path = format!("{dir}/cell-{i:04}.bin");
+                    let bytes = bintrace::jsonl_to_bintrace(trace)
+                        .unwrap_or_else(|(line, e)| panic!("cell {i} trace line {line}: {e}"));
+                    std::fs::write(&path, bytes)
+                        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                }
+            }
         }
         println!("wrote {} per-cell trace files to {dir}", traces.len());
         result
@@ -526,14 +635,17 @@ fn run_grid_command(
     println!();
 }
 
-/// `bench [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE]`:
-/// runs the fixed benchmark matrix with a median-of-N protocol and writes
-/// `BENCH_smoke.json` / `BENCH_full.json`. The report's `results` section is
-/// byte-identical across runs and `--jobs` values; only `timing` varies.
-/// With `--floor`, exits non-zero if any listed scenario's events/sec drops
+/// `bench [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE]
+/// [--profile]`: runs the fixed benchmark matrix with a median-of-N
+/// protocol and writes `BENCH_smoke.json` / `BENCH_full.json`. The report's
+/// `results` section is byte-identical across runs, `--jobs` values, and
+/// `--profile`; only `timing` varies. `--profile` attaches a per-phase
+/// wall-clock breakdown to each scenario's timing and prints it. With
+/// `--floor`, exits non-zero if any listed scenario's events/sec drops
 /// more than 30% below its checked-in floor.
 fn run_bench_command(args: &[String]) {
     let smoke = has_flag(args, "--smoke");
+    let profile = has_flag(args, "--profile");
     let name = if smoke { "smoke" } else { "full" };
     let repeats: usize = match flag_value(args, "--repeats") {
         Some(v) => v.parse().unwrap_or_else(|_| {
@@ -562,7 +674,7 @@ fn run_bench_command(args: &[String]) {
         "=== Bench ({name}): {} scenarios, median of {repeats}, {jobs} worker(s) ===",
         matrix.len()
     );
-    let report = run_bench(&matrix, name, repeats, jobs);
+    let report = run_bench_profiled(&matrix, name, repeats, jobs, profile);
     println!(
         "{:<36} {:>12} {:>10} {:>10} {:>12} {:>12}",
         "scenario", "events", "success", "wall_ms", "events/sec", ""
@@ -572,6 +684,15 @@ fn run_bench_command(args: &[String]) {
             "{:<36} {:>12} {:>10.3} {:>10.1} {:>12.0}",
             r.name, r.events, r.success_ratio, t.median_wall_ms, t.events_per_sec
         );
+    }
+    if profile {
+        for t in &report.timing.scenarios {
+            if t.phases.is_empty() {
+                continue;
+            }
+            println!("\nphase breakdown: {}", t.name);
+            print!("{}", render_wall_breakdown(&t.phases));
+        }
     }
     println!("({:.1}s total)", report.timing.total_wall_ms / 1e3);
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("cannot create {out_dir}: {e}"));
@@ -610,6 +731,7 @@ fn run_sharded_command(
     seed: u64,
     telemetry: bool,
     trace_out: Option<&str>,
+    format: TraceFormat,
     out: &mut JsonSink,
 ) {
     let topology = flag_value(args, "--topology").unwrap_or_else(|| "isp".into());
@@ -657,11 +779,15 @@ fn run_sharded_command(
         );
         std::process::exit(1);
     }
+    if let Some(obs) = &report.shards {
+        if obs.num_shards >= 2 {
+            println!("per-shard epoch metrics:");
+            print!("{}", obs.render());
+        }
+    }
     if let Some(dir) = trace_out {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
-        let path = format!("{dir}/sharded-{topology}.jsonl");
-        std::fs::write(&path, tel.trace_jsonl())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let path = write_trace(dir, &format!("sharded-{topology}"), format, &tel.events());
         println!("wrote {path}");
     }
     out.record("sharded", &report);
@@ -693,9 +819,10 @@ fn parse_fault_config(arg: &str) -> FaultConfig {
     })
 }
 
-/// CI smoke check: every `.jsonl` file in `dir` must be non-empty, parse as
-/// trace events, and be internally consistent (payments resolve at most
-/// once; units settle or refund at most once each).
+/// CI smoke check: every `.jsonl` / `.bin` file in `dir` must be
+/// non-empty, parse (or decode) as trace events, and be internally
+/// consistent (payments resolve at most once; units settle or refund at
+/// most once each).
 fn run_trace_check(dir: &str) {
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| {
@@ -704,26 +831,40 @@ fn run_trace_check(dir: &str) {
         })
         .filter_map(|entry| {
             let path = entry.expect("readable dir entry").path();
-            (path.extension().is_some_and(|x| x == "jsonl")).then_some(path)
+            (path.extension().is_some_and(|x| x == "jsonl" || x == "bin")).then_some(path)
         })
         .collect();
     files.sort();
     if files.is_empty() {
-        eprintln!("trace-check: no .jsonl files in {dir}");
+        eprintln!("trace-check: no .jsonl or .bin files in {dir}");
         std::process::exit(1);
     }
     let mut total_events = 0u64;
     for path in &files {
         let name = path.display();
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
             eprintln!("trace-check: cannot read {name}: {e}");
             std::process::exit(1);
         });
-        let events = match spider_telemetry::parse_jsonl(&text) {
-            Ok(events) => events,
-            Err((line, err)) => {
-                eprintln!("trace-check: {name} line {line}: {err}");
+        let events = if bintrace::is_bintrace(&bytes) {
+            match bintrace::decode(&bytes) {
+                Ok(events) => events,
+                Err(err) => {
+                    eprintln!("trace-check: {name}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+                eprintln!("trace-check: {name} is not UTF-8: {e}");
                 std::process::exit(1);
+            });
+            match spider_telemetry::parse_jsonl(&text) {
+                Ok(events) => events,
+                Err((line, err)) => {
+                    eprintln!("trace-check: {name} line {line}: {err}");
+                    std::process::exit(1);
+                }
             }
         };
         if events.is_empty() {
@@ -758,6 +899,256 @@ fn run_trace_check(dir: &str) {
         "trace-check: OK ({} files, {} events)",
         files.len(),
         total_events
+    );
+}
+
+/// `inspect FILE [--channel N] [--node N] [--payment N] [--kind K]
+/// [--from T] [--to T] [--limit N] [--top K]`: queries one trace file and
+/// prints the matches plus a top-K hot-channels / hot-nodes report.
+/// Binary traces answer through the per-block index (the block-skip stats
+/// are printed); JSONL traces fall back to a full scan, so the two paths
+/// are directly comparable. A `.json` report written by `--json` or
+/// `bench --profile` prints its embedded per-phase profile breakdowns
+/// instead.
+fn run_inspect(file: &str, args: &[String]) {
+    fn num<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        flag_value(args, flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+    }
+    let bytes = std::fs::read(file).unwrap_or_else(|e| {
+        eprintln!("inspect: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    if file.ends_with(".json") {
+        inspect_report(file, &bytes);
+        return;
+    }
+    let q = TraceQuery {
+        channel: num(args, "--channel"),
+        node: num(args, "--node"),
+        payment: num(args, "--payment"),
+        kind: flag_value(args, "--kind"),
+        from: num(args, "--from"),
+        to: num(args, "--to"),
+    };
+    let limit: usize = num(args, "--limit").unwrap_or(20);
+    let top: usize = num(args, "--top").unwrap_or(5);
+    let (events, scan_note) = if bintrace::is_bintrace(&bytes) {
+        let (events, stats) = bintrace::query_with_stats(&bytes, &q).unwrap_or_else(|e| {
+            eprintln!("inspect: {file}: {e}");
+            std::process::exit(1);
+        });
+        let note = format!(
+            "indexed query decoded {}/{} blocks ({} events decoded, {} matched)",
+            stats.blocks_scanned, stats.blocks_total, stats.events_decoded, stats.events_matched
+        );
+        (events, note)
+    } else {
+        let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+            eprintln!("inspect: {file} is not UTF-8 (and not a binary trace): {e}");
+            std::process::exit(1);
+        });
+        let all = match spider_telemetry::parse_jsonl(&text) {
+            Ok(events) => events,
+            Err((line, err)) => {
+                eprintln!("inspect: {file} line {line}: {err}");
+                std::process::exit(1);
+            }
+        };
+        let total = all.len();
+        let events: Vec<TraceEvent> = all.into_iter().filter(|e| q.matches(e)).collect();
+        let note = format!("full scan over {} events ({} matched)", total, events.len());
+        (events, note)
+    };
+    println!("{file}: {scan_note}");
+    let counts = spider_telemetry::count_by_kind(&events);
+    if !counts.is_empty() {
+        let pretty: Vec<String> = counts
+            .iter()
+            .map(|(kind, n)| format!("{kind}={n}"))
+            .collect();
+        println!("matched by kind: {}", pretty.join(" "));
+    }
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    for t in events.iter().filter_map(TraceEvent::time) {
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+    }
+    if t_min.is_finite() {
+        println!("sim-time span: [{t_min:.3}, {t_max:.3}]");
+    }
+    print_hot(
+        "hot channels",
+        top,
+        events.iter().filter_map(TraceEvent::channel).map(u64::from),
+    );
+    print_hot(
+        "hot nodes",
+        top,
+        events.iter().flat_map(|e| {
+            let (a, b) = e.nodes();
+            [a, b].into_iter().flatten().map(u64::from)
+        }),
+    );
+    for e in events.iter().take(limit) {
+        println!(
+            "{}",
+            serde_json::to_string(e).expect("trace events serialize")
+        );
+    }
+    if events.len() > limit {
+        println!("... {} more matched (raise --limit)", events.len() - limit);
+    }
+}
+
+/// Prints the `top` most frequent ids in `ids` as `id xN` pairs, ties
+/// broken by lower id for deterministic output.
+fn print_hot(label: &str, top: usize, ids: impl Iterator<Item = u64>) {
+    let mut counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    if counts.is_empty() || top == 0 {
+        return;
+    }
+    let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(top);
+    let pretty: Vec<String> = ranked.iter().map(|(id, n)| format!("{id} x{n}")).collect();
+    println!("{label} (top {}): {}", ranked.len(), pretty.join("  "));
+}
+
+/// Inspect mode for `.json` reports: finds every embedded `phases` array
+/// (deterministic [`PhaseProfile`]s from `TelemetrySummary`, wall-clock
+/// [`PhaseWallStat`]s from `bench --profile` timing) and renders each as a
+/// breakdown table.
+///
+/// [`PhaseProfile`]: spider_telemetry::PhaseProfile
+/// [`PhaseWallStat`]: spider_telemetry::PhaseWallStat
+fn inspect_report(file: &str, bytes: &[u8]) {
+    let text = std::str::from_utf8(bytes).unwrap_or_else(|e| {
+        eprintln!("inspect: {file} is not UTF-8: {e}");
+        std::process::exit(1);
+    });
+    let value: serde_json::Value = serde_json::from_str(text).unwrap_or_else(|e| {
+        eprintln!("inspect: {file} is not valid JSON: {e:?}");
+        std::process::exit(1);
+    });
+    let mut found = 0usize;
+    walk_phases(&value, "$", &mut found);
+    if found == 0 {
+        println!(
+            "{file}: no phase breakdowns found \
+             (profiles appear under `--telemetry` summaries and `bench --profile` timing)"
+        );
+    }
+}
+
+fn walk_phases(value: &serde_json::Value, path: &str, found: &mut usize) {
+    use serde_json::Value;
+    match value {
+        Value::Object(fields) => {
+            for (key, child) in fields {
+                let child_path = format!("{path}.{key}");
+                if key == "phases" {
+                    if let Some(rows) = phase_rows(child) {
+                        *found += 1;
+                        println!("{child_path}:");
+                        print!("{rows}");
+                        continue;
+                    }
+                }
+                walk_phases(child, &child_path, found);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk_phases(child, &format!("{path}[{i}]"), found);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Renders a `phases` array if every element looks like a phase record
+/// (an object with a string `phase` and numeric `calls`).
+fn phase_rows(value: &serde_json::Value) -> Option<String> {
+    use serde_json::Value;
+    let Value::Array(items) = value else {
+        return None;
+    };
+    if items.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    for item in items {
+        let Some(Value::Str(phase)) = item.get_field("phase") else {
+            return None;
+        };
+        let calls = item.get_field("calls")?.as_i64()?;
+        out.push_str(&format!("  {phase:<22} calls={calls:<10}"));
+        if let Some(items_n) = item.get_field("items").and_then(Value::as_i64) {
+            out.push_str(&format!(" items={items_n:<10}"));
+        }
+        if let Some(wall) = item.get_field("wall_ms").and_then(Value::as_f64) {
+            out.push_str(&format!(" wall_ms={wall:.3}"));
+        }
+        if let (Some(a), Some(b)) = (
+            item.get_field("sim_first").and_then(Value::as_f64),
+            item.get_field("sim_last").and_then(Value::as_f64),
+        ) {
+            out.push_str(&format!(" sim=[{a:.3}, {b:.3}]"));
+        }
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// `trace-convert IN OUT`: lossless conversion between the JSONL and
+/// binary trace formats. The input format is auto-detected from the bytes;
+/// the output format follows the output path's extension (`.bin` writes
+/// binary, anything else JSONL).
+fn run_trace_convert(input: &str, output: &str) {
+    let bytes = std::fs::read(input).unwrap_or_else(|e| {
+        eprintln!("trace-convert: cannot read {input}: {e}");
+        std::process::exit(1);
+    });
+    let events = if bintrace::is_bintrace(&bytes) {
+        bintrace::decode(&bytes).unwrap_or_else(|e| {
+            eprintln!("trace-convert: {input}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+            eprintln!("trace-convert: {input} is not UTF-8 (and not a binary trace): {e}");
+            std::process::exit(1);
+        });
+        match spider_telemetry::parse_jsonl(&text) {
+            Ok(events) => events,
+            Err((line, err)) => {
+                eprintln!("trace-convert: {input} line {line}: {err}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let out_bytes = if output.ends_with(".bin") {
+        bintrace::encode(&events)
+    } else {
+        spider_telemetry::events_to_jsonl(&events).into_bytes()
+    };
+    std::fs::write(output, &out_bytes).unwrap_or_else(|e| {
+        eprintln!("trace-convert: cannot write {output}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "trace-convert: {input} -> {output} ({} events, {} bytes)",
+        events.len(),
+        out_bytes.len()
     );
 }
 

@@ -15,8 +15,8 @@ pub mod experiments;
 pub mod runner;
 
 pub use benchmarks::{
-    bench_matrix, event_count, run_bench, BenchFloor, BenchReport, BenchScenario,
-    BenchScenarioResult, BenchScenarioTiming, BenchTiming, BENCH_SCHEMA_VERSION,
+    bench_matrix, event_count, run_bench, run_bench_profiled, BenchFloor, BenchReport,
+    BenchScenario, BenchScenarioResult, BenchScenarioTiming, BenchTiming, BENCH_SCHEMA_VERSION,
 };
 pub use experiments::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,

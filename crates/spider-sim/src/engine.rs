@@ -31,7 +31,7 @@ use crate::rebalancer::{RebalancePolicy, RebalanceStats};
 use crate::scheduler::SchedulePolicy;
 use spider_core::{Amount, ChannelId, CoreError, Network, Path};
 use spider_routing::{fees::FeeSchedule, RoutingScheme, SchemeKind, UnitDecision};
-use spider_telemetry::{Histogram, NetworkSample, Telemetry, TraceEvent};
+use spider_telemetry::{Histogram, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_workload::Transaction;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -298,6 +298,9 @@ pub fn run(
         }
         match event {
             Event::Arrival(i) => {
+                let _span = tel.span_enter(Phase::RoutingDecision);
+                tel.span_sim(Phase::RoutingDecision, now);
+                tel.span_items(Phase::RoutingDecision, 1);
                 let tx = &transactions[i];
                 let idx = payments.len();
                 payments.push(PaymentState {
@@ -376,6 +379,9 @@ pub fn run(
                 if units[unit].resolved {
                     continue;
                 }
+                let _span = tel.span_enter(Phase::SettleRefund);
+                tel.span_sim(Phase::SettleRefund, now);
+                tel.span_items(Phase::SettleRefund, 1);
                 let payment = units[unit].payment;
                 let amount = units[unit].amount;
                 if let Some(cc) = congestion.as_mut() {
@@ -519,6 +525,9 @@ pub fn run(
                 if units[unit].resolved {
                     continue;
                 }
+                let _span = tel.span_enter(Phase::FaultProcessing);
+                tel.span_sim(Phase::FaultProcessing, now);
+                tel.span_items(Phase::FaultProcessing, 1);
                 let payment = units[unit].payment;
                 let amount = units[unit].amount;
                 let fault = units[unit].fault.expect("fault expiry implies a fate");
@@ -583,6 +592,9 @@ pub fn run(
                 }
             }
             Event::Fault(ev) => {
+                let _span = tel.span_enter(Phase::FaultProcessing);
+                tel.span_sim(Phase::FaultProcessing, now);
+                tel.span_items(Phase::FaultProcessing, 1);
                 let fr = faults.as_mut().expect("fault event implies a plan");
                 match &ev {
                     FaultEvent::ChannelDown(c) => {
@@ -667,6 +679,8 @@ pub fn run(
                 }
             }
             Event::Tick => {
+                let _span = tel.span_enter(Phase::QueueDrain);
+                tel.span_sim(Phase::QueueDrain, now);
                 tel.counter_add("sim.scheduler.polls", 1);
                 // Expire deadlines and fire retry timers, in (time, payment)
                 // order off the shared min-heap — O(log n) per expiry instead
@@ -1031,6 +1045,8 @@ fn pump_payment(
             return;
         }
     }
+    let _span = config.telemetry.span_enter(Phase::UnitDispatch);
+    config.telemetry.span_sim(Phase::UnitDispatch, now);
     loop {
         let remaining = p.remaining();
         if !remaining.is_positive() {
@@ -1086,6 +1102,7 @@ fn pump_payment(
                 }
                 p.inflight += unit;
                 *units_sent += 1;
+                config.telemetry.span_items(Phase::UnitDispatch, 1);
                 config.telemetry.counter_add("sim.units.sent", 1);
                 config.telemetry.emit(|| TraceEvent::UnitSent {
                     t: now,
@@ -1171,6 +1188,8 @@ fn attempt_atomic(
     faults: Option<&mut FaultRuntime>,
     release_violations: &mut Vec<AuditViolation>,
 ) {
+    let _span = config.telemetry.span_enter(Phase::UnitDispatch);
+    config.telemetry.span_sim(Phase::UnitDispatch, now);
     let view = LedgerView { network, ledger };
     let parts = match faults.as_deref() {
         Some(fr) => {
@@ -1358,6 +1377,7 @@ fn build_report(
         completion_delay_percentiles: config.telemetry.delay_percentiles("sim.completion_delay"),
         telemetry: config.telemetry.summarize(network_series),
         faults: fault_stats,
+        shards: None,
     }
 }
 

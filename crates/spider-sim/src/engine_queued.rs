@@ -33,7 +33,7 @@ use crate::scheduler::SchedulePolicy;
 use serde::{Deserialize, Serialize};
 use spider_core::{Amount, ChannelId, Direction, Network, Path};
 use spider_routing::{path_bottleneck, PathCache, PathStrategy};
-use spider_telemetry::{Histogram, NetworkSample, Telemetry, TraceEvent};
+use spider_telemetry::{Histogram, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_workload::Transaction;
 use std::collections::VecDeque;
 
@@ -224,6 +224,9 @@ pub fn run_queued(
         }
         match event {
             Event::Arrival(i) => {
+                let _span = tel.span_enter(Phase::RoutingDecision);
+                tel.span_sim(Phase::RoutingDecision, now);
+                tel.span_items(Phase::RoutingDecision, 1);
                 let tx = &transactions[i];
                 let idx = payments.len();
                 payments.push(PaymentState {
@@ -270,6 +273,8 @@ pub fn run_queued(
                 );
             }
             Event::Tick => {
+                let _span = tel.span_enter(Phase::QueueDrain);
+                tel.span_sim(Phase::QueueDrain, now);
                 tel.counter_add("sim.scheduler.polls", 1);
                 for &i in &pending {
                     let p = &mut payments[i];
@@ -364,6 +369,9 @@ pub fn run_queued(
                 if u.dropped {
                     continue;
                 }
+                let _span = tel.span_enter(Phase::QueueDrain);
+                tel.span_sim(Phase::QueueDrain, now);
+                tel.span_items(Phase::QueueDrain, 1);
                 if u.locked == u.path.len() {
                     // Reached the destination; key released after Δ.
                     queue.push(now + config.delta, Event::SettleUnit { unit });
@@ -391,6 +399,9 @@ pub fn run_queued(
                     // receiver never got the key.
                     continue;
                 }
+                let _span = tel.span_enter(Phase::SettleRefund);
+                tel.span_sim(Phase::SettleRefund, now);
+                tel.span_items(Phase::SettleRefund, 1);
                 let u = units[unit].clone();
                 debug_assert_eq!(u.locked, u.path.len());
                 for (i, &(c, _)) in u.path.hops().iter().enumerate() {
@@ -450,6 +461,9 @@ pub fn run_queued(
                 }
             }
             Event::Fault(ev) => {
+                let _span = tel.span_enter(Phase::FaultProcessing);
+                tel.span_sim(Phase::FaultProcessing, now);
+                tel.span_items(Phase::FaultProcessing, 1);
                 let fs = faults.as_mut().expect("fault events imply a plan");
                 match &ev {
                     FaultEvent::ChannelDown(c) => {
@@ -603,6 +617,7 @@ pub fn run_queued(
         completion_delay_percentiles: tel.delay_percentiles("sim.completion_delay"),
         telemetry: tel.summarize(network_series),
         faults: faults.map(|fs| fs.stats),
+        shards: None,
     };
     QueuedReport {
         report,
@@ -626,6 +641,8 @@ fn pump_source(
     faults: Option<&FaultState>,
     blacklist: &Blacklist,
 ) {
+    let _span = config.telemetry.span_enter(Phase::UnitDispatch);
+    config.telemetry.span_sim(Phase::UnitDispatch, now);
     loop {
         let p = &payments[idx];
         let remaining = p.remaining();

@@ -43,9 +43,10 @@ use crate::ledger::Ledger;
 use crate::metrics::SimReport;
 use crate::payment::PaymentStatus;
 use crate::rebalancer::RebalanceStats;
+use serde::{Deserialize, Serialize};
 use spider_core::{Amount, BalanceView, ChannelId, Direction, Network, NodeId, Path};
 use spider_routing::{RoutingScheme, ShortestPathScheme, UnitDecision, WaterfillingScheme};
-use spider_telemetry::{Histogram, NetworkSample, Telemetry, TraceEvent};
+use spider_telemetry::{Histogram, HistogramSnapshot, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_topology::Partition;
 use spider_workload::Transaction;
 use std::collections::BTreeMap;
@@ -322,6 +323,124 @@ struct ShardStats {
     payments_failed: u64,
 }
 
+/// Deterministic per-shard work counters, accumulated as the shard runs.
+/// Every field is a pure function of the simulation inputs and the
+/// partition, so identically-configured runs always produce identical
+/// counters (unlike the barrier-wait timings, which live in the profiler).
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardCounters {
+    /// Cross-shard (and self-addressed) messages processed.
+    events_processed: u64,
+    /// `SettleHop` messages handled.
+    settle_msgs: u64,
+    /// `RefundHop` messages handled.
+    refund_msgs: u64,
+    /// `LockHop` messages handled.
+    lock_msgs: u64,
+    /// Payment-owner control messages (`UnitDelivered` / `UnitFailed`).
+    control_msgs: u64,
+    /// Dirty-balance triples published at exchange barriers (post-dedup).
+    dirty_published: u64,
+}
+
+/// Per-shard epoch metrics surfaced by [`run_sharded`] through
+/// [`ShardObservability`]. All counter fields are deterministic;
+/// `barrier_wait_ms` is wall-clock and present only when the run used a
+/// profiled telemetry handle.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardEpochMetrics {
+    /// Shard rank.
+    pub shard: u32,
+    /// Epochs executed (same for every shard — the BSP loop is lockstep).
+    pub epochs: u64,
+    /// Payments owned by this shard (`payment_id % num_shards`).
+    pub owned_payments: u64,
+    /// Ledger channel slots owned by this shard.
+    pub owned_channels: u64,
+    /// Cross-shard messages processed (all kinds).
+    pub events_processed: u64,
+    /// Hop-settle messages handled.
+    pub settle_msgs: u64,
+    /// Hop-refund messages handled.
+    pub refund_msgs: u64,
+    /// Hop-lock messages handled.
+    pub lock_msgs: u64,
+    /// Payment-owner notifications handled (delivered / failed).
+    pub control_msgs: u64,
+    /// Dirty-balance publications at exchange barriers.
+    pub dirty_published: u64,
+    /// Transaction units dispatched by payments this shard owns.
+    pub units_sent: u64,
+    /// Wall-clock barrier-wait distribution (milliseconds per wait), from
+    /// the span profiler. `None` unless the run profiled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub barrier_wait_ms: Option<HistogramSnapshot>,
+}
+
+/// Cross-shard observability for one sharded run: per-shard work counters
+/// plus load-imbalance summaries. Attached to [`SimReport`] **in memory
+/// only** (the field is `#[serde(skip)]`): per-shard detail necessarily
+/// varies with the shard count while report JSON must not.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardObservability {
+    /// Shards the run was partitioned into.
+    pub num_shards: u32,
+    /// Per-shard metrics, indexed by rank.
+    pub shards: Vec<ShardEpochMetrics>,
+    /// `max / mean` of per-shard messages processed (1.0 = perfectly
+    /// balanced; 0.0 when no shard processed any messages).
+    pub event_imbalance: f64,
+    /// `max / mean` of per-shard owned payments.
+    pub payment_imbalance: f64,
+}
+
+impl ShardObservability {
+    /// Multi-line human-readable rendering for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "shards={} event_imbalance={:.3} payment_imbalance={:.3}\n",
+            self.num_shards, self.event_imbalance, self.payment_imbalance
+        );
+        out.push_str(
+            "  shard payments channels   events   settle   refund     lock  control  published    units\n",
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+                s.shard,
+                s.owned_payments,
+                s.owned_channels,
+                s.events_processed,
+                s.settle_msgs,
+                s.refund_msgs,
+                s.lock_msgs,
+                s.control_msgs,
+                s.dirty_published,
+                s.units_sent,
+            ));
+            if let Some(h) = &s.barrier_wait_ms {
+                out.push_str(&format!(
+                    "  barrier p50={:.3}ms p99={:.3}ms n={}",
+                    h.p50, h.p99, h.count
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `max / mean` of a sequence (0.0 when empty or all-zero).
+fn imbalance_of(values: impl Iterator<Item = u64> + Clone) -> f64 {
+    let max = values.clone().max().unwrap_or(0);
+    let (sum, n) = values.fold((0u64, 0u64), |(s, n), v| (s + v, n + 1));
+    if n == 0 || sum == 0 {
+        0.0
+    } else {
+        max as f64 / (sum as f64 / n as f64)
+    }
+}
+
 /// Per-tick series partial: exact integer sums merged across shards.
 #[derive(Clone, Copy, Debug)]
 struct SeriesPartial {
@@ -352,6 +471,7 @@ struct ShardOutput {
     samples: Vec<SamplePartial>,
     violations: Vec<AuditViolation>,
     stats: ShardStats,
+    counters: ShardCounters,
 }
 
 /// Balance view for routing: the barrier-frozen global snapshot with this
@@ -473,6 +593,7 @@ struct ShardCtx<'a> {
     samples: Vec<SamplePartial>,
     violations: Vec<AuditViolation>,
     stats: ShardStats,
+    counters: ShardCounters,
     // Running integer totals for the series partials.
     arrived_count: u64,
     completed_count: u64,
@@ -624,8 +745,28 @@ impl ShardCtx<'_> {
         let Some(mut due) = self.pending_msgs.remove(&epoch) else {
             return;
         };
+        let lane = u32::from(self.shard);
+        let _span = self
+            .cfg
+            .telemetry
+            .span_enter_lane(Phase::MessageMerge, lane);
+        self.cfg
+            .telemetry
+            .span_items_lane(Phase::MessageMerge, lane, due.len() as u64);
+        self.cfg
+            .telemetry
+            .span_sim(Phase::MessageMerge, t_of(epoch));
         due.sort_unstable_by_key(Msg::key);
         for msg in due {
+            self.counters.events_processed += 1;
+            match &msg.body {
+                MsgBody::SettleHop { .. } => self.counters.settle_msgs += 1,
+                MsgBody::RefundHop { .. } => self.counters.refund_msgs += 1,
+                MsgBody::LockHop { .. } => self.counters.lock_msgs += 1,
+                MsgBody::UnitDelivered | MsgBody::UnitFailed { .. } => {
+                    self.counters.control_msgs += 1
+                }
+            }
             match msg.body {
                 MsgBody::SettleHop { hop } => self.on_settle_hop(&msg.unit, hop, epoch),
                 MsgBody::RefundHop { hop } => self.on_refund_hop(&msg.unit, hop, epoch),
@@ -1391,6 +1532,7 @@ fn run_shard(
         samples: Vec::new(),
         violations: Vec::new(),
         stats: ShardStats::default(),
+        counters: ShardCounters::default(),
         arrived_count: 0,
         completed_count: 0,
         attempted_micros: 0,
@@ -1398,9 +1540,12 @@ fn run_shard(
     };
 
     let me = shard as usize;
+    let lane = u32::from(shard);
+    let tel = &config.telemetry;
     for epoch in 1..=clock.end_epoch {
         // Intake: messages and balance updates published last epoch.
         {
+            let _span = tel.span_enter_lane(Phase::MessageMerge, lane);
             let mut inbox = lock_ok(&inboxes[me]);
             for msg in inbox.drain(..) {
                 ctx.pending_msgs
@@ -1408,28 +1553,35 @@ fn run_shard(
                     .or_default()
                     .push(msg);
             }
-        }
-        for slot in published {
-            for &(c, a, b) in lock_ok(slot).iter() {
-                ctx.snapshot[c as usize] = [a, b];
+            for slot in published {
+                for &(c, a, b) in lock_ok(slot).iter() {
+                    ctx.snapshot[c as usize] = [a, b];
+                }
             }
         }
 
         // Compute: everything here touches only shard-owned state.
-        ctx.apply_faults(epoch);
-        ctx.process_messages(epoch);
-        ctx.process_arrivals(epoch);
-        if epoch % clock.poll_epochs == 0 {
-            ctx.tick(epoch);
-        }
-        if epoch % clock.sample_epochs == 0 {
-            ctx.sample(epoch);
-        }
-        if let Some(a) = ctx.audit.as_mut() {
-            a.check(&ctx.ledger, t_of(epoch), "epoch");
+        {
+            let _span = tel.span_enter_lane(Phase::EpochCompute, lane);
+            tel.span_sim(Phase::EpochCompute, t_of(epoch));
+            ctx.apply_faults(epoch);
+            ctx.process_messages(epoch);
+            ctx.process_arrivals(epoch);
+            if epoch % clock.poll_epochs == 0 {
+                ctx.tick(epoch);
+            }
+            if epoch % clock.sample_epochs == 0 {
+                ctx.sample(epoch);
+            }
+            if let Some(a) = ctx.audit.as_mut() {
+                a.check(&ctx.ledger, t_of(epoch), "epoch");
+            }
         }
 
-        barrier.wait();
+        {
+            let _span = tel.span_enter_lane(Phase::BarrierWait, lane);
+            barrier.wait();
+        }
 
         // Exchange: publish dirty balances, deliver staged messages.
         {
@@ -1441,6 +1593,7 @@ fn run_shard(
                 let (a, b) = ctx.ledger.balances(ChannelId(c));
                 slot.push((c, a.micros(), b.micros()));
             }
+            ctx.counters.dirty_published += slot.len() as u64;
             ctx.dirty.clear();
         }
         for (to, staged) in ctx.staged.iter_mut().enumerate() {
@@ -1449,7 +1602,10 @@ fn run_shard(
             }
         }
 
-        barrier.wait();
+        {
+            let _span = tel.span_enter_lane(Phase::BarrierWait, lane);
+            barrier.wait();
+        }
     }
 
     let mut violations = ctx.violations;
@@ -1467,6 +1623,7 @@ fn run_shard(
         samples: ctx.samples,
         violations,
         stats: ctx.stats,
+        counters: ctx.counters,
     }
 }
 
@@ -1520,6 +1677,39 @@ fn merge_outputs(
             tel.emit(move || cloned);
         }
     }
+
+    // Per-shard observability: deterministic counters per rank, plus
+    // wall-clock barrier-wait histograms when the run profiled. Kept in
+    // memory only (`SimReport.shards` is `#[serde(skip)]`).
+    let num_shards = partition.num_shards();
+    let shard_metrics: Vec<ShardEpochMetrics> = outputs
+        .iter()
+        .enumerate()
+        .map(|(i, o)| ShardEpochMetrics {
+            shard: i as u32,
+            epochs: clock.end_epoch,
+            owned_payments: o.payments.len() as u64,
+            owned_channels: partition
+                .channel_owners()
+                .iter()
+                .filter(|&&s| usize::from(s) == i)
+                .count() as u64,
+            events_processed: o.counters.events_processed,
+            settle_msgs: o.counters.settle_msgs,
+            refund_msgs: o.counters.refund_msgs,
+            lock_msgs: o.counters.lock_msgs,
+            control_msgs: o.counters.control_msgs,
+            dirty_published: o.counters.dirty_published,
+            units_sent: o.units_sent,
+            barrier_wait_ms: tel.profiler().and_then(|p| p.barrier_wait(i as u32)),
+        })
+        .collect();
+    let observability = ShardObservability {
+        num_shards: num_shards as u32,
+        event_imbalance: imbalance_of(shard_metrics.iter().map(|s| s.events_processed)),
+        payment_imbalance: imbalance_of(shard_metrics.iter().map(|s| s.owned_payments)),
+        shards: shard_metrics,
+    };
 
     // Violations: merged by content, capped like the sequential auditor.
     let mut audit_violations: Vec<AuditViolation> = outputs
@@ -1688,6 +1878,7 @@ fn merge_outputs(
         completion_delay_percentiles: tel.delay_percentiles("sim.completion_delay"),
         telemetry: tel.summarize(network_series),
         faults: fault_stats,
+        shards: Some(observability),
     }
 }
 
@@ -1809,6 +2000,7 @@ mod tests {
             samples: Vec::new(),
             violations: Vec::new(),
             stats: ShardStats::default(),
+            counters: ShardCounters::default(),
             arrived_count: 0,
             completed_count: 0,
             attempted_micros: 0,

@@ -37,7 +37,9 @@ pub use audit::{AuditViolation, AuditViolationKind, LedgerAudit};
 pub use congestion::{CongestionConfig, CongestionControl};
 pub use engine::{run, SimConfig};
 pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
-pub use engine_sharded::{run_sharded, ShardScheme, ShardedConfig};
+pub use engine_sharded::{
+    run_sharded, ShardEpochMetrics, ShardObservability, ShardScheme, ShardedConfig,
+};
 pub use events::{EventQueue, Time};
 pub use faults::{
     Blacklist, FaultConfig, FaultEvent, FaultPlan, FaultState, FaultStats, FaultView, RetryPolicy,

@@ -65,6 +65,13 @@ pub struct SimReport {
     /// older builds).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultStats>,
+    /// Per-shard epoch observability from the sharded engine (barrier
+    /// waits, cross-shard message counts, load imbalance). **Never
+    /// serialized**: per-shard detail necessarily differs across shard
+    /// counts while report JSON must stay byte-identical at any shard
+    /// count — consumers read it in memory (CLI `sharded` printout).
+    #[serde(skip, default)]
+    pub shards: Option<crate::engine_sharded::ShardObservability>,
 }
 
 impl SimReport {
@@ -141,6 +148,7 @@ mod tests {
             completion_delay_percentiles: None,
             telemetry: None,
             faults: None,
+            shards: None,
         }
     }
 
@@ -188,6 +196,7 @@ mod tests {
             p50: 0.5,
             p95: 1.0,
             p99: 2.0,
+            saturated: false,
         });
         let json = serde_json::to_string(&with).unwrap();
         assert!(json.contains("completion_delay_percentiles"));

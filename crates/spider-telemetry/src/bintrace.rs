@@ -1,0 +1,1249 @@
+//! Compact, indexed binary backend for [`TraceEvent`] streams.
+//!
+//! Layout (all integers little-endian, varints are LEB128):
+//!
+//! ```text
+//! header := magic "SPBT" | version u8 | kind_count u16
+//!           | kind_count × (len u16 | utf8 name)
+//! file   := header | block*
+//! block  := body_len u32 | body
+//! body   := count u32 | flags u8 | t_min f64 | t_max f64
+//!           | chan_count varint | delta-encoded sorted channel ids
+//!           | node_count varint | delta-encoded sorted node ids
+//!           | count × event
+//! event  := kind_index u8 | fields (declaration order)
+//! ```
+//!
+//! Numeric fields use a tagged encoding: `u32`/`u64` fields are plain
+//! varints; `f64` fields carry a one-byte tag — raw 8-byte IEEE bits, or a
+//! zigzag varint of the value scaled by 1, 100, or 10⁶ when (and only
+//! when) decoding the scaled integer reproduces the exact source bits.
+//! Every narrowing is verified at encode time, so the format is lossless
+//! by construction: `decode(encode(events)) == events` bit-for-bit.
+//!
+//! Each block header carries an index — the sim-time range and the sorted
+//! sets of channel and node ids its events touch — so a reader can answer
+//! "all events touching channel X in `[t1, t2]`" by skipping blocks whose
+//! index cannot match, without decoding them (`body_len` makes the skip a
+//! pure pointer bump). Events without a timestamp (solver samples) set a
+//! flag bit so time-windowed queries never skip past them.
+//!
+//! The writer is strictly sequential and deterministic: identical event
+//! streams produce byte-identical files on any host, mirroring the JSONL
+//! guarantee. The format version byte is checked on read; see DESIGN.md
+//! for the compatibility rule.
+
+use crate::trace::{events_to_jsonl, parse_jsonl, TraceEvent};
+use std::fmt;
+
+/// File magic, first four bytes of every binary trace.
+pub const BINTRACE_MAGIC: [u8; 4] = *b"SPBT";
+
+/// Current format version (bumped on any incompatible layout change).
+pub const BINTRACE_VERSION: u8 = 1;
+
+/// Default number of events per indexed block.
+pub const DEFAULT_BLOCK_EVENTS: usize = 512;
+
+/// All kind names, in the order used for kind indices. Order is part of
+/// the format only through the header's kind table: readers resolve
+/// indices through the table, never positionally.
+const KIND_NAMES: [&str; 19] = [
+    "payment_arrived",
+    "payment_split",
+    "unit_sent",
+    "unit_settled",
+    "unit_refunded",
+    "unit_queued",
+    "payment_completed",
+    "payment_abandoned",
+    "rebalance_applied",
+    "channel_sample",
+    "channel_outage",
+    "channel_recovered",
+    "node_crashed",
+    "node_recovered",
+    "unit_dropped",
+    "unit_griefed",
+    "payment_retry",
+    "channel_blacklisted",
+    "solver_sample",
+];
+
+/// Block flag bit: the block contains at least one event without a
+/// timestamp, so time-window pruning must not skip it.
+const FLAG_HAS_UNTIMED: u8 = 1;
+
+/// Errors surfaced while decoding a binary trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BinTraceError {
+    /// The file does not start with [`BINTRACE_MAGIC`].
+    BadMagic,
+    /// The version byte is not one this reader understands.
+    BadVersion(u8),
+    /// The byte stream ended inside a structure.
+    Truncated,
+    /// A kind index has no entry in the header's kind table.
+    BadKindIndex(u8),
+    /// A kind-table name is not valid UTF-8 or not a known kind.
+    BadKindName(String),
+    /// A float tag byte was not one of the defined encodings.
+    BadFloatTag(u8),
+    /// A varint ran past 10 bytes.
+    BadVarint,
+    /// A block's declared body length disagrees with its contents.
+    BadBlockLength,
+}
+
+impl fmt::Display for BinTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinTraceError::BadMagic => write!(f, "not a binary trace (bad magic)"),
+            BinTraceError::BadVersion(v) => write!(
+                f,
+                "unsupported binary trace version {v} (reader supports {BINTRACE_VERSION})"
+            ),
+            BinTraceError::Truncated => write!(f, "binary trace is truncated"),
+            BinTraceError::BadKindIndex(i) => write!(f, "kind index {i} out of table range"),
+            BinTraceError::BadKindName(n) => write!(f, "unknown event kind {n:?} in kind table"),
+            BinTraceError::BadFloatTag(t) => write!(f, "invalid float tag {t}"),
+            BinTraceError::BadVarint => write!(f, "malformed varint"),
+            BinTraceError::BadBlockLength => write!(f, "block length does not match contents"),
+        }
+    }
+}
+
+impl std::error::Error for BinTraceError {}
+
+/// `true` when `bytes` starts with the binary-trace magic.
+pub fn is_bintrace(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == BINTRACE_MAGIC
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Float tags: raw IEEE bits, or zigzag varint at scale 1 / 100 / 10⁶.
+const F64_RAW: u8 = 0;
+const F64_INT: u8 = 1;
+const F64_CENTI: u8 = 2;
+const F64_MICRO: u8 = 3;
+/// Timestamp-only tag: equal to the previous timestamp in this block.
+/// Bursts of events sharing one sim time (a payment arriving, splitting,
+/// and dispatching its units) collapse to one byte each.
+const F64_PREV: u8 = 4;
+
+/// Largest integer magnitude we narrow floats through (stays exact in
+/// f64 and well inside i64).
+const MAX_EXACT: f64 = 9.0e15;
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    if v.is_finite() {
+        for (tag, scale) in [(F64_INT, 1.0), (F64_CENTI, 100.0), (F64_MICRO, 1.0e6)] {
+            let scaled = (v * scale).round();
+            if scaled.abs() <= MAX_EXACT {
+                let int = scaled as i64;
+                let back = int as f64 / scale;
+                if back.to_bits() == v.to_bits() {
+                    out.push(tag);
+                    put_varint(out, zigzag(int));
+                    return;
+                }
+            }
+        }
+    }
+    out.push(F64_RAW);
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Encodes a timestamp, reusing `prev` (the previous timestamp in the
+/// block, `0.0` at block start) when bit-identical.
+fn put_time(out: &mut Vec<u8>, t: f64, prev: &mut f64) {
+    if t.to_bits() == prev.to_bits() {
+        out.push(F64_PREV);
+    } else {
+        put_f64(out, t);
+        *prev = t;
+    }
+}
+
+/// Cursor over an immutable byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinTraceError> {
+        if self.remaining() < n {
+            return Err(BinTraceError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, BinTraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, BinTraceError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, BinTraceError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn raw_f64(&mut self) -> Result<f64, BinTraceError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    fn varint(&mut self) -> Result<u64, BinTraceError> {
+        let mut v: u64 = 0;
+        for i in 0..10 {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(BinTraceError::BadVarint)
+    }
+
+    fn varint_u32(&mut self) -> Result<u32, BinTraceError> {
+        u32::try_from(self.varint()?).map_err(|_| BinTraceError::BadVarint)
+    }
+
+    fn f64(&mut self) -> Result<f64, BinTraceError> {
+        let tag = self.u8()?;
+        let scale = match tag {
+            F64_RAW => return self.raw_f64(),
+            F64_INT => 1.0,
+            F64_CENTI => 100.0,
+            F64_MICRO => 1.0e6,
+            other => return Err(BinTraceError::BadFloatTag(other)),
+        };
+        let int = unzigzag(self.varint()?);
+        Ok(int as f64 / scale)
+    }
+
+    fn time(&mut self, prev: &mut f64) -> Result<f64, BinTraceError> {
+        if self.remaining() >= 1 && self.data[self.pos] == F64_PREV {
+            self.pos += 1;
+            return Ok(*prev);
+        }
+        let t = self.f64()?;
+        *prev = t;
+        Ok(t)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event codec
+// ---------------------------------------------------------------------------
+
+fn kind_index(kind: &str) -> Option<u8> {
+    KIND_NAMES.iter().position(|&k| k == kind).map(|i| i as u8)
+}
+
+fn encode_event(out: &mut Vec<u8>, e: &TraceEvent, prev: &mut f64) {
+    // Every kind string is in KIND_NAMES; a miss is a bug caught by the
+    // exhaustiveness test below, so default to 0 rather than panicking.
+    out.push(kind_index(e.kind()).unwrap_or(0));
+    match *e {
+        TraceEvent::PaymentArrived {
+            t,
+            payment,
+            src,
+            dst,
+            amount,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_varint(out, u64::from(src));
+            put_varint(out, u64::from(dst));
+            put_f64(out, amount);
+        }
+        TraceEvent::PaymentSplit { t, payment, units } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_varint(out, units);
+        }
+        TraceEvent::UnitSent {
+            t,
+            payment,
+            amount,
+            hops,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_f64(out, amount);
+            put_varint(out, u64::from(hops));
+        }
+        TraceEvent::UnitSettled { t, payment, amount }
+        | TraceEvent::UnitRefunded { t, payment, amount } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_f64(out, amount);
+        }
+        TraceEvent::UnitQueued {
+            t,
+            payment,
+            channel,
+            depth,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_varint(out, u64::from(channel));
+            put_varint(out, u64::from(depth));
+        }
+        TraceEvent::PaymentCompleted { t, payment, delay } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_f64(out, delay);
+        }
+        TraceEvent::PaymentAbandoned {
+            t,
+            payment,
+            delivered,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_f64(out, delivered);
+        }
+        TraceEvent::RebalanceApplied {
+            t,
+            channel,
+            moved,
+            fee,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, u64::from(channel));
+            put_f64(out, moved);
+            put_f64(out, fee);
+        }
+        TraceEvent::ChannelSample {
+            t,
+            channel,
+            imbalance,
+            inflight,
+            queue_depth,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, u64::from(channel));
+            put_f64(out, imbalance);
+            put_f64(out, inflight);
+            put_varint(out, u64::from(queue_depth));
+        }
+        TraceEvent::ChannelOutage { t, channel } | TraceEvent::ChannelRecovered { t, channel } => {
+            put_time(out, t, prev);
+            put_varint(out, u64::from(channel));
+        }
+        TraceEvent::NodeCrashed { t, node } | TraceEvent::NodeRecovered { t, node } => {
+            put_time(out, t, prev);
+            put_varint(out, u64::from(node));
+        }
+        TraceEvent::UnitDropped {
+            t,
+            payment,
+            amount,
+            channel,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_f64(out, amount);
+            put_varint(out, u64::from(channel));
+        }
+        TraceEvent::UnitGriefed {
+            t,
+            payment,
+            amount,
+            hold,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_f64(out, amount);
+            put_f64(out, hold);
+        }
+        TraceEvent::PaymentRetry {
+            t,
+            payment,
+            attempt,
+            backoff,
+        } => {
+            put_time(out, t, prev);
+            put_varint(out, payment);
+            put_varint(out, u64::from(attempt));
+            put_f64(out, backoff);
+        }
+        TraceEvent::ChannelBlacklisted { t, channel, until } => {
+            put_time(out, t, prev);
+            put_varint(out, u64::from(channel));
+            put_f64(out, until);
+        }
+        TraceEvent::SolverSample {
+            iter,
+            objective,
+            residual,
+            mean_price,
+        } => {
+            put_varint(out, iter);
+            put_f64(out, objective);
+            put_f64(out, residual);
+            put_f64(out, mean_price);
+        }
+    }
+}
+
+fn decode_event(
+    cur: &mut Cursor<'_>,
+    kinds: &[String],
+    prev: &mut f64,
+) -> Result<TraceEvent, BinTraceError> {
+    let idx = cur.u8()?;
+    let kind = kinds
+        .get(usize::from(idx))
+        .ok_or(BinTraceError::BadKindIndex(idx))?;
+    let e = match kind.as_str() {
+        "payment_arrived" => TraceEvent::PaymentArrived {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            src: cur.varint_u32()?,
+            dst: cur.varint_u32()?,
+            amount: cur.f64()?,
+        },
+        "payment_split" => TraceEvent::PaymentSplit {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            units: cur.varint()?,
+        },
+        "unit_sent" => TraceEvent::UnitSent {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            amount: cur.f64()?,
+            hops: cur.varint_u32()?,
+        },
+        "unit_settled" => TraceEvent::UnitSettled {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            amount: cur.f64()?,
+        },
+        "unit_refunded" => TraceEvent::UnitRefunded {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            amount: cur.f64()?,
+        },
+        "unit_queued" => TraceEvent::UnitQueued {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            channel: cur.varint_u32()?,
+            depth: cur.varint_u32()?,
+        },
+        "payment_completed" => TraceEvent::PaymentCompleted {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            delay: cur.f64()?,
+        },
+        "payment_abandoned" => TraceEvent::PaymentAbandoned {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            delivered: cur.f64()?,
+        },
+        "rebalance_applied" => TraceEvent::RebalanceApplied {
+            t: cur.time(prev)?,
+            channel: cur.varint_u32()?,
+            moved: cur.f64()?,
+            fee: cur.f64()?,
+        },
+        "channel_sample" => TraceEvent::ChannelSample {
+            t: cur.time(prev)?,
+            channel: cur.varint_u32()?,
+            imbalance: cur.f64()?,
+            inflight: cur.f64()?,
+            queue_depth: cur.varint_u32()?,
+        },
+        "channel_outage" => TraceEvent::ChannelOutage {
+            t: cur.time(prev)?,
+            channel: cur.varint_u32()?,
+        },
+        "channel_recovered" => TraceEvent::ChannelRecovered {
+            t: cur.time(prev)?,
+            channel: cur.varint_u32()?,
+        },
+        "node_crashed" => TraceEvent::NodeCrashed {
+            t: cur.time(prev)?,
+            node: cur.varint_u32()?,
+        },
+        "node_recovered" => TraceEvent::NodeRecovered {
+            t: cur.time(prev)?,
+            node: cur.varint_u32()?,
+        },
+        "unit_dropped" => TraceEvent::UnitDropped {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            amount: cur.f64()?,
+            channel: cur.varint_u32()?,
+        },
+        "unit_griefed" => TraceEvent::UnitGriefed {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            amount: cur.f64()?,
+            hold: cur.f64()?,
+        },
+        "payment_retry" => TraceEvent::PaymentRetry {
+            t: cur.time(prev)?,
+            payment: cur.varint()?,
+            attempt: cur.varint_u32()?,
+            backoff: cur.f64()?,
+        },
+        "channel_blacklisted" => TraceEvent::ChannelBlacklisted {
+            t: cur.time(prev)?,
+            channel: cur.varint_u32()?,
+            until: cur.f64()?,
+        },
+        "solver_sample" => TraceEvent::SolverSample {
+            iter: cur.varint()?,
+            objective: cur.f64()?,
+            residual: cur.f64()?,
+            mean_price: cur.f64()?,
+        },
+        other => return Err(BinTraceError::BadKindName(other.to_string())),
+    };
+    Ok(e)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Sequential, deterministic binary-trace writer.
+///
+/// Push events in order, then call [`finish`](Self::finish) to obtain the
+/// encoded bytes. Events are buffered into indexed blocks of
+/// `block_events` events each.
+#[derive(Debug)]
+pub struct BinTraceWriter {
+    out: Vec<u8>,
+    pending: Vec<TraceEvent>,
+    block_events: usize,
+}
+
+impl BinTraceWriter {
+    /// A writer with the default block size.
+    pub fn new() -> Self {
+        Self::with_block_events(DEFAULT_BLOCK_EVENTS)
+    }
+
+    /// A writer flushing an indexed block every `block_events` events.
+    pub fn with_block_events(block_events: usize) -> Self {
+        let mut out = Vec::new();
+        out.extend_from_slice(&BINTRACE_MAGIC);
+        out.push(BINTRACE_VERSION);
+        out.extend_from_slice(&(KIND_NAMES.len() as u16).to_le_bytes());
+        for name in KIND_NAMES {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        BinTraceWriter {
+            out,
+            pending: Vec::new(),
+            block_events: block_events.max(1),
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, e: &TraceEvent) {
+        self.pending.push(e.clone());
+        if self.pending.len() >= self.block_events {
+            self.flush_block();
+        }
+    }
+
+    /// Flushes any buffered events and returns the complete file bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush_block();
+        self.out
+    }
+
+    fn flush_block(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        let mut has_untimed = false;
+        let mut channels: Vec<u32> = Vec::new();
+        let mut nodes: Vec<u32> = Vec::new();
+        for e in &self.pending {
+            match e.time() {
+                Some(t) => {
+                    t_min = t_min.min(t);
+                    t_max = t_max.max(t);
+                }
+                None => has_untimed = true,
+            }
+            if let Some(c) = e.channel() {
+                channels.push(c);
+            }
+            let (a, b) = e.nodes();
+            if let Some(n) = a {
+                nodes.push(n);
+            }
+            if let Some(n) = b {
+                nodes.push(n);
+            }
+        }
+        channels.sort_unstable();
+        channels.dedup();
+        nodes.sort_unstable();
+        nodes.dedup();
+        if !t_min.is_finite() {
+            t_min = 0.0;
+            t_max = 0.0;
+        }
+
+        let mut body = Vec::new();
+        body.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        body.push(if has_untimed { FLAG_HAS_UNTIMED } else { 0 });
+        body.extend_from_slice(&t_min.to_bits().to_le_bytes());
+        body.extend_from_slice(&t_max.to_bits().to_le_bytes());
+        put_varint(&mut body, channels.len() as u64);
+        let mut prev = 0u32;
+        for (i, &c) in channels.iter().enumerate() {
+            let delta = if i == 0 { c } else { c - prev };
+            put_varint(&mut body, u64::from(delta));
+            prev = c;
+        }
+        put_varint(&mut body, nodes.len() as u64);
+        let mut prev = 0u32;
+        for (i, &n) in nodes.iter().enumerate() {
+            let delta = if i == 0 { n } else { n - prev };
+            put_varint(&mut body, u64::from(delta));
+            prev = n;
+        }
+        let mut prev_t = 0.0;
+        for e in &self.pending {
+            encode_event(&mut body, e, &mut prev_t);
+        }
+
+        self.out
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&body);
+        self.pending.clear();
+    }
+}
+
+impl Default for BinTraceWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Encodes an event slice with the default block size.
+pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let mut w = BinTraceWriter::new();
+    for e in events {
+        w.push(e);
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Reader / queries
+// ---------------------------------------------------------------------------
+
+/// A filter over trace events. `None` fields match everything; set fields
+/// must all match ("and" semantics). Events without a timestamp match any
+/// time window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceQuery {
+    /// Only events touching this channel id.
+    pub channel: Option<u32>,
+    /// Only events touching this node id.
+    pub node: Option<u32>,
+    /// Only events belonging to this payment id.
+    pub payment: Option<u64>,
+    /// Only events of this kind (see [`TraceEvent::kind`]).
+    pub kind: Option<String>,
+    /// Only events at `t >= from`.
+    pub from: Option<f64>,
+    /// Only events at `t <= to`.
+    pub to: Option<f64>,
+}
+
+impl TraceQuery {
+    /// `true` when `e` passes every set filter.
+    pub fn matches(&self, e: &TraceEvent) -> bool {
+        if let Some(c) = self.channel {
+            if e.channel() != Some(c) {
+                return false;
+            }
+        }
+        if let Some(n) = self.node {
+            let (a, b) = e.nodes();
+            if a != Some(n) && b != Some(n) {
+                return false;
+            }
+        }
+        if let Some(p) = self.payment {
+            if e.payment() != Some(p) {
+                return false;
+            }
+        }
+        if let Some(kind) = &self.kind {
+            if e.kind() != kind {
+                return false;
+            }
+        }
+        if self.from.is_some() || self.to.is_some() {
+            if let Some(t) = e.time() {
+                if let Some(from) = self.from {
+                    if t < from {
+                        return false;
+                    }
+                }
+                if let Some(to) = self.to {
+                    if t > to {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// How much work a query did, for observability of the index itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Total blocks in the file.
+    pub blocks_total: usize,
+    /// Blocks whose index forced a decode.
+    pub blocks_scanned: usize,
+    /// Events decoded (from scanned blocks).
+    pub events_decoded: usize,
+    /// Events matching the query.
+    pub events_matched: usize,
+}
+
+struct Header {
+    kinds: Vec<String>,
+}
+
+fn read_header(bytes: &[u8]) -> Result<(Header, Cursor<'_>), BinTraceError> {
+    let mut cur = Cursor::new(bytes);
+    if cur.take(4)? != BINTRACE_MAGIC {
+        return Err(BinTraceError::BadMagic);
+    }
+    let version = cur.u8()?;
+    if version != BINTRACE_VERSION {
+        return Err(BinTraceError::BadVersion(version));
+    }
+    let kind_count = cur.u16()?;
+    let mut kinds = Vec::with_capacity(usize::from(kind_count));
+    for _ in 0..kind_count {
+        let len = cur.u16()?;
+        let raw = cur.take(usize::from(len))?;
+        let name =
+            std::str::from_utf8(raw).map_err(|_| BinTraceError::BadKindName(format!("{raw:?}")))?;
+        kinds.push(name.to_string());
+    }
+    Ok((Header { kinds }, cur))
+}
+
+struct BlockHead {
+    count: u32,
+    has_untimed: bool,
+    t_min: f64,
+    t_max: f64,
+    channels: Vec<u32>,
+    nodes: Vec<u32>,
+}
+
+fn read_block_head(cur: &mut Cursor<'_>) -> Result<BlockHead, BinTraceError> {
+    let count = cur.u32()?;
+    let flags = cur.u8()?;
+    let t_min = cur.raw_f64()?;
+    let t_max = cur.raw_f64()?;
+    let n_channels = cur.varint()?;
+    let mut channels = Vec::with_capacity(n_channels.min(1 << 20) as usize);
+    let mut acc = 0u32;
+    for i in 0..n_channels {
+        let delta = cur.varint_u32()?;
+        acc = if i == 0 {
+            delta
+        } else {
+            acc.wrapping_add(delta)
+        };
+        channels.push(acc);
+    }
+    let n_nodes = cur.varint()?;
+    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20) as usize);
+    let mut acc = 0u32;
+    for i in 0..n_nodes {
+        let delta = cur.varint_u32()?;
+        acc = if i == 0 {
+            delta
+        } else {
+            acc.wrapping_add(delta)
+        };
+        nodes.push(acc);
+    }
+    Ok(BlockHead {
+        count,
+        has_untimed: flags & FLAG_HAS_UNTIMED != 0,
+        t_min,
+        t_max,
+        channels,
+        nodes,
+    })
+}
+
+impl BlockHead {
+    /// `true` when the block's index cannot rule this query out.
+    fn may_match(&self, q: &TraceQuery) -> bool {
+        if let Some(from) = q.from {
+            if self.t_max < from && !self.has_untimed {
+                return false;
+            }
+        }
+        if let Some(to) = q.to {
+            if self.t_min > to && !self.has_untimed {
+                return false;
+            }
+        }
+        if let Some(c) = q.channel {
+            if self.channels.binary_search(&c).is_err() {
+                return false;
+            }
+        }
+        if let Some(n) = q.node {
+            if self.nodes.binary_search(&n).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Decodes every event in a binary trace.
+pub fn decode(bytes: &[u8]) -> Result<Vec<TraceEvent>, BinTraceError> {
+    let (events, _) = run_query(bytes, None)?;
+    Ok(events)
+}
+
+/// Runs an indexed query: blocks whose index cannot match are skipped
+/// without decoding. Returns matching events in file order.
+pub fn query(bytes: &[u8], q: &TraceQuery) -> Result<Vec<TraceEvent>, BinTraceError> {
+    let (events, _) = run_query(bytes, Some(q))?;
+    Ok(events)
+}
+
+/// Like [`query`], also reporting how many blocks the index let the
+/// reader skip.
+pub fn query_with_stats(
+    bytes: &[u8],
+    q: &TraceQuery,
+) -> Result<(Vec<TraceEvent>, QueryStats), BinTraceError> {
+    run_query(bytes, Some(q))
+}
+
+fn run_query(
+    bytes: &[u8],
+    q: Option<&TraceQuery>,
+) -> Result<(Vec<TraceEvent>, QueryStats), BinTraceError> {
+    let (header, mut cur) = read_header(bytes)?;
+    let mut out = Vec::new();
+    let mut stats = QueryStats::default();
+    while cur.remaining() > 0 {
+        let body_len = cur.u32()? as usize;
+        let body = cur.take(body_len)?;
+        stats.blocks_total += 1;
+        let mut bcur = Cursor::new(body);
+        let head = read_block_head(&mut bcur)?;
+        if let Some(q) = q {
+            if !head.may_match(q) {
+                continue;
+            }
+        }
+        stats.blocks_scanned += 1;
+        let mut prev_t = 0.0;
+        for _ in 0..head.count {
+            let e = decode_event(&mut bcur, &header.kinds, &mut prev_t)?;
+            stats.events_decoded += 1;
+            if q.is_none_or(|q| q.matches(&e)) {
+                stats.events_matched += 1;
+                out.push(e);
+            }
+        }
+        if bcur.remaining() != 0 {
+            return Err(BinTraceError::BadBlockLength);
+        }
+    }
+    Ok((out, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Converters
+// ---------------------------------------------------------------------------
+
+/// Converts a JSONL trace to the binary format. Lossless: decoding the
+/// result reproduces the parsed events bit-for-bit.
+pub fn jsonl_to_bintrace(jsonl: &str) -> Result<Vec<u8>, (usize, String)> {
+    let events = parse_jsonl(jsonl)?;
+    Ok(encode(&events))
+}
+
+/// Converts a binary trace back to JSONL.
+pub fn bintrace_to_jsonl(bytes: &[u8]) -> Result<String, BinTraceError> {
+    let events = decode(bytes)?;
+    Ok(events_to_jsonl(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PaymentArrived {
+                t: 0.1,
+                payment: 7,
+                src: 3,
+                dst: 9,
+                amount: 30.25,
+            },
+            TraceEvent::UnitSent {
+                t: 0.30000000000000004,
+                payment: 7,
+                amount: 10.123456,
+                hops: 2,
+            },
+            TraceEvent::UnitQueued {
+                t: 0.4,
+                payment: 7,
+                channel: 12,
+                depth: 3,
+            },
+            TraceEvent::UnitSettled {
+                t: 0.6,
+                payment: 7,
+                amount: 10.0,
+            },
+            TraceEvent::ChannelSample {
+                t: 1.0,
+                channel: 12,
+                imbalance: 0.2512345678901234,
+                inflight: 20.5,
+                queue_depth: 1,
+            },
+            TraceEvent::SolverSample {
+                iter: 4,
+                objective: 100.5,
+                residual: 1e-9,
+                mean_price: -0.0,
+            },
+            TraceEvent::NodeCrashed { t: 2.0, node: 3 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_bit_exact() {
+        let events = sample_events();
+        let bytes = encode(&events);
+        assert!(is_bintrace(&bytes));
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.len(), events.len());
+        for (a, b) in events.iter().zip(&back) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn round_trip_preserves_weird_floats() {
+        let weird = [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            1e300,
+            -1e-300,
+            f64::NAN,
+            0.1 + 0.2,
+            9.007199254740993e15,
+        ];
+        for &v in &weird {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            let back = cur.f64().unwrap();
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "f64 {v:?} did not round-trip bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kind_has_a_table_entry_and_codec() {
+        // One event per variant round-trips; kind table covers all kinds.
+        let all = vec![
+            TraceEvent::PaymentArrived {
+                t: 1.0,
+                payment: 1,
+                src: 0,
+                dst: 1,
+                amount: 1.0,
+            },
+            TraceEvent::PaymentSplit {
+                t: 1.0,
+                payment: 1,
+                units: 2,
+            },
+            TraceEvent::UnitSent {
+                t: 1.0,
+                payment: 1,
+                amount: 1.0,
+                hops: 1,
+            },
+            TraceEvent::UnitSettled {
+                t: 1.0,
+                payment: 1,
+                amount: 1.0,
+            },
+            TraceEvent::UnitRefunded {
+                t: 1.0,
+                payment: 1,
+                amount: 1.0,
+            },
+            TraceEvent::UnitQueued {
+                t: 1.0,
+                payment: 1,
+                channel: 1,
+                depth: 1,
+            },
+            TraceEvent::PaymentCompleted {
+                t: 1.0,
+                payment: 1,
+                delay: 0.5,
+            },
+            TraceEvent::PaymentAbandoned {
+                t: 1.0,
+                payment: 1,
+                delivered: 0.5,
+            },
+            TraceEvent::RebalanceApplied {
+                t: 1.0,
+                channel: 1,
+                moved: 1.0,
+                fee: 0.1,
+            },
+            TraceEvent::ChannelSample {
+                t: 1.0,
+                channel: 1,
+                imbalance: 0.5,
+                inflight: 1.0,
+                queue_depth: 0,
+            },
+            TraceEvent::ChannelOutage { t: 1.0, channel: 1 },
+            TraceEvent::ChannelRecovered { t: 1.0, channel: 1 },
+            TraceEvent::NodeCrashed { t: 1.0, node: 1 },
+            TraceEvent::NodeRecovered { t: 1.0, node: 1 },
+            TraceEvent::UnitDropped {
+                t: 1.0,
+                payment: 1,
+                amount: 1.0,
+                channel: 1,
+            },
+            TraceEvent::UnitGriefed {
+                t: 1.0,
+                payment: 1,
+                amount: 1.0,
+                hold: 1.0,
+            },
+            TraceEvent::PaymentRetry {
+                t: 1.0,
+                payment: 1,
+                attempt: 1,
+                backoff: 1.0,
+            },
+            TraceEvent::ChannelBlacklisted {
+                t: 1.0,
+                channel: 1,
+                until: 2.0,
+            },
+            TraceEvent::SolverSample {
+                iter: 1,
+                objective: 1.0,
+                residual: 0.1,
+                mean_price: 0.5,
+            },
+        ];
+        assert_eq!(all.len(), KIND_NAMES.len());
+        for e in &all {
+            assert!(
+                kind_index(e.kind()).is_some(),
+                "kind {} missing from KIND_NAMES",
+                e.kind()
+            );
+        }
+        let back = decode(&encode(&all)).unwrap();
+        assert_eq!(back, all);
+    }
+
+    #[test]
+    fn jsonl_converters_are_lossless() {
+        let events = sample_events();
+        let jsonl = events_to_jsonl(&events);
+        let bytes = jsonl_to_bintrace(&jsonl).unwrap();
+        let back = bintrace_to_jsonl(&bytes).unwrap();
+        assert_eq!(back, jsonl);
+    }
+
+    #[test]
+    fn indexed_query_matches_brute_force() {
+        // Many small blocks so index pruning actually kicks in.
+        let mut w = BinTraceWriter::with_block_events(2);
+        let events = sample_events();
+        for e in &events {
+            w.push(e);
+        }
+        let bytes = w.finish();
+        let q = TraceQuery {
+            channel: Some(12),
+            from: Some(0.2),
+            to: Some(0.9),
+            ..TraceQuery::default()
+        };
+        let (hits, stats) = query_with_stats(&bytes, &q).unwrap();
+        let brute: Vec<TraceEvent> = events.iter().filter(|e| q.matches(e)).cloned().collect();
+        assert_eq!(hits, brute);
+        assert_eq!(hits.len(), 1);
+        assert!(
+            stats.blocks_scanned < stats.blocks_total,
+            "index never pruned"
+        );
+    }
+
+    #[test]
+    fn untimed_events_survive_time_windows() {
+        let events = vec![TraceEvent::SolverSample {
+            iter: 1,
+            objective: 1.0,
+            residual: 0.5,
+            mean_price: 0.2,
+        }];
+        let bytes = encode(&events);
+        let q = TraceQuery {
+            from: Some(100.0),
+            to: Some(200.0),
+            ..TraceQuery::default()
+        };
+        assert_eq!(query(&bytes, &q).unwrap(), events);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode(b"nope").unwrap_err(), BinTraceError::BadMagic);
+        let mut bytes = encode(&sample_events());
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes).unwrap_err(), BinTraceError::BadVersion(99));
+        let mut truncated = encode(&sample_events());
+        truncated.truncate(truncated.len() - 3);
+        assert!(decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn binary_is_deterministic_and_smaller() {
+        // A realistic payment lifecycle: bursts of events sharing one sim
+        // time, full-entropy timestamps between bursts.
+        let mut events = Vec::new();
+        for i in 0..500u64 {
+            let t_arr = i as f64 * 0.0421375 + 0.0123456789;
+            let t_set = t_arr + 1.7301;
+            events.push(TraceEvent::PaymentArrived {
+                t: t_arr,
+                payment: i,
+                src: (i % 400) as u32,
+                dst: ((i * 7) % 400) as u32,
+                amount: 123.456789,
+            });
+            events.push(TraceEvent::PaymentSplit {
+                t: t_arr,
+                payment: i,
+                units: 3,
+            });
+            for _ in 0..3 {
+                events.push(TraceEvent::UnitSent {
+                    t: t_arr,
+                    payment: i,
+                    amount: 41.152263,
+                    hops: 3,
+                });
+            }
+            for _ in 0..3 {
+                events.push(TraceEvent::UnitSettled {
+                    t: t_set,
+                    payment: i,
+                    amount: 41.152263,
+                });
+            }
+            events.push(TraceEvent::PaymentCompleted {
+                t: t_set,
+                payment: i,
+                delay: t_set - t_arr,
+            });
+        }
+        let a = encode(&events);
+        let b = encode(&events);
+        assert_eq!(a, b);
+        let jsonl = events_to_jsonl(&events);
+        assert!(
+            a.len() * 5 <= jsonl.len(),
+            "binary {} bytes vs jsonl {} bytes — under 5x",
+            a.len(),
+            jsonl.len()
+        );
+    }
+}

@@ -74,6 +74,25 @@ impl Histogram {
         self.count
     }
 
+    /// Number of samples above the top bucket bound (the overflow
+    /// bucket). Percentiles whose rank lands here are saturated: they are
+    /// interpolated only between the top bound and the observed maximum.
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+
+    /// `true` when the `q`-quantile's rank falls into the overflow
+    /// bucket, i.e. the reported percentile is a lower bound rather than
+    /// a bucketed estimate.
+    pub fn quantile_saturated(&self, q: f64) -> bool {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let overflow = self.overflow();
+        if self.count == 0 || overflow == 0 {
+            return false;
+        }
+        q * self.count as f64 > (self.count - overflow) as f64
+    }
+
     /// Sum of all samples.
     pub fn sum(&self) -> f64 {
         self.sum
@@ -143,9 +162,21 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            overflow: self.overflow(),
+            saturated: self.quantile_saturated(0.50)
+                || self.quantile_saturated(0.95)
+                || self.quantile_saturated(0.99),
             buckets,
         }
     }
+}
+
+fn is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
+fn is_false(v: &bool) -> bool {
+    !*v
 }
 
 /// Serializable state of one histogram at snapshot time.
@@ -169,6 +200,13 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Samples above the top bucket bound.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub overflow: u64,
+    /// `true` when any reported percentile's rank fell into the overflow
+    /// bucket (the estimate saturates toward the observed maximum).
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub saturated: bool,
     /// Non-empty `(upper_bound, count)` buckets in bound order.
     pub buckets: Vec<(f64, u64)>,
 }
@@ -228,9 +266,39 @@ mod tests {
         let mut h = Histogram::new(vec![1.0]);
         h.observe(1000.0);
         assert_eq!(h.count(), 1);
+        assert_eq!(h.overflow(), 1);
         assert_eq!(h.quantile(0.5), 1000.0);
         let s = h.snapshot("x", "");
         assert_eq!(s.buckets, vec![(1000.0, 1)]);
+        assert_eq!(s.overflow, 1);
+        assert!(s.saturated);
+    }
+
+    #[test]
+    fn saturation_marks_only_overflowing_quantiles() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        // 90 in-range samples, 10 above the top bound.
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..10 {
+            h.observe(100.0);
+        }
+        assert_eq!(h.overflow(), 10);
+        assert!(!h.quantile_saturated(0.50));
+        assert!(h.quantile_saturated(0.95));
+        assert!(h.quantile_saturated(0.99));
+        let s = h.snapshot("x", "");
+        assert!(s.saturated);
+        // No overflow → no saturation, and the legacy JSON stays
+        // byte-identical (both new fields are skipped).
+        let mut clean = Histogram::new(vec![1.0, 2.0, 4.0]);
+        clean.observe(0.5);
+        let snap = clean.snapshot("x", "");
+        assert!(!snap.saturated);
+        assert_eq!(snap.overflow, 0);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(!json.contains("overflow") && !json.contains("saturated"));
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //!   `Send + Sync`;
 //! - [`trace`] — typed payment-lifecycle events ([`TraceEvent`]) recorded
 //!   by a [`Tracer`] and serialized to JSON Lines;
+//! - [`bintrace`] — a compact, indexed binary backend for the same event
+//!   streams, with lossless JSONL↔binary converters;
+//! - [`spans`] — an opt-in engine-phase profiler splitting deterministic
+//!   sim-time counters from nondeterministic wall-clock totals;
 //! - [`summary`] — aggregated per-run telemetry ([`TelemetrySummary`])
 //!   embedded in simulation reports.
 //!
@@ -20,13 +24,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bintrace;
 pub mod histogram;
 pub mod registry;
+pub mod spans;
 pub mod summary;
 pub mod trace;
 
+pub use bintrace::{BinTraceError, BinTraceWriter, TraceQuery};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{MetricEntry, MetricsRegistry, MetricsSnapshot};
+pub use spans::{Phase, PhaseProfile, PhaseWallStat, SpanGuard, SpanProfiler};
 pub use summary::{DelayPercentiles, NetworkSample, TelemetrySummary};
 pub use trace::{count_by_kind, events_to_jsonl, parse_jsonl, TraceEvent, Tracer};
 
@@ -40,6 +48,10 @@ struct TelemetryInner {
     registry: MetricsRegistry,
     tracer: Tracer,
     sample_interval: f64,
+    /// Present only on profiled handles: span recording stays a no-op for
+    /// plain enabled telemetry, so enabling traces never perturbs
+    /// byte-identity contracts that predate the profiler.
+    profiler: Option<SpanProfiler>,
 }
 
 /// A cheap, cloneable telemetry handle: either disabled (no-op) or backed
@@ -67,12 +79,28 @@ impl Telemetry {
     /// An enabled handle sampling channel state every `sample_interval`
     /// simulation seconds.
     pub fn with_sample_interval(sample_interval: f64) -> Self {
+        Self::build(sample_interval, false)
+    }
+
+    /// An enabled handle that also records engine-phase spans (wall time
+    /// and deterministic phase counters) via a [`SpanProfiler`].
+    pub fn profiled() -> Self {
+        Self::build(DEFAULT_SAMPLE_INTERVAL, true)
+    }
+
+    /// A profiled handle with a custom channel-sampling cadence.
+    pub fn profiled_with_sample_interval(sample_interval: f64) -> Self {
+        Self::build(sample_interval, true)
+    }
+
+    fn build(sample_interval: f64, profiling: bool) -> Self {
         assert!(sample_interval > 0.0, "sample interval must be positive");
         Telemetry {
             inner: Some(Arc::new(TelemetryInner {
                 registry: MetricsRegistry::new(),
                 tracer: Tracer::new(),
                 sample_interval,
+                profiler: profiling.then(SpanProfiler::new),
             })),
         }
     }
@@ -81,6 +109,12 @@ impl Telemetry {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// `true` when this handle records engine-phase spans.
+    #[inline]
+    pub fn is_profiling(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.profiler.is_some())
     }
 
     /// Channel-sampling cadence, or `None` when disabled.
@@ -151,7 +185,60 @@ impl Telemetry {
                 p50: h.quantile(0.50),
                 p95: h.quantile(0.95),
                 p99: h.quantile(0.99),
+                saturated: h.quantile_saturated(0.50)
+                    || h.quantile_saturated(0.95)
+                    || h.quantile_saturated(0.99),
             })
+    }
+
+    /// Opens a wall-timed span for `phase`; a free no-op unless this
+    /// handle was built with [`Telemetry::profiled`].
+    #[inline]
+    pub fn span_enter(&self, phase: Phase) -> SpanGuard<'_> {
+        match self.profiler() {
+            Some(p) => p.enter(phase),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Like [`span_enter`](Self::span_enter), attributing the span to a
+    /// lane (shard rank) as well.
+    #[inline]
+    pub fn span_enter_lane(&self, phase: Phase, lane: u32) -> SpanGuard<'_> {
+        match self.profiler() {
+            Some(p) => p.enter_lane(phase, lane),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Adds `n` processed items to `phase` (deterministic; no-op unless
+    /// profiling).
+    #[inline]
+    pub fn span_items(&self, phase: Phase, n: u64) {
+        if let Some(p) = self.profiler() {
+            p.add_items(phase, n);
+        }
+    }
+
+    /// Adds `n` processed items to `phase` for `lane` and globally.
+    #[inline]
+    pub fn span_items_lane(&self, phase: Phase, lane: u32, n: u64) {
+        if let Some(p) = self.profiler() {
+            p.add_items_lane(phase, lane, n);
+        }
+    }
+
+    /// Widens `phase`'s active sim-time window to include `t`.
+    #[inline]
+    pub fn span_sim(&self, phase: Phase, t: f64) {
+        if let Some(p) = self.profiler() {
+            p.mark_sim(phase, t);
+        }
+    }
+
+    /// Direct access to the span profiler, when profiling.
+    pub fn profiler(&self) -> Option<&SpanProfiler> {
+        self.inner.as_ref().and_then(|i| i.profiler.as_ref())
     }
 
     /// Direct access to the registry, when enabled.
@@ -185,6 +272,11 @@ impl Telemetry {
             event_counts: count_by_kind(&events),
             network_series,
             metrics: inner.registry.snapshot(),
+            phases: inner
+                .profiler
+                .as_ref()
+                .map(|p| p.phases())
+                .unwrap_or_default(),
         })
     }
 }

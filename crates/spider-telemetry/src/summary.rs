@@ -1,7 +1,12 @@
 //! Aggregated telemetry embedded into simulation reports.
 
 use crate::registry::MetricsSnapshot;
+use crate::spans::PhaseProfile;
 use serde::{Deserialize, Serialize};
+
+fn is_false(v: &bool) -> bool {
+    !*v
+}
 
 /// Completion-delay percentiles estimated from the latency histogram.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -12,6 +17,12 @@ pub struct DelayPercentiles {
     pub p95: f64,
     /// 99th-percentile completion delay (seconds).
     pub p99: f64,
+    /// `true` when any reported percentile fell into the histogram's
+    /// overflow bucket — the estimate is then clamped near the observed
+    /// maximum rather than interpolated, and should be read as "at
+    /// least this large".
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub saturated: bool,
 }
 
 /// One network-wide aggregate sample (taken at the telemetry sampling
@@ -46,6 +57,10 @@ pub struct TelemetrySummary {
     pub network_series: Vec<NetworkSample>,
     /// Snapshot of every registered metric.
     pub metrics: MetricsSnapshot,
+    /// Deterministic per-phase profiler breakdown (empty unless the run
+    /// used a profiled telemetry handle; contains no wall-clock data).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub phases: Vec<PhaseProfile>,
 }
 
 impl TelemetrySummary {
@@ -76,6 +91,7 @@ mod tests {
                 max_queue_depth: 0,
             }],
             metrics: MetricsSnapshot::default(),
+            phases: Vec::new(),
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: TelemetrySummary = serde_json::from_str(&json).unwrap();

@@ -233,6 +233,75 @@ impl TraceEvent {
             TraceEvent::SolverSample { .. } => "solver_sample",
         }
     }
+
+    /// Simulation timestamp, for every timed event kind. Solver samples
+    /// are iteration-indexed, not time-indexed, and return `None`.
+    pub fn time(&self) -> Option<f64> {
+        match *self {
+            TraceEvent::PaymentArrived { t, .. }
+            | TraceEvent::PaymentSplit { t, .. }
+            | TraceEvent::UnitSent { t, .. }
+            | TraceEvent::UnitSettled { t, .. }
+            | TraceEvent::UnitRefunded { t, .. }
+            | TraceEvent::UnitQueued { t, .. }
+            | TraceEvent::PaymentCompleted { t, .. }
+            | TraceEvent::PaymentAbandoned { t, .. }
+            | TraceEvent::RebalanceApplied { t, .. }
+            | TraceEvent::ChannelSample { t, .. }
+            | TraceEvent::ChannelOutage { t, .. }
+            | TraceEvent::ChannelRecovered { t, .. }
+            | TraceEvent::NodeCrashed { t, .. }
+            | TraceEvent::NodeRecovered { t, .. }
+            | TraceEvent::UnitDropped { t, .. }
+            | TraceEvent::UnitGriefed { t, .. }
+            | TraceEvent::PaymentRetry { t, .. }
+            | TraceEvent::ChannelBlacklisted { t, .. } => Some(t),
+            TraceEvent::SolverSample { .. } => None,
+        }
+    }
+
+    /// The channel index this event touches, if any.
+    pub fn channel(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::UnitQueued { channel, .. }
+            | TraceEvent::RebalanceApplied { channel, .. }
+            | TraceEvent::ChannelSample { channel, .. }
+            | TraceEvent::ChannelOutage { channel, .. }
+            | TraceEvent::ChannelRecovered { channel, .. }
+            | TraceEvent::UnitDropped { channel, .. }
+            | TraceEvent::ChannelBlacklisted { channel, .. } => Some(channel),
+            _ => None,
+        }
+    }
+
+    /// The node indices this event touches (up to two), if any.
+    pub fn nodes(&self) -> (Option<u32>, Option<u32>) {
+        match *self {
+            TraceEvent::PaymentArrived { src, dst, .. } => (Some(src), Some(dst)),
+            TraceEvent::NodeCrashed { node, .. } | TraceEvent::NodeRecovered { node, .. } => {
+                (Some(node), None)
+            }
+            _ => (None, None),
+        }
+    }
+
+    /// The payment id this event belongs to, if any.
+    pub fn payment(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::PaymentArrived { payment, .. }
+            | TraceEvent::PaymentSplit { payment, .. }
+            | TraceEvent::UnitSent { payment, .. }
+            | TraceEvent::UnitSettled { payment, .. }
+            | TraceEvent::UnitRefunded { payment, .. }
+            | TraceEvent::UnitQueued { payment, .. }
+            | TraceEvent::PaymentCompleted { payment, .. }
+            | TraceEvent::PaymentAbandoned { payment, .. }
+            | TraceEvent::UnitDropped { payment, .. }
+            | TraceEvent::UnitGriefed { payment, .. }
+            | TraceEvent::PaymentRetry { payment, .. } => Some(payment),
+            _ => None,
+        }
+    }
 }
 
 /// Records [`TraceEvent`]s in arrival order.
