@@ -18,11 +18,11 @@
 //! ([`BenchFloor::check`]).
 
 use crate::experiments::{
-    run_scheme, run_scheme_traced, run_sharded_scheme, sharded_scheme_for, ExperimentConfig,
-    SchemeChoice, Topology,
+    resume_scheme, run_scheme, run_scheme_checkpointed, run_scheme_traced, run_sharded_scheme,
+    sharded_scheme_for, ExperimentConfig, SchemeChoice, Topology,
 };
 use serde::{Deserialize, Serialize};
-use spider_sim::SimReport;
+use spider_sim::{latest_snapshot, CheckpointSpec, SimReport};
 use spider_telemetry::{PhaseWallStat, Telemetry};
 use std::time::Instant;
 
@@ -42,6 +42,14 @@ pub struct BenchScenario {
     /// (`scheme` must be one the sharded engine supports). `None`: the
     /// sequential engine.
     pub shards: Option<usize>,
+    /// `Some(every)`: warm-start scenario — one unmeasured preparation run
+    /// checkpoints every `every` scheduler ticks, and each timed repeat
+    /// *resumes* from the latest snapshot, measuring snapshot load plus
+    /// the remaining simulation. Because resume is byte-identical to a
+    /// straight run, the deterministic `results` row must equal the cold
+    /// scenario's (name aside), so the cell doubles as a resume-determinism
+    /// check. Sequential engine only.
+    pub warm_start: Option<u64>,
 }
 
 fn scenario(
@@ -66,12 +74,19 @@ fn scenario(
         },
         scheme,
         shards: None,
+        warm_start: None,
     }
 }
 
 fn sharded(mut s: BenchScenario, shards: usize) -> BenchScenario {
     s.name = format!("{}-shards{shards}", s.name);
     s.shards = Some(shards);
+    s
+}
+
+fn warm(mut s: BenchScenario, every: u64) -> BenchScenario {
+    s.name = format!("{}-warm{every}", s.name);
+    s.warm_start = Some(every);
     s
 }
 
@@ -115,6 +130,20 @@ pub fn bench_matrix(smoke: bool) -> Vec<BenchScenario> {
     );
     out.push(sharded(sharded_base.clone(), 1));
     out.push(sharded(sharded_base, 4));
+    // Warm-start smoke cell: an unmeasured preparation run checkpoints at
+    // tick 120 of 200, then every timed repeat resumes from that snapshot
+    // (snapshot load + the back 40% of the window). Its deterministic row
+    // must equal small-isp-waterfilling-1k's — resume is byte-identical.
+    out.push(warm(
+        scenario(
+            "small-isp-waterfilling-1k",
+            Topology::Isp,
+            1_000,
+            20.0,
+            SchemeChoice::SpiderWaterfilling,
+        ),
+        120,
+    ));
     if smoke {
         return out;
     }
@@ -312,6 +341,36 @@ fn median(sorted_ms: &mut [f64]) -> f64 {
     sorted_ms[sorted_ms.len() / 2]
 }
 
+/// Scratch directory holding a warm-start scenario's snapshots, removed on
+/// drop. Unique per process and instantiation, so concurrent workers and
+/// repeated harness runs never collide.
+struct WarmStartDir(std::path::PathBuf);
+
+impl WarmStartDir {
+    fn new(scenario: &str) -> Self {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "spider-warmstart-{scenario}-{}-{seq}",
+            std::process::id()
+        ));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            panic!("cannot create warm-start dir {}: {e}", dir.display());
+        }
+        WarmStartDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for WarmStartDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// Runs one scenario `repeats` times, asserting every repeat produces the
 /// identical deterministic result, and returns that result with the
 /// median-of-N timing.
@@ -329,6 +388,37 @@ fn run_scenario(
     let mut wall_ms = Vec::with_capacity(repeats);
     let mut result: Option<BenchScenarioResult> = None;
     let mut phases: Vec<PhaseWallStat> = Vec::new();
+    // Warm-start scenarios pay one unmeasured preparation run that leaves a
+    // snapshot behind; every timed repeat resumes from it. The preparation
+    // handle must have the same enabledness as the repeats' handles — the
+    // snapshot fingerprint pins the telemetry configuration.
+    let warm = s.warm_start.map(|every| {
+        assert!(
+            s.shards.is_none(),
+            "scenario {}: warm-start is sequential-engine only",
+            s.name
+        );
+        let dir = WarmStartDir::new(&s.name);
+        let spec = CheckpointSpec::new(every, dir.path());
+        let tel = if profile {
+            Telemetry::profiled()
+        } else {
+            Telemetry::disabled()
+        };
+        if let Err(e) = run_scheme_checkpointed(&s.config, s.scheme, &tel, &spec) {
+            panic!("scenario {}: warm-start preparation failed: {e}", s.name);
+        }
+        let snapshot = match latest_snapshot(dir.path()) {
+            Ok(Some(p)) => p,
+            Ok(None) => panic!(
+                "scenario {}: warm-start preparation left no snapshot (checkpoint \
+                 cadence {every} exceeds the run's tick count?)",
+                s.name
+            ),
+            Err(e) => panic!("scenario {}: warm-start snapshot scan failed: {e}", s.name),
+        };
+        (dir, snapshot)
+    });
     for _ in 0..repeats {
         let tel = if profile {
             Telemetry::profiled()
@@ -336,8 +426,15 @@ fn run_scenario(
             Telemetry::disabled()
         };
         let t0 = Instant::now();
-        let report = match s.shards {
-            Some(shards) => {
+        let report = match (&warm, s.shards) {
+            (Some((_, snapshot)), None) => {
+                match resume_scheme(&s.config, s.scheme, &tel, snapshot, None) {
+                    Ok(report) => report,
+                    Err(e) => panic!("scenario {}: warm-start resume failed: {e}", s.name),
+                }
+            }
+            (Some(_), Some(_)) => unreachable!("warm-start is rejected for sharded scenarios"),
+            (None, Some(shards)) => {
                 let Some(scheme) = sharded_scheme_for(s.scheme) else {
                     panic!(
                         "scenario {}: scheme {:?} is not supported by the sharded engine",
@@ -346,7 +443,7 @@ fn run_scenario(
                 };
                 run_sharded_scheme(&s.config, scheme, shards, &tel)
             }
-            None => {
+            (None, None) => {
                 if profile {
                     run_scheme_traced(&s.config, s.scheme, &tel)
                 } else {

@@ -50,14 +50,23 @@
 //! `bench --profile` attaches a per-phase wall-clock breakdown to the
 //! report's `timing` section; the stripped deterministic section is
 //! byte-identical with or without it.
+//!
+//! Checkpoint & resume: `fig6 --scheme NAME --checkpoint-dir DIR
+//! [--checkpoint-every N]` writes a crash-safe snapshot every N scheduler
+//! ticks; `resume SNAPSHOT --scheme NAME ...` (a `.spsn` file, or the
+//! checkpoint directory for the latest valid snapshot) carries the run to
+//! completion with report/JSON/trace outputs byte-identical to an
+//! uninterrupted run. Corrupt, truncated, or mismatched snapshots exit
+//! with status 1 and a structured error on stderr.
 
 use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
     ablation_scheduler, bench_matrix, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7,
-    jobs_from_env, rebalancing_curve, run_bench_profiled, run_grid, run_grid_traced,
-    run_sharded_scheme_audited, Ablation, BenchFloor, ExperimentConfig, GridConfig, SchemeChoice,
+    jobs_from_env, rebalancing_curve, resume_scheme, run_bench_profiled, run_grid, run_grid_traced,
+    run_scheme, run_scheme_checkpointed, run_scheme_traced, run_sharded_scheme_audited,
+    scheme_choice_by_name, Ablation, BenchFloor, ExperimentConfig, GridConfig, SchemeChoice,
 };
-use spider_sim::{FaultConfig, ShardScheme, SimReport};
+use spider_sim::{latest_snapshot, CheckpointSpec, FaultConfig, ShardScheme, SimReport};
 use spider_telemetry::spans::render_wall_breakdown;
 use spider_telemetry::{bintrace, Telemetry, TraceEvent, TraceQuery};
 use std::io::Write;
@@ -87,12 +96,20 @@ fn main() {
             usage_and_exit();
         }
     };
+    let checkpoint = checkpoint_spec(&args);
     let mut out = JsonSink::new(json_path);
 
     match command {
         "fig4" | "fig5" => run_fig4(&mut out),
         "fig6" => {
             let topology = flag_value(&args, "--topology").unwrap_or_else(|| "isp".into());
+            let scheme = flag_value(&args, "--scheme").map(|s| parse_scheme(&s));
+            if checkpoint.is_some() && scheme.is_none() {
+                eprintln!(
+                    "--checkpoint-dir on fig6 requires --scheme (one snapshot stream per run)"
+                );
+                usage_and_exit();
+            }
             run_fig6(
                 &topology,
                 full,
@@ -100,6 +117,20 @@ fn main() {
                 telemetry,
                 trace_out.as_deref(),
                 format,
+                scheme,
+                checkpoint.as_ref(),
+                &mut out,
+            );
+        }
+        "resume" => {
+            run_resume(
+                &args,
+                full,
+                seed,
+                telemetry,
+                trace_out.as_deref(),
+                format,
+                checkpoint.as_ref(),
                 &mut out,
             );
         }
@@ -158,9 +189,13 @@ fn main() {
                 telemetry,
                 trace_out.as_deref(),
                 format,
+                None,
+                None,
                 &mut out,
             );
-            run_fig6("ripple", full, seed, telemetry, None, format, &mut out);
+            run_fig6(
+                "ripple", full, seed, telemetry, None, format, None, None, &mut out,
+            );
             run_fig7(full, seed, &mut out);
             run_rebalancing(&mut out);
             run_ablations(seed, &mut out);
@@ -207,11 +242,15 @@ fn write_trace(dir: &str, stem: &str, format: TraceFormat, events: &[TraceEvent]
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: spider-experiments <fig4|fig6|fig7|rebalancing|ablations|grid|bench|sharded|all|\
-         trace-check DIR|inspect FILE|trace-convert IN OUT> \
+         resume SNAPSHOT|trace-check DIR|inspect FILE|trace-convert IN OUT> \
          [--topology isp|ripple] [--full] [--seed N] [--json PATH] \
          [--telemetry] [--trace-out DIR] [--trace-format jsonl|bin] \
          [--jobs N] [--trials N] [--capacities A,B,...] [--no-audit] \
          [--faults SCENARIO|FILE.json] [--outage-rates A,B,...] [--no-retry]\n\
+         checkpointing (fig6 with --scheme, resume): [--checkpoint-dir DIR] [--checkpoint-every N]\n\
+         resume: SNAPSHOT is a .spsn file or a checkpoint dir (latest valid \
+         snapshot); pass the same --topology/--scheme/--seed/--full as the \
+         checkpointing run\n\
          bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json] [--only SUBSTR] [--profile]\n\
          sharded flags: [--shards N] [--scheme shortest|waterfilling] [--audit]\n\
          inspect flags: [--channel N] [--node N] [--payment N] [--kind K] [--from T] [--to T] \
@@ -222,6 +261,48 @@ fn usage_and_exit() -> ! {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Builds the optional [`CheckpointSpec`] from `--checkpoint-every N` and
+/// `--checkpoint-dir DIR`. The directory is required; the cadence defaults
+/// to every 100 scheduler ticks.
+fn checkpoint_spec(args: &[String]) -> Option<CheckpointSpec> {
+    let every = flag_value(args, "--checkpoint-every").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--checkpoint-every expects a positive integer, got `{v}`");
+            usage_and_exit();
+        })
+    });
+    match flag_value(args, "--checkpoint-dir") {
+        Some(dir) => Some(CheckpointSpec::new(every.unwrap_or(100), dir)),
+        None => {
+            if every.is_some() {
+                eprintln!("--checkpoint-every requires --checkpoint-dir");
+                usage_and_exit();
+            }
+            None
+        }
+    }
+}
+
+/// Parses a `--scheme` value: the canonical report names
+/// (`spider-waterfilling`, `shortest-path`, ...) plus short aliases.
+fn parse_scheme(name: &str) -> SchemeChoice {
+    scheme_choice_by_name(name)
+        .or(match name {
+            "shortest" => Some(SchemeChoice::ShortestPath),
+            "waterfilling" => Some(SchemeChoice::SpiderWaterfilling),
+            "maxflow" => Some(SchemeChoice::MaxFlow),
+            "lp" => Some(SchemeChoice::SpiderLp),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown scheme `{name}` (use silentwhispers, speedymurmurs, shortest-path, \
+                 max-flow, spider-waterfilling, or spider-lp)"
+            );
+            usage_and_exit();
+        })
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -331,6 +412,7 @@ fn print_fig6_table(reports: &[SimReport]) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_fig6(
     topology: &str,
     full: bool,
@@ -338,6 +420,8 @@ fn run_fig6(
     telemetry: bool,
     trace_out: Option<&str>,
     format: TraceFormat,
+    scheme: Option<SchemeChoice>,
+    checkpoint: Option<&CheckpointSpec>,
     out: &mut JsonSink,
 ) {
     let cfg = config_for(topology, full, seed);
@@ -346,7 +430,24 @@ fn run_fig6(
         cfg.num_transactions, cfg.duration, cfg.capacity
     );
     let t0 = std::time::Instant::now();
-    let reports = if telemetry {
+    let reports = if let Some(choice) = scheme {
+        // Single-scheme run: the only mode that supports checkpointing
+        // (one snapshot stream per directory). Output shape matches the
+        // all-schemes run so reports and traces stay byte-comparable.
+        let tel = if telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let report = match checkpoint {
+            Some(ck) => run_scheme_checkpointed(&cfg, choice, &tel, ck)
+                .unwrap_or_else(|e| snapshot_fail(&e)),
+            None if telemetry => run_scheme_traced(&cfg, choice, &tel),
+            None => run_scheme(&cfg, choice),
+        };
+        write_fig6_trace(topology, &report, &tel, trace_out, format);
+        vec![report]
+    } else if telemetry {
         let traced = fig6_traced(&cfg);
         if let Some(dir) = trace_out {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
@@ -360,6 +461,98 @@ fn run_fig6(
     } else {
         fig6(&cfg)
     };
+    print_fig6_table(&reports);
+    if telemetry {
+        println!("completion-delay percentiles (s):");
+        for r in &reports {
+            if let Some(p) = &r.completion_delay_percentiles {
+                println!(
+                    "  {:<22} p50={:.3} p95={:.3} p99={:.3}",
+                    r.scheme, p.p50, p.p95, p.p99
+                );
+            }
+        }
+    }
+    println!("({:.1}s)", t0.elapsed().as_secs_f64());
+    out.record(&format!("fig6_{topology}"), &reports);
+    println!();
+}
+
+/// Reports a snapshot error on stderr and exits with status 1 — corrupt,
+/// truncated, or mismatched snapshots are an error, never a panic.
+fn snapshot_fail(e: &spider_sim::SnapshotError) -> ! {
+    eprintln!("snapshot error: {e}");
+    std::process::exit(1);
+}
+
+/// Writes the single-scheme fig6 trace file (same stem as the all-schemes
+/// run, so resumed and uninterrupted outputs stay byte-comparable).
+fn write_fig6_trace(
+    topology: &str,
+    report: &SimReport,
+    tel: &Telemetry,
+    trace_out: Option<&str>,
+    format: TraceFormat,
+) {
+    if let Some(dir) = trace_out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+        let stem = format!("fig6-{topology}-{}", report.scheme);
+        let path = write_trace(dir, &stem, format, &tel.events());
+        println!("wrote trace to {path}");
+    }
+}
+
+/// `resume SNAPSHOT`: rebuilds the fig6 single-scheme scenario (topology /
+/// scheme / seed / scale must match the checkpointing run) and carries it
+/// to completion from the snapshot. `SNAPSHOT` is a `.spsn` file or a
+/// checkpoint directory, in which case the latest valid snapshot is used.
+/// Report and trace outputs are byte-identical to an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+fn run_resume(
+    args: &[String],
+    full: bool,
+    seed: u64,
+    telemetry: bool,
+    trace_out: Option<&str>,
+    format: TraceFormat,
+    checkpoint: Option<&CheckpointSpec>,
+    out: &mut JsonSink,
+) {
+    let snapshot_arg = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+    let Some(snapshot_arg) = snapshot_arg else {
+        eprintln!("resume expects a snapshot file or checkpoint directory");
+        usage_and_exit();
+    };
+    let path = std::path::PathBuf::from(&snapshot_arg);
+    let snapshot = if path.is_dir() {
+        match latest_snapshot(&path) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                eprintln!("snapshot error: no valid snapshot in {snapshot_arg}");
+                std::process::exit(1);
+            }
+            Err(e) => snapshot_fail(&e),
+        }
+    } else {
+        path
+    };
+    let topology = flag_value(args, "--topology").unwrap_or_else(|| "isp".into());
+    let choice = parse_scheme(&flag_value(args, "--scheme").unwrap_or_else(|| {
+        eprintln!("resume requires --scheme (the scheme the snapshot was taken under)");
+        usage_and_exit();
+    }));
+    let cfg = config_for(&topology, full, seed);
+    println!("=== resume ({topology}): from {} ===", snapshot.display());
+    let t0 = std::time::Instant::now();
+    let tel = if telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let report = resume_scheme(&cfg, choice, &tel, &snapshot, checkpoint)
+        .unwrap_or_else(|e| snapshot_fail(&e));
+    write_fig6_trace(&topology, &report, &tel, trace_out, format);
+    let reports = vec![report];
     print_fig6_table(&reports);
     if telemetry {
         println!("completion-delay percentiles (s):");

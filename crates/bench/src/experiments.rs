@@ -12,7 +12,10 @@ use spider_routing::{
     LpScheme, MaxFlowScheme, PathCache, PathStrategy, PriceScheme, RoutingScheme,
     ShortestPathScheme, SilentWhispersScheme, SpeedyMurmursScheme, WaterfillingScheme,
 };
-use spider_sim::{run, run_sharded, ShardScheme, ShardedConfig, SimConfig, SimReport};
+use spider_sim::{
+    run, run_sharded, CheckpointSpec, ShardScheme, ShardedConfig, SimConfig, SimReport,
+    SnapshotError,
+};
 use spider_telemetry::Telemetry;
 use spider_topology::{isp_topology, ripple_topology_scaled, Partition};
 use spider_workload::{demand_matrix, isp_sizes, ripple_sizes, TraceConfig, Transaction};
@@ -312,6 +315,55 @@ pub fn run_scheme_traced(
     let mut sim = config.sim_config();
     sim.telemetry = telemetry.clone();
     run(&network, &trace, scheme.as_mut(), &sim)
+}
+
+/// Parses a scheme name as printed in reports and trace-file stems
+/// (e.g. `spider-waterfilling`) back into a [`SchemeChoice`].
+pub fn scheme_choice_by_name(name: &str) -> Option<SchemeChoice> {
+    match name {
+        "silentwhispers" => Some(SchemeChoice::SilentWhispers),
+        "speedymurmurs" => Some(SchemeChoice::SpeedyMurmurs),
+        "shortest-path" => Some(SchemeChoice::ShortestPath),
+        "max-flow" => Some(SchemeChoice::MaxFlow),
+        "spider-waterfilling" => Some(SchemeChoice::SpiderWaterfilling),
+        "spider-lp" => Some(SchemeChoice::SpiderLp),
+        _ => None,
+    }
+}
+
+/// Like [`run_scheme_traced`], but writes a crash-safe snapshot into
+/// `ckpt.dir` every `ckpt.every` scheduler ticks (sequential engine).
+pub fn run_scheme_checkpointed(
+    config: &ExperimentConfig,
+    choice: SchemeChoice,
+    telemetry: &Telemetry,
+    ckpt: &CheckpointSpec,
+) -> Result<SimReport, SnapshotError> {
+    let network = config.network();
+    let trace = config.trace(&network);
+    let mut scheme = build_scheme(choice, &network, &trace, config.duration);
+    let mut sim = config.sim_config();
+    sim.telemetry = telemetry.clone();
+    spider_sim::engine::run_checkpointed(&network, &trace, scheme.as_mut(), &sim, ckpt)
+}
+
+/// Resumes a [`run_scheme_checkpointed`] run from a snapshot and carries it
+/// to completion, optionally continuing to checkpoint. The finished run's
+/// report and trace are byte-identical to an uninterrupted run of the same
+/// scenario (the snapshot's fingerprint guards against scenario mixups).
+pub fn resume_scheme(
+    config: &ExperimentConfig,
+    choice: SchemeChoice,
+    telemetry: &Telemetry,
+    snapshot: &std::path::Path,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SimReport, SnapshotError> {
+    let network = config.network();
+    let trace = config.trace(&network);
+    let mut scheme = build_scheme(choice, &network, &trace, config.duration);
+    let mut sim = config.sim_config();
+    sim.telemetry = telemetry.clone();
+    spider_sim::engine::resume(&network, &trace, scheme.as_mut(), &sim, snapshot, ckpt)
 }
 
 /// Fig. 6: all six schemes on one topology at fixed capacity.

@@ -1,0 +1,233 @@
+//! Crash-injection lockdown for the checkpoint/resume CLI.
+//!
+//! Drives the real `spider-experiments` binary: an uninterrupted reference
+//! run, a checkpointing run that is `SIGKILL`ed as soon as its first
+//! snapshot lands, and a `resume` from the latest valid snapshot. The
+//! resumed run's report JSON and trace file must be byte-identical to the
+//! reference. Corrupt, truncated, and missing snapshots must make the CLI
+//! exit with status 1 and a structured error — never a panic.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_spider-experiments");
+const SCHEME: &str = "spider-waterfilling";
+const TOPOLOGY: &str = "isp";
+const TRACE_STEM: &str = "fig6-isp-spider-waterfilling";
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("spider-crash-{tag}-{pid}-{nanos:x}"));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The shared scenario flags: reference, crashed, and resumed runs must
+/// describe the identical workload or the snapshot fingerprint rejects it.
+fn scenario_flags(json: &Path, traces: &Path) -> Vec<String> {
+    vec![
+        "--scheme".into(),
+        SCHEME.into(),
+        "--topology".into(),
+        TOPOLOGY.into(),
+        "--telemetry".into(),
+        "--json".into(),
+        json.display().to_string(),
+        "--trace-out".into(),
+        traces.display().to_string(),
+    ]
+}
+
+fn snapshot_files(dir: &Path) -> Vec<PathBuf> {
+    let mut snaps: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "spsn"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    snaps.sort();
+    snaps
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn sigkilled_checkpointing_run_resumes_byte_identically() {
+    let tmp = TempDir::new("kill");
+    let ref_json = tmp.path().join("ref.json");
+    let ref_traces = tmp.path().join("ref-traces");
+    let res_json = tmp.path().join("res.json");
+    let res_traces = tmp.path().join("res-traces");
+    let snaps = tmp.path().join("snaps");
+
+    // Uninterrupted reference run.
+    let status = Command::new(BIN)
+        .arg("fig6")
+        .args(scenario_flags(&ref_json, &ref_traces))
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed: {status}");
+
+    // Checkpointing run, SIGKILLed as soon as the first snapshot lands.
+    let mut child = Command::new(BIN)
+        .arg("fig6")
+        .args(scenario_flags(
+            &tmp.path().join("crash.json"),
+            &tmp.path().join("crash-traces"),
+        ))
+        .args(["--checkpoint-dir"])
+        .arg(&snaps)
+        .args(["--checkpoint-every", "400"])
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointing run");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let interrupted = loop {
+        if !snapshot_files(&snaps).is_empty() {
+            child.kill().expect("kill checkpointing child");
+            break true;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            // The machine outran the poll loop and the run completed; the
+            // resume-equivalence check below still stands.
+            assert!(status.success(), "checkpointing run failed: {status}");
+            break false;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no snapshot appeared within 120s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let status = child.wait().expect("reap child");
+    if interrupted {
+        assert!(!status.success(), "killed child reported success");
+    }
+    assert!(
+        !snapshot_files(&snaps).is_empty(),
+        "no snapshot survived the crash"
+    );
+
+    // Resume from the latest valid snapshot in the checkpoint directory and
+    // require byte-identical outputs.
+    let status = Command::new(BIN)
+        .arg("resume")
+        .arg(&snaps)
+        .args(scenario_flags(&res_json, &res_traces))
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn resume");
+    assert!(status.success(), "resume failed: {status}");
+    assert_eq!(
+        read(&ref_json),
+        read(&res_json),
+        "resumed report JSON differs from the uninterrupted run"
+    );
+    let trace = format!("{TRACE_STEM}.jsonl");
+    assert_eq!(
+        read(&ref_traces.join(&trace)),
+        read(&res_traces.join(&trace)),
+        "resumed trace differs from the uninterrupted run"
+    );
+}
+
+/// Runs `resume` expecting a structured failure: exit code 1 (not a crash
+/// signal, not a panic's 101) and a `snapshot error:` line on stderr.
+fn assert_structured_rejection(snapshot: &Path, tag: &str) {
+    let tmp = TempDir::new(tag);
+    let output = Command::new(BIN)
+        .arg("resume")
+        .arg(snapshot)
+        .args(scenario_flags(
+            &tmp.path().join("out.json"),
+            &tmp.path().join("traces"),
+        ))
+        .stdout(Stdio::null())
+        .output()
+        .expect("spawn resume");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "expected exit code 1 for {tag}, got {:?}",
+        output.status
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("snapshot error:"),
+        "missing structured error for {tag}: {stderr}"
+    );
+}
+
+#[test]
+fn damaged_snapshots_are_rejected_with_exit_code_one() {
+    let tmp = TempDir::new("damage");
+    let snaps = tmp.path().join("snaps");
+
+    // A short checkpointing run to obtain one genuine snapshot.
+    let status = Command::new(BIN)
+        .arg("fig6")
+        .args(scenario_flags(
+            &tmp.path().join("ck.json"),
+            &tmp.path().join("ck-traces"),
+        ))
+        .args(["--checkpoint-dir"])
+        .arg(&snaps)
+        .args(["--checkpoint-every", "1000"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn checkpointing run");
+    assert!(status.success(), "checkpointing run failed: {status}");
+    let snap = snapshot_files(&snaps)
+        .pop()
+        .expect("checkpointing run left a snapshot");
+
+    // Bit flip in the middle of the file.
+    let mut bytes = read(&snap);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let corrupt = tmp.path().join("corrupt.spsn");
+    std::fs::write(&corrupt, &bytes).expect("write corrupt snapshot");
+    assert_structured_rejection(&corrupt, "bitflip");
+
+    // Truncation.
+    let cut = read(&snap);
+    let truncated = tmp.path().join("truncated.spsn");
+    std::fs::write(&truncated, &cut[..cut.len() / 3]).expect("write truncated snapshot");
+    assert_structured_rejection(&truncated, "truncated");
+
+    // Future format version.
+    let mut future = read(&snap);
+    future[4] = 0xee;
+    let future_path = tmp.path().join("future.spsn");
+    std::fs::write(&future_path, &future).expect("write future snapshot");
+    assert_structured_rejection(&future_path, "future-version");
+
+    // Directory with no valid snapshot at all.
+    let empty = tmp.path().join("empty");
+    std::fs::create_dir_all(&empty).expect("create empty dir");
+    assert_structured_rejection(&empty, "empty-dir");
+}

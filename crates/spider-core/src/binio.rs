@@ -1,0 +1,420 @@
+//! Minimal binary encode/decode helpers for snapshot and trace containers.
+//!
+//! Everything is little-endian and length-prefixed. Floats travel as raw
+//! IEEE-754 bits (`f64::to_bits`), so non-finite values — `NaN` sentinels,
+//! `±INFINITY` histogram extrema — round-trip exactly, which JSON cannot do.
+//! Decoding never panics: every read is bounds-checked and returns a
+//! [`BinError`] on truncated or malformed input, so a corrupt file surfaces
+//! as a structured error in the caller.
+
+use std::fmt;
+
+/// A structured decode failure: truncated input or an invalid value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BinError {
+    /// The input ended before the expected number of bytes.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A decoded value was out of range or otherwise invalid.
+    Invalid {
+        /// Byte offset of the offending value.
+        offset: usize,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::Truncated {
+                offset,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "truncated input at byte {offset}: needed {needed} bytes, {remaining} remain"
+            ),
+            BinError::Invalid { offset, what } => {
+                write!(f, "invalid value at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// An append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` (little-endian, two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits. Non-finite values
+    /// round-trip exactly.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes with no length prefix (for containers that carry
+    /// the length in their own header).
+    pub fn bytes_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a presence byte followed by the value when `Some`.
+    pub fn opt(&mut self, v: Option<impl FnOnce(&mut Enc)>) {
+        match v {
+            Some(write) => {
+                self.u8(1);
+                write(self);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a length prefix followed by `write` per item.
+    pub fn seq<T>(&mut self, items: &[T], mut write: impl FnMut(&mut Enc, &T)) {
+        self.usize(items.len());
+        for item in items {
+            write(self, item);
+        }
+    }
+}
+
+/// A bounds-checked little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails with [`BinError::Invalid`] unless the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), BinError> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(BinError::Invalid {
+                offset: self.pos,
+                what: format!("{} trailing bytes", self.remaining()),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::Truncated {
+                offset: self.pos,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, BinError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, BinError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, BinError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a `usize`, rejecting values that do not fit.
+    pub fn usize(&mut self) -> Result<usize, BinError> {
+        let offset = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| BinError::Invalid {
+            offset,
+            what: format!("length {v} exceeds usize"),
+        })
+    }
+
+    /// Reads an `f64` from raw bits.
+    pub fn f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool, rejecting bytes other than 0 and 1.
+    pub fn bool(&mut self) -> Result<bool, BinError> {
+        let offset = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(BinError::Invalid {
+                offset,
+                what: format!("bool byte {other}"),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice. The length is validated against
+    /// the remaining input before any allocation, so a corrupt prefix
+    /// cannot trigger a huge reservation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], BinError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix), bounds-checked.
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, BinError> {
+        let offset = self.pos;
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| BinError::Invalid {
+            offset,
+            what: "invalid UTF-8".to_string(),
+        })
+    }
+
+    /// Reads an option encoded by [`Enc::opt`].
+    pub fn opt<T>(
+        &mut self,
+        read: impl FnOnce(&mut Dec<'a>) -> Result<T, BinError>,
+    ) -> Result<Option<T>, BinError> {
+        let offset = self.pos;
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(read(self)?)),
+            other => Err(BinError::Invalid {
+                offset,
+                what: format!("option tag {other}"),
+            }),
+        }
+    }
+
+    /// Reads a sequence encoded by [`Enc::seq`]. The element count is
+    /// sanity-checked against the remaining bytes (at least one byte per
+    /// element) before reserving, so corrupt lengths fail fast.
+    pub fn seq<T>(
+        &mut self,
+        mut read: impl FnMut(&mut Dec<'a>) -> Result<T, BinError>,
+    ) -> Result<Vec<T>, BinError> {
+        let offset = self.pos;
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(BinError::Invalid {
+                offset,
+                what: format!(
+                    "sequence length {n} exceeds {} remaining bytes",
+                    self.remaining()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(read(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// The same checksum `cksum`-family tools and zip implementations use; kept
+/// here so snapshot sections can be validated without a new dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(f64::NEG_INFINITY);
+        e.f64(f64::NAN);
+        e.bool(true);
+        e.str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap(), f64::NEG_INFINITY);
+        assert!(d.f64().unwrap().is_nan());
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert!(d.is_at_end());
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn options_and_sequences_round_trip() {
+        let mut e = Enc::new();
+        e.opt(Some(|e: &mut Enc| e.u32(5)));
+        e.opt(None::<fn(&mut Enc)>);
+        e.seq(&[1u64, 2, 3], |e, &v| e.u64(v));
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.opt(|d| d.u32()).unwrap(), Some(5));
+        assert_eq!(d.opt(|d| d.u32()).unwrap(), None);
+        assert_eq!(d.seq(|d| d.u64()).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_is_a_structured_error_never_a_panic() {
+        let mut e = Enc::new();
+        e.u64(123);
+        e.str("abcdef");
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            let r = d.u64().and_then(|_| d.str());
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_lengths_fail_without_allocating() {
+        // A huge length prefix with no bytes behind it.
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).bytes().is_err());
+        assert!(Dec::new(&bytes).seq(|d| d.u8()).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert!(Dec::new(&[2]).bool().is_err());
+        assert!(Dec::new(&[9]).opt(|d| d.u8()).is_err());
+        let mut bad_utf8 = Enc::new();
+        bad_utf8.bytes(&[0xFF, 0xFE]);
+        assert!(Dec::new(&bad_utf8.into_bytes()).str().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

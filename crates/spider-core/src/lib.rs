@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod amount;
+pub mod binio;
 pub mod dense;
 pub mod error;
 pub mod graph;
@@ -26,6 +27,7 @@ pub mod path;
 pub mod payment_graph;
 
 pub use amount::{Amount, MICROS_PER_TOKEN};
+pub use binio::{crc32, BinError, Dec, Enc};
 pub use dense::{ChannelSet, PairTable};
 pub use error::CoreError;
 pub use graph::{BalanceView, Channel, Network};

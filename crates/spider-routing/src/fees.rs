@@ -59,6 +59,16 @@ impl FeeSchedule {
         self.base.iter().all(|b| b.is_zero()) && self.rate_ppm.iter().all(|&r| r == 0)
     }
 
+    /// Per-channel `(base, rate_ppm)` parameters in channel-id order, for
+    /// serializing a schedule into an engine snapshot.
+    pub fn per_channel(&self) -> Vec<(Amount, u32)> {
+        self.base
+            .iter()
+            .copied()
+            .zip(self.rate_ppm.iter().copied())
+            .collect()
+    }
+
     /// Per-hop amounts to lock so that `delivered` arrives at the
     /// destination: computed from the last hop backwards — each upstream
     /// hop must carry the downstream amount plus the downstream hop's fee.

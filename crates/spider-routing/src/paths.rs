@@ -6,7 +6,9 @@
 //! implementations would pick "the K shortest paths or the K
 //! highest-capacity paths" (§5.3.1). All of those strategies live here.
 
-use spider_core::{Amount, BalanceView, ChannelSet, Network, NodeId, PairTable, Path};
+use spider_core::{
+    Amount, BalanceView, BinError, ChannelSet, Dec, Enc, Network, NodeId, PairTable, Path,
+};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
@@ -286,22 +288,76 @@ impl PathCache {
         }
     }
 
+    /// Runs the strategy for one pair (no caching, no stats).
+    fn compute(strategy: PathStrategy, network: &Network, src: NodeId, dst: NodeId) -> Vec<Path> {
+        match strategy {
+            PathStrategy::Shortest => shortest_path(network, src, dst).into_iter().collect(),
+            PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
+            PathStrategy::KShortest(k) => k_shortest_paths(network, src, dst, k),
+            PathStrategy::WidestDisjoint(k) => widest_paths(network, src, dst, k),
+        }
+    }
+
     /// The paths for `(src, dst)`, computing and caching them on first use.
     pub fn paths(&mut self, network: &Network, src: NodeId, dst: NodeId) -> &[Arc<Path>] {
         self.stats.lookups += 1;
         let strategy = self.strategy;
         let stats = &mut self.stats;
         self.cache.entry_or_insert_with(src, dst, || {
-            let paths = match strategy {
-                PathStrategy::Shortest => shortest_path(network, src, dst).into_iter().collect(),
-                PathStrategy::EdgeDisjoint(k) => edge_disjoint_paths(network, src, dst, k),
-                PathStrategy::KShortest(k) => k_shortest_paths(network, src, dst, k),
-                PathStrategy::WidestDisjoint(k) => widest_paths(network, src, dst, k),
-            };
+            let paths = Self::compute(strategy, network, src, dst);
             stats.computed_pairs += 1;
             stats.computed_paths += paths.len() as u64;
             paths.into_iter().map(Arc::new).collect()
         })
+    }
+
+    /// Serializes the cache's resumable state: the set of cached pairs plus
+    /// the work counters. Path contents are *not* stored — they are a pure
+    /// function of the topology and are recomputed on [`restore`].
+    ///
+    /// [`restore`]: PathCache::restore
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut pairs: Vec<(u32, u32)> = self
+            .cache
+            .iter()
+            .map(|(src, dst, _)| (src.0, dst.0))
+            .collect();
+        pairs.sort_unstable();
+        let mut e = Enc::new();
+        e.seq(&pairs, |e, &(s, d)| {
+            e.u32(s);
+            e.u32(d);
+        });
+        e.u64(self.stats.lookups);
+        e.u64(self.stats.computed_pairs);
+        e.u64(self.stats.computed_paths);
+        e.into_bytes()
+    }
+
+    /// Restores state captured by [`checkpoint`]: recomputes every cached
+    /// pair against `network` (deterministic given the same topology) and
+    /// reinstates the work counters, so post-resume lookups and stats are
+    /// indistinguishable from an uninterrupted run.
+    ///
+    /// [`checkpoint`]: PathCache::checkpoint
+    pub fn restore(&mut self, network: &Network, bytes: &[u8]) -> Result<(), BinError> {
+        let mut d = Dec::new(bytes);
+        let pairs = d.seq(|d| Ok((d.u32()?, d.u32()?)))?;
+        let stats = PathCacheStats {
+            lookups: d.u64()?,
+            computed_pairs: d.u64()?,
+            computed_paths: d.u64()?,
+        };
+        d.expect_end()?;
+        self.cache = Default::default();
+        for (s, dst) in pairs {
+            let (src, dst) = (NodeId(s), NodeId(dst));
+            let paths = Self::compute(self.strategy, network, src, dst);
+            self.cache
+                .entry_or_insert_with(src, dst, || paths.into_iter().map(Arc::new).collect());
+        }
+        self.stats = stats;
+        Ok(())
     }
 
     /// Work counters accumulated by this cache.

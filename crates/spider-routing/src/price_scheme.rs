@@ -208,6 +208,51 @@ impl RoutingScheme for PriceScheme {
             ("routing.paths.computed", s.computed_paths),
         ]
     }
+
+    fn checkpoint_state(&self) -> Option<Vec<u8>> {
+        let mut e = spider_core::Enc::new();
+        e.bool(self.initialized);
+        e.u64(self.units_in_window);
+        e.seq(&self.lambda, |e, v| e.f64(*v));
+        e.seq(&self.mu, |e, m| {
+            e.f64(m[0]);
+            e.f64(m[1]);
+        });
+        e.seq(&self.window_flow, |e, m| {
+            e.f64(m[0]);
+            e.f64(m[1]);
+        });
+        e.bytes(&self.cache.checkpoint());
+        Some(e.into_bytes())
+    }
+
+    fn restore_state(
+        &mut self,
+        network: &Network,
+        bytes: &[u8],
+    ) -> Result<(), spider_core::CoreError> {
+        let internal = |e: spider_core::BinError| spider_core::CoreError::Internal(format!("{e}"));
+        let mut d = spider_core::Dec::new(bytes);
+        self.initialized = d.bool().map_err(internal)?;
+        self.units_in_window = d.u64().map_err(internal)?;
+        self.lambda = d.seq(|d| d.f64()).map_err(internal)?;
+        self.mu = d.seq(|d| Ok([d.f64()?, d.f64()?])).map_err(internal)?;
+        self.window_flow = d.seq(|d| Ok([d.f64()?, d.f64()?])).map_err(internal)?;
+        let n = network.num_channels();
+        if self.initialized
+            && (self.lambda.len() != n || self.mu.len() != n || self.window_flow.len() != n)
+        {
+            return Err(spider_core::CoreError::Internal(format!(
+                "price state covers {} channels, network has {n}",
+                self.lambda.len()
+            )));
+        }
+        let cache_bytes = d.bytes().map_err(internal)?.to_vec();
+        d.expect_end().map_err(internal)?;
+        self.cache
+            .restore(network, &cache_bytes)
+            .map_err(|e| spider_core::CoreError::Internal(format!("path cache restore: {e}")))
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! are asked for a route one *transaction unit* at a time and may defer.
 
 use crate::paths::path_bottleneck;
-use spider_core::{Amount, BalanceView, ChannelId, Direction, Network, NodeId, Path};
+use spider_core::{Amount, BalanceView, ChannelId, CoreError, Direction, Network, NodeId, Path};
 use std::sync::Arc;
 
 /// Whether a scheme delivers payments atomically or unit-by-unit.
@@ -86,6 +86,30 @@ pub trait RoutingScheme: Send {
     /// nothing.
     fn telemetry_stats(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
+    }
+
+    /// Serializes scheme-internal state for an engine checkpoint, or `None`
+    /// when the scheme keeps no resumable state (the default). Schemes that
+    /// return `Some` here must accept the same bytes in
+    /// [`restore_state`](RoutingScheme::restore_state) and continue exactly
+    /// as if the run had never been interrupted.
+    fn checkpoint_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by
+    /// [`checkpoint_state`](RoutingScheme::checkpoint_state). The default
+    /// accepts only an empty blob (matching the default `None` checkpoint).
+    fn restore_state(&mut self, network: &Network, bytes: &[u8]) -> Result<(), CoreError> {
+        let _ = network;
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::Internal(format!(
+                "scheme {} does not support state restore",
+                self.name()
+            )))
+        }
     }
 }
 

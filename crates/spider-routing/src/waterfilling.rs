@@ -88,6 +88,20 @@ impl RoutingScheme for WaterfillingScheme {
             ("routing.paths.computed", s.computed_paths),
         ]
     }
+
+    fn checkpoint_state(&self) -> Option<Vec<u8>> {
+        Some(self.cache.checkpoint())
+    }
+
+    fn restore_state(
+        &mut self,
+        network: &Network,
+        bytes: &[u8],
+    ) -> Result<(), spider_core::CoreError> {
+        self.cache
+            .restore(network, bytes)
+            .map_err(|e| spider_core::CoreError::Internal(format!("path cache restore: {e}")))
+    }
 }
 
 #[cfg(test)]

@@ -262,6 +262,42 @@ impl LedgerAudit {
     pub fn into_violations(self) -> Vec<AuditViolation> {
         self.violations
     }
+
+    /// Captures the auditor's complete state for a checkpoint.
+    pub fn export_state(&self) -> AuditState {
+        AuditState {
+            expected_total_micros: self.expected_total.micros(),
+            checks: self.checks,
+            violations: self.violations.clone(),
+            suppressed: self.suppressed,
+        }
+    }
+
+    /// Rebuilds an auditor from a captured [`AuditState`], continuing its
+    /// check count and violation log exactly.
+    pub fn from_state(state: AuditState) -> LedgerAudit {
+        LedgerAudit {
+            expected_total: Amount::from_micros(state.expected_total_micros),
+            checks: state.checks,
+            violations: state.violations,
+            suppressed: state.suppressed,
+        }
+    }
+}
+
+/// Serializable capture of a [`LedgerAudit`], produced by
+/// [`LedgerAudit::export_state`] and consumed by
+/// [`LedgerAudit::from_state`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AuditState {
+    /// What `Σ available + Σ inflight` must equal, in micro-tokens.
+    pub expected_total_micros: i64,
+    /// Invariant checks performed so far.
+    pub checks: u64,
+    /// Violations recorded so far.
+    pub violations: Vec<AuditViolation>,
+    /// Violations found beyond the recording cap.
+    pub suppressed: u64,
 }
 
 #[cfg(test)]

@@ -135,6 +135,28 @@ impl CongestionControl {
     pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u32 {
         self.pairs.get(src, dst).map(|s| s.outstanding).unwrap_or(0)
     }
+
+    /// Every tracked pair as `(src, dst, window, outstanding)` in
+    /// `(src, dst)` order, for checkpointing.
+    pub fn export_state(&self) -> Vec<(NodeId, NodeId, f64, u32)> {
+        self.pairs
+            .iter()
+            .map(|(s, d, st)| (s, d, st.window, st.outstanding))
+            .collect()
+    }
+
+    /// Replaces the pair table with entries captured by
+    /// [`export_state`](Self::export_state). Untracked pairs fall back to
+    /// the initial window, as they would in a fresh run.
+    pub fn restore_state(&mut self, entries: &[(NodeId, NodeId, f64, u32)]) {
+        self.pairs = PairTable::new();
+        for &(s, d, window, outstanding) in entries {
+            *self.state(s, d) = PairState {
+                window,
+                outstanding,
+            };
+        }
+    }
 }
 
 #[cfg(test)]

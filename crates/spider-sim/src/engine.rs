@@ -29,7 +29,8 @@ use crate::metrics::SimReport;
 use crate::payment::{PaymentState, PaymentStatus};
 use crate::rebalancer::{RebalancePolicy, RebalanceStats};
 use crate::scheduler::SchedulePolicy;
-use spider_core::{Amount, ChannelId, CoreError, Network, Path};
+use crate::snapshot::{self, CheckpointSpec, SnapshotError};
+use spider_core::{crc32, Amount, ChannelId, CoreError, Dec, Enc, Network, NodeId, Path};
 use spider_routing::{fees::FeeSchedule, RoutingScheme, SchemeKind, UnitDecision};
 use spider_telemetry::{Histogram, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_workload::Transaction;
@@ -231,23 +232,116 @@ pub fn run(
     scheme: &mut dyn RoutingScheme,
     config: &SimConfig,
 ) -> SimReport {
+    match run_inner(network, transactions, scheme, config, None, None) {
+        Ok(report) => report,
+        // No checkpoint spec and no resume state: no snapshot I/O happens,
+        // so no snapshot error can arise.
+        Err(e) => unreachable!("plain run cannot fail with a snapshot error: {e}"),
+    }
+}
+
+/// Runs the simulation, writing a crash-safe snapshot into `ckpt.dir` every
+/// `ckpt.every` scheduler ticks.
+pub fn run_checkpointed(
+    network: &Network,
+    transactions: &[Transaction],
+    scheme: &mut dyn RoutingScheme,
+    config: &SimConfig,
+    ckpt: &CheckpointSpec,
+) -> Result<SimReport, SnapshotError> {
+    run_inner(network, transactions, scheme, config, None, Some(ckpt))
+}
+
+/// Resumes a run from a snapshot file written by [`run_checkpointed`] and
+/// carries it to completion, optionally continuing to checkpoint.
+///
+/// The snapshot must come from the same inputs (network, transactions,
+/// scheme, config) — a recorded fingerprint guards against mixups — and the
+/// completed run's report and telemetry are byte-identical to an
+/// uninterrupted run.
+pub fn resume(
+    network: &Network,
+    transactions: &[Transaction],
+    scheme: &mut dyn RoutingScheme,
+    config: &SimConfig,
+    snapshot_path: &std::path::Path,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SimReport, SnapshotError> {
+    let snap = snapshot::read_snapshot(snapshot_path)?;
+    let fp = fingerprint(network, transactions, config, scheme.name());
+    snap.check(snapshot::ENGINE_SEQ, fp)?;
+    let state = decode_seq_core(snap.section(snapshot::SEC_CORE)?, network)?;
+    scheme
+        .restore_state(network, snap.section(snapshot::SEC_SCHEME)?)
+        .map_err(|e| SnapshotError::Unsupported {
+            what: format!("scheme state restore: {e}"),
+        })?;
+    let tel_state =
+        snapshot::decode_telemetry(snap.section_opt(snapshot::SEC_TELEMETRY).unwrap_or(&[]))?;
+    // The caller's handle is restored *in place* so clones of it keep
+    // visibility into the resumed run's trace. The fingerprint already pins
+    // the enabled flag and sampling cadence, so presence must line up.
+    if let Some(ts) = tel_state {
+        config
+            .telemetry
+            .restore_from_state(ts)
+            .map_err(|e| SnapshotError::Unsupported {
+                what: format!("telemetry restore: {e}"),
+            })?;
+    } else if config.telemetry.is_enabled() {
+        return Err(SnapshotError::Corrupt {
+            what: "snapshot lacks telemetry state for an enabled handle".to_string(),
+        });
+    }
+    run_inner(network, transactions, scheme, config, Some(state), ckpt)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner(
+    network: &Network,
+    transactions: &[Transaction],
+    scheme: &mut dyn RoutingScheme,
+    config: &SimConfig,
+    resume: Option<SeqResume>,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SimReport, SnapshotError> {
     assert!(config.delta > 0.0 && config.poll_interval > 0.0 && config.deadline > 0.0);
     assert!(config.mtu.is_positive(), "MTU must be positive");
+
+    let fp = if ckpt.is_some() {
+        fingerprint(network, transactions, config, scheme.name())
+    } else {
+        0
+    };
 
     let mut ledger = Ledger::new(network);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut payments: Vec<PaymentState> = Vec::with_capacity(transactions.len());
     let mut pending: Vec<usize> = Vec::new();
 
-    for (i, tx) in transactions.iter().enumerate() {
-        if tx.arrival <= config.end_time {
-            queue.push(tx.arrival, Event::Arrival(i));
+    // A resumed run restores the event queue (arrivals not yet processed,
+    // the next tick, pending fault transitions, ...) wholesale from the
+    // snapshot, so the initial pushes happen only on a fresh start.
+    if resume.is_none() {
+        for (i, tx) in transactions.iter().enumerate() {
+            if tx.arrival <= config.end_time {
+                queue.push(tx.arrival, Event::Arrival(i));
+            }
         }
-    }
-    queue.push(config.poll_interval, Event::Tick);
-    if let Some(policy) = &config.rebalance {
+        queue.push(config.poll_interval, Event::Tick);
+        if let Some(policy) = &config.rebalance {
+            policy.validate();
+            queue.push(policy.check_interval, Event::RebalanceCheck);
+        }
+        if let Some(plan) = &config.faults {
+            for (t, ev) in &plan.events {
+                if *t <= config.end_time {
+                    queue.push(*t, Event::Fault(ev.clone()));
+                }
+            }
+        }
+    } else if let Some(policy) = &config.rebalance {
         policy.validate();
-        queue.push(policy.check_interval, Event::RebalanceCheck);
     }
     let mut faults: Option<FaultRuntime> = config.faults.as_ref().map(|plan| FaultRuntime {
         state: FaultState::new(plan, network),
@@ -256,13 +350,6 @@ pub fn run(
         fail_count: Vec::new(),
         not_before: Vec::new(),
     });
-    if let Some(plan) = &config.faults {
-        for (t, ev) in &plan.events {
-            if *t <= config.end_time {
-                queue.push(*t, Event::Fault(ev.clone()));
-            }
-        }
-    }
     let mut rebalance_pending = vec![false; network.num_channels()];
     let mut rebalance_stats = RebalanceStats::default();
     let mut congestion = config.congestion.map(CongestionControl::new);
@@ -291,6 +378,57 @@ pub fn run(
     // Channel samples piggyback on Tick events at this cadence; no events
     // of their own are queued, so (time, sequence) ordering is untouched.
     let mut next_sample = tel.sample_interval().unwrap_or(f64::INFINITY);
+    // Scheduler ticks processed so far (checkpoint cadence).
+    let mut ticks: u64 = 0;
+
+    if let Some(st) = resume {
+        ticks = st.ticks;
+        for (i, raw) in st.channels.into_iter().enumerate() {
+            ledger.restore_channel(ChannelId::from(i), raw);
+        }
+        for (t, seq, event) in st.queue_entries {
+            queue.push_with_seq(t, seq, event);
+        }
+        queue.set_next_seq(st.queue_next_seq);
+        payments = st.payments;
+        pending = st.pending;
+        if let Some((snap, slots, fail_count, not_before)) = st.faults {
+            let fr = faults.as_mut().ok_or_else(|| SnapshotError::Corrupt {
+                what: "snapshot has fault state but config has no fault plan".to_string(),
+            })?;
+            fr.state
+                .restore_state(snap)
+                .map_err(|what| SnapshotError::Corrupt { what })?;
+            fr.blacklist
+                .restore_slots(slots)
+                .map_err(|what| SnapshotError::Corrupt { what })?;
+            fr.fail_count = fail_count;
+            fr.not_before = not_before;
+        } else if faults.is_some() {
+            return Err(SnapshotError::Corrupt {
+                what: "config has a fault plan but snapshot has no fault state".to_string(),
+            });
+        }
+        rebalance_pending = st.rebalance_pending;
+        rebalance_stats = st.rebalance_stats;
+        if let Some(entries) = st.congestion {
+            if let Some(cc) = congestion.as_mut() {
+                cc.restore_state(&entries);
+            }
+        }
+        units = st.units;
+        for timer in st.timers {
+            timers.push(Reverse(timer));
+        }
+        amp_held = st.amp_held;
+        routing_fees_paid = st.routing_fees_paid;
+        release_violations = st.release_violations;
+        units_sent = st.units_sent;
+        series = st.series;
+        audit = st.audit.map(LedgerAudit::from_state);
+        network_series = st.network_series;
+        next_sample = st.next_sample;
+    }
 
     while let Some((now, event)) = queue.pop() {
         if now > config.end_time {
@@ -530,7 +668,12 @@ pub fn run(
                 tel.span_items(Phase::FaultProcessing, 1);
                 let payment = units[unit].payment;
                 let amount = units[unit].amount;
-                let fault = units[unit].fault.expect("fault expiry implies a fate");
+                let Some(fault) = units[unit].fault else {
+                    // FaultExpire events are only scheduled for units
+                    // created with a fate; a fateless unit has nothing to
+                    // expire.
+                    continue;
+                };
                 let res = {
                     let u = &units[unit];
                     refund_unit(network, &mut ledger, &u.path, u.amount, &u.hop_amounts)
@@ -595,7 +738,11 @@ pub fn run(
                 let _span = tel.span_enter(Phase::FaultProcessing);
                 tel.span_sim(Phase::FaultProcessing, now);
                 tel.span_items(Phase::FaultProcessing, 1);
-                let fr = faults.as_mut().expect("fault event implies a plan");
+                let Some(fr) = faults.as_mut() else {
+                    // Fault events are only scheduled when a plan is
+                    // installed.
+                    continue;
+                };
                 match &ev {
                     FaultEvent::ChannelDown(c) => {
                         let ch = c.index() as u32;
@@ -823,9 +970,55 @@ pub fn run(
                 if next <= config.end_time {
                     queue.push(next, Event::Tick);
                 }
+                // Checkpoint between events: the tick (including the next-
+                // tick push above) has fully completed, so the captured
+                // state is exactly what an uninterrupted run holds here.
+                ticks += 1;
+                if let Some(ck) = ckpt {
+                    if ticks.is_multiple_of(ck.every) {
+                        let core = encode_seq_core(
+                            ticks,
+                            network,
+                            &ledger,
+                            &queue,
+                            &payments,
+                            &pending,
+                            &faults,
+                            &rebalance_pending,
+                            &rebalance_stats,
+                            &congestion,
+                            &units,
+                            &timers,
+                            &amp_held,
+                            routing_fees_paid,
+                            &release_violations,
+                            units_sent,
+                            &series,
+                            &audit,
+                            &network_series,
+                            next_sample,
+                        );
+                        let scheme_bytes = scheme.checkpoint_state().unwrap_or_default();
+                        let tel_bytes = snapshot::encode_telemetry(&tel.export_state());
+                        snapshot::write_snapshot(
+                            &ck.dir,
+                            snapshot::ENGINE_SEQ,
+                            fp,
+                            ticks,
+                            &[
+                                (snapshot::SEC_CORE, core),
+                                (snapshot::SEC_SCHEME, scheme_bytes),
+                                (snapshot::SEC_TELEMETRY, tel_bytes),
+                            ],
+                        )?;
+                    }
+                }
             }
             Event::RebalanceCheck => {
-                let policy = config.rebalance.as_ref().expect("check implies policy");
+                let Some(policy) = config.rebalance.as_ref() else {
+                    // RebalanceCheck events are only seeded under a policy.
+                    continue;
+                };
                 for ch in network.channels() {
                     if rebalance_pending[ch.id.index()] {
                         continue;
@@ -845,7 +1038,11 @@ pub fn run(
                 }
             }
             Event::RebalanceApply { channel } => {
-                let policy = config.rebalance.as_ref().expect("apply implies policy");
+                let Some(policy) = config.rebalance.as_ref() else {
+                    // RebalanceApply events descend from RebalanceCheck,
+                    // which requires a policy.
+                    continue;
+                };
                 rebalance_pending[channel.index()] = false;
                 // Re-evaluate at confirmation time: traffic in the interim
                 // may have (partially) healed the skew.
@@ -883,7 +1080,7 @@ pub fn run(
     for (name, value) in scheme.telemetry_stats() {
         tel.counter_add(name, value);
     }
-    build_report(
+    Ok(build_report(
         scheme,
         config,
         &payments,
@@ -896,7 +1093,7 @@ pub fn run(
         network_series,
         faults.map(|fr| fr.state.stats),
         release_violations,
-    )
+    ))
 }
 
 /// Sender-side reaction to one failed unit: without a retry policy the
@@ -1124,10 +1321,14 @@ fn pump_payment(
                             now + at_frac * config.delta,
                         )
                     }
-                    UnitFate::Grief { hold } => {
-                        let blamed = path.hops().last().expect("paths have hops").0;
-                        (Some(UnitFault::Griefed(blamed)), now + config.delta + hold)
-                    }
+                    UnitFate::Grief { hold } => match path.hops().last() {
+                        Some(&(blamed, _)) => {
+                            (Some(UnitFault::Griefed(blamed)), now + config.delta + hold)
+                        }
+                        // An empty path has no hop to grief; fall back to a
+                        // plain delivery.
+                        None => (None, now + config.delta),
+                    },
                 };
                 units.push(UnitRecord {
                     payment: idx,
@@ -1379,6 +1580,587 @@ fn build_report(
         faults: fault_stats,
         shards: None,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume: fingerprinting and `SEC_CORE` state encoding for this
+// engine. The decoder mirrors the encoder field for field; any drift is a
+// format change and must bump `snapshot::FORMAT_VERSION`.
+
+/// CRC-32 over the simulation inputs and every config field that shapes the
+/// run. A resume whose recomputed fingerprint differs from the snapshot's
+/// is rejected before any state is applied.
+fn fingerprint(
+    network: &Network,
+    transactions: &[Transaction],
+    config: &SimConfig,
+    scheme_name: &str,
+) -> u32 {
+    let mut e = Enc::new();
+    snapshot::enc_inputs(&mut e, network, transactions);
+    e.str(scheme_name);
+    e.f64(config.end_time);
+    e.f64(config.delta);
+    e.i64(config.mtu.micros());
+    e.f64(config.poll_interval);
+    e.f64(config.deadline);
+    e.str(config.policy.name());
+    e.bool(config.record_series);
+    e.bool(config.amp);
+    e.bool(config.audit);
+    match &config.rebalance {
+        Some(p) => {
+            e.u8(1);
+            e.f64(p.check_interval);
+            e.f64(p.imbalance_threshold);
+            e.f64(p.correction_fraction);
+            e.i64(p.fee.micros());
+            e.f64(p.confirmation_delay);
+        }
+        None => e.u8(0),
+    }
+    match &config.congestion {
+        Some(c) => {
+            e.u8(1);
+            e.f64(c.initial_window);
+            e.f64(c.additive_increase);
+            e.f64(c.multiplicative_decrease);
+            e.f64(c.min_window);
+            e.f64(c.max_window);
+        }
+        None => e.u8(0),
+    }
+    match &config.fees {
+        Some(f) => {
+            e.u8(1);
+            e.seq(&f.per_channel(), |e, (base, ppm)| {
+                e.i64(base.micros());
+                e.u32(*ppm);
+            });
+        }
+        None => e.u8(0),
+    }
+    match &config.faults {
+        Some(plan) => {
+            e.u8(1);
+            snapshot::enc_json(&mut e, &plan.config);
+            e.seq(&plan.events, |e, (t, ev)| {
+                e.f64(*t);
+                enc_fault_event(e, ev);
+            });
+        }
+        None => e.u8(0),
+    }
+    e.bool(config.telemetry.is_enabled());
+    e.f64(config.telemetry.sample_interval().unwrap_or(f64::NAN));
+    crc32(&e.into_bytes())
+}
+
+pub(crate) fn enc_fault_event(e: &mut Enc, ev: &FaultEvent) {
+    match ev {
+        FaultEvent::ChannelDown(c) => {
+            e.u8(0);
+            e.u32(c.0);
+        }
+        FaultEvent::ChannelUp(c) => {
+            e.u8(1);
+            e.u32(c.0);
+        }
+        FaultEvent::NodeDown(n) => {
+            e.u8(2);
+            e.u32(n.0);
+        }
+        FaultEvent::NodeUp(n) => {
+            e.u8(3);
+            e.u32(n.0);
+        }
+    }
+}
+
+pub(crate) fn dec_fault_event(d: &mut Dec) -> Result<FaultEvent, SnapshotError> {
+    let tag = d.u8()?;
+    let id = d.u32()?;
+    match tag {
+        0 => Ok(FaultEvent::ChannelDown(ChannelId(id))),
+        1 => Ok(FaultEvent::ChannelUp(ChannelId(id))),
+        2 => Ok(FaultEvent::NodeDown(NodeId(id))),
+        3 => Ok(FaultEvent::NodeUp(NodeId(id))),
+        other => Err(SnapshotError::Corrupt {
+            what: format!("fault event tag {other}"),
+        }),
+    }
+}
+
+fn enc_event(e: &mut Enc, event: &Event) {
+    match event {
+        Event::Arrival(i) => {
+            e.u8(0);
+            e.usize(*i);
+        }
+        Event::Settle { unit } => {
+            e.u8(1);
+            e.usize(*unit);
+        }
+        Event::FaultExpire { unit } => {
+            e.u8(2);
+            e.usize(*unit);
+        }
+        Event::Fault(ev) => {
+            e.u8(3);
+            enc_fault_event(e, ev);
+        }
+        Event::Tick => e.u8(4),
+        Event::RebalanceCheck => e.u8(5),
+        Event::RebalanceApply { channel } => {
+            e.u8(6);
+            e.u32(channel.0);
+        }
+    }
+}
+
+fn dec_event(d: &mut Dec) -> Result<Event, SnapshotError> {
+    match d.u8()? {
+        0 => Ok(Event::Arrival(d.usize()?)),
+        1 => Ok(Event::Settle { unit: d.usize()? }),
+        2 => Ok(Event::FaultExpire { unit: d.usize()? }),
+        3 => Ok(Event::Fault(dec_fault_event(d)?)),
+        4 => Ok(Event::Tick),
+        5 => Ok(Event::RebalanceCheck),
+        6 => Ok(Event::RebalanceApply {
+            channel: ChannelId(d.u32()?),
+        }),
+        other => Err(SnapshotError::Corrupt {
+            what: format!("event tag {other}"),
+        }),
+    }
+}
+
+pub(crate) fn enc_path(e: &mut Enc, path: &Path) {
+    e.seq(path.nodes(), |e, n| e.u32(n.0));
+}
+
+pub(crate) fn dec_path(
+    d: &mut Dec,
+    network: &Network,
+) -> Result<std::sync::Arc<Path>, SnapshotError> {
+    let nodes = d.seq(|d| Ok(NodeId(d.u32()?)))?;
+    Path::new(network, nodes)
+        .map(std::sync::Arc::new)
+        .map_err(|e| SnapshotError::Corrupt {
+            what: format!("unit path: {e}"),
+        })
+}
+
+pub(crate) fn enc_payment(e: &mut Enc, p: &PaymentState) {
+    e.u64(p.id.0);
+    e.u32(p.src.0);
+    e.u32(p.dst.0);
+    e.i64(p.amount.micros());
+    e.f64(p.arrival);
+    e.f64(p.deadline);
+    e.i64(p.delivered.micros());
+    e.i64(p.inflight.micros());
+    e.u8(match p.status {
+        PaymentStatus::Pending => 0,
+        PaymentStatus::Completed => 1,
+        PaymentStatus::Abandoned => 2,
+    });
+    match p.completed_at {
+        Some(t) => {
+            e.u8(1);
+            e.f64(t);
+        }
+        None => e.u8(0),
+    }
+}
+
+pub(crate) fn dec_payment(d: &mut Dec) -> Result<PaymentState, SnapshotError> {
+    Ok(PaymentState {
+        id: spider_core::PaymentId(d.u64()?),
+        src: NodeId(d.u32()?),
+        dst: NodeId(d.u32()?),
+        amount: Amount::from_micros(d.i64()?),
+        arrival: d.f64()?,
+        deadline: d.f64()?,
+        delivered: Amount::from_micros(d.i64()?),
+        inflight: Amount::from_micros(d.i64()?),
+        status: match d.u8()? {
+            0 => PaymentStatus::Pending,
+            1 => PaymentStatus::Completed,
+            2 => PaymentStatus::Abandoned,
+            other => {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("payment status byte {other}"),
+                })
+            }
+        },
+        completed_at: d.opt(|d| d.f64())?,
+    })
+}
+
+/// Fault-runtime state in a snapshot: the fault subsystem's own snapshot,
+/// plus the sender-recovery locals — per-channel blacklist expiry times,
+/// per-payment failed-attempt counts, per-payment retry-backoff deadlines.
+type FaultResume = (
+    crate::faults::FaultStateSnapshot,
+    Vec<f64>,
+    Vec<u32>,
+    Vec<f64>,
+);
+
+/// Sequential-engine state restored from a snapshot's `SEC_CORE` section —
+/// every `run_inner` local that is not rebuilt from the config.
+struct SeqResume {
+    ticks: u64,
+    channels: Vec<[i64; 4]>,
+    queue_entries: Vec<(f64, u64, Event)>,
+    queue_next_seq: u64,
+    payments: Vec<PaymentState>,
+    pending: Vec<usize>,
+    faults: Option<FaultResume>,
+    rebalance_pending: Vec<bool>,
+    rebalance_stats: RebalanceStats,
+    congestion: Option<Vec<(NodeId, NodeId, f64, u32)>>,
+    units: Vec<UnitRecord>,
+    timers: Vec<Timer>,
+    amp_held: Vec<Vec<usize>>,
+    routing_fees_paid: Amount,
+    release_violations: Vec<AuditViolation>,
+    units_sent: u64,
+    series: Vec<(f64, f64, f64)>,
+    audit: Option<crate::audit::AuditState>,
+    network_series: Vec<NetworkSample>,
+    next_sample: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_seq_core(
+    ticks: u64,
+    network: &Network,
+    ledger: &Ledger,
+    queue: &EventQueue<Event>,
+    payments: &[PaymentState],
+    pending: &[usize],
+    faults: &Option<FaultRuntime>,
+    rebalance_pending: &[bool],
+    rebalance_stats: &RebalanceStats,
+    congestion: &Option<CongestionControl>,
+    units: &[UnitRecord],
+    timers: &BinaryHeap<Reverse<Timer>>,
+    amp_held: &[Vec<usize>],
+    routing_fees_paid: Amount,
+    release_violations: &[AuditViolation],
+    units_sent: u64,
+    series: &[(f64, f64, f64)],
+    audit: &Option<LedgerAudit>,
+    network_series: &[NetworkSample],
+    next_sample: f64,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(ticks);
+    e.usize(network.num_channels());
+    for i in 0..network.num_channels() {
+        for v in ledger.export_channel(ChannelId::from(i)) {
+            e.i64(v);
+        }
+    }
+    // Event-queue entries in exact pop order with their original sequence
+    // numbers; re-pushing them restores identical drain order.
+    let entries = queue.entries();
+    e.usize(entries.len());
+    for (t, seq, event) in &entries {
+        e.f64(*t);
+        e.u64(*seq);
+        enc_event(&mut e, event);
+    }
+    e.u64(queue.next_seq());
+    e.seq(payments, enc_payment);
+    e.seq(pending, |e, &i| e.usize(i));
+    match faults {
+        Some(fr) => {
+            e.u8(1);
+            let snap = fr.state.export_state();
+            e.bytes(&snap.down_causes);
+            e.seq(&snap.node_down, |e, &b| e.bool(b));
+            e.u64(snap.rng_state);
+            snapshot::enc_json(&mut e, &snap.stats);
+            e.seq(fr.blacklist.slots(), |e, &t| e.f64(t));
+            e.seq(&fr.fail_count, |e, &c| e.u32(c));
+            e.seq(&fr.not_before, |e, &t| e.f64(t));
+        }
+        None => e.u8(0),
+    }
+    e.seq(rebalance_pending, |e, &b| e.bool(b));
+    e.usize(rebalance_stats.transactions);
+    e.f64(rebalance_stats.moved_volume);
+    e.f64(rebalance_stats.fees_paid);
+    match congestion {
+        Some(cc) => {
+            e.u8(1);
+            e.seq(&cc.export_state(), |e, (s, d, w, o)| {
+                e.u32(s.0);
+                e.u32(d.0);
+                e.f64(*w);
+                e.u32(*o);
+            });
+        }
+        None => e.u8(0),
+    }
+    e.seq(units, |e, u| {
+        e.usize(u.payment);
+        enc_path(e, &u.path);
+        e.i64(u.amount.micros());
+        match &u.hop_amounts {
+            Some(h) => {
+                e.u8(1);
+                e.seq(h, |e, a| e.i64(a.micros()));
+            }
+            None => e.u8(0),
+        }
+        match u.fault {
+            Some(UnitFault::Dropped(c)) => {
+                e.u8(1);
+                e.u32(c.0);
+            }
+            Some(UnitFault::Griefed(c)) => {
+                e.u8(2);
+                e.u32(c.0);
+            }
+            None => e.u8(0),
+        }
+        e.bool(u.resolved);
+    });
+    // Timers in their deterministic `Ord` order — heap iteration order is
+    // arbitrary, so sort the capture; re-pushing restores identical pops.
+    let mut timer_list: Vec<(f64, usize, u8)> = timers
+        .iter()
+        .map(|Reverse(t)| {
+            (
+                t.time,
+                t.payment,
+                match t.kind {
+                    TimerKind::Deadline => 0,
+                    TimerKind::Retry => 1,
+                },
+            )
+        })
+        .collect();
+    timer_list.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    e.seq(&timer_list, |e, (t, p, k)| {
+        e.f64(*t);
+        e.usize(*p);
+        e.u8(*k);
+    });
+    e.usize(amp_held.len());
+    for held in amp_held {
+        e.seq(held, |e, &u| e.usize(u));
+    }
+    e.i64(routing_fees_paid.micros());
+    snapshot::enc_json(&mut e, &release_violations.to_vec());
+    e.u64(units_sent);
+    e.seq(series, |e, (t, r, v)| {
+        e.f64(*t);
+        e.f64(*r);
+        e.f64(*v);
+    });
+    match audit {
+        Some(a) => {
+            e.u8(1);
+            snapshot::enc_json(&mut e, &a.export_state());
+        }
+        None => e.u8(0),
+    }
+    e.seq(network_series, |e, s| {
+        e.f64(s.t);
+        e.f64(s.mean_imbalance);
+        e.f64(s.total_inflight);
+        e.u32(s.pending);
+        e.u32(s.max_queue_depth);
+    });
+    e.f64(next_sample);
+    e.into_bytes()
+}
+
+fn decode_seq_core(bytes: &[u8], network: &Network) -> Result<SeqResume, SnapshotError> {
+    let mut d = Dec::new(bytes);
+    let ticks = d.u64()?;
+    let num_channels = d.usize()?;
+    if num_channels != network.num_channels() {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "snapshot has {num_channels} channels, network has {}",
+                network.num_channels()
+            ),
+        });
+    }
+    let mut channels = Vec::with_capacity(num_channels);
+    for _ in 0..num_channels {
+        channels.push([d.i64()?, d.i64()?, d.i64()?, d.i64()?]);
+    }
+    let n_entries = d.usize()?;
+    let mut queue_entries = Vec::with_capacity(n_entries.min(d.remaining()));
+    for _ in 0..n_entries {
+        let t = d.f64()?;
+        if !t.is_finite() {
+            return Err(SnapshotError::Corrupt {
+                what: "non-finite event time".to_string(),
+            });
+        }
+        let seq = d.u64()?;
+        queue_entries.push((t, seq, dec_event(&mut d)?));
+    }
+    let queue_next_seq = d.u64()?;
+    let n_payments = d.usize()?;
+    let mut payments = Vec::with_capacity(n_payments.min(d.remaining()));
+    for _ in 0..n_payments {
+        payments.push(dec_payment(&mut d)?);
+    }
+    let pending = d.seq(|d| d.usize())?;
+    let faults = match d.u8()? {
+        0 => None,
+        1 => {
+            let down_causes = d.bytes()?.to_vec();
+            let node_down = d.seq(|d| d.bool())?;
+            let rng_state = d.u64()?;
+            let stats = snapshot::dec_json(&mut d)?;
+            let slots = d.seq(|d| d.f64())?;
+            let fail_count = d.seq(|d| d.u32())?;
+            let not_before = d.seq(|d| d.f64())?;
+            Some((
+                crate::faults::FaultStateSnapshot {
+                    down_causes,
+                    node_down,
+                    rng_state,
+                    stats,
+                },
+                slots,
+                fail_count,
+                not_before,
+            ))
+        }
+        other => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("fault presence byte {other}"),
+            })
+        }
+    };
+    let rebalance_pending = d.seq(|d| d.bool())?;
+    let rebalance_stats = RebalanceStats {
+        transactions: d.usize()?,
+        moved_volume: d.f64()?,
+        fees_paid: d.f64()?,
+    };
+    let congestion = match d.u8()? {
+        0 => None,
+        1 => Some(d.seq(|d| Ok((NodeId(d.u32()?), NodeId(d.u32()?), d.f64()?, d.u32()?)))?),
+        other => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("congestion presence byte {other}"),
+            })
+        }
+    };
+    let n_units = d.usize()?;
+    let mut units = Vec::with_capacity(n_units.min(d.remaining()));
+    for _ in 0..n_units {
+        let payment = d.usize()?;
+        let path = dec_path(&mut d, network)?;
+        let amount = Amount::from_micros(d.i64()?);
+        let hop_amounts = d.opt(|d| d.seq(|d| Ok(Amount::from_micros(d.i64()?))))?;
+        let fault = match d.u8()? {
+            0 => None,
+            1 => Some(UnitFault::Dropped(ChannelId(d.u32()?))),
+            2 => Some(UnitFault::Griefed(ChannelId(d.u32()?))),
+            other => {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("unit fault byte {other}"),
+                })
+            }
+        };
+        let resolved = d.bool()?;
+        if payment >= payments.len() {
+            return Err(SnapshotError::Corrupt {
+                what: format!("unit references payment {payment} of {}", payments.len()),
+            });
+        }
+        units.push(UnitRecord {
+            payment,
+            path,
+            amount,
+            hop_amounts,
+            fault,
+            resolved,
+        });
+    }
+    let timers = d.seq(|d| Ok((d.f64()?, d.usize()?, d.u8()?)))?;
+    let timers: Vec<Timer> = timers
+        .into_iter()
+        .map(|(time, payment, kind)| {
+            Ok(Timer {
+                time,
+                payment,
+                kind: match kind {
+                    0 => TimerKind::Deadline,
+                    1 => TimerKind::Retry,
+                    other => {
+                        return Err(SnapshotError::Corrupt {
+                            what: format!("timer kind byte {other}"),
+                        })
+                    }
+                },
+            })
+        })
+        .collect::<Result<_, SnapshotError>>()?;
+    let n_held = d.usize()?;
+    let mut amp_held = Vec::with_capacity(n_held.min(d.remaining()));
+    for _ in 0..n_held {
+        amp_held.push(d.seq(|d| d.usize())?);
+    }
+    let routing_fees_paid = Amount::from_micros(d.i64()?);
+    let release_violations: Vec<AuditViolation> = snapshot::dec_json(&mut d)?;
+    let units_sent = d.u64()?;
+    let series = d.seq(|d| Ok((d.f64()?, d.f64()?, d.f64()?)))?;
+    let audit = match d.u8()? {
+        0 => None,
+        1 => Some(snapshot::dec_json(&mut d)?),
+        other => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("audit presence byte {other}"),
+            })
+        }
+    };
+    let network_series = d.seq(|d| {
+        Ok(NetworkSample {
+            t: d.f64()?,
+            mean_imbalance: d.f64()?,
+            total_inflight: d.f64()?,
+            pending: d.u32()?,
+            max_queue_depth: d.u32()?,
+        })
+    })?;
+    let next_sample = d.f64()?;
+    d.expect_end()?;
+    Ok(SeqResume {
+        ticks,
+        channels,
+        queue_entries,
+        queue_next_seq,
+        payments,
+        pending,
+        faults,
+        rebalance_pending,
+        rebalance_stats,
+        congestion,
+        units,
+        timers,
+        amp_held,
+        routing_fees_paid,
+        release_violations,
+        units_sent,
+        series,
+        audit,
+        network_series,
+        next_sample,
+    })
 }
 
 #[cfg(test)]

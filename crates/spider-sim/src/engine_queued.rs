@@ -22,7 +22,10 @@
 //! instead of at the sender.
 
 use crate::audit::AuditViolation;
-use crate::engine::{record_release, sample_network};
+use crate::engine::{
+    dec_fault_event, dec_path, dec_payment, enc_fault_event, enc_path, enc_payment, record_release,
+    sample_network,
+};
 use crate::events::EventQueue;
 use crate::faults::{Blacklist, FaultEvent, FaultPlan, FaultState, FaultView};
 use crate::ledger::Ledger;
@@ -30,8 +33,9 @@ use crate::metrics::SimReport;
 use crate::payment::{PaymentState, PaymentStatus};
 use crate::rebalancer::RebalanceStats;
 use crate::scheduler::SchedulePolicy;
+use crate::snapshot::{self, CheckpointSpec, SnapshotError};
 use serde::{Deserialize, Serialize};
-use spider_core::{Amount, ChannelId, Direction, Network, Path};
+use spider_core::{crc32, Amount, ChannelId, Dec, Direction, Enc, Network, Path};
 use spider_routing::{path_bottleneck, PathCache, PathStrategy};
 use spider_telemetry::{Histogram, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_workload::Transaction;
@@ -164,9 +168,73 @@ pub fn run_queued(
     transactions: &[Transaction],
     config: &QueuedConfig,
 ) -> QueuedReport {
+    match run_queued_inner(network, transactions, config, None, None) {
+        Ok(out) => out,
+        // No checkpoint spec and no resume state: no snapshot I/O happens,
+        // so no snapshot error can arise.
+        Err(e) => unreachable!("plain run cannot fail with a snapshot error: {e}"),
+    }
+}
+
+/// Runs the router-queue transport, writing a crash-safe snapshot into
+/// `ckpt.dir` every `ckpt.every` scheduler ticks.
+pub fn run_queued_checkpointed(
+    network: &Network,
+    transactions: &[Transaction],
+    config: &QueuedConfig,
+    ckpt: &CheckpointSpec,
+) -> Result<QueuedReport, SnapshotError> {
+    run_queued_inner(network, transactions, config, None, Some(ckpt))
+}
+
+/// Resumes a router-queue run from a snapshot written by
+/// [`run_queued_checkpointed`] and carries it to completion, optionally
+/// continuing to checkpoint. The completed run is byte-identical to an
+/// uninterrupted one.
+pub fn resume_queued(
+    network: &Network,
+    transactions: &[Transaction],
+    config: &QueuedConfig,
+    snapshot_path: &std::path::Path,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<QueuedReport, SnapshotError> {
+    let snap = snapshot::read_snapshot(snapshot_path)?;
+    let fp = fingerprint_queued(network, transactions, config);
+    snap.check(snapshot::ENGINE_QUEUED, fp)?;
+    let state = decode_queued_core(snap.section(snapshot::SEC_CORE)?, network)?;
+    let tel_state =
+        snapshot::decode_telemetry(snap.section_opt(snapshot::SEC_TELEMETRY).unwrap_or(&[]))?;
+    if let Some(ts) = tel_state {
+        config
+            .telemetry
+            .restore_from_state(ts)
+            .map_err(|e| SnapshotError::Unsupported {
+                what: format!("telemetry restore: {e}"),
+            })?;
+    } else if config.telemetry.is_enabled() {
+        return Err(SnapshotError::Corrupt {
+            what: "snapshot lacks telemetry state for an enabled handle".to_string(),
+        });
+    }
+    run_queued_inner(network, transactions, config, Some(state), ckpt)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_queued_inner(
+    network: &Network,
+    transactions: &[Transaction],
+    config: &QueuedConfig,
+    resume: Option<QueuedResume>,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<QueuedReport, SnapshotError> {
     assert!(config.hop_delay > 0.0 && config.delta > 0.0 && config.poll_interval > 0.0);
     assert!(config.mtu.is_positive());
     assert!(config.num_paths >= 1);
+    let fp = if ckpt.is_some() {
+        fingerprint_queued(network, transactions, config)
+    } else {
+        0
+    };
 
     let mut ledger = Ledger::new(network);
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -204,16 +272,70 @@ pub fn run_queued(
     // Sampling piggybacks on Tick events; see `sample_network`.
     let mut next_sample = tel.sample_interval().unwrap_or(f64::INFINITY);
 
-    for (i, tx) in transactions.iter().enumerate() {
-        if tx.arrival <= config.end_time {
-            queue.push(tx.arrival, Event::Arrival(i));
+    let mut ticks: u64 = 0;
+    if let Some(st) = resume {
+        // Every local above is overwritten from the snapshot; the event
+        // queue is restored wholesale (with original sequence numbers), so
+        // none of the initial pushes happen here.
+        ticks = st.ticks;
+        for (i, raw) in st.channels.into_iter().enumerate() {
+            ledger.restore_channel(ChannelId::from(i), raw);
         }
-    }
-    queue.push(config.poll_interval, Event::Tick);
-    if let Some(plan) = &config.faults {
-        for (t, ev) in &plan.events {
-            if *t <= config.end_time {
-                queue.push(*t, Event::Fault(ev.clone()));
+        for (t, seq, event) in st.queue_entries {
+            queue.push_with_seq(t, seq, event);
+        }
+        queue.set_next_seq(st.queue_next_seq);
+        payments = st.payments;
+        pending = st.pending;
+        if let Some(snap) = st.faults {
+            let fs = faults.as_mut().ok_or_else(|| SnapshotError::Corrupt {
+                what: "snapshot has fault state but config has no fault plan".to_string(),
+            })?;
+            fs.restore_state(snap)
+                .map_err(|what| SnapshotError::Corrupt { what })?;
+        } else if faults.is_some() {
+            return Err(SnapshotError::Corrupt {
+                what: "config has a fault plan but snapshot has no fault state".to_string(),
+            });
+        }
+        units = st.units;
+        paths
+            .restore(network, &st.path_cache)
+            .map_err(|e| SnapshotError::Corrupt {
+                what: format!("path cache: {e}"),
+            })?;
+        if st.router_queues.len() != nq {
+            return Err(SnapshotError::Corrupt {
+                what: format!(
+                    "snapshot has {} router queues, network has {nq} channels",
+                    st.router_queues.len()
+                ),
+            });
+        }
+        router_queues = st
+            .router_queues
+            .into_iter()
+            .map(|[a, b]| [VecDeque::from(a), VecDeque::from(b)])
+            .collect();
+        stats = st.stats;
+        total_wait = st.total_wait;
+        dequeues = st.dequeues;
+        units_sent = st.units_sent;
+        release_violations = st.release_violations;
+        network_series = st.network_series;
+        next_sample = st.next_sample;
+    } else {
+        for (i, tx) in transactions.iter().enumerate() {
+            if tx.arrival <= config.end_time {
+                queue.push(tx.arrival, Event::Arrival(i));
+            }
+        }
+        queue.push(config.poll_interval, Event::Tick);
+        if let Some(plan) = &config.faults {
+            for (t, ev) in &plan.events {
+                if *t <= config.end_time {
+                    queue.push(*t, Event::Fault(ev.clone()));
+                }
             }
         }
     }
@@ -354,7 +476,9 @@ pub fn run_queued(
                                 as u32
                         },
                     );
-                    let interval = tel.sample_interval().expect("sampling implies enabled");
+                    // Sampling only runs on enabled handles, which always
+                    // carry an interval; fall back to the poll cadence.
+                    let interval = tel.sample_interval().unwrap_or(config.poll_interval);
                     while next_sample <= now + 1e-12 {
                         next_sample += interval;
                     }
@@ -362,6 +486,41 @@ pub fn run_queued(
                 let next = now + config.poll_interval;
                 if next <= config.end_time {
                     queue.push(next, Event::Tick);
+                }
+                ticks += 1;
+                if let Some(ck) = ckpt {
+                    if ticks.is_multiple_of(ck.every) {
+                        let core = encode_queued_core(
+                            ticks,
+                            network,
+                            &ledger,
+                            &queue,
+                            &payments,
+                            &pending,
+                            &units,
+                            &paths,
+                            &router_queues,
+                            &stats,
+                            total_wait,
+                            dequeues,
+                            units_sent,
+                            &faults,
+                            &release_violations,
+                            &network_series,
+                            next_sample,
+                        );
+                        let tel_bytes = snapshot::encode_telemetry(&tel.export_state());
+                        snapshot::write_snapshot(
+                            &ck.dir,
+                            snapshot::ENGINE_QUEUED,
+                            fp,
+                            ticks,
+                            &[
+                                (snapshot::SEC_CORE, core),
+                                (snapshot::SEC_TELEMETRY, tel_bytes),
+                            ],
+                        )?;
+                    }
                 }
             }
             Event::HopArrive { unit } => {
@@ -464,7 +623,11 @@ pub fn run_queued(
                 let _span = tel.span_enter(Phase::FaultProcessing);
                 tel.span_sim(Phase::FaultProcessing, now);
                 tel.span_items(Phase::FaultProcessing, 1);
-                let fs = faults.as_mut().expect("fault events imply a plan");
+                let Some(fs) = faults.as_mut() else {
+                    // Fault events are only scheduled when a plan is
+                    // installed.
+                    continue;
+                };
                 match &ev {
                     FaultEvent::ChannelDown(c) => {
                         let ch = c.index() as u32;
@@ -604,7 +767,7 @@ pub fn run_queued(
         } else {
             completed
                 .iter()
-                .map(|p| p.completed_at.expect("completed has time") - p.arrival)
+                .filter_map(|p| p.completed_at.map(|t| t - p.arrival))
                 .sum::<f64>()
                 / completed.len() as f64
         },
@@ -619,10 +782,326 @@ pub fn run_queued(
         faults: faults.map(|fs| fs.stats),
         shards: None,
     };
-    QueuedReport {
+    Ok(QueuedReport {
         report,
         queues: stats,
+    })
+}
+
+fn fingerprint_queued(
+    network: &Network,
+    transactions: &[Transaction],
+    config: &QueuedConfig,
+) -> u32 {
+    let mut e = Enc::new();
+    snapshot::enc_inputs(&mut e, network, transactions);
+    e.str("queued-waterfilling");
+    e.f64(config.end_time);
+    e.f64(config.hop_delay);
+    e.f64(config.delta);
+    e.i64(config.mtu.micros());
+    e.f64(config.poll_interval);
+    e.f64(config.deadline);
+    e.str(config.source_policy.name());
+    e.u8(match config.queue_policy {
+        QueuePolicy::Fifo => 0,
+        QueuePolicy::SmallestFirst => 1,
+        QueuePolicy::EarliestDeadline => 2,
+    });
+    e.usize(config.num_paths);
+    e.usize(config.max_queue_len);
+    match &config.faults {
+        Some(plan) => {
+            e.u8(1);
+            snapshot::enc_json(&mut e, &plan.config);
+            e.seq(&plan.events, |e, (t, ev)| {
+                e.f64(*t);
+                enc_fault_event(e, ev);
+            });
+        }
+        None => e.u8(0),
     }
+    e.bool(config.telemetry.is_enabled());
+    e.f64(config.telemetry.sample_interval().unwrap_or(f64::NAN));
+    crc32(&e.into_bytes())
+}
+
+fn enc_event(e: &mut Enc, event: &Event) {
+    match event {
+        Event::Arrival(i) => {
+            e.u8(0);
+            e.usize(*i);
+        }
+        Event::Tick => e.u8(1),
+        Event::HopArrive { unit } => {
+            e.u8(2);
+            e.usize(*unit);
+        }
+        Event::SettleUnit { unit } => {
+            e.u8(3);
+            e.usize(*unit);
+        }
+        Event::Fault(ev) => {
+            e.u8(4);
+            enc_fault_event(e, ev);
+        }
+    }
+}
+
+fn dec_event(d: &mut Dec) -> Result<Event, SnapshotError> {
+    match d.u8()? {
+        0 => Ok(Event::Arrival(d.usize()?)),
+        1 => Ok(Event::Tick),
+        2 => Ok(Event::HopArrive { unit: d.usize()? }),
+        3 => Ok(Event::SettleUnit { unit: d.usize()? }),
+        4 => Ok(Event::Fault(dec_fault_event(d)?)),
+        other => Err(SnapshotError::Corrupt {
+            what: format!("queued event tag {other}"),
+        }),
+    }
+}
+
+/// Router-queue engine state restored from a snapshot's `SEC_CORE` section.
+struct QueuedResume {
+    ticks: u64,
+    channels: Vec<[i64; 4]>,
+    queue_entries: Vec<(f64, u64, Event)>,
+    queue_next_seq: u64,
+    payments: Vec<PaymentState>,
+    pending: Vec<usize>,
+    units: Vec<UnitState>,
+    path_cache: Vec<u8>,
+    router_queues: Vec<[Vec<usize>; 2]>,
+    stats: QueueStats,
+    total_wait: f64,
+    dequeues: usize,
+    units_sent: u64,
+    faults: Option<crate::faults::FaultStateSnapshot>,
+    release_violations: Vec<AuditViolation>,
+    network_series: Vec<spider_telemetry::NetworkSample>,
+    next_sample: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_queued_core(
+    ticks: u64,
+    network: &Network,
+    ledger: &Ledger,
+    queue: &EventQueue<Event>,
+    payments: &[PaymentState],
+    pending: &[usize],
+    units: &[UnitState],
+    paths: &PathCache,
+    router_queues: &[[VecDeque<usize>; 2]],
+    stats: &QueueStats,
+    total_wait: f64,
+    dequeues: usize,
+    units_sent: u64,
+    faults: &Option<FaultState>,
+    release_violations: &[AuditViolation],
+    network_series: &[NetworkSample],
+    next_sample: f64,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(ticks);
+    e.usize(network.num_channels());
+    for i in 0..network.num_channels() {
+        for v in ledger.export_channel(ChannelId::from(i)) {
+            e.i64(v);
+        }
+    }
+    let entries = queue.entries();
+    e.usize(entries.len());
+    for (t, seq, event) in &entries {
+        e.f64(*t);
+        e.u64(*seq);
+        enc_event(&mut e, event);
+    }
+    e.u64(queue.next_seq());
+    e.seq(payments, enc_payment);
+    e.seq(pending, |e, &i| e.usize(i));
+    e.seq(units, |e, u| {
+        e.usize(u.payment);
+        e.i64(u.amount.micros());
+        enc_path(e, &u.path);
+        e.usize(u.locked);
+        e.f64(u.queued_at);
+        e.bool(u.dropped);
+    });
+    e.bytes(&paths.checkpoint());
+    e.usize(router_queues.len());
+    for [a, b] in router_queues {
+        e.seq(&a.iter().copied().collect::<Vec<_>>(), |e, &u| e.usize(u));
+        e.seq(&b.iter().copied().collect::<Vec<_>>(), |e, &u| e.usize(u));
+    }
+    e.usize(stats.units_queued);
+    e.usize(stats.units_dropped);
+    e.usize(stats.max_queue_len);
+    e.f64(total_wait);
+    e.usize(dequeues);
+    e.u64(units_sent);
+    match faults {
+        Some(fs) => {
+            e.u8(1);
+            let snap = fs.export_state();
+            e.bytes(&snap.down_causes);
+            e.seq(&snap.node_down, |e, &b| e.bool(b));
+            e.u64(snap.rng_state);
+            snapshot::enc_json(&mut e, &snap.stats);
+        }
+        None => e.u8(0),
+    }
+    snapshot::enc_json(&mut e, &release_violations.to_vec());
+    e.seq(network_series, |e, s| {
+        e.f64(s.t);
+        e.f64(s.mean_imbalance);
+        e.f64(s.total_inflight);
+        e.u32(s.pending);
+        e.u32(s.max_queue_depth);
+    });
+    e.f64(next_sample);
+    e.into_bytes()
+}
+
+fn decode_queued_core(bytes: &[u8], network: &Network) -> Result<QueuedResume, SnapshotError> {
+    let mut d = Dec::new(bytes);
+    let ticks = d.u64()?;
+    let num_channels = d.usize()?;
+    if num_channels != network.num_channels() {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "snapshot covers {num_channels} channels, network has {}",
+                network.num_channels()
+            ),
+        });
+    }
+    let mut channels = Vec::with_capacity(num_channels);
+    for _ in 0..num_channels {
+        channels.push([d.i64()?, d.i64()?, d.i64()?, d.i64()?]);
+    }
+    let n_entries = d.usize()?;
+    let mut queue_entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let t = d.f64()?;
+        if !t.is_finite() {
+            return Err(SnapshotError::Corrupt {
+                what: format!("non-finite event time {t}"),
+            });
+        }
+        let seq = d.u64()?;
+        let event = dec_event(&mut d)?;
+        queue_entries.push((t, seq, event));
+    }
+    let queue_next_seq = d.u64()?;
+    let n_payments = d.usize()?;
+    let mut payments = Vec::with_capacity(n_payments);
+    for _ in 0..n_payments {
+        payments.push(dec_payment(&mut d)?);
+    }
+    let pending = d.seq(|d| d.usize())?;
+    let n_units = d.usize()?;
+    let mut units = Vec::with_capacity(n_units);
+    for _ in 0..n_units {
+        let payment = d.usize()?;
+        if payment >= payments.len() {
+            return Err(SnapshotError::Corrupt {
+                what: format!("unit references payment {payment} of {}", payments.len()),
+            });
+        }
+        let amount = Amount::from_micros(d.i64()?);
+        let path = dec_path(&mut d, network)?;
+        let locked = d.usize()?;
+        if locked > path.len() {
+            return Err(SnapshotError::Corrupt {
+                what: format!("unit locked {locked} hops of a {}-hop path", path.len()),
+            });
+        }
+        let queued_at = d.f64()?;
+        let dropped = d.bool()?;
+        units.push(UnitState {
+            payment,
+            amount,
+            path,
+            locked,
+            queued_at,
+            dropped,
+        });
+    }
+    let path_cache = d.bytes()?.to_vec();
+    let n_queues = d.usize()?;
+    let mut router_queues = Vec::with_capacity(n_queues);
+    for _ in 0..n_queues {
+        let a = d.seq(|d| d.usize())?;
+        let b = d.seq(|d| d.usize())?;
+        for &u in a.iter().chain(b.iter()) {
+            if u >= units.len() {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("router queue references unit {u} of {}", units.len()),
+                });
+            }
+        }
+        router_queues.push([a, b]);
+    }
+    let stats = QueueStats {
+        units_queued: d.usize()?,
+        units_dropped: d.usize()?,
+        max_queue_len: d.usize()?,
+        mean_wait: 0.0,
+    };
+    let total_wait = d.f64()?;
+    let dequeues = d.usize()?;
+    let units_sent = d.u64()?;
+    let faults = match d.u8()? {
+        0 => None,
+        1 => {
+            let down_causes = d.bytes()?.to_vec();
+            let node_down = d.seq(|d| d.bool())?;
+            let rng_state = d.u64()?;
+            let stats = snapshot::dec_json(&mut d)?;
+            Some(crate::faults::FaultStateSnapshot {
+                down_causes,
+                node_down,
+                rng_state,
+                stats,
+            })
+        }
+        other => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("fault presence byte {other}"),
+            })
+        }
+    };
+    let release_violations = snapshot::dec_json(&mut d)?;
+    let network_series = d.seq(|d| {
+        Ok(NetworkSample {
+            t: d.f64()?,
+            mean_imbalance: d.f64()?,
+            total_inflight: d.f64()?,
+            pending: d.u32()?,
+            max_queue_depth: d.u32()?,
+        })
+    })?;
+    let next_sample = d.f64()?;
+    d.expect_end()?;
+    Ok(QueuedResume {
+        ticks,
+        channels,
+        queue_entries,
+        queue_next_seq,
+        payments,
+        pending,
+        units,
+        path_cache,
+        router_queues,
+        stats,
+        total_wait,
+        dequeues,
+        units_sent,
+        faults,
+        release_violations,
+        network_series,
+        next_sample,
+    })
 }
 
 /// Sends as many units of one pending payment as first-hop funding allows.
@@ -684,12 +1163,9 @@ fn pump_source(
         if faults.is_some_and(|fs| fs.is_channel_down(c0)) {
             break;
         }
-        if !ledger.can_lock_hop(network, c0, src, unit_amount) {
+        if ledger.lock_hop(network, c0, src, unit_amount).is_err() {
             break;
         }
-        ledger
-            .lock_hop(network, c0, src, unit_amount)
-            .expect("checked");
         let unit_id = units.len();
         units.push(UnitState {
             payment: idx,
@@ -747,8 +1223,7 @@ fn try_forward(
     let from = units[unit].path.nodes()[units[unit].locked];
     let amount = units[unit].amount;
     let down = faults.is_some_and(|fs| fs.is_channel_down(c));
-    if !down && ledger.can_lock_hop(network, c, from, amount) {
-        ledger.lock_hop(network, c, from, amount).expect("checked");
+    if !down && ledger.lock_hop(network, c, from, amount).is_ok() {
         units[unit].locked += 1;
         queue.push(now + config.hop_delay, Event::HopArrive { unit });
         return;
@@ -851,13 +1326,10 @@ fn drain_queue(
         }
         let from = units[head].path.nodes()[units[head].locked];
         let amount = units[head].amount;
-        if !ledger.can_lock_hop(network, channel, from, amount) {
+        if ledger.lock_hop(network, channel, from, amount).is_err() {
             break; // head blocked; policy order preserved (no bypass)
         }
         router_queues[channel.index()][slot_idx].pop_front();
-        ledger
-            .lock_hop(network, channel, from, amount)
-            .expect("checked");
         *total_wait += now - units[head].queued_at;
         *dequeues += 1;
         units[head].queued_at = f64::NAN;

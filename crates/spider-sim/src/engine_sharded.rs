@@ -36,15 +36,19 @@
 //! require globally ordered state (AMP, fees, congestion control,
 //! rebalancing) remain sequential-engine-only.
 
-use crate::audit::{AuditViolation, AuditViolationKind, LedgerAudit};
+use crate::audit::{AuditState, AuditViolation, AuditViolationKind, LedgerAudit};
 use crate::engine::record_release;
+use crate::engine::{dec_path, enc_fault_event, enc_path};
 use crate::faults::{FaultConfig, FaultEvent, FaultPlan, FaultState, FaultStats, SplitMix64};
 use crate::ledger::Ledger;
 use crate::metrics::SimReport;
 use crate::payment::PaymentStatus;
 use crate::rebalancer::RebalanceStats;
+use crate::snapshot::{self, CheckpointSpec, SnapshotError};
 use serde::{Deserialize, Serialize};
-use spider_core::{Amount, BalanceView, ChannelId, Direction, Network, NodeId, Path};
+use spider_core::{
+    crc32, Amount, BalanceView, ChannelId, Dec, Direction, Enc, Network, NodeId, Path,
+};
 use spider_routing::{RoutingScheme, ShortestPathScheme, UnitDecision, WaterfillingScheme};
 use spider_telemetry::{Histogram, HistogramSnapshot, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_topology::Partition;
@@ -1349,6 +1353,60 @@ pub fn run_sharded(
     partition: &Partition,
     config: &ShardedConfig,
 ) -> SimReport {
+    match run_sharded_inner(network, transactions, partition, config, None, None) {
+        Ok(report) => report,
+        Err(e) => unreachable!("plain run cannot fail with a snapshot error: {e}"),
+    }
+}
+
+/// Runs the sharded engine while writing a snapshot every `ckpt.every`
+/// epochs. Snapshots are taken at the BSP epoch barrier (after the exchange
+/// phase), where every shard's state is quiescent; shard 0 assembles the
+/// per-shard captures into one [`crate::snapshot`] container.
+pub fn run_sharded_checkpointed(
+    network: &Network,
+    transactions: &[Transaction],
+    partition: &Partition,
+    config: &ShardedConfig,
+    ckpt: &CheckpointSpec,
+) -> Result<SimReport, SnapshotError> {
+    run_sharded_inner(network, transactions, partition, config, None, Some(ckpt))
+}
+
+/// Resumes a sharded run from a snapshot written by
+/// [`run_sharded_checkpointed`] and carries it to completion, optionally
+/// continuing to checkpoint. The partition must match the one the snapshot
+/// was written under (it is part of the fingerprint); the completed run is
+/// byte-identical to an uninterrupted one.
+pub fn resume_sharded(
+    network: &Network,
+    transactions: &[Transaction],
+    partition: &Partition,
+    config: &ShardedConfig,
+    snapshot_path: &std::path::Path,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SimReport, SnapshotError> {
+    let snap = snapshot::read_snapshot(snapshot_path)?;
+    let fp = fingerprint_sharded(network, transactions, partition, config);
+    snap.check(snapshot::ENGINE_SHARDED, fp)?;
+    let state = decode_sharded_core(
+        snap.section(snapshot::SEC_CORE)?,
+        network,
+        partition,
+        config,
+        snap.progress,
+    )?;
+    run_sharded_inner(network, transactions, partition, config, Some(state), ckpt)
+}
+
+fn run_sharded_inner(
+    network: &Network,
+    transactions: &[Transaction],
+    partition: &Partition,
+    config: &ShardedConfig,
+    resume: Option<ShardedResume>,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SimReport, SnapshotError> {
     assert!(config.end_time > 0.0, "end_time must be positive");
     assert!(
         config.delta > 0.0 && config.poll_interval > 0.0 && config.deadline > 0.0,
@@ -1401,11 +1459,32 @@ pub fn run_sharded(
         })
         .collect();
 
+    let fp = if ckpt.is_some() {
+        fingerprint_sharded(network, transactions, partition, config)
+    } else {
+        0
+    };
+    let start_epoch = resume.as_ref().map_or(0, |r| r.epoch);
+    if start_epoch > clock.end_epoch {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "snapshot progress {start_epoch} is beyond the configured end epoch {}",
+                clock.end_epoch
+            ),
+        });
+    }
+    let resume_slots: Vec<Mutex<Option<ShardResume>>> = match resume {
+        Some(r) => r.shards.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+        None => (0..num_shards).map(|_| Mutex::new(None)).collect(),
+    };
+
     let inboxes: Vec<Mutex<Vec<Msg>>> = (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
     let published: Vec<PublishSlot> = (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = Barrier::new(num_shards);
+    let ckpt_blobs: Vec<Mutex<Vec<u8>>> = (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
+    let ckpt_err: Mutex<Option<SnapshotError>> = Mutex::new(None);
 
-    let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+    let outputs: Vec<Result<ShardOutput, ()>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_shards);
         for shard in 0..num_shards {
             let inboxes = &inboxes;
@@ -1414,6 +1493,9 @@ pub fn run_sharded(
             let initial_ledger = &initial_ledger;
             let initial_snapshot = &initial_snapshot;
             let plan_events = &plan_events;
+            let resume_slots = &resume_slots;
+            let ckpt_blobs = &ckpt_blobs;
+            let ckpt_err = &ckpt_err;
             handles.push(scope.spawn(move || {
                 run_shard(
                     shard as u16,
@@ -1428,6 +1510,12 @@ pub fn run_sharded(
                     inboxes,
                     published,
                     barrier,
+                    start_epoch,
+                    &resume_slots[shard],
+                    fp,
+                    ckpt,
+                    ckpt_blobs,
+                    ckpt_err,
                 )
             }));
         }
@@ -1440,7 +1528,18 @@ pub fn run_sharded(
             .collect()
     });
 
-    merge_outputs(network, partition, config, clock, outputs)
+    let mut outs = Vec::with_capacity(num_shards);
+    for r in outputs {
+        match r {
+            Ok(out) => outs.push(out),
+            Err(()) => {
+                return Err(lock_ok(&ckpt_err).take().unwrap_or(SnapshotError::Corrupt {
+                    what: "checkpoint write failed".to_string(),
+                }))
+            }
+        }
+    }
+    Ok(merge_outputs(network, partition, config, clock, outs))
 }
 
 /// One shard's published dirty-balance slot: `(channel index, micros a,
@@ -1449,7 +1548,12 @@ type PublishSlot = Mutex<Vec<(u32, i64, i64)>>;
 
 /// One shard's whole run: the BSP epoch loop over intake → compute →
 /// exchange, ending with its contribution to the deterministic merge.
+///
+/// Returns `Err(())` only when a checkpoint write failed; the actual
+/// [`SnapshotError`] is published through `ckpt_err` by shard 0 and the
+/// marker makes every shard leave the barrier protocol together.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_lines)]
 fn run_shard(
     shard: u16,
     network: &Network,
@@ -1463,86 +1567,137 @@ fn run_shard(
     inboxes: &[Mutex<Vec<Msg>>],
     published: &[PublishSlot],
     barrier: &Barrier,
-) -> ShardOutput {
+    start_epoch: u64,
+    resume: &Mutex<Option<ShardResume>>,
+    fp: u32,
+    ckpt: Option<&CheckpointSpec>,
+    ckpt_blobs: &[Mutex<Vec<u8>>],
+    ckpt_err: &Mutex<Option<SnapshotError>>,
+) -> Result<ShardOutput, ()> {
     let num_shards = partition.num_shards() as u64;
-    // This shard's payments: ids assigned round-robin; slab sorted by id so
-    // `payment_index` can binary-search.
-    let mut payments: Vec<LocalPayment> = transactions
-        .iter()
-        .filter(|tx| tx.id.0 % num_shards == u64::from(shard))
-        .filter_map(|tx| {
-            let arrival_epoch = ((tx.arrival / EPOCH).ceil() as i64).max(1) as u64;
-            (arrival_epoch <= clock.end_epoch).then(|| LocalPayment {
-                id: tx.id.0,
-                src: tx.src,
-                dst: tx.dst,
-                amount: tx.amount,
-                arrival_epoch,
-                deadline_epoch: arrival_epoch + clock.deadline_epochs,
-                delivered: Amount::ZERO,
-                inflight: Amount::ZERO,
-                status: PaymentStatus::Pending,
-                delay: None,
-                next_seq: 0,
-                blacklist: Vec::new(),
-                fail_count: 0,
-                not_before_epoch: 0,
+    let mut ctx = if let Some(r) = lock_ok(resume).take() {
+        // Arrivals are a pure function of the restored payment slab, built
+        // exactly as the fresh-start path builds them.
+        let mut arrivals: Vec<(u64, usize)> = r
+            .payments
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.arrival_epoch, i))
+            .collect();
+        arrivals.sort_unstable();
+        ShardCtx {
+            shard,
+            network,
+            partition,
+            cfg: config,
+            clock,
+            scheme: r.scheme,
+            ledger: r.ledger,
+            audit: r.audit,
+            faults: r.faults,
+            plan_events: plan_events.to_vec(),
+            plan_cursor: r.plan_cursor,
+            snapshot: r.snapshot,
+            dirty: Vec::new(),
+            pending_msgs: r.pending_msgs,
+            staged: (0..num_shards).map(|_| Vec::new()).collect(),
+            payments: r.payments,
+            pending: r.pending,
+            arrivals,
+            arrival_cursor: r.arrival_cursor,
+            trace: r.trace,
+            tel_on: config.telemetry.is_enabled(),
+            units_sent: r.units_sent,
+            series: r.series,
+            samples: r.samples,
+            violations: r.violations,
+            stats: r.stats,
+            counters: r.counters,
+            arrived_count: r.arrived_count,
+            completed_count: r.completed_count,
+            attempted_micros: r.attempted_micros,
+            delivered_micros: r.delivered_micros,
+        }
+    } else {
+        // This shard's payments: ids assigned round-robin; slab sorted by
+        // id so `payment_index` can binary-search.
+        let mut payments: Vec<LocalPayment> = transactions
+            .iter()
+            .filter(|tx| tx.id.0 % num_shards == u64::from(shard))
+            .filter_map(|tx| {
+                let arrival_epoch = ((tx.arrival / EPOCH).ceil() as i64).max(1) as u64;
+                (arrival_epoch <= clock.end_epoch).then(|| LocalPayment {
+                    id: tx.id.0,
+                    src: tx.src,
+                    dst: tx.dst,
+                    amount: tx.amount,
+                    arrival_epoch,
+                    deadline_epoch: arrival_epoch + clock.deadline_epochs,
+                    delivered: Amount::ZERO,
+                    inflight: Amount::ZERO,
+                    status: PaymentStatus::Pending,
+                    delay: None,
+                    next_seq: 0,
+                    blacklist: Vec::new(),
+                    fail_count: 0,
+                    not_before_epoch: 0,
+                })
             })
-        })
-        .collect();
-    payments.sort_by_key(|p| p.id);
-    let mut arrivals: Vec<(u64, usize)> = payments
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (p.arrival_epoch, i))
-        .collect();
-    arrivals.sort_unstable();
+            .collect();
+        payments.sort_by_key(|p| p.id);
+        let mut arrivals: Vec<(u64, usize)> = payments
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.arrival_epoch, i))
+            .collect();
+        arrivals.sort_unstable();
 
-    let ledger = initial_ledger.clone();
-    let audit = config.audit.then(|| LedgerAudit::new(&ledger));
-    let faults = config
-        .faults
-        .as_ref()
-        .map(|plan| FaultState::new(plan, network));
+        let ledger = initial_ledger.clone();
+        let audit = config.audit.then(|| LedgerAudit::new(&ledger));
+        let faults = config
+            .faults
+            .as_ref()
+            .map(|plan| FaultState::new(plan, network));
 
-    let mut ctx = ShardCtx {
-        shard,
-        network,
-        partition,
-        cfg: config,
-        clock,
-        scheme: config.scheme.build(),
-        ledger,
-        audit,
-        faults,
-        plan_events: plan_events.to_vec(),
-        plan_cursor: 0,
-        snapshot: initial_snapshot.to_vec(),
-        dirty: Vec::new(),
-        pending_msgs: BTreeMap::new(),
-        staged: (0..num_shards).map(|_| Vec::new()).collect(),
-        payments,
-        pending: Vec::new(),
-        arrivals,
-        arrival_cursor: 0,
-        trace: Vec::new(),
-        tel_on: config.telemetry.is_enabled(),
-        units_sent: 0,
-        series: Vec::new(),
-        samples: Vec::new(),
-        violations: Vec::new(),
-        stats: ShardStats::default(),
-        counters: ShardCounters::default(),
-        arrived_count: 0,
-        completed_count: 0,
-        attempted_micros: 0,
-        delivered_micros: 0,
+        ShardCtx {
+            shard,
+            network,
+            partition,
+            cfg: config,
+            clock,
+            scheme: config.scheme.build(),
+            ledger,
+            audit,
+            faults,
+            plan_events: plan_events.to_vec(),
+            plan_cursor: 0,
+            snapshot: initial_snapshot.to_vec(),
+            dirty: Vec::new(),
+            pending_msgs: BTreeMap::new(),
+            staged: (0..num_shards).map(|_| Vec::new()).collect(),
+            payments,
+            pending: Vec::new(),
+            arrivals,
+            arrival_cursor: 0,
+            trace: Vec::new(),
+            tel_on: config.telemetry.is_enabled(),
+            units_sent: 0,
+            series: Vec::new(),
+            samples: Vec::new(),
+            violations: Vec::new(),
+            stats: ShardStats::default(),
+            counters: ShardCounters::default(),
+            arrived_count: 0,
+            completed_count: 0,
+            attempted_micros: 0,
+            delivered_micros: 0,
+        }
     };
 
     let me = shard as usize;
     let lane = u32::from(shard);
     let tel = &config.telemetry;
-    for epoch in 1..=clock.end_epoch {
+    for epoch in (start_epoch + 1)..=clock.end_epoch {
         // Intake: messages and balance updates published last epoch.
         {
             let _span = tel.span_enter_lane(Phase::MessageMerge, lane);
@@ -1606,6 +1761,60 @@ fn run_shard(
             let _span = tel.span_enter_lane(Phase::BarrierWait, lane);
             barrier.wait();
         }
+
+        // Checkpoint: at the epoch barrier, every shard's state is
+        // quiescent (staged and dirty are drained; nothing mutates the
+        // inboxes or publish slots until the next exchange, which is gated
+        // behind the next barrier). Each shard performs next epoch's intake
+        // early — an idempotent step: the inbox drain leaves it empty and
+        // re-applying the published balances writes the same values — so
+        // that the captured state needs no in-flight mailbox contents.
+        // Shard 0 then assembles the blobs and writes the snapshot file.
+        // The epoch set is a pure function of the config, so every shard
+        // crosses the same number of barriers.
+        if let Some(ck) = ckpt {
+            if epoch % ck.every == 0 {
+                {
+                    let mut inbox = lock_ok(&inboxes[me]);
+                    for msg in inbox.drain(..) {
+                        ctx.pending_msgs
+                            .entry(msg.fire_epoch)
+                            .or_default()
+                            .push(msg);
+                    }
+                }
+                for slot in published {
+                    for &(c, a, b) in lock_ok(slot).iter() {
+                        ctx.snapshot[c as usize] = [a, b];
+                    }
+                }
+                debug_assert!(ctx.dirty.is_empty() && ctx.staged.iter().all(Vec::is_empty));
+                *lock_ok(&ckpt_blobs[me]) = encode_shard_blob(&ctx);
+                barrier.wait();
+                if me == 0 {
+                    let mut e = Enc::new();
+                    e.u64(epoch);
+                    e.u32(num_shards as u32);
+                    for blob in ckpt_blobs {
+                        e.bytes(&lock_ok(blob));
+                    }
+                    let core = e.into_bytes();
+                    if let Err(err) = snapshot::write_snapshot(
+                        &ck.dir,
+                        snapshot::ENGINE_SHARDED,
+                        fp,
+                        epoch,
+                        &[(snapshot::SEC_CORE, core)],
+                    ) {
+                        *lock_ok(ckpt_err) = Some(err);
+                    }
+                }
+                barrier.wait();
+                if lock_ok(ckpt_err).is_some() {
+                    return Err(());
+                }
+            }
+        }
     }
 
     let mut violations = ctx.violations;
@@ -1614,7 +1823,7 @@ fn run_shard(
         violations.extend(a.into_violations());
     }
 
-    ShardOutput {
+    Ok(ShardOutput {
         trace: ctx.trace,
         payments: ctx.payments,
         ledger: ctx.ledger,
@@ -1624,7 +1833,661 @@ fn run_shard(
         violations,
         stats: ctx.stats,
         counters: ctx.counters,
+    })
+}
+
+/// Fingerprint of everything that must match between the checkpointing run
+/// and the resuming run: simulation inputs, engine configuration, the fault
+/// plan, telemetry presence, and the partition (payment ownership is
+/// `id % num_shards`, so per-shard blobs are only meaningful under the
+/// partition that wrote them).
+fn fingerprint_sharded(
+    network: &Network,
+    transactions: &[Transaction],
+    partition: &Partition,
+    config: &ShardedConfig,
+) -> u32 {
+    let mut e = Enc::new();
+    snapshot::enc_inputs(&mut e, network, transactions);
+    e.str(config.scheme.name());
+    e.f64(config.end_time);
+    e.f64(config.delta);
+    e.i64(config.mtu.micros());
+    e.f64(config.poll_interval);
+    e.f64(config.deadline);
+    e.bool(config.record_series);
+    e.bool(config.audit);
+    match &config.faults {
+        Some(plan) => {
+            e.u8(1);
+            snapshot::enc_json(&mut e, &plan.config);
+            e.seq(&plan.events, |e, (t, ev)| {
+                e.f64(*t);
+                enc_fault_event(e, ev);
+            });
+        }
+        None => e.u8(0),
     }
+    e.bool(config.telemetry.is_enabled());
+    e.f64(config.telemetry.sample_interval().unwrap_or(f64::NAN));
+    e.usize(partition.num_shards());
+    e.seq(partition.node_shards(), |e, &s| e.u32(u32::from(s)));
+    e.seq(partition.channel_owners(), |e, &s| e.u32(u32::from(s)));
+    crc32(&e.into_bytes())
+}
+
+/// Decoded checkpoint of a whole sharded run: the barrier epoch it was
+/// taken at plus one restored worker state per shard.
+struct ShardedResume {
+    epoch: u64,
+    shards: Vec<ShardResume>,
+}
+
+/// One shard's restored state, rebuilt host-side before the worker threads
+/// start (scheme restored, fault mask re-applied, messages re-linked).
+struct ShardResume {
+    scheme: Box<dyn RoutingScheme>,
+    ledger: Ledger,
+    audit: Option<LedgerAudit>,
+    faults: Option<FaultState>,
+    plan_cursor: usize,
+    snapshot: Vec<[i64; 2]>,
+    pending_msgs: BTreeMap<u64, Vec<Msg>>,
+    payments: Vec<LocalPayment>,
+    pending: Vec<usize>,
+    arrival_cursor: usize,
+    trace: Vec<(Key, TraceEvent)>,
+    units_sent: u64,
+    series: Vec<SeriesPartial>,
+    samples: Vec<SamplePartial>,
+    violations: Vec<AuditViolation>,
+    stats: ShardStats,
+    counters: ShardCounters,
+    arrived_count: u64,
+    completed_count: u64,
+    attempted_micros: i64,
+    delivered_micros: i64,
+}
+
+fn enc_msg(e: &mut Enc, msg: &Msg) {
+    e.u64(msg.unit.payment);
+    e.u32(msg.unit.seq);
+    e.i64(msg.unit.amount.micros());
+    enc_path(e, &msg.unit.path);
+    match &msg.body {
+        MsgBody::SettleHop { hop } => {
+            e.u8(0);
+            e.u32(*hop);
+        }
+        MsgBody::RefundHop { hop } => {
+            e.u8(1);
+            e.u32(*hop);
+        }
+        MsgBody::LockHop { hop } => {
+            e.u8(2);
+            e.u32(*hop);
+        }
+        MsgBody::UnitDelivered => e.u8(3),
+        MsgBody::UnitFailed { blamed, cause } => {
+            e.u8(4);
+            e.u32(blamed.index() as u32);
+            e.u8(match cause {
+                FailCause::Liquidity => 0,
+                FailCause::Outage => 1,
+                FailCause::Dropped => 2,
+                FailCause::Griefed => 3,
+            });
+        }
+    }
+}
+
+fn dec_msg(
+    d: &mut Dec,
+    network: &Network,
+    config: &ShardedConfig,
+    fire_epoch: u64,
+) -> Result<Msg, SnapshotError> {
+    let payment = d.u64()?;
+    let seq = d.u32()?;
+    let amount = Amount::from_micros(d.i64()?);
+    let path = dec_path(d, network)?;
+    // The fate is a pure hash of (fault seed, payment, unit) — recompute it
+    // instead of trusting snapshot bytes.
+    let fate = match config.faults.as_ref() {
+        Some(plan) => unit_fate(&plan.config, payment, seq, path.hops().len()).0,
+        None => Fate::Deliver { jitter_epochs: 0 },
+    };
+    let hops = path.hops().len() as u32;
+    let check_hop = |hop: u32| {
+        if hop < hops {
+            Ok(hop)
+        } else {
+            Err(SnapshotError::Corrupt {
+                what: format!("message hop {hop} beyond a {hops}-hop path"),
+            })
+        }
+    };
+    let body = match d.u8()? {
+        0 => MsgBody::SettleHop {
+            hop: check_hop(d.u32()?)?,
+        },
+        1 => MsgBody::RefundHop {
+            hop: check_hop(d.u32()?)?,
+        },
+        2 => MsgBody::LockHop {
+            hop: check_hop(d.u32()?)?,
+        },
+        3 => MsgBody::UnitDelivered,
+        4 => {
+            let blamed = ChannelId(d.u32()?);
+            if blamed.index() >= network.num_channels() {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("blamed channel {} out of range", blamed.index()),
+                });
+            }
+            let cause = match d.u8()? {
+                0 => FailCause::Liquidity,
+                1 => FailCause::Outage,
+                2 => FailCause::Dropped,
+                3 => FailCause::Griefed,
+                tag => {
+                    return Err(SnapshotError::Corrupt {
+                        what: format!("bad failure cause byte {tag}"),
+                    })
+                }
+            };
+            MsgBody::UnitFailed { blamed, cause }
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad message body byte {tag}"),
+            })
+        }
+    };
+    Ok(Msg {
+        fire_epoch,
+        body,
+        unit: Arc::new(UnitInfo {
+            payment,
+            seq,
+            amount,
+            path,
+            fate,
+        }),
+    })
+}
+
+/// Binary capture of one shard's quiescent barrier state, written by
+/// [`encode_shard_blob`] and read back by [`decode_shard_blob`].
+fn encode_shard_blob(ctx: &ShardCtx<'_>) -> Vec<u8> {
+    let mut e = Enc::new();
+    let nq = ctx.network.num_channels();
+    e.usize(nq);
+    for i in 0..nq {
+        let raw = ctx.ledger.export_channel(ChannelId(i as u32));
+        for v in raw {
+            e.i64(v);
+        }
+        e.i64(ctx.snapshot[i][0]);
+        e.i64(ctx.snapshot[i][1]);
+    }
+    match &ctx.audit {
+        Some(a) => {
+            e.u8(1);
+            snapshot::enc_json(&mut e, &a.export_state());
+        }
+        None => e.u8(0),
+    }
+    match &ctx.faults {
+        Some(fs) => {
+            e.u8(1);
+            let snap = fs.export_state();
+            e.bytes(&snap.down_causes);
+            e.seq(&snap.node_down, |e, &b| e.bool(b));
+            e.u64(snap.rng_state);
+            snapshot::enc_json(&mut e, &snap.stats);
+        }
+        None => e.u8(0),
+    }
+    e.usize(ctx.plan_cursor);
+    e.usize(ctx.pending_msgs.len());
+    for (&fire_epoch, msgs) in &ctx.pending_msgs {
+        e.u64(fire_epoch);
+        // Inbox drain order varies with thread interleaving; the engine
+        // sorts by key before processing, so sort here too — snapshot bytes
+        // stay a pure function of the run's content.
+        let mut ordered: Vec<&Msg> = msgs.iter().collect();
+        ordered.sort_unstable_by_key(|m| m.key());
+        e.usize(ordered.len());
+        for msg in ordered {
+            enc_msg(&mut e, msg);
+        }
+    }
+    e.usize(ctx.payments.len());
+    for p in &ctx.payments {
+        e.u64(p.id);
+        e.u32(p.src.0);
+        e.u32(p.dst.0);
+        e.i64(p.amount.micros());
+        e.u64(p.arrival_epoch);
+        e.u64(p.deadline_epoch);
+        e.i64(p.delivered.micros());
+        e.i64(p.inflight.micros());
+        e.u8(match p.status {
+            PaymentStatus::Pending => 0,
+            PaymentStatus::Completed => 1,
+            PaymentStatus::Abandoned => 2,
+        });
+        match p.delay {
+            Some(t) => {
+                e.u8(1);
+                e.f64(t);
+            }
+            None => e.u8(0),
+        }
+        e.u32(p.next_seq);
+        e.seq(&p.blacklist, |e, &(c, until)| {
+            e.u32(c.index() as u32);
+            e.u64(until);
+        });
+        e.u32(p.fail_count);
+        e.u64(p.not_before_epoch);
+    }
+    e.seq(&ctx.pending, |e, &i| e.usize(i));
+    e.usize(ctx.arrival_cursor);
+    e.usize(ctx.trace.len());
+    for (k, _) in &ctx.trace {
+        e.u64(k.epoch);
+        e.u8(k.rank);
+        e.u64(k.a);
+        e.u64(k.b);
+    }
+    let events: Vec<TraceEvent> = ctx.trace.iter().map(|(_, ev)| ev.clone()).collect();
+    snapshot::enc_json(&mut e, &events);
+    e.u64(ctx.units_sent);
+    e.seq(&ctx.series, |e, s| {
+        e.u64(s.epoch);
+        e.u64(s.arrived);
+        e.u64(s.completed);
+        e.i64(s.attempted_micros);
+        e.i64(s.delivered_micros);
+    });
+    e.usize(ctx.samples.len());
+    for s in &ctx.samples {
+        e.u64(s.epoch);
+        e.u32(s.pending);
+        e.seq(&s.channels, |e, &(c, imb, ratio, inflight)| {
+            e.u32(c);
+            e.f64(imb);
+            e.f64(ratio);
+            e.i64(inflight);
+        });
+    }
+    snapshot::enc_json(&mut e, &ctx.violations);
+    for v in [
+        ctx.stats.outages,
+        ctx.stats.recoveries,
+        ctx.stats.node_crashes,
+        ctx.stats.units_refunded_by_outage,
+        ctx.stats.units_dropped,
+        ctx.stats.units_jittered,
+        ctx.stats.units_griefed,
+        ctx.stats.retries,
+        ctx.stats.blacklistings,
+        ctx.stats.payments_failed,
+    ] {
+        e.u64(v);
+    }
+    for v in [
+        ctx.counters.events_processed,
+        ctx.counters.settle_msgs,
+        ctx.counters.refund_msgs,
+        ctx.counters.lock_msgs,
+        ctx.counters.control_msgs,
+        ctx.counters.dirty_published,
+    ] {
+        e.u64(v);
+    }
+    e.u64(ctx.arrived_count);
+    e.u64(ctx.completed_count);
+    e.i64(ctx.attempted_micros);
+    e.i64(ctx.delivered_micros);
+    match ctx.scheme.checkpoint_state() {
+        Some(bytes) => {
+            e.u8(1);
+            e.bytes(&bytes);
+        }
+        None => e.u8(0),
+    }
+    e.into_bytes()
+}
+
+/// Decodes the sharded `SEC_CORE` section: the barrier epoch, the shard
+/// count, and one per-shard blob. Every structural problem is a
+/// [`SnapshotError::Corrupt`]; nothing panics.
+fn decode_sharded_core(
+    bytes: &[u8],
+    network: &Network,
+    partition: &Partition,
+    config: &ShardedConfig,
+    progress: u64,
+) -> Result<ShardedResume, SnapshotError> {
+    let mut d = Dec::new(bytes);
+    let epoch = d.u64()?;
+    if epoch != progress {
+        return Err(SnapshotError::Corrupt {
+            what: format!("core section epoch {epoch} disagrees with header progress {progress}"),
+        });
+    }
+    let num_shards = d.u32()? as usize;
+    if num_shards != partition.num_shards() {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "snapshot has {num_shards} shards, partition has {}",
+                partition.num_shards()
+            ),
+        });
+    }
+    let mut shards = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        let blob = d.bytes()?;
+        shards.push(decode_shard_blob(blob, network, config)?);
+    }
+    d.expect_end()?;
+    Ok(ShardedResume { epoch, shards })
+}
+
+/// Decodes and validates one shard's blob, rebuilding the live state the
+/// worker thread starts from.
+#[allow(clippy::too_many_lines)]
+fn decode_shard_blob(
+    bytes: &[u8],
+    network: &Network,
+    config: &ShardedConfig,
+) -> Result<ShardResume, SnapshotError> {
+    let mut d = Dec::new(bytes);
+    let nq = d.usize()?;
+    if nq != network.num_channels() {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "shard blob covers {nq} channels, network has {}",
+                network.num_channels()
+            ),
+        });
+    }
+    let mut ledger = Ledger::new(network);
+    let mut balance_snapshot = Vec::with_capacity(nq);
+    for i in 0..nq {
+        let raw = [d.i64()?, d.i64()?, d.i64()?, d.i64()?];
+        ledger.restore_channel(ChannelId(i as u32), raw);
+        balance_snapshot.push([d.i64()?, d.i64()?]);
+    }
+    let audit = match d.u8()? {
+        0 => None,
+        1 => {
+            let state: AuditState = snapshot::dec_json(&mut d)?;
+            Some(LedgerAudit::from_state(state))
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad audit presence byte {tag}"),
+            })
+        }
+    };
+    if audit.is_some() != config.audit {
+        return Err(SnapshotError::Corrupt {
+            what: "snapshot and config disagree about auditing".to_string(),
+        });
+    }
+    let faults = match d.u8()? {
+        0 => None,
+        1 => {
+            let down_causes = d.bytes()?.to_vec();
+            let node_down = d.seq(|d| d.bool())?;
+            let rng_state = d.u64()?;
+            let stats: FaultStats = snapshot::dec_json(&mut d)?;
+            let plan = config
+                .faults
+                .as_ref()
+                .ok_or_else(|| SnapshotError::Corrupt {
+                    what: "snapshot has fault state but config has no fault plan".to_string(),
+                })?;
+            let mut fs = FaultState::new(plan, network);
+            fs.restore_state(crate::faults::FaultStateSnapshot {
+                down_causes,
+                node_down,
+                rng_state,
+                stats,
+            })
+            .map_err(|what| SnapshotError::Corrupt { what })?;
+            Some(fs)
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad fault presence byte {tag}"),
+            })
+        }
+    };
+    if faults.is_none() && config.faults.is_some() {
+        return Err(SnapshotError::Corrupt {
+            what: "config has a fault plan but snapshot has no fault state".to_string(),
+        });
+    }
+    let plan_cursor = d.usize()?;
+    let n_buckets = d.usize()?;
+    let mut pending_msgs: BTreeMap<u64, Vec<Msg>> = BTreeMap::new();
+    let mut last_epoch = None;
+    for _ in 0..n_buckets {
+        let fire_epoch = d.u64()?;
+        if last_epoch.is_some_and(|prev| prev >= fire_epoch) {
+            return Err(SnapshotError::Corrupt {
+                what: "message buckets out of order".to_string(),
+            });
+        }
+        last_epoch = Some(fire_epoch);
+        let n_msgs = d.usize()?;
+        let mut msgs = Vec::with_capacity(n_msgs);
+        for _ in 0..n_msgs {
+            msgs.push(dec_msg(&mut d, network, config, fire_epoch)?);
+        }
+        pending_msgs.insert(fire_epoch, msgs);
+    }
+    let n_payments = d.usize()?;
+    let mut payments: Vec<LocalPayment> = Vec::with_capacity(n_payments);
+    for _ in 0..n_payments {
+        let id = d.u64()?;
+        if payments.last().is_some_and(|p: &LocalPayment| p.id >= id) {
+            return Err(SnapshotError::Corrupt {
+                what: "payment slab not sorted by id".to_string(),
+            });
+        }
+        let src = NodeId(d.u32()?);
+        let dst = NodeId(d.u32()?);
+        if src.index() >= network.num_nodes() || dst.index() >= network.num_nodes() {
+            return Err(SnapshotError::Corrupt {
+                what: format!("payment {id} endpoints out of range"),
+            });
+        }
+        let amount = Amount::from_micros(d.i64()?);
+        let arrival_epoch = d.u64()?;
+        let deadline_epoch = d.u64()?;
+        let delivered = Amount::from_micros(d.i64()?);
+        let inflight = Amount::from_micros(d.i64()?);
+        let status = match d.u8()? {
+            0 => PaymentStatus::Pending,
+            1 => PaymentStatus::Completed,
+            2 => PaymentStatus::Abandoned,
+            tag => {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("bad payment status byte {tag}"),
+                })
+            }
+        };
+        let delay = match d.u8()? {
+            0 => None,
+            1 => {
+                let t = d.f64()?;
+                if !t.is_finite() {
+                    return Err(SnapshotError::Corrupt {
+                        what: format!("non-finite completion delay {t}"),
+                    });
+                }
+                Some(t)
+            }
+            tag => {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("bad delay presence byte {tag}"),
+                })
+            }
+        };
+        let next_seq = d.u32()?;
+        let blacklist = d.seq(|d| Ok((ChannelId(d.u32()?), d.u64()?)))?;
+        for &(c, _) in &blacklist {
+            if c.index() >= network.num_channels() {
+                return Err(SnapshotError::Corrupt {
+                    what: format!("blacklisted channel {} out of range", c.index()),
+                });
+            }
+        }
+        payments.push(LocalPayment {
+            id,
+            src,
+            dst,
+            amount,
+            arrival_epoch,
+            deadline_epoch,
+            delivered,
+            inflight,
+            status,
+            delay,
+            next_seq,
+            blacklist,
+            fail_count: d.u32()?,
+            not_before_epoch: d.u64()?,
+        });
+    }
+    let pending = d.seq(|d| d.usize())?;
+    for &i in &pending {
+        if i >= payments.len() {
+            return Err(SnapshotError::Corrupt {
+                what: format!("pending index {i} out of range"),
+            });
+        }
+    }
+    let arrival_cursor = d.usize()?;
+    if arrival_cursor > payments.len() {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "arrival cursor {arrival_cursor} beyond {} payments",
+                payments.len()
+            ),
+        });
+    }
+    let n_trace = d.usize()?;
+    let mut keys = Vec::with_capacity(n_trace);
+    for _ in 0..n_trace {
+        keys.push(Key {
+            epoch: d.u64()?,
+            rank: d.u8()?,
+            a: d.u64()?,
+            b: d.u64()?,
+        });
+    }
+    let events: Vec<TraceEvent> = snapshot::dec_json(&mut d)?;
+    if events.len() != n_trace {
+        return Err(SnapshotError::Corrupt {
+            what: format!("{n_trace} trace keys but {} trace events", events.len()),
+        });
+    }
+    let trace: Vec<(Key, TraceEvent)> = keys.into_iter().zip(events).collect();
+    let units_sent = d.u64()?;
+    let series = d.seq(|d| {
+        Ok(SeriesPartial {
+            epoch: d.u64()?,
+            arrived: d.u64()?,
+            completed: d.u64()?,
+            attempted_micros: d.i64()?,
+            delivered_micros: d.i64()?,
+        })
+    })?;
+    let n_samples = d.usize()?;
+    let mut samples = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let epoch = d.u64()?;
+        let pending_count = d.u32()?;
+        let channels = d.seq(|d| Ok((d.u32()?, d.f64()?, d.f64()?, d.i64()?)))?;
+        samples.push(SamplePartial {
+            epoch,
+            pending: pending_count,
+            channels,
+        });
+    }
+    let violations: Vec<AuditViolation> = snapshot::dec_json(&mut d)?;
+    let stats = ShardStats {
+        outages: d.u64()?,
+        recoveries: d.u64()?,
+        node_crashes: d.u64()?,
+        units_refunded_by_outage: d.u64()?,
+        units_dropped: d.u64()?,
+        units_jittered: d.u64()?,
+        units_griefed: d.u64()?,
+        retries: d.u64()?,
+        blacklistings: d.u64()?,
+        payments_failed: d.u64()?,
+    };
+    let counters = ShardCounters {
+        events_processed: d.u64()?,
+        settle_msgs: d.u64()?,
+        refund_msgs: d.u64()?,
+        lock_msgs: d.u64()?,
+        control_msgs: d.u64()?,
+        dirty_published: d.u64()?,
+    };
+    let arrived_count = d.u64()?;
+    let completed_count = d.u64()?;
+    let attempted_micros = d.i64()?;
+    let delivered_micros = d.i64()?;
+    let mut scheme = config.scheme.build();
+    match d.u8()? {
+        0 => {}
+        1 => {
+            let state = d.bytes()?;
+            scheme
+                .restore_state(network, state)
+                .map_err(|e| SnapshotError::Corrupt {
+                    what: format!("routing scheme state: {e}"),
+                })?;
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad scheme presence byte {tag}"),
+            })
+        }
+    }
+    d.expect_end()?;
+    Ok(ShardResume {
+        scheme,
+        ledger,
+        audit,
+        faults,
+        plan_cursor,
+        snapshot: balance_snapshot,
+        pending_msgs,
+        payments,
+        pending,
+        arrival_cursor,
+        trace,
+        units_sent,
+        series,
+        samples,
+        violations,
+        stats,
+        counters,
+        arrived_count,
+        completed_count,
+        attempted_micros,
+        delivered_micros,
+    })
 }
 
 /// Deterministically merges the shard outputs into one [`SimReport`].

@@ -119,6 +119,44 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The sequence number the next [`push`](Self::push) will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every pending entry as `(time, seq, &event)`, sorted by
+    /// `(time, seq)` — exactly the order [`pop`](Self::pop) would drain
+    /// them. Non-destructive, for checkpointing.
+    pub fn entries(&self) -> Vec<(f64, u64, &E)> {
+        let mut v: Vec<(f64, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time.seconds(), e.seq, &e.event))
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        v
+    }
+
+    /// Schedules `event` at `t` with an explicit sequence number, advancing
+    /// the internal counter past it. Restore path for
+    /// [`entries`](Self::entries): re-pushing captured entries with their
+    /// original sequence numbers reproduces the exact drain order.
+    pub fn push_with_seq(&mut self, t: f64, seq: u64, event: E) {
+        self.heap.push(Entry {
+            time: Time::new(t),
+            seq,
+            event,
+        });
+        self.next_seq = self.next_seq.max(seq + 1);
+    }
+
+    /// Raises the next-sequence counter to at least `seq` (restore path;
+    /// never lowers it, so future pushes cannot collide with restored
+    /// entries).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,18 @@ impl SplitMix64 {
         debug_assert!(n > 0);
         (self.next_u64() % n as u64) as usize
     }
+
+    /// The raw generator state, for checkpointing.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// A generator resumed at a previously captured raw state. Unlike
+    /// [`new`](Self::new), the argument is the internal counter itself, not
+    /// a seed: `from_state(g.state())` continues `g`'s stream exactly.
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
 }
 
 /// Sender-side recovery policy: exponential backoff with a per-payment
@@ -457,6 +469,59 @@ impl FaultState {
     pub fn path_blocked(&self, path: &Path) -> bool {
         path.hops().iter().any(|&(c, _)| self.is_channel_down(c))
     }
+
+    /// Captures the mutable runtime — down-cause counts, node liveness,
+    /// fate-RNG position, and stats — for a checkpoint. The per-unit
+    /// probabilities are not captured; they are rebuilt from the plan's
+    /// config on restore.
+    pub fn export_state(&self) -> FaultStateSnapshot {
+        FaultStateSnapshot {
+            down_causes: self.down_causes.clone(),
+            node_down: self.node_down.clone(),
+            rng_state: self.rng.state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a capture from [`export_state`](Self::export_state) into a
+    /// state freshly built for the same plan and network. Fails (changing
+    /// nothing) when the vector lengths do not match this network.
+    pub fn restore_state(&mut self, snap: FaultStateSnapshot) -> Result<(), String> {
+        if snap.down_causes.len() != self.down_causes.len() {
+            return Err(format!(
+                "fault state has {} channels, network has {}",
+                snap.down_causes.len(),
+                self.down_causes.len()
+            ));
+        }
+        if snap.node_down.len() != self.node_down.len() {
+            return Err(format!(
+                "fault state has {} nodes, network has {}",
+                snap.node_down.len(),
+                self.node_down.len()
+            ));
+        }
+        self.down_causes = snap.down_causes;
+        self.node_down = snap.node_down;
+        self.rng = SplitMix64::from_state(snap.rng_state);
+        self.stats = snap.stats;
+        Ok(())
+    }
+}
+
+/// Plain-data capture of a [`FaultState`]'s mutable runtime, produced by
+/// [`FaultState::export_state`] and consumed by
+/// [`FaultState::restore_state`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultStateSnapshot {
+    /// Per-channel count of active down-causes.
+    pub down_causes: Vec<u8>,
+    /// Per-node crashed flag.
+    pub node_down: Vec<bool>,
+    /// Raw SplitMix64 state of the per-unit fate RNG.
+    pub rng_state: u64,
+    /// Run statistics so far.
+    pub stats: FaultStats,
 }
 
 /// Per-channel blacklist: a sender avoids a blamed channel until the
@@ -491,6 +556,26 @@ impl Blacklist {
     /// `true` if any hop of `path` is blacklisted at `now`.
     pub fn path_blocked(&self, path: &Path, now: f64) -> bool {
         path.hops().iter().any(|&(c, _)| self.blocked(c, now))
+    }
+
+    /// Raw per-channel expiry times (`NEG_INFINITY` = never blocked), for
+    /// checkpointing.
+    pub fn slots(&self) -> &[f64] {
+        &self.until
+    }
+
+    /// Restores slots captured by [`slots`](Self::slots). Fails (changing
+    /// nothing) when the length does not match this network.
+    pub fn restore_slots(&mut self, slots: Vec<f64>) -> Result<(), String> {
+        if slots.len() != self.until.len() {
+            return Err(format!(
+                "blacklist has {} channels, network has {}",
+                slots.len(),
+                self.until.len()
+            ));
+        }
+        self.until = slots;
+        Ok(())
     }
 }
 

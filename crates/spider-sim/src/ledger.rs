@@ -468,6 +468,28 @@ impl Ledger {
     pub(crate) fn copy_channel_state_from(&mut self, other: &Ledger, c: ChannelId) {
         self.channels[c.index()] = other.channels[c.index()].clone();
     }
+
+    /// Raw channel state `[capacity, available_a, available_b, inflight]`
+    /// in micro-tokens, for checkpointing.
+    pub(crate) fn export_channel(&self, c: ChannelId) -> [i64; 4] {
+        let st = &self.channels[c.index()];
+        [
+            st.capacity.micros(),
+            st.available[0].micros(),
+            st.available[1].micros(),
+            st.inflight.micros(),
+        ]
+    }
+
+    /// Overwrites one channel's raw state with micros captured by
+    /// [`export_channel`](Self::export_channel).
+    pub(crate) fn restore_channel(&mut self, c: ChannelId, raw: [i64; 4]) {
+        self.channels[c.index()] = ChannelState {
+            capacity: Amount::from_micros(raw[0]),
+            available: [Amount::from_micros(raw[1]), Amount::from_micros(raw[2])],
+            inflight: Amount::from_micros(raw[3]),
+        };
+    }
 }
 
 /// A [`BalanceView`] of a ledger bound to its network (needed to resolve

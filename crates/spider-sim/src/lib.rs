@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod payment;
 pub mod rebalancer;
 pub mod scheduler;
+pub mod snapshot;
 pub mod wire;
 
 pub use audit::{AuditViolation, AuditViolationKind, LedgerAudit};
@@ -38,7 +39,8 @@ pub use congestion::{CongestionConfig, CongestionControl};
 pub use engine::{run, SimConfig};
 pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
 pub use engine_sharded::{
-    run_sharded, ShardEpochMetrics, ShardObservability, ShardScheme, ShardedConfig,
+    resume_sharded, run_sharded, run_sharded_checkpointed, ShardEpochMetrics, ShardObservability,
+    ShardScheme, ShardedConfig,
 };
 pub use events::{EventQueue, Time};
 pub use faults::{
@@ -50,4 +52,5 @@ pub use metrics::SimReport;
 pub use payment::{PaymentState, PaymentStatus};
 pub use rebalancer::{RebalancePolicy, RebalanceStats};
 pub use scheduler::SchedulePolicy;
+pub use snapshot::{latest_snapshot, CheckpointSpec, Snapshot, SnapshotError};
 pub use wire::{HashLock, HopHeader, UnitPacket, WireError};

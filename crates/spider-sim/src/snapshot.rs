@@ -1,0 +1,685 @@
+//! Versioned engine snapshots for crash-safe checkpoint/resume.
+//!
+//! The container format (`SPSN`, mirroring the `SPBT` trace versioning rule
+//! in DESIGN.md) is a fixed header followed by independently checksummed
+//! sections:
+//!
+//! ```text
+//! magic "SPSN" (4) | version u8 | engine u8 | fingerprint u32
+//! | progress u64 | section_count u32
+//! then per section: tag u32 | len u64 | crc32 u32 | bytes
+//! ```
+//!
+//! - **version** is bumped on any layout change; readers reject files from
+//!   the future with a structured error instead of misparsing them.
+//! - **engine** identifies which engine wrote the snapshot
+//!   ([`ENGINE_SEQ`], [`ENGINE_QUEUED`], [`ENGINE_SHARDED`]); resuming with
+//!   the wrong engine is an error, not a crash.
+//! - **fingerprint** is a CRC-32 over the simulation inputs (network shape,
+//!   transaction trace, key config fields). Resume recomputes it from its
+//!   own inputs and rejects a mismatch, so a snapshot can never be applied
+//!   to a different scenario.
+//! - **progress** is the engine's own cadence counter (scheduler ticks for
+//!   the event-driven engines, BSP epochs for the sharded engine); it
+//!   orders snapshot files within a directory.
+//!
+//! Writes are crash-safe: the file is staged under a temporary name in the
+//! target directory, fsynced, atomically renamed into place, and the
+//! directory itself is fsynced — a reader never observes a half-written
+//! snapshot, and a `kill -9` mid-write leaves at most a stale `.tmp` that
+//! [`latest_snapshot`] ignores.
+//!
+//! Decoding never panics. Truncated, bit-flipped, or otherwise corrupt
+//! files surface as [`SnapshotError`] values.
+
+use serde::{Deserialize, Serialize};
+use spider_core::{crc32, BinError, Dec, Enc, Network};
+use spider_telemetry::TelemetryState;
+use spider_workload::Transaction;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current snapshot format version. Bump on any layout change.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// File magic: "SPSN" (SPider SNapshot).
+pub const MAGIC: [u8; 4] = *b"SPSN";
+
+/// Engine kind byte: the sequential event-driven engine ([`crate::run`]).
+pub const ENGINE_SEQ: u8 = 1;
+/// Engine kind byte: the router-queued engine ([`crate::run_queued`]).
+pub const ENGINE_QUEUED: u8 = 2;
+/// Engine kind byte: the partition-parallel engine ([`crate::run_sharded`]).
+pub const ENGINE_SHARDED: u8 = 3;
+
+/// Pseudo-section id used in [`SnapshotError::CrcMismatch`] when the
+/// *frame* checksum fails — the trailing CRC over the whole file that
+/// protects the header and section framing.
+pub const SEC_FRAME: u32 = 0;
+
+/// Section tag: engine-specific core state.
+pub const SEC_CORE: u32 = 1;
+/// Section tag: routing-scheme state (may be empty for stateless schemes).
+pub const SEC_SCHEME: u32 = 2;
+/// Section tag: telemetry state (absent when telemetry is disabled).
+pub const SEC_TELEMETRY: u32 = 3;
+
+/// Why a snapshot could not be written, read, or applied.
+///
+/// Every failure mode is a structured variant — corrupt or truncated input
+/// never panics the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Which operation (`"create"`, `"write"`, `"rename"`, ...).
+        op: &'static str,
+        /// The underlying error, stringified.
+        error: String,
+    },
+    /// The file does not start with the `SPSN` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file was written by a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// Version byte in the file.
+        found: u8,
+        /// Highest version this build understands.
+        supported: u8,
+    },
+    /// The snapshot was written by a different engine.
+    WrongEngine {
+        /// Engine kind expected by the caller.
+        expected: u8,
+        /// Engine kind recorded in the file.
+        found: u8,
+    },
+    /// The snapshot was taken from different simulation inputs.
+    ConfigMismatch {
+        /// Fingerprint recomputed from the caller's inputs.
+        expected: u32,
+        /// Fingerprint recorded in the file.
+        found: u32,
+    },
+    /// A section's checksum does not match its bytes.
+    CrcMismatch {
+        /// Section tag.
+        section: u32,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the section bytes.
+        computed: u32,
+    },
+    /// A required section is missing.
+    MissingSection {
+        /// The absent section tag.
+        section: u32,
+    },
+    /// The file (or a section) is structurally invalid.
+    Corrupt {
+        /// What was wrong.
+        what: String,
+    },
+    /// The snapshot is valid but cannot be applied by this configuration
+    /// (e.g. a scheme or telemetry handle that does not support restore).
+    Unsupported {
+        /// What is not supported.
+        what: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, op, error } => {
+                write!(f, "snapshot {op} failed for {}: {error}", path.display())
+            }
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot file: bad magic {found:02x?}")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            SnapshotError::WrongEngine { expected, found } => write!(
+                f,
+                "snapshot was written by engine kind {found}, expected {expected}"
+            ),
+            SnapshotError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot fingerprint {found:#010x} does not match these inputs ({expected:#010x})"
+            ),
+            SnapshotError::CrcMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {section} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section {section}")
+            }
+            SnapshotError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Unsupported { what } => write!(f, "cannot resume: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<BinError> for SnapshotError {
+    fn from(err: BinError) -> Self {
+        SnapshotError::Corrupt {
+            what: err.to_string(),
+        }
+    }
+}
+
+/// Periodic-checkpoint policy for a run.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Checkpoint cadence in engine progress units (scheduler ticks for the
+    /// event-driven engines, BSP epochs for the sharded engine). Clamped to
+    /// at least 1.
+    pub every: u64,
+    /// Directory snapshot files are written into (created on demand).
+    pub dir: PathBuf,
+}
+
+impl CheckpointSpec {
+    /// A spec checkpointing every `every` progress units into `dir`.
+    pub fn new(every: u64, dir: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            every: every.max(1),
+            dir: dir.into(),
+        }
+    }
+}
+
+/// A decoded snapshot container: header fields plus verified sections.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Engine kind byte ([`ENGINE_SEQ`] / [`ENGINE_QUEUED`] / [`ENGINE_SHARDED`]).
+    pub engine: u8,
+    /// Input fingerprint recorded at capture time.
+    pub fingerprint: u32,
+    /// Engine progress counter at capture time.
+    pub progress: u64,
+    /// `(tag, bytes)` pairs, CRC-verified, in file order.
+    pub sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// The bytes of section `tag`, or a [`SnapshotError::MissingSection`].
+    pub fn section(&self, tag: u32) -> Result<&[u8], SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, b)| b.as_slice())
+            .ok_or(SnapshotError::MissingSection { section: tag })
+    }
+
+    /// The bytes of section `tag`, or `None` when absent.
+    pub fn section_opt(&self, tag: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Verifies this snapshot belongs to `engine` with `fingerprint`.
+    pub fn check(&self, engine: u8, fingerprint: u32) -> Result<(), SnapshotError> {
+        if self.engine != engine {
+            return Err(SnapshotError::WrongEngine {
+                expected: engine,
+                found: self.engine,
+            });
+        }
+        if self.fingerprint != fingerprint {
+            return Err(SnapshotError::ConfigMismatch {
+                expected: fingerprint,
+                found: self.fingerprint,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a snapshot container to bytes.
+pub fn encode_snapshot(
+    engine: u8,
+    fingerprint: u32,
+    progress: u64,
+    sections: &[(u32, Vec<u8>)],
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    for b in MAGIC {
+        e.u8(b);
+    }
+    e.u8(FORMAT_VERSION);
+    e.u8(engine);
+    e.u32(fingerprint);
+    e.u64(progress);
+    e.u32(sections.len() as u32);
+    for (tag, bytes) in sections {
+        e.u32(*tag);
+        e.u64(bytes.len() as u64);
+        e.u32(crc32(bytes));
+        e.bytes_raw(bytes);
+    }
+    // Frame CRC over everything above: the per-section checksums cover the
+    // payloads, this one covers the header and section framing too, so a
+    // bit flip anywhere in the file is detected.
+    let mut out = e.into_bytes();
+    let frame = crc32(&out);
+    out.extend_from_slice(&frame.to_le_bytes());
+    out
+}
+
+/// Decodes and CRC-verifies a snapshot container.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    // Magic and version are checked on the raw prefix first so a
+    // wrong-filetype or future-version file gets its specific error rather
+    // than a generic checksum failure.
+    if bytes.len() < 4 {
+        return Err(SnapshotError::Corrupt {
+            what: "file shorter than the magic".to_string(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[..4]);
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    let Some(&version) = bytes.get(4) else {
+        return Err(SnapshotError::Corrupt {
+            what: "file ends before the version byte".to_string(),
+        });
+    };
+    if version > FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    // The last four bytes are a frame CRC over everything before them,
+    // covering the header and section framing that the per-section
+    // checksums do not.
+    if bytes.len() < 9 {
+        return Err(SnapshotError::Corrupt {
+            what: "file ends before the frame checksum".to_string(),
+        });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let mut stored_frame = [0u8; 4];
+    stored_frame.copy_from_slice(tail);
+    let stored_frame = u32::from_le_bytes(stored_frame);
+    let computed_frame = crc32(body);
+    if computed_frame != stored_frame {
+        return Err(SnapshotError::CrcMismatch {
+            section: SEC_FRAME,
+            stored: stored_frame,
+            computed: computed_frame,
+        });
+    }
+    let mut d = Dec::new(body);
+    d.take_raw(5).map_err(|_| SnapshotError::Corrupt {
+        what: "file shorter than the header".to_string(),
+    })?;
+    let engine = d.u8()?;
+    let fingerprint = d.u32()?;
+    let progress = d.u64()?;
+    let count = d.u32()?;
+    let mut sections = Vec::new();
+    for _ in 0..count {
+        let tag = d.u32()?;
+        let len = d.u64()?;
+        let stored = d.u32()?;
+        let len = usize::try_from(len).map_err(|_| SnapshotError::Corrupt {
+            what: format!("section {tag} length {len} exceeds usize"),
+        })?;
+        if len > d.remaining() {
+            return Err(SnapshotError::Corrupt {
+                what: format!(
+                    "section {tag} claims {len} bytes but only {} remain",
+                    d.remaining()
+                ),
+            });
+        }
+        let body = d.take_raw(len)?;
+        let computed = crc32(body);
+        if computed != stored {
+            return Err(SnapshotError::CrcMismatch {
+                section: tag,
+                stored,
+                computed,
+            });
+        }
+        sections.push((tag, body.to_vec()));
+    }
+    d.expect_end()?;
+    Ok(Snapshot {
+        engine,
+        fingerprint,
+        progress,
+        sections,
+    })
+}
+
+fn io_err(path: &Path, op: &'static str, error: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.to_path_buf(),
+        op,
+        error: error.to_string(),
+    }
+}
+
+/// Writes a snapshot crash-safely into `dir` and returns its path.
+///
+/// The bytes are staged under a dot-prefixed `.tmp` name, fsynced, renamed
+/// atomically to `snap-<progress>.spsn`, and the directory is fsynced so
+/// the rename itself is durable. A crash at any point leaves either the
+/// previous snapshot set intact or the new file complete — never a torn
+/// file under the final name.
+pub fn write_snapshot(
+    dir: &Path,
+    engine: u8,
+    fingerprint: u32,
+    progress: u64,
+    sections: &[(u32, Vec<u8>)],
+) -> Result<PathBuf, SnapshotError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, "create-dir", e))?;
+    let bytes = encode_snapshot(engine, fingerprint, progress, sections);
+    let name = format!("snap-{progress:012}.spsn");
+    let tmp = dir.join(format!(".{name}.tmp"));
+    let path = dir.join(&name);
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
+        f.write_all(&bytes).map_err(|e| io_err(&tmp, "write", e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+    }
+    fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))?;
+    // Make the rename durable: fsync the containing directory.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// Reads and CRC-verifies a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, "read", e))?;
+    decode_snapshot(&bytes)
+}
+
+/// The newest fully valid snapshot in `dir` (by progress counter), or
+/// `None` when the directory holds no usable snapshot.
+///
+/// Files that fail magic, version, or CRC validation — e.g. a snapshot torn
+/// by power loss on a filesystem without atomic rename — are skipped, so a
+/// crash harness always lands on the most recent *consistent* state.
+pub fn latest_snapshot(dir: &Path) -> Result<Option<PathBuf>, SnapshotError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(dir, "read-dir", e)),
+    };
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "spsn")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("snap-"))
+        })
+        .collect();
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        if read_snapshot(&path).is_ok() {
+            return Ok(Some(path));
+        }
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------------
+// Shared encoding helpers for the engines.
+
+/// JSON-encodes `v` as a length-prefixed string (used for serde types whose
+/// floats are always finite: trace events, audit violations, fault stats).
+pub(crate) fn enc_json<T: Serialize>(e: &mut Enc, v: &T) {
+    // Serialization of plain data structs cannot fail; an empty string
+    // would be rejected at decode, which is the safe direction.
+    e.str(&serde_json::to_string(v).unwrap_or_default());
+}
+
+/// Decodes a value encoded by [`enc_json`].
+pub(crate) fn dec_json<T: Deserialize>(d: &mut Dec) -> Result<T, SnapshotError> {
+    let s = d.str()?;
+    serde_json::from_str(&s).map_err(|e| SnapshotError::Corrupt {
+        what: format!("embedded JSON: {e}"),
+    })
+}
+
+/// Encodes an optional telemetry state; `None` (telemetry disabled) encodes
+/// as an empty section. Float-valued registry fields (histogram extrema are
+/// `±INFINITY` when empty) travel as raw bits; the event buffer is JSON
+/// (trace-event floats are always finite simulation times).
+pub(crate) fn encode_telemetry(state: &Option<TelemetryState>) -> Vec<u8> {
+    let Some(s) = state else {
+        return Vec::new();
+    };
+    let mut e = Enc::new();
+    e.f64(s.sample_interval);
+    e.bool(s.profiled);
+    e.seq(&s.registry.counters, |e, (name, label, v)| {
+        e.str(name);
+        e.str(label);
+        e.u64(*v);
+    });
+    e.seq(&s.registry.gauges, |e, (name, label, v)| {
+        e.str(name);
+        e.str(label);
+        e.f64(*v);
+    });
+    e.seq(&s.registry.histograms, |e, (name, label, h)| {
+        e.str(name);
+        e.str(label);
+        e.seq(&h.bounds, |e, &b| e.f64(b));
+        e.seq(&h.counts, |e, &c| e.u64(c));
+        e.u64(h.count);
+        e.f64(h.sum);
+        e.f64(h.min);
+        e.f64(h.max);
+    });
+    enc_json(&mut e, &s.events);
+    e.into_bytes()
+}
+
+/// Decodes a telemetry section written by [`encode_telemetry`].
+pub(crate) fn decode_telemetry(bytes: &[u8]) -> Result<Option<TelemetryState>, SnapshotError> {
+    if bytes.is_empty() {
+        return Ok(None);
+    }
+    let mut d = Dec::new(bytes);
+    let sample_interval = d.f64()?;
+    let profiled = d.bool()?;
+    let counters = d.seq(|d| Ok((d.str()?, d.str()?, d.u64()?)))?;
+    let gauges = d.seq(|d| Ok((d.str()?, d.str()?, d.f64()?)))?;
+    let histograms = d.seq(|d| {
+        let name = d.str()?;
+        let label = d.str()?;
+        let bounds = d.seq(|d| d.f64())?;
+        let counts = d.seq(|d| d.u64())?;
+        Ok((
+            name,
+            label,
+            spider_telemetry::HistogramState {
+                bounds,
+                counts,
+                count: d.u64()?,
+                sum: d.f64()?,
+                min: d.f64()?,
+                max: d.f64()?,
+            },
+        ))
+    })?;
+    let events = dec_json(&mut d)?;
+    d.expect_end()?;
+    Ok(Some(TelemetryState {
+        sample_interval,
+        profiled,
+        registry: spider_telemetry::RegistryState {
+            counters,
+            gauges,
+            histograms,
+        },
+        events,
+    }))
+}
+
+/// Feeds the shared simulation inputs — network shape and the transaction
+/// trace — into a fingerprint encoder. Engines append their own config
+/// fields and hash the result with [`crc32`].
+pub(crate) fn enc_inputs(e: &mut Enc, network: &Network, transactions: &[Transaction]) {
+    e.usize(network.num_nodes());
+    e.usize(network.num_channels());
+    for ch in network.channels() {
+        e.u32(ch.a.0);
+        e.u32(ch.b.0);
+        e.i64(ch.balance_a.micros());
+        e.i64(ch.balance_b.micros());
+    }
+    e.usize(transactions.len());
+    for tx in transactions {
+        e.u64(tx.id.0);
+        e.u32(tx.src.0);
+        e.u32(tx.dst.0);
+        e.i64(tx.amount.micros());
+        e.f64(tx.arrival);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sections() -> Vec<(u32, Vec<u8>)> {
+        vec![
+            (SEC_CORE, b"core-bytes".to_vec()),
+            (SEC_SCHEME, Vec::new()),
+            (SEC_TELEMETRY, b"tel".to_vec()),
+        ]
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let bytes = encode_snapshot(ENGINE_SEQ, 0xABCD_1234, 42, &sections());
+        let snap = decode_snapshot(&bytes).unwrap();
+        assert_eq!(snap.engine, ENGINE_SEQ);
+        assert_eq!(snap.fingerprint, 0xABCD_1234);
+        assert_eq!(snap.progress, 42);
+        assert_eq!(snap.section(SEC_CORE).unwrap(), b"core-bytes");
+        assert_eq!(snap.section(SEC_SCHEME).unwrap(), b"");
+        assert_eq!(snap.section_opt(SEC_TELEMETRY), Some(&b"tel"[..]));
+        assert!(matches!(
+            snap.section(99),
+            Err(SnapshotError::MissingSection { section: 99 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_snapshot(ENGINE_SEQ, 1, 1, &sections());
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_snapshot(ENGINE_SEQ, 1, 1, &sections());
+        bytes[4] = FORMAT_VERSION + 1;
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_structured_error() {
+        let bytes = encode_snapshot(ENGINE_QUEUED, 7, 3, &sections());
+        for cut in 0..bytes.len() {
+            let r = decode_snapshot(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        // Flipping any single bit anywhere — header, section framing,
+        // payload, or the checksums themselves — must be rejected with a
+        // structured error: the per-section CRCs cover the payloads and the
+        // trailing frame CRC covers everything else.
+        let bytes = encode_snapshot(ENGINE_SEQ, 0, 5, &sections());
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                let r = decode_snapshot(&bad);
+                assert!(r.is_err(), "undetected corruption at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_engine_and_fingerprint_checks() {
+        let bytes = encode_snapshot(ENGINE_SEQ, 10, 1, &sections());
+        let snap = decode_snapshot(&bytes).unwrap();
+        assert!(snap.check(ENGINE_SEQ, 10).is_ok());
+        assert!(matches!(
+            snap.check(ENGINE_QUEUED, 10),
+            Err(SnapshotError::WrongEngine { .. })
+        ));
+        assert!(matches!(
+            snap.check(ENGINE_SEQ, 11),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_and_latest() {
+        let dir = std::env::temp_dir().join(format!("spsn-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(latest_snapshot(&dir).unwrap(), None);
+        let p1 = write_snapshot(&dir, ENGINE_SEQ, 1, 10, &sections()).unwrap();
+        let p2 = write_snapshot(&dir, ENGINE_SEQ, 1, 20, &sections()).unwrap();
+        assert!(p1.exists() && p2.exists());
+        assert_eq!(latest_snapshot(&dir).unwrap(), Some(p2.clone()));
+        // A corrupt newest file falls back to the previous valid one.
+        let p3 = dir.join("snap-000000000030.spsn");
+        fs::write(&p3, b"SPSNgarbage").unwrap();
+        assert_eq!(latest_snapshot(&dir).unwrap(), Some(p2));
+        // Stale tmp files are ignored.
+        fs::write(dir.join(".snap-000000000040.spsn.tmp"), b"partial").unwrap();
+        assert!(latest_snapshot(&dir).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_state_none_round_trips() {
+        let bytes = encode_telemetry(&None);
+        assert!(bytes.is_empty());
+        assert_eq!(decode_telemetry(&bytes).unwrap(), None);
+    }
+}

@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! header := magic "SPBT" | version u8 | kind_count u16
-//!           | kind_count × (len u16 | utf8 name)
+//!           | kind_count × (len u16 | utf8 name) | header_crc u32
 //! file   := header | block*
-//! block  := body_len u32 | body
+//! block  := body_len u32 | body_crc u32 | body
 //! body   := count u32 | flags u8 | t_min f64 | t_max f64
 //!           | chan_count varint | delta-encoded sorted channel ids
 //!           | node_count varint | delta-encoded sorted node ids
@@ -32,6 +32,13 @@
 //! streams produce byte-identical files on any host, mirroring the JSONL
 //! guarantee. The format version byte is checked on read; see DESIGN.md
 //! for the compatibility rule.
+//!
+//! Corruption is detected, never silently decoded: `header_crc` covers
+//! every header byte before it and `body_crc` covers its block body, so
+//! any bit flip surfaces as a structured [`BinTraceError`] — flips in the
+//! length/CRC fields themselves land in `Truncated` or a checksum
+//! mismatch, and flips in a kind-table name are caught by the header CRC
+//! before any event resolves through the table.
 
 use crate::trace::{events_to_jsonl, parse_jsonl, TraceEvent};
 use std::fmt;
@@ -40,7 +47,8 @@ use std::fmt;
 pub const BINTRACE_MAGIC: [u8; 4] = *b"SPBT";
 
 /// Current format version (bumped on any incompatible layout change).
-pub const BINTRACE_VERSION: u8 = 1;
+/// v2 added the header and per-block CRC32 checksums.
+pub const BINTRACE_VERSION: u8 = 2;
 
 /// Default number of events per indexed block.
 pub const DEFAULT_BLOCK_EVENTS: usize = 512;
@@ -93,6 +101,22 @@ pub enum BinTraceError {
     BadVarint,
     /// A block's declared body length disagrees with its contents.
     BadBlockLength,
+    /// The header's checksum does not match its bytes (corrupted kind
+    /// table or version/magic region).
+    BadHeaderChecksum {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the header bytes actually read.
+        computed: u32,
+    },
+    /// A block body's checksum does not match its bytes (bit flip or
+    /// other corruption inside the block).
+    BadBlockChecksum {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the body bytes actually read.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for BinTraceError {
@@ -109,6 +133,14 @@ impl fmt::Display for BinTraceError {
             BinTraceError::BadFloatTag(t) => write!(f, "invalid float tag {t}"),
             BinTraceError::BadVarint => write!(f, "malformed varint"),
             BinTraceError::BadBlockLength => write!(f, "block length does not match contents"),
+            BinTraceError::BadHeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            BinTraceError::BadBlockChecksum { stored, computed } => write!(
+                f,
+                "block checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -579,6 +611,8 @@ impl BinTraceWriter {
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
         }
+        let header_crc = spider_core::crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
         BinTraceWriter {
             out,
             pending: Vec::new(),
@@ -663,6 +697,8 @@ impl BinTraceWriter {
 
         self.out
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.out
+            .extend_from_slice(&spider_core::crc32(&body).to_le_bytes());
         self.out.extend_from_slice(&body);
         self.pending.clear();
     }
@@ -783,6 +819,12 @@ fn read_header(bytes: &[u8]) -> Result<(Header, Cursor<'_>), BinTraceError> {
             std::str::from_utf8(raw).map_err(|_| BinTraceError::BadKindName(format!("{raw:?}")))?;
         kinds.push(name.to_string());
     }
+    let consumed = bytes.len() - cur.remaining();
+    let stored = cur.u32()?;
+    let computed = spider_core::crc32(&bytes[..consumed]);
+    if stored != computed {
+        return Err(BinTraceError::BadHeaderChecksum { stored, computed });
+    }
     Ok((Header { kinds }, cur))
 }
 
@@ -892,7 +934,12 @@ fn run_query(
     let mut stats = QueryStats::default();
     while cur.remaining() > 0 {
         let body_len = cur.u32()? as usize;
+        let stored = cur.u32()?;
         let body = cur.take(body_len)?;
+        let computed = spider_core::crc32(body);
+        if stored != computed {
+            return Err(BinTraceError::BadBlockChecksum { stored, computed });
+        }
         stats.blocks_total += 1;
         let mut bcur = Cursor::new(body);
         let head = read_block_head(&mut bcur)?;
@@ -1245,5 +1292,106 @@ mod tests {
             a.len(),
             jsonl.len()
         );
+    }
+
+    /// A small multi-block file for the corruption tests.
+    fn multi_block_bytes() -> (Vec<TraceEvent>, Vec<u8>) {
+        let events = sample_events();
+        let mut w = BinTraceWriter::with_block_events(3);
+        for e in &events {
+            w.push(e);
+        }
+        (events, w.finish())
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let (_, bytes) = multi_block_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1u8 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "flip of bit {bit} in byte {byte}/{} was silently accepted",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_surfaces_as_structured_errors() {
+        let (_, bytes) = multi_block_bytes();
+        // Kind-table corruption is caught by the header CRC: flip one bit
+        // of the first kind name's first character (offset 9 = magic 4 +
+        // version 1 + kind_count 2 + name length 2).
+        let mut bad = bytes.clone();
+        bad[9] ^= 0x01;
+        assert!(matches!(
+            decode(&bad).unwrap_err(),
+            BinTraceError::BadHeaderChecksum { .. }
+        ));
+        // Body corruption is caught by the block CRC.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            decode(&bad).unwrap_err(),
+            BinTraceError::BadBlockChecksum { .. }
+        ));
+    }
+
+    proptest::proptest! {
+        /// Any corruption of a valid file — truncation, byte splices, bit
+        /// flips — decodes to a structured error or (for clean cuts at a
+        /// block boundary) a strict prefix of the original events. Never a
+        /// panic, never silently wrong data.
+        #[test]
+        fn prop_corrupted_bintrace_never_decodes_silently(
+            cut in 0usize..2048,
+            splice_at in 0usize..2048,
+            splice_val in 0usize..256,
+        ) {
+            let (events, bytes) = multi_block_bytes();
+
+            // Truncation: blocks are self-delimiting, so a cut exactly at
+            // a block boundary yields a valid shorter trace — but then the
+            // decoded events must be a strict prefix of the original.
+            let cut = cut.min(bytes.len());
+            if let Ok(prefix) = decode(&bytes[..cut]) {
+                proptest::prop_assert!(prefix.len() <= events.len());
+                proptest::prop_assert_eq!(&prefix[..], &events[..prefix.len()]);
+            }
+
+            // Byte splice: if any byte actually changed, decode must fail.
+            let mut spliced = bytes.clone();
+            let at = splice_at.min(bytes.len() - 1);
+            spliced[at] = splice_val as u8;
+            if spliced != bytes {
+                proptest::prop_assert!(decode(&spliced).is_err());
+            }
+        }
+
+        /// Corrupted JSONL input never panics the parser: it yields the
+        /// events or a structured per-line error.
+        #[test]
+        fn prop_corrupted_jsonl_never_panics(
+            splice_at in 0usize..4096,
+            splice_val in 0usize..256,
+        ) {
+            let jsonl = events_to_jsonl(&sample_events());
+            let mut raw = jsonl.into_bytes();
+            let at = splice_at.min(raw.len() - 1);
+            raw[at] = splice_val as u8;
+            let text = String::from_utf8_lossy(&raw);
+            match parse_jsonl(&text) {
+                Ok(events) => proptest::prop_assert!(events.len() <= sample_events().len()),
+                Err((line, msg)) => {
+                    proptest::prop_assert!(line >= 1);
+                    proptest::prop_assert!(!msg.is_empty());
+                }
+            }
+        }
     }
 }

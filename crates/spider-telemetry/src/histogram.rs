@@ -136,6 +136,51 @@ impl Histogram {
         self.max
     }
 
+    /// The complete internal state, for checkpointing. Unlike
+    /// [`snapshot`](Histogram::snapshot) this is lossless: empty buckets and
+    /// the exact (possibly non-finite) `min`/`max` sentinels are preserved,
+    /// so [`from_state`](Histogram::from_state) rebuilds a histogram
+    /// indistinguishable from the original.
+    pub fn state(&self) -> HistogramState {
+        HistogramState {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuilds a histogram from [`state`](Histogram::state) output,
+    /// rejecting structurally invalid input with a message.
+    pub fn from_state(state: HistogramState) -> Result<Histogram, String> {
+        if state.bounds.is_empty() {
+            return Err("histogram state has no buckets".to_string());
+        }
+        if !state.bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("histogram bounds not strictly increasing".to_string());
+        }
+        if state.counts.len() != state.bounds.len() + 1 {
+            return Err(format!(
+                "histogram has {} bounds but {} counts",
+                state.bounds.len(),
+                state.counts.len()
+            ));
+        }
+        if state.counts.iter().sum::<u64>() != state.count {
+            return Err("histogram bucket counts do not sum to total".to_string());
+        }
+        Ok(Histogram {
+            bounds: state.bounds,
+            counts: state.counts,
+            count: state.count,
+            sum: state.sum,
+            min: state.min,
+            max: state.max,
+        })
+    }
+
     /// Snapshot for serialization: non-empty buckets as
     /// `(upper_bound, count)` pairs (the overflow bucket reports `max` as
     /// its bound).
@@ -169,6 +214,26 @@ impl Histogram {
             buckets,
         }
     }
+}
+
+/// Lossless internal state of a [`Histogram`], produced by
+/// [`Histogram::state`] for engine checkpoints. `min`/`max` may be
+/// `±INFINITY` (the empty-histogram sentinels), which is why this struct is
+/// carried in binary snapshot sections rather than JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramState {
+    /// Bucket upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (one per bound, plus the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (`INFINITY` when empty).
+    pub min: f64,
+    /// Largest sample (`NEG_INFINITY` when empty).
+    pub max: f64,
 }
 
 fn is_zero(v: &u64) -> bool {

@@ -32,8 +32,8 @@ pub mod summary;
 pub mod trace;
 
 pub use bintrace::{BinTraceError, BinTraceWriter, TraceQuery};
-pub use histogram::{Histogram, HistogramSnapshot};
-pub use registry::{MetricEntry, MetricsRegistry, MetricsSnapshot};
+pub use histogram::{Histogram, HistogramSnapshot, HistogramState};
+pub use registry::{intern_name, MetricEntry, MetricsRegistry, MetricsSnapshot, RegistryState};
 pub use spans::{Phase, PhaseProfile, PhaseWallStat, SpanGuard, SpanProfiler};
 pub use summary::{DelayPercentiles, NetworkSample, TelemetrySummary};
 pub use trace::{count_by_kind, events_to_jsonl, parse_jsonl, TraceEvent, Tracer};
@@ -42,6 +42,21 @@ use std::sync::Arc;
 
 /// Default cadence for per-channel state samples (simulation seconds).
 pub const DEFAULT_SAMPLE_INTERVAL: f64 = 1.0;
+
+/// Lossless recorded state of an enabled [`Telemetry`] handle, captured by
+/// [`Telemetry::export_state`] for engine checkpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryState {
+    /// Channel-sampling cadence (simulation seconds).
+    pub sample_interval: f64,
+    /// Whether the handle carried a span profiler. Profiled handles export
+    /// this flag but cannot be restored.
+    pub profiled: bool,
+    /// Full registry contents.
+    pub registry: registry::RegistryState,
+    /// The event buffer, in emission order.
+    pub events: Vec<TraceEvent>,
+}
 
 #[derive(Debug)]
 struct TelemetryInner {
@@ -260,6 +275,77 @@ impl Telemetry {
             .as_ref()
             .map(|i| i.tracer.to_jsonl())
             .unwrap_or_default()
+    }
+
+    /// Lossless capture of an enabled handle's recorded state — registry
+    /// contents plus the full event buffer — for an engine checkpoint.
+    /// `None` when disabled. Wall-clock span profiles are *not* captured
+    /// (they are inherently nondeterministic); the `profiled` flag records
+    /// whether the handle had one so callers can refuse to checkpoint it.
+    pub fn export_state(&self) -> Option<TelemetryState> {
+        let inner = self.inner.as_ref()?;
+        Some(TelemetryState {
+            sample_interval: inner.sample_interval,
+            profiled: inner.profiler.is_some(),
+            registry: inner.registry.export_state(),
+            events: inner.tracer.events(),
+        })
+    }
+
+    /// Rebuilds an enabled handle from [`export_state`] output: the new
+    /// handle's registry, event buffer, and sampling cadence are
+    /// indistinguishable from the captured one's. Fails on invalid registry
+    /// state and on profiled captures (wall-clock profiles cannot be
+    /// restored deterministically).
+    ///
+    /// [`export_state`]: Telemetry::export_state
+    pub fn from_state(state: TelemetryState) -> Result<Telemetry, String> {
+        if state.profiled {
+            return Err("profiled telemetry cannot be restored".to_string());
+        }
+        // NaN must be rejected too, hence the explicit check alongside <= 0.
+        if state.sample_interval <= 0.0 || state.sample_interval.is_nan() {
+            return Err(format!(
+                "sample interval must be positive, got {}",
+                state.sample_interval
+            ));
+        }
+        let t = Telemetry::with_sample_interval(state.sample_interval);
+        if let Some(inner) = t.inner.as_ref() {
+            inner.registry.restore_state(state.registry)?;
+            for ev in state.events {
+                inner.tracer.record(ev);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Restores checkpointed state *into this handle* in place, so a caller
+    /// holding a clone keeps visibility into a resumed run's trace and
+    /// metrics. The handle must be enabled, unprofiled, created with the
+    /// same sampling cadence as the capture, and must not have recorded any
+    /// events yet.
+    pub fn restore_from_state(&self, state: TelemetryState) -> Result<(), String> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Err("cannot restore telemetry into a disabled handle".to_string());
+        };
+        if state.profiled || inner.profiler.is_some() {
+            return Err("profiled telemetry cannot be restored".to_string());
+        }
+        if inner.sample_interval.to_bits() != state.sample_interval.to_bits() {
+            return Err(format!(
+                "sample interval mismatch: handle {} vs snapshot {}",
+                inner.sample_interval, state.sample_interval
+            ));
+        }
+        if !inner.tracer.events().is_empty() {
+            return Err("cannot restore into a handle that already recorded events".to_string());
+        }
+        inner.registry.restore_state(state.registry)?;
+        for ev in state.events {
+            inner.tracer.record(ev);
+        }
+        Ok(())
     }
 
     /// Builds the per-run summary: event counts, the given network series,

@@ -8,10 +8,28 @@
 //! given sequence of recordings, independent of thread interleaving of
 //! *distinct* metrics.
 
-use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::histogram::{Histogram, HistogramSnapshot, HistogramState};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Interns a metric name, returning a `&'static str` usable as a registry
+/// key. Needed when names come from deserialized data (snapshot restore)
+/// rather than source literals. Each distinct name leaks once; the set of
+/// metric names in a process is small and fixed, so the leak is bounded.
+pub fn intern_name(name: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut map = match INTERNED.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
 
 /// Metric address: static name plus an owned label ("" when unlabelled).
 type Key = (&'static str, String);
@@ -132,6 +150,77 @@ impl MetricsRegistry {
             histograms,
         }
     }
+
+    /// The registry's complete, lossless state for a checkpoint: exact
+    /// integer counters, gauges, and full histogram states (including empty
+    /// buckets and non-finite extrema that [`snapshot`] cannot carry),
+    /// sorted by `(name, label)`.
+    ///
+    /// [`snapshot`]: MetricsRegistry::snapshot
+    pub fn export_state(&self) -> RegistryState {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RegistryState {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&(name, ref label), &v)| (name.to_string(), label.clone(), v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(&(name, ref label), &v)| (name.to_string(), label.clone(), v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&(name, ref label), h)| (name.to_string(), label.clone(), h.state()))
+                .collect(),
+        }
+    }
+
+    /// Overwrites this registry's contents with a state captured by
+    /// [`export_state`](MetricsRegistry::export_state). Metric names are
+    /// interned via [`intern_name`]. Fails on structurally invalid
+    /// histogram states without modifying the registry.
+    pub fn restore_state(&self, state: RegistryState) -> Result<(), String> {
+        let mut histograms = BTreeMap::new();
+        for (name, label, hs) in state.histograms {
+            let h = Histogram::from_state(hs)
+                .map_err(|e| format!("histogram {name}{{{label}}}: {e}"))?;
+            histograms.insert((intern_name(&name), label), h);
+        }
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.counters = state
+            .counters
+            .into_iter()
+            .map(|(name, label, v)| ((intern_name(&name), label), v))
+            .collect();
+        inner.gauges = state
+            .gauges
+            .into_iter()
+            .map(|(name, label, v)| ((intern_name(&name), label), v))
+            .collect();
+        inner.histograms = histograms;
+        Ok(())
+    }
+}
+
+/// Lossless registry contents captured by [`MetricsRegistry::export_state`],
+/// in `(name, label, value)` form sorted by key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistryState {
+    /// Exact counter values.
+    pub counters: Vec<(String, String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, String, f64)>,
+    /// Full histogram states.
+    pub histograms: Vec<(String, String, HistogramState)>,
 }
 
 /// One named scalar metric in a snapshot.

@@ -62,8 +62,8 @@ pub mod prelude {
         SilentWhispersScheme, SpeedyMurmursScheme, UnitDecision, WaterfillingScheme,
     };
     pub use spider_sim::{
-        run, run_queued, run_sharded, Ledger, QueuedConfig, SchedulePolicy, ShardScheme,
-        ShardedConfig, SimConfig, SimReport,
+        latest_snapshot, run, run_queued, run_sharded, CheckpointSpec, Ledger, QueuedConfig,
+        SchedulePolicy, ShardScheme, ShardedConfig, SimConfig, SimReport, SnapshotError,
     };
     pub use spider_telemetry::Telemetry;
     pub use spider_topology::Partition;
