@@ -49,6 +49,14 @@ pub enum CoreError {
         /// The channel it was used with.
         channel: ChannelId,
     },
+    /// An arithmetic operation on channel funds would overflow the
+    /// fixed-point micro-token representation.
+    Overflow {
+        /// The channel whose balance or capacity would overflow.
+        channel: ChannelId,
+        /// The ledger operation that would overflow.
+        op: &'static str,
+    },
     /// An internal infrastructure invariant failed (serialization, worker
     /// bookkeeping, ...) — a bug, surfaced as a typed error instead of a
     /// panic.
@@ -90,6 +98,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::NotAnEndpoint { node, channel } => {
                 write!(f, "{node} is not an endpoint of {channel}")
+            }
+            CoreError::Overflow { channel, op } => {
+                write!(f, "amount overflow on {channel} during {op}")
             }
             CoreError::Internal(what) => write!(f, "internal error: {what}"),
         }

@@ -56,6 +56,22 @@ impl Baseline {
             .map(|e| e.count)
             .sum()
     }
+
+    /// A new baseline that takes `rule`'s entries from `scan` and keeps
+    /// every other rule's entries from `self` untouched — so paying down
+    /// one rule's debt (`bless --rule NAME`) cannot silently re-bless
+    /// regressions or absorb stale entries of unrelated rules.
+    pub fn merge_rule(&self, scan: &Baseline, rule: &str) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.rule != rule)
+            .cloned()
+            .chain(scan.entries.iter().filter(|e| e.rule == rule).cloned())
+            .collect();
+        entries.sort();
+        Baseline { entries }
+    }
 }
 
 /// A `(file, rule)` group that now has more violations than the baseline

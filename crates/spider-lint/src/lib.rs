@@ -10,6 +10,15 @@
 //!   micro-units outside the declared `spider-opt` boundary,
 //! - **panic-hygiene** — no `.unwrap()`/`.expect()` in library non-test
 //!   code,
+//! - **panic-reachability** — no panic site reachable through the
+//!   cross-crate call graph from the engine entry points `run`,
+//!   `run_queued`, `run_sharded`,
+//! - **wallclock-reachability** — no `Instant::now`/`SystemTime::now`
+//!   reachable from those deterministic entry points,
+//! - **overflow-safety** — no raw `+`/`-`/`*` arithmetic on `Amount`/micros
+//!   values outside `amount.rs`,
+//! - **shard-ownership** — in the sharded engine, ledger-slot mutation only
+//!   behind the `self.own(...)` owner guard,
 //! - **unsafe-audit** — no `unsafe` anywhere first-party,
 //! - **serde-compat** — new fields on fixture-frozen report structs must
 //!   carry `#[serde(default)]`/`skip_serializing_if`.
@@ -19,7 +28,8 @@
 //! Violations can be suppressed inline with
 //! `// spider-lint: allow(<rule>) — <reason>`.
 //!
-//! See `LINTS.md` at the workspace root for the full rule catalogue.
+//! See `LINTS.md` at the workspace root for the full rule catalogue and
+//! `DESIGN.md` for the call graph's approximate name-resolution model.
 //!
 //! [`Amount`]: https://docs.rs/spider-core
 
@@ -27,10 +37,13 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use baseline::{check, Baseline, BaselineEntry, CheckOutcome, Regression, StaleEntry};
+pub use callgraph::{render_graph_json, CallGraph, ENTRY_POINTS};
 pub use rules::{lint_source, Violation, RULES};
 
 use serde::{Deserialize, Serialize};
@@ -95,17 +108,49 @@ pub fn rel_path(root: &Path, file: &Path) -> String {
     parts.join("/")
 }
 
-/// Scans every first-party file under `root`, returning all violations
+/// Scans every first-party file under `root` — the per-file rules plus the
+/// workspace-level call-graph reachability rules — returning all violations
 /// sorted by `(file, line, rule, message)`.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(scan_workspace_full(root)?.0)
+}
+
+/// Like [`scan_workspace`], but also returns the call graph (for the
+/// `graph` subcommand, so one scan serves both outputs).
+pub fn scan_workspace_full(root: &Path) -> io::Result<(Vec<Violation>, CallGraph)> {
     let mut all = Vec::new();
+    let mut parsed: Vec<(String, rules::FileAnalysis)> = Vec::new();
     for file in collect_files(root)? {
         let rel = rel_path(root, &file);
         let source = std::fs::read_to_string(&file)?;
-        all.extend(rules::lint_source(&rel, &source));
+        let fa = rules::analyze_source(&rel, &source);
+        all.extend(fa.violations.iter().cloned());
+        parsed.push((rel, fa));
+    }
+    let graph_input: Vec<(String, parser::ParsedFile)> = parsed
+        .iter()
+        .map(|(rel, fa)| (rel.clone(), fa.parsed.clone()))
+        .collect();
+    let graph = CallGraph::build(&graph_input);
+    let allows: std::collections::BTreeMap<&str, _> = parsed
+        .iter()
+        .map(|(rel, fa)| (rel.as_str(), &fa.allows))
+        .collect();
+    for v in graph.reachability_violations() {
+        let suppressed = allows
+            .get(v.file.as_str())
+            .is_some_and(|a| rules::is_allowed(a, &v));
+        if !suppressed {
+            all.push(v);
+        }
     }
     all.sort();
-    Ok(all)
+    Ok((all, graph))
+}
+
+/// Builds just the workspace call graph (no rule evaluation).
+pub fn build_graph(root: &Path) -> io::Result<CallGraph> {
+    Ok(scan_workspace_full(root)?.1)
 }
 
 /// Loads the baseline at `path`. A missing file is an empty baseline (so a
@@ -154,7 +199,7 @@ pub struct CheckReport {
     pub ok: bool,
     /// Total current violations (baselined + new).
     pub total_violations: usize,
-    /// Per-rule totals, sorted by rule name (all five rules always listed).
+    /// Per-rule totals, sorted by rule name (every rule always listed).
     pub rule_totals: Vec<RuleTotal>,
     /// `(file, rule)` groups over their baselined count.
     pub regressions: Vec<Regression>,

@@ -2,21 +2,26 @@
 //!
 //! ```text
 //! cargo run -p spider-lint -- check [--json] [--root DIR]   # verify tree against lint-baseline.json
-//! cargo run -p spider-lint -- bless [--root DIR]            # regenerate the baseline
+//! cargo run -p spider-lint -- bless [--rule NAME] [--root DIR]  # regenerate the baseline
+//! cargo run -p spider-lint -- graph [--root DIR]            # emit the call graph as JSON
 //! ```
 //!
 //! `check` exits 0 only when the tree matches the baseline exactly: any new
 //! violation of any rule fails, and any stale entry (debt that shrank but
 //! was not re-blessed) fails too, so the checked-in baseline can only move
-//! toward zero.
+//! toward zero. `bless --rule NAME` rewrites only that rule's entries,
+//! keeping every other rule's ratchet where it was. `graph` prints the
+//! deterministic cross-crate call graph with per-entry-point reachable
+//! panic/wall-clock site lists (the debt-burndown priority order).
 
 use spider_lint::{
-    baseline_path, check_report, load_baseline, render_baseline, render_json, render_text,
-    scan_workspace, workspace_root, Baseline,
+    baseline_path, check_report, load_baseline, render_baseline, render_graph_json, render_json,
+    render_text, scan_workspace_full, workspace_root, Baseline, RULES,
 };
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: spider-lint <check [--json] | bless> [--root DIR] [--baseline FILE]";
+const USAGE: &str =
+    "usage: spider-lint <check [--json] | bless [--rule NAME] | graph> [--root DIR] [--baseline FILE]";
 
 fn main() {
     std::process::exit(run());
@@ -26,14 +31,19 @@ fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut json = false;
+    let mut rule: Option<String> = None;
     let mut root = workspace_root();
     let mut baseline_file: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "check" | "bless" if command.is_none() => command = Some(arg.clone()),
+            "check" | "bless" | "graph" if command.is_none() => command = Some(arg.clone()),
             "--json" => json = true,
+            "--rule" => match it.next() {
+                Some(r) => rule = Some(r.clone()),
+                None => return usage("--rule needs a rule name"),
+            },
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage("--root needs a directory"),
@@ -48,9 +58,17 @@ fn run() -> i32 {
     let Some(command) = command else {
         return usage("missing command");
     };
+    if let Some(r) = &rule {
+        if command != "bless" {
+            return usage("--rule only applies to bless");
+        }
+        if !RULES.contains(&r.as_str()) {
+            return usage(&format!("unknown rule `{r}` (rules: {})", RULES.join(", ")));
+        }
+    }
     let baseline_file = baseline_file.unwrap_or_else(|| baseline_path(&root));
 
-    let current = match scan_workspace(&root) {
+    let (current, graph) = match scan_workspace_full(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("spider-lint: scan failed under {}: {e}", root.display());
@@ -59,19 +77,37 @@ fn run() -> i32 {
     };
 
     match command.as_str() {
+        "graph" => {
+            print!("{}", render_graph_json(&graph));
+            0
+        }
         "bless" => {
-            let base = Baseline::from_violations(&current);
+            let scanned = Baseline::from_violations(&current);
+            let base = match &rule {
+                Some(r) => {
+                    let old = match load_baseline(&baseline_file) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("spider-lint: cannot load baseline: {e}");
+                            return 2;
+                        }
+                    };
+                    old.merge_rule(&scanned, r)
+                }
+                None => scanned,
+            };
             if let Err(e) = std::fs::write(&baseline_file, render_baseline(&base)) {
                 eprintln!("spider-lint: cannot write {}: {e}", baseline_file.display());
                 return 2;
             }
+            let scope = rule.as_deref().unwrap_or("all rules");
             println!(
-                "spider-lint: blessed {} violation(s) in {} (file, rule) group(s) to {}",
+                "spider-lint: blessed {} violation(s) in {} (file, rule) group(s) to {} ({scope})",
                 base.total(),
                 base.entries.len(),
                 baseline_file.display()
             );
-            for rule in spider_lint::RULES {
+            for rule in RULES {
                 println!("  {rule}: {}", base.rule_total(rule));
             }
             0

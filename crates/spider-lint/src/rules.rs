@@ -1,25 +1,36 @@
-//! The five lint rules and the scoping logic that decides where each runs.
+//! The per-file lint rules and the scoping logic that decides where each
+//! runs.
 //!
 //! Paths are workspace-relative with `/` separators. Three scope tiers:
 //!
 //! - *first-party*: everything scanned (`src/`, `crates/`, `tests/`,
 //!   `examples/`; never `vendor/` or `target/`),
 //! - *library code*: crate `src/` trees minus bin targets — where
-//!   panic-hygiene and money-safety apply,
+//!   panic-hygiene, money-safety, and overflow-safety apply,
 //! - *deterministic paths*: `spider-sim`, `spider-routing`, and the grid
 //!   runner — where the determinism rule applies.
+//!
+//! The two cross-file rules (panic-reachability, wallclock-reachability)
+//! need the whole workspace's call graph and live in
+//! [`callgraph`](crate::callgraph); [`analyze_source`] hands the per-file
+//! parse results and allow directives up to that pass.
 
 use crate::lexer::{lex, Comment, Lexed, TokKind};
+use crate::parser::{self, FnDef, ParsedFile};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Names of every rule, sorted. Keep in sync with `LINTS.md`.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 9] = [
     "determinism",
     "money-safety",
+    "overflow-safety",
     "panic-hygiene",
+    "panic-reachability",
     "serde-compat",
+    "shard-ownership",
     "unsafe-audit",
+    "wallclock-reachability",
 ];
 
 /// Serialized report structs whose JSON shape is pinned by checked-in
@@ -88,17 +99,40 @@ pub fn is_money_boundary(rel: &str) -> bool {
     rel.starts_with("crates/spider-opt/src/") || rel == "crates/spider-core/src/amount.rs"
 }
 
+/// The file the shard-ownership rule is scoped to.
+pub const SHARDED_ENGINE_PATH: &str = "crates/spider-sim/src/engine_sharded.rs";
+
+/// Per-file analysis artifacts: the allow-filtered per-file rule violations
+/// plus the parse results and allow directives the workspace-level
+/// reachability rules need.
+#[derive(Clone, Debug, Default)]
+pub struct FileAnalysis {
+    /// Per-file rule violations, allow-filtered and sorted.
+    pub violations: Vec<Violation>,
+    /// `spider-lint: allow(...)` directives by line.
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Parsed items (empty for out-of-scope files).
+    pub parsed: ParsedFile,
+}
+
 /// Lints one file's source text. `rel` must be the workspace-relative path
 /// with `/` separators; it selects which rules run.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
+    analyze_source(rel, source).violations
+}
+
+/// Runs every per-file rule over one file and returns the violations
+/// together with the parse results needed by the cross-file rules.
+pub fn analyze_source(rel: &str, source: &str) -> FileAnalysis {
     if !is_first_party(rel) || !rel.ends_with(".rs") {
-        return Vec::new();
+        return FileAnalysis::default();
     }
     let lx = lex(source);
     let allows = collect_allows(&lx.comments);
     let test_lines = test_line_ranges(&lx);
     let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
     let whole_file_test = rel.starts_with("tests/") || rel.contains("/tests/");
+    let parsed = parser::parse(&lx, &test_lines, whole_file_test);
 
     let mut out = Vec::new();
     if is_deterministic_path(rel) {
@@ -110,6 +144,12 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
     if is_lib_path(rel) {
         panic_hygiene(rel, &lx, &in_test, &mut out);
     }
+    if is_lib_path(rel) && rel != "crates/spider-core/src/amount.rs" {
+        overflow_safety(rel, &lx, &parsed, &mut out);
+    }
+    if rel == SHARDED_ENGINE_PATH {
+        shard_ownership(rel, &lx, &parsed, &mut out);
+    }
     // unsafe-audit runs everywhere first-party, test code included.
     unsafe_audit(rel, &lx, &mut out);
     if !whole_file_test {
@@ -118,12 +158,16 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
 
     out.retain(|v| !is_allowed(&allows, v));
     out.sort();
-    out
+    FileAnalysis {
+        violations: out,
+        allows,
+        parsed,
+    }
 }
 
 /// Lines carrying a `spider-lint: allow(rule, ...)` directive. A directive
 /// suppresses matching violations on its own line and the line below it.
-fn collect_allows(comments: &[Comment]) -> BTreeMap<u32, BTreeSet<String>> {
+pub fn collect_allows(comments: &[Comment]) -> BTreeMap<u32, BTreeSet<String>> {
     let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
     for c in comments {
         let Some(at) = c.text.find("spider-lint:") else {
@@ -147,7 +191,9 @@ fn collect_allows(comments: &[Comment]) -> BTreeMap<u32, BTreeSet<String>> {
     map
 }
 
-fn is_allowed(allows: &BTreeMap<u32, BTreeSet<String>>, v: &Violation) -> bool {
+/// `true` when a violation is suppressed by an allow directive on its own
+/// line or the line above.
+pub fn is_allowed(allows: &BTreeMap<u32, BTreeSet<String>>, v: &Violation) -> bool {
     let hit = |line: u32| allows.get(&line).is_some_and(|set| set.contains(&v.rule));
     hit(v.line) || (v.line > 1 && hit(v.line - 1))
 }
@@ -155,7 +201,7 @@ fn is_allowed(allows: &BTreeMap<u32, BTreeSet<String>>, v: &Violation) -> bool {
 /// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inline test
 /// modules, test fns). Violations inside them are exempt from the
 /// panic-hygiene / money-safety / determinism rules.
-fn test_line_ranges(lx: &Lexed) -> Vec<(u32, u32)> {
+pub fn test_line_ranges(lx: &Lexed) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let toks = &lx.toks;
     let mut i = 0;
@@ -375,6 +421,271 @@ fn unsafe_audit(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
             );
         }
     }
+}
+
+/// Ledger methods that mutate per-channel slot state. In the sharded
+/// engine, calling any of these on `self.ledger` is only legal after the
+/// owner guard (`self.own(...)`) has run in the same function body — the
+/// static counterpart of the release-mode `ForeignSlotMutation` audit.
+const LEDGER_MUTATORS: &[&str] = &[
+    "copy_channel_state_from",
+    "deposit",
+    "lock_hop",
+    "lock_path",
+    "lock_path_amounts",
+    "refund_hop",
+    "refund_path",
+    "refund_path_amounts",
+    "restore_channel",
+    "settle_hop",
+    "settle_path",
+    "settle_path_amounts",
+    "withdraw",
+];
+
+/// Token index ranges of fn bodies nested inside `def`'s body (they are
+/// scanned as their own [`FnDef`]s and must not be double-counted).
+fn nested_bodies(parsed: &ParsedFile, def: &FnDef) -> Vec<(usize, usize)> {
+    parsed
+        .fns
+        .iter()
+        .filter(|o| o.body.0 > def.body.0 && o.body.1 < def.body.1)
+        .map(|o| o.body)
+        .collect()
+}
+
+/// **shard-ownership** — inside `engine_sharded.rs`, a direct
+/// `self.ledger.<mutator>(...)` call must be preceded (in the same fn body)
+/// by the `self.own(...)` owner-guard check.
+fn shard_ownership(rel: &str, lx: &Lexed, parsed: &ParsedFile, out: &mut Vec<Violation>) {
+    const RULE: &str = "shard-ownership";
+    for def in &parsed.fns {
+        if def.is_test {
+            continue;
+        }
+        let nested = nested_bodies(parsed, def);
+        let (open, close) = def.body;
+        let mut guarded = false;
+        let mut i = open + 1;
+        while i < close {
+            if let Some(&(_, nc)) = nested.iter().find(|&&(no, _)| no == i) {
+                i = nc + 1;
+                continue;
+            }
+            if lx.ident(i) == Some("self") && lx.punct(i + 1) == Some('.') {
+                if lx.ident(i + 2) == Some("own") && lx.punct(i + 3) == Some('(') {
+                    guarded = true;
+                    i += 4;
+                    continue;
+                }
+                if lx.ident(i + 2) == Some("ledger") && lx.punct(i + 3) == Some('.') {
+                    if let Some(m) = lx.ident(i + 4) {
+                        if lx.punct(i + 5) == Some('(') && LEDGER_MUTATORS.contains(&m) && !guarded
+                        {
+                            push(
+                                out,
+                                rel,
+                                lx.toks[i + 4].line,
+                                RULE,
+                                format!(
+                                    "ledger slot mutation `self.ledger.{m}(...)` in \
+                                     `{}` without a preceding `self.own(...)` owner-guard \
+                                     check — route it through the guarded helpers",
+                                    def.qual_name()
+                                ),
+                            );
+                        }
+                    }
+                    i += 5;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// **overflow-safety** — raw `+`/`-`/`*`/`+=`/`-=`/`*=` where an operand is
+/// an `Amount` or raw `micros()` value. Outside `amount.rs`, money
+/// arithmetic must use `checked_*`/`saturating_*` (or carry a justified
+/// allow where overflow is provably impossible).
+fn overflow_safety(rel: &str, lx: &Lexed, parsed: &ParsedFile, out: &mut Vec<Violation>) {
+    const RULE: &str = "overflow-safety";
+    for def in &parsed.fns {
+        if def.is_test {
+            continue;
+        }
+        let nested = nested_bodies(parsed, def);
+        let money_name =
+            |id: &str| def.money_idents.contains(id) || parsed.amount_fields.contains(id);
+        let (open, close) = def.body;
+        let mut i = open + 1;
+        while i < close {
+            if let Some(&(_, nc)) = nested.iter().find(|&&(no, _)| no == i) {
+                i = nc + 1;
+                continue;
+            }
+            let Some(op) = lx.punct(i) else {
+                i += 1;
+                continue;
+            };
+            if !matches!(op, '+' | '-' | '*') {
+                i += 1;
+                continue;
+            }
+            // `->` is an arrow, not a subtraction.
+            if op == '-' && lx.punct(i + 1) == Some('>') {
+                i += 2;
+                continue;
+            }
+            let compound = lx.punct(i + 1) == Some('=');
+            // Binary only: the token before must end an operand. Anything
+            // else is unary minus, a deref, `&*`, a generic bound, etc.
+            let left_ends_operand =
+                i.checked_sub(1)
+                    .and_then(|p| lx.toks.get(p))
+                    .is_some_and(|t| {
+                        matches!(
+                            t.kind,
+                            TokKind::Ident(_)
+                                | TokKind::Literal
+                                | TokKind::Punct(')')
+                                | TokKind::Punct(']')
+                        )
+                    });
+            if !left_ends_operand {
+                i += 1;
+                continue;
+            }
+            let rhs = if compound { i + 2 } else { i + 1 };
+            if money_operand_left(lx, i - 1, &money_name)
+                || money_operand_right(lx, rhs, close, &money_name)
+            {
+                let shown = if compound {
+                    format!("{op}=")
+                } else {
+                    op.to_string()
+                };
+                push(
+                    out,
+                    rel,
+                    lx.toks[i].line,
+                    RULE,
+                    format!(
+                        "raw `{shown}` on an Amount/micros value in `{}` — overflow \
+                         wraps silently in release; use checked_*/saturating_* or add a \
+                         justified allow",
+                        def.qual_name()
+                    ),
+                );
+            }
+            i += if compound { 2 } else { 1 };
+        }
+    }
+}
+
+/// Index of the token matching the `close_ch` at token index `close`,
+/// scanning backward.
+fn matching_back(lx: &Lexed, close: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close;
+    loop {
+        match lx.punct(k) {
+            Some(c) if c == close_ch => depth += 1,
+            Some(c) if c == open_ch => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// `true` when the operand *ending* at token `last` is money-typed: a known
+/// Amount ident/field, an indexed Amount field (`available[side]`), or a
+/// `.micros()` call result.
+fn money_operand_left(lx: &Lexed, last: usize, money_name: &dyn Fn(&str) -> bool) -> bool {
+    if let Some(id) = lx.ident(last) {
+        return money_name(id);
+    }
+    match lx.punct(last) {
+        Some(')') => {
+            // `expr.micros() + ...`: the call before the parens.
+            let Some(open) = matching_back(lx, last, '(', ')') else {
+                return false;
+            };
+            open >= 2
+                && lx.ident(open - 1) == Some("micros")
+                && lx.punct(open.saturating_sub(2)) == Some('.')
+        }
+        Some(']') => {
+            let Some(open) = matching_back(lx, last, '[', ']') else {
+                return false;
+            };
+            open >= 1 && lx.ident(open - 1).is_some_and(money_name)
+        }
+        _ => false,
+    }
+}
+
+/// `true` when the operand *starting* at token `first` is money-typed. The
+/// scan walks one primary expression — ident chains (`self.base`,
+/// `fee.micros()`, `Amount::from_micros(x)`), parenthesized groups, index
+/// expressions — and stops at the next operator or separator.
+fn money_operand_right(
+    lx: &Lexed,
+    first: usize,
+    limit: usize,
+    money_name: &dyn Fn(&str) -> bool,
+) -> bool {
+    let mut k = first;
+    // A parenthesized right operand: any money ident or `.micros()` inside.
+    if lx.punct(k) == Some('(') {
+        if let Some(close) = matching(lx, k, '(', ')') {
+            for j in k + 1..close.min(limit) {
+                if let Some(id) = lx.ident(j) {
+                    if money_name(id)
+                        || id == "Amount"
+                        || (id == "micros" && lx.punct(j.wrapping_sub(1)) == Some('.'))
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    while k < limit {
+        if let Some(id) = lx.ident(k) {
+            if money_name(id) || id == "Amount" {
+                return true;
+            }
+            if id == "micros" && k >= 1 && lx.punct(k - 1) == Some('.') {
+                return true;
+            }
+            k += 1;
+            continue;
+        }
+        match lx.punct(k) {
+            // Path / field chains continue the operand.
+            Some('.') | Some(':') => k += 1,
+            // Call arguments / index expressions: skip the group whole.
+            Some('(') => match matching(lx, k, '(', ')') {
+                Some(e) => k = e + 1,
+                None => return false,
+            },
+            Some('[') => match matching(lx, k, '[', ']') {
+                Some(e) => k = e + 1,
+                None => return false,
+            },
+            // Anything else (operators, separators, braces) ends the operand.
+            _ => return false,
+        }
+    }
+    false
 }
 
 fn serde_compat(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {

@@ -328,3 +328,354 @@ fn synthetic_regression_against_committed_baseline_fails() {
         .iter()
         .any(|r| r.rule == "determinism" && r.file == "crates/spider-sim/src/engine.rs"));
 }
+
+// ------------------------------------------------------- overflow-safety --
+
+#[test]
+fn overflow_safety_flags_raw_arithmetic_on_amounts() {
+    let src = "fn f(a: Amount, b: Amount) -> Amount { a + b }\n";
+    assert_eq!(rules_of(LIB_PATH, src), ["overflow-safety"]);
+    let src = "fn f(total: Amount, v: Amount) { let x = total - v; }\n";
+    assert_eq!(rules_of(LIB_PATH, src), ["overflow-safety"]);
+    // Compound assignment on a let-ascribed Amount.
+    let src = "fn f(v: Amount) { let mut acc: Amount = Amount::ZERO; acc += v; }\n";
+    assert_eq!(rules_of(LIB_PATH, src), ["overflow-safety"]);
+    // A struct field whose type mentions Amount is money too.
+    let src = "\
+struct S { total: Amount }
+impl S {
+    fn bump(&mut self, v: Amount) { self.total = self.total + v; }
+}
+";
+    assert_eq!(rules_of(LIB_PATH, src), ["overflow-safety"]);
+}
+
+#[test]
+fn overflow_safety_permits_checked_ops_and_non_money_arithmetic() {
+    let src = "fn f(a: Amount, b: Amount) -> Option<Amount> { a.checked_add(b) }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    let src = "fn f(a: Amount, b: Amount) -> Amount { a.saturating_sub(b) }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    // Plain integer arithmetic is out of scope.
+    let src = "fn f(i: usize) -> usize { i + 1 }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    // `->` is an arrow, not a subtraction; unary minus is not binary.
+    let src = "fn f(a: Amount) -> Amount { -a }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+}
+
+#[test]
+fn overflow_safety_skips_amount_rs_tests_and_allows() {
+    let src = "fn f(a: Amount, b: Amount) -> Amount { a + b }\n";
+    assert!(hits("crates/spider-core/src/amount.rs", src).is_empty());
+    assert!(hits(TEST_PATH, src).is_empty());
+    let src = "#[test]\nfn t(a: Amount, b: Amount) { let _ = a + b; }\n";
+    assert!(hits(LIB_PATH, src).is_empty());
+    let src = "\
+fn f(a: Amount, b: Amount) -> Amount {
+    // spider-lint: allow(overflow-safety) — bounded by construction
+    a + b
+}
+";
+    assert!(hits(LIB_PATH, src).is_empty());
+}
+
+// ------------------------------------------------------- shard-ownership --
+
+#[test]
+fn shard_ownership_requires_owner_guard_before_ledger_mutation() {
+    let src = "\
+impl Shard {
+    fn apply(&mut self, c: ChannelId) {
+        self.ledger.deposit(&self.network, c, n, amount);
+    }
+}
+";
+    let got = hits(spider_lint::rules::SHARDED_ENGINE_PATH, src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, "shard-ownership");
+    assert_eq!(got[0].1, 3);
+}
+
+#[test]
+fn shard_ownership_accepts_guarded_mutations_and_reads() {
+    let src = "\
+impl Shard {
+    fn apply(&mut self, c: ChannelId) {
+        if self.own(c) {
+            self.ledger.deposit(&self.network, c, n, amount);
+        }
+    }
+}
+";
+    assert!(hits(spider_lint::rules::SHARDED_ENGINE_PATH, src).is_empty());
+    // Non-mutating reads need no guard.
+    let src = "\
+impl Shard {
+    fn peek(&self, c: ChannelId) -> (Amount, Amount) {
+        self.ledger.balances(c)
+    }
+}
+";
+    assert!(hits(spider_lint::rules::SHARDED_ENGINE_PATH, src).is_empty());
+}
+
+#[test]
+fn shard_ownership_only_applies_to_the_sharded_engine() {
+    let src = "\
+impl Engine {
+    fn apply(&mut self, c: ChannelId) {
+        self.ledger.deposit(&self.network, c, n, amount);
+    }
+}
+";
+    assert!(!hits(SIM_PATH, src)
+        .iter()
+        .any(|(r, _)| r == "shard-ownership"));
+}
+
+// ------------------------------------------- call-graph reachability rules --
+
+use spider_lint::rules::analyze_source;
+use spider_lint::CallGraph;
+
+/// Builds a call graph from `(path, source)` fixture files.
+fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+    let parsed: Vec<(String, spider_lint::parser::ParsedFile)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), analyze_source(rel, src).parsed))
+        .collect();
+    CallGraph::build(&parsed)
+}
+
+const ENGINE_PATH: &str = "crates/spider-sim/src/engine.rs";
+
+#[test]
+fn panic_reachability_flags_panics_transitively_reachable_from_entry() {
+    let g = graph_of(&[
+        (ENGINE_PATH, "pub fn run() { step(); }\nfn step() { helper(3); }\n"),
+        (
+            "crates/spider-core/src/util.rs",
+            "pub fn helper(x: u32) -> u32 { inner(x) }\nfn inner(x: u32) -> u32 { Some(x).unwrap() }\n",
+        ),
+    ]);
+    let vs = g.reachability_violations();
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].rule, "panic-reachability");
+    assert_eq!(vs[0].file, "crates/spider-core/src/util.rs");
+    assert_eq!(vs[0].line, 2);
+    assert!(vs[0].message.contains("run"), "{}", vs[0].message);
+}
+
+#[test]
+fn reachability_ignores_panics_not_reachable_from_any_entry() {
+    let g = graph_of(&[
+        (ENGINE_PATH, "pub fn run() { step(); }\nfn step() {}\n"),
+        (
+            "crates/spider-core/src/util.rs",
+            "pub fn orphan(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+    ]);
+    assert!(g.reachability_violations().is_empty());
+}
+
+#[test]
+fn wallclock_reachability_flags_reachable_wall_time_reads() {
+    let g = graph_of(&[
+        (ENGINE_PATH, "pub fn run() { tick(); }\n"),
+        (
+            "crates/spider-telemetry/src/clock.rs",
+            "pub fn tick() { let _ = std::time::Instant::now(); }\n",
+        ),
+    ]);
+    let vs = g.reachability_violations();
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].rule, "wallclock-reachability");
+    assert!(vs[0].message.contains("Instant::now"), "{}", vs[0].message);
+}
+
+#[test]
+fn reachability_does_not_cross_into_bin_or_test_callees() {
+    // A name collision with a bin-crate fn must not create an edge: callee
+    // resolution is restricted to library paths.
+    let g = graph_of(&[
+        (ENGINE_PATH, "pub fn run() { record(); }\n"),
+        (
+            "crates/bench/src/bin/tool.rs",
+            "pub fn record() { panic!(\"bin only\"); }\n",
+        ),
+    ]);
+    assert!(g.reachability_violations().is_empty());
+}
+
+// -------------------------------------------------------- bless --rule --
+
+#[test]
+fn merge_rule_replaces_one_rule_and_preserves_the_rest() {
+    let old = Baseline::from_violations(&[
+        v("a.rs", 1, "panic-hygiene"),
+        v("a.rs", 2, "panic-hygiene"),
+        v("b.rs", 1, "overflow-safety"),
+    ]);
+    // The new scan burned one panic-hygiene hit and grew overflow debt.
+    let scan = Baseline::from_violations(&[
+        v("a.rs", 1, "panic-hygiene"),
+        v("b.rs", 1, "overflow-safety"),
+        v("b.rs", 2, "overflow-safety"),
+        v("c.rs", 9, "overflow-safety"),
+    ]);
+
+    let merged = old.merge_rule(&scan, "panic-hygiene");
+    // panic-hygiene taken from the scan...
+    let ph: Vec<_> = merged
+        .entries
+        .iter()
+        .filter(|e| e.rule == "panic-hygiene")
+        .collect();
+    assert_eq!(ph.len(), 1);
+    assert_eq!(ph[0].count, 1);
+    // ...while the other rule's entries are untouched (no c.rs, count 1).
+    let of: Vec<_> = merged
+        .entries
+        .iter()
+        .filter(|e| e.rule == "overflow-safety")
+        .collect();
+    assert_eq!(of.len(), 1);
+    assert_eq!(of[0].file, "b.rs");
+    assert_eq!(of[0].count, 1);
+    // Selective blessing therefore still fails the untouched rule's check.
+    let current = [
+        v("a.rs", 1, "panic-hygiene"),
+        v("b.rs", 1, "overflow-safety"),
+        v("b.rs", 2, "overflow-safety"),
+        v("c.rs", 9, "overflow-safety"),
+    ];
+    let outcome = check(&current, &merged);
+    assert!(!outcome.ok());
+    assert!(outcome
+        .regressions
+        .iter()
+        .all(|r| r.rule == "overflow-safety"));
+}
+
+// ------------------------------------------------ parser robustness (prop) --
+
+use proptest::prelude::*;
+
+/// Maps a byte stream onto Rust-ish source text: a mix of raw characters
+/// and high-signal token fragments so the generator actually exercises fn
+/// parsing, call scanning, and panic detection.
+fn source_from_bytes(bytes: &[u8]) -> String {
+    const VOCAB: [&str; 24] = [
+        "fn ",
+        "f",
+        "(",
+        ")",
+        "{",
+        "}",
+        "self",
+        ".",
+        "unwrap",
+        "expect",
+        "panic!",
+        "::",
+        "<",
+        ">",
+        "Amount",
+        "a + b",
+        "impl T for U ",
+        "\"str\"",
+        "// c\n",
+        "let x: Amount = y;",
+        "#[test]",
+        "Instant::now()",
+        "'a",
+        "\n",
+    ];
+    let mut out = String::new();
+    for &b in bytes {
+        if b < 128 {
+            out.push(b as char);
+        } else {
+            out.push_str(VOCAB[(b - 128) as usize % VOCAB.len()]);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The lexer + parser + every per-file rule never panic and are
+    /// deterministic on arbitrary byte soup.
+    #[test]
+    fn prop_analyze_never_panics_and_is_deterministic(
+        bytes in proptest::collection::vec(0u8..=255, 0..300),
+    ) {
+        let src = source_from_bytes(&bytes);
+        let a = analyze_source(LIB_PATH, &src);
+        let b = analyze_source(LIB_PATH, &src);
+        prop_assert_eq!(a.violations, b.violations);
+        prop_assert_eq!(
+            format!("{:?}", a.parsed.fns),
+            format!("{:?}", b.parsed.fns)
+        );
+    }
+
+    /// Call-graph construction and JSON rendering never panic and are
+    /// byte-identical on arbitrary generated files.
+    #[test]
+    fn prop_callgraph_is_deterministic(
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let src = source_from_bytes(&bytes);
+        let files = [
+            ("crates/spider-sim/src/engine.rs", src.as_str()),
+            ("crates/spider-core/src/util.rs", "pub fn helper() {}\n"),
+        ];
+        let parsed: Vec<(String, spider_lint::parser::ParsedFile)> = files
+            .iter()
+            .map(|(rel, s)| (rel.to_string(), analyze_source(rel, s).parsed))
+            .collect();
+        let g1 = CallGraph::build(&parsed);
+        let g2 = CallGraph::build(&parsed);
+        prop_assert_eq!(
+            spider_lint::render_graph_json(&g1),
+            spider_lint::render_graph_json(&g2)
+        );
+    }
+}
+
+// --------------------------------------- the committed tree, call-graph --
+
+#[test]
+fn committed_tree_parses_and_callgraph_is_byte_identical() {
+    let root = workspace_root();
+    let files = spider_lint::collect_files(&root).expect("collect");
+    assert!(files.len() >= 30, "workspace should have many .rs files");
+    for file in &files {
+        let rel = spider_lint::rel_path(&root, file);
+        let source = std::fs::read_to_string(file).expect("read");
+        // Parsing is total: it must produce a ParsedFile for every
+        // committed source file without panicking, and find at least one
+        // fn in any file that textually contains one outside tests.
+        let fa = analyze_source(&rel, &source);
+        if rel == "crates/spider-sim/src/engine.rs" {
+            assert!(
+                fa.parsed.fns.iter().any(|f| f.name == "run"),
+                "engine.rs must expose `run` to the analyzer"
+            );
+        }
+    }
+    let g1 = spider_lint::build_graph(&root).expect("graph");
+    let g2 = spider_lint::build_graph(&root).expect("graph");
+    let j1 = spider_lint::render_graph_json(&g1);
+    let j2 = spider_lint::render_graph_json(&g2);
+    assert_eq!(j1, j2, "call-graph JSON must be byte-identical across runs");
+    assert!(j1.ends_with('\n'));
+    // Every configured entry point resolves to a real function.
+    for (file, name) in spider_lint::ENTRY_POINTS {
+        assert!(
+            !g1.entry_indices(file, name).is_empty(),
+            "entry point {file}:{name} not found"
+        );
+    }
+}

@@ -221,11 +221,10 @@ impl FlowNetwork {
             if !found {
                 break;
             }
-            let bottleneck = trail_edges
-                .iter()
-                .map(|&e| self.edges[e].flow)
-                .min()
-                .unwrap();
+            let Some(bottleneck) = trail_edges.iter().map(|&e| self.edges[e].flow).min() else {
+                // Unreachable: `found` implies a non-empty trail.
+                break;
+            };
             let mut nodes = vec![s];
             for &e in &trail_edges {
                 self.edges[e].flow -= bottleneck;

@@ -162,7 +162,9 @@ impl SpeedyMurmursScheme {
             current = v;
             dist = d;
         }
-        Some(Path::new(network, nodes).expect("strictly decreasing distance yields a simple path"))
+        // Strictly decreasing distance yields a simple path; if validation
+        // ever disagrees, degrade to "no route" rather than aborting.
+        Path::new(network, nodes).ok()
     }
 }
 

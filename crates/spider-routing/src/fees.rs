@@ -45,13 +45,12 @@ impl FeeSchedule {
         self.rate_ppm[channel.index()] = rate_ppm;
     }
 
-    /// Fee charged for forwarding `amount` across `channel`.
+    /// Fee charged for forwarding `amount` across `channel`. Saturates at
+    /// [`Amount::MAX`] for absurd inputs instead of wrapping.
     pub fn fee(&self, channel: ChannelId, amount: Amount) -> Amount {
-        self.base[channel.index()]
-            + Amount::from_micros(
-                (amount.micros() as i128 * self.rate_ppm[channel.index()] as i128 / 1_000_000)
-                    as i64,
-            )
+        self.base[channel.index()].saturating_add(Amount::from_micros(
+            (amount.micros() as i128 * self.rate_ppm[channel.index()] as i128 / 1_000_000) as i64,
+        ))
     }
 
     /// `true` when every channel relays for free.
@@ -84,14 +83,14 @@ impl FeeSchedule {
         // Walk backwards: hop i must deliver amounts[i+1] plus hop i+1's fee.
         for i in (0..hops.len().saturating_sub(1)).rev() {
             let (next_channel, _) = hops[i + 1];
-            amounts[i] = amounts[i + 1] + self.fee(next_channel, amounts[i + 1]);
+            amounts[i] = amounts[i + 1].saturating_add(self.fee(next_channel, amounts[i + 1]));
         }
         amounts
     }
 
     /// Total fee the sender pays to deliver `delivered` along `path`.
     pub fn total_fee(&self, path: &Path, delivered: Amount) -> Amount {
-        self.path_amounts(path, delivered)[0] - delivered
+        self.path_amounts(path, delivered)[0].saturating_sub(delivered)
     }
 }
 
@@ -135,7 +134,7 @@ pub fn cheapest_path(
             // u forwards toward v: u must send cost plus this hop's fee.
             let forwarded = Amount::from_micros(cost);
             let fee = fees.fee(c, forwarded);
-            let cand = (cost + fee.micros(), hops + 1);
+            let cand = (cost.saturating_add(fee.micros()), hops + 1);
             if cand < need[u.index()] {
                 need[u.index()] = cand;
                 next_hop[u.index()] = Some(v);
@@ -164,7 +163,9 @@ pub fn cheapest_path(
     let (_, mut cur) = first?;
     let mut nodes = vec![src, cur];
     while cur != dst {
-        let nxt = next_hop[cur.index()].expect("reached nodes have a next hop");
+        // Reached nodes always have a next hop; `?` degrades to "no path"
+        // if that invariant is ever broken.
+        let nxt = next_hop[cur.index()]?;
         nodes.push(nxt);
         cur = nxt;
     }

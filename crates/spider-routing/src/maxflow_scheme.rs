@@ -50,7 +50,11 @@ impl RoutingScheme for MaxFlowScheme {
         }
         let mut parts = Vec::with_capacity(flow.paths.len());
         for (nodes, value) in flow.paths {
-            let path = Path::new(network, nodes).expect("flow decomposition yields valid trails");
+            // A decomposition trail that fails path validation would be a
+            // solver bug; degrade to "no route" rather than aborting.
+            let Ok(path) = Path::new(network, nodes) else {
+                return None;
+            };
             parts.push((path, value));
         }
         debug_assert_eq!(

@@ -64,7 +64,7 @@ impl RoutingScheme for WaterfillingScheme {
         if paths.is_empty() {
             return UnitDecision::Never;
         }
-        let best = paths
+        let Some(best) = paths
             .iter()
             .map(|p| (path_bottleneck(balances, p), p))
             .max_by(|a, b| {
@@ -72,7 +72,10 @@ impl RoutingScheme for WaterfillingScheme {
                 // determinism and lower collateral use.
                 a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len()))
             })
-            .expect("non-empty path set");
+        else {
+            // Unreachable: `paths` was checked non-empty above.
+            return UnitDecision::Never;
+        };
         if best.0 >= unit {
             UnitDecision::Route(std::sync::Arc::clone(best.1))
         } else {

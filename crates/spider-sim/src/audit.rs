@@ -342,7 +342,9 @@ mod tests {
 
         let taken = ledger.withdraw(&g, ch, NodeId(0), Amount::from_whole(5));
         audit.on_withdraw(taken);
-        ledger.deposit(&g, ch, NodeId(1), Amount::from_whole(4));
+        ledger
+            .deposit(&g, ch, NodeId(1), Amount::from_whole(4))
+            .unwrap();
         audit.on_deposit(Amount::from_whole(4));
         audit.check(&ledger, 1.0, "rebalance");
         assert!(audit.violations().is_empty(), "{:?}", audit.violations());
@@ -356,7 +358,9 @@ mod tests {
         let ch = g.channels()[0].id;
 
         // Money appears without the auditor being told: global drift.
-        ledger.deposit(&g, ch, NodeId(0), Amount::from_whole(7));
+        ledger
+            .deposit(&g, ch, NodeId(0), Amount::from_whole(7))
+            .unwrap();
         audit.check(&ledger, 2.0, "settle");
         let v = audit.violations();
         assert_eq!(v.len(), 1, "{v:?}");
@@ -381,7 +385,9 @@ mod tests {
         let mut ledger = Ledger::new(&g);
         let mut audit = LedgerAudit::new(&ledger);
         let ch = g.channels()[0].id;
-        ledger.deposit(&g, ch, NodeId(0), Amount::from_whole(1));
+        ledger
+            .deposit(&g, ch, NodeId(0), Amount::from_whole(1))
+            .unwrap();
         for i in 0..(MAX_RECORDED_VIOLATIONS as u64 + 10) {
             audit.check(&ledger, i as f64, "settle");
         }

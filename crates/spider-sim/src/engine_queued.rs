@@ -172,6 +172,7 @@ pub fn run_queued(
         Ok(out) => out,
         // No checkpoint spec and no resume state: no snapshot I/O happens,
         // so no snapshot error can arise.
+        // spider-lint: allow(panic-reachability) — infallible wrapper; the Err arm is statically dead
         Err(e) => unreachable!("plain run cannot fail with a snapshot error: {e}"),
     }
 }
@@ -1159,6 +1160,9 @@ fn pump_source(
             ),
             None => best_path(candidates, &view),
         };
+        let Some(best) = best else {
+            break;
+        };
         let (c0, _) = best.hops()[0];
         if faults.is_some_and(|fs| fs.is_channel_down(c0)) {
             break;
@@ -1189,16 +1193,16 @@ fn pump_source(
 }
 
 /// Waterfilling path preference: max bottleneck, shorter path on ties.
+/// `None` only for an empty candidate set (callers check first).
 fn best_path<V: spider_core::BalanceView>(
     candidates: &[std::sync::Arc<Path>],
     view: &V,
-) -> std::sync::Arc<Path> {
+) -> Option<std::sync::Arc<Path>> {
     candidates
         .iter()
         .map(|path| (path_bottleneck(view, path), path))
         .max_by(|a, b| a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len())))
         .map(|(_, path)| std::sync::Arc::clone(path))
-        .expect("non-empty candidates")
 }
 
 /// A unit at an intermediate router tries to lock its next hop; otherwise

@@ -1107,6 +1107,7 @@ impl ShardCtx<'_> {
     fn payment_index(&self, pid: u64) -> usize {
         match self.payments.binary_search_by_key(&pid, |p| p.id) {
             Ok(i) => i,
+            // spider-lint: allow(panic-reachability) — shards only message ids they were dealt; a miss is a routing-table corruption we must not mask
             Err(_) => unreachable!("message for unknown payment {pid}"),
         }
     }
@@ -1355,6 +1356,8 @@ pub fn run_sharded(
 ) -> SimReport {
     match run_sharded_inner(network, transactions, partition, config, None, None) {
         Ok(report) => report,
+        // No checkpoint spec and no resume state: no snapshot I/O happens.
+        // spider-lint: allow(panic-reachability) — infallible wrapper; the Err arm is statically dead
         Err(e) => unreachable!("plain run cannot fail with a snapshot error: {e}"),
     }
 }

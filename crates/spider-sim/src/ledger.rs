@@ -30,6 +30,27 @@ struct ChannelState {
     inflight: Amount,
 }
 
+impl ChannelState {
+    /// Moves `amount` from `available[side]` into the in-flight pool.
+    ///
+    /// Callers validate `amount <= available[side]` before committing, and
+    /// conservation bounds `inflight + amount` by `capacity`, so neither
+    /// side can leave range; saturating arithmetic keeps a (statically
+    /// impossible) overflow from wrapping silently in release builds.
+    fn move_to_inflight(&mut self, side: usize, amount: Amount) {
+        self.available[side] = self.available[side].saturating_sub(amount);
+        self.inflight = self.inflight.saturating_add(amount);
+    }
+
+    /// Releases `amount` from the in-flight pool into `available[side]`.
+    /// Same bounds argument as [`move_to_inflight`](Self::move_to_inflight),
+    /// with `amount <= inflight` validated by the caller.
+    fn release_from_inflight(&mut self, side: usize, amount: Amount) {
+        self.available[side] = self.available[side].saturating_add(amount);
+        self.inflight = self.inflight.saturating_sub(amount);
+    }
+}
+
 /// The live ledger for a whole network.
 ///
 /// Cloneable so experiments can snapshot and restart from the initial state.
@@ -71,6 +92,7 @@ impl Ledger {
     fn side(network: &Network, channel: ChannelId, node: NodeId) -> usize {
         match Self::try_side(network, channel, node) {
             Ok(side) => side,
+            // spider-lint: allow(panic-reachability) — documented panicking variant backing infallible BalanceView signatures; callers pass endpoints taken from the channel itself
             Err(e) => panic!("{e}"),
         }
     }
@@ -104,9 +126,7 @@ impl Ledger {
         }
         // Commit pass.
         for &(c, dir) in path.hops() {
-            let st = &mut self.channels[c.index()];
-            st.available[sender_side(dir)] -= amount;
-            st.inflight += amount;
+            self.channels[c.index()].move_to_inflight(sender_side(dir), amount);
             debug_assert!(self.conserves(c));
         }
         Ok(())
@@ -151,9 +171,7 @@ impl Ledger {
         for (i, &(c, dir)) in path.hops().iter().enumerate() {
             let side = 1 - sender_side(dir);
             debug_assert_eq!(Self::try_side(network, c, path.nodes()[i + 1]), Ok(side));
-            let st = &mut self.channels[c.index()];
-            st.available[side] += amount;
-            st.inflight -= amount;
+            self.channels[c.index()].release_from_inflight(side, amount);
             debug_assert!(self.conserves(c));
         }
         Ok(())
@@ -175,9 +193,7 @@ impl Ledger {
         for (i, &(c, dir)) in path.hops().iter().enumerate() {
             let side = sender_side(dir);
             debug_assert_eq!(Self::try_side(network, c, path.nodes()[i]), Ok(side));
-            let st = &mut self.channels[c.index()];
-            st.available[side] += amount;
-            st.inflight -= amount;
+            self.channels[c.index()].release_from_inflight(side, amount);
             debug_assert!(self.conserves(c));
         }
         Ok(())
@@ -211,9 +227,7 @@ impl Ledger {
             }
         }
         for (i, &(c, dir)) in path.hops().iter().enumerate() {
-            let st = &mut self.channels[c.index()];
-            st.available[sender_side(dir)] -= amounts[i];
-            st.inflight += amounts[i];
+            self.channels[c.index()].move_to_inflight(sender_side(dir), amounts[i]);
             debug_assert!(self.conserves(c));
         }
         Ok(())
@@ -253,9 +267,7 @@ impl Ledger {
         for (i, &(c, dir)) in path.hops().iter().enumerate() {
             let side = 1 - sender_side(dir);
             debug_assert_eq!(Self::try_side(network, c, path.nodes()[i + 1]), Ok(side));
-            let st = &mut self.channels[c.index()];
-            st.available[side] += amounts[i];
-            st.inflight -= amounts[i];
+            self.channels[c.index()].release_from_inflight(side, amounts[i]);
             debug_assert!(self.conserves(c));
         }
         Ok(())
@@ -274,9 +286,7 @@ impl Ledger {
         for (i, &(c, dir)) in path.hops().iter().enumerate() {
             let side = sender_side(dir);
             debug_assert_eq!(Self::try_side(network, c, path.nodes()[i]), Ok(side));
-            let st = &mut self.channels[c.index()];
-            st.available[side] += amounts[i];
-            st.inflight -= amounts[i];
+            self.channels[c.index()].release_from_inflight(side, amounts[i]);
             debug_assert!(self.conserves(c));
         }
         Ok(())
@@ -304,8 +314,7 @@ impl Ledger {
                 requested: amount.micros(),
             });
         }
-        st.available[side] -= amount;
-        st.inflight += amount;
+        st.move_to_inflight(side, amount);
         debug_assert!(self.conserves(channel));
         Ok(())
     }
@@ -345,8 +354,7 @@ impl Ledger {
                 requested: amount.micros(),
             });
         }
-        st.available[side] += amount;
-        st.inflight -= amount;
+        st.release_from_inflight(side, amount);
         debug_assert!(self.conserves(channel));
         Ok(())
     }
@@ -366,12 +374,33 @@ impl Ledger {
     /// Deposits `amount` of fresh on-chain funds on `node`'s side of
     /// `channel` (an on-chain rebalancing/top-up transaction; §5.2.3).
     /// Increases the channel's capacity.
-    pub fn deposit(&mut self, network: &Network, channel: ChannelId, node: NodeId, amount: Amount) {
-        assert!(!amount.is_negative());
-        let side = Self::side(network, channel, node);
+    ///
+    /// Unlike the lock/settle/refund family, deposits are not bounded by an
+    /// existing escrow, so the additions can genuinely overflow; a deposit
+    /// that would is refused with [`CoreError::Overflow`], changing nothing.
+    pub fn deposit(
+        &mut self,
+        network: &Network,
+        channel: ChannelId,
+        node: NodeId,
+        amount: Amount,
+    ) -> Result<(), CoreError> {
+        if amount.is_negative() {
+            return Err(CoreError::NegativeAmount);
+        }
+        let side = Self::try_side(network, channel, node)?;
         let st = &mut self.channels[channel.index()];
-        st.available[side] += amount;
-        st.capacity += amount;
+        let overflow = CoreError::Overflow {
+            channel,
+            op: "deposit",
+        };
+        let available = st.available[side]
+            .checked_add(amount)
+            .ok_or(overflow.clone())?;
+        let capacity = st.capacity.checked_add(amount).ok_or(overflow)?;
+        st.available[side] = available;
+        st.capacity = capacity;
+        Ok(())
     }
 
     /// Withdraws up to `amount` from `node`'s side of `channel` back on
@@ -386,9 +415,11 @@ impl Ledger {
         assert!(!amount.is_negative());
         let side = Self::side(network, channel, node);
         let st = &mut self.channels[channel.index()];
+        // `taken <= available[side] <= capacity` (conservation), so the
+        // saturation never engages; it only keeps a bug from wrapping.
         let taken = amount.min(st.available[side]);
-        st.available[side] -= taken;
-        st.capacity -= taken;
+        st.available[side] = st.available[side].saturating_sub(taken);
+        st.capacity = st.capacity.saturating_sub(taken);
         taken
     }
 
@@ -410,9 +441,14 @@ impl Ledger {
     }
 
     /// `true` when `available_a + available_b + inflight == capacity`.
+    /// A sum that overflows the micro-token range is reported as
+    /// non-conserving rather than wrapping into a false positive.
     pub fn conserves(&self, channel: ChannelId) -> bool {
         let st = &self.channels[channel.index()];
-        st.available[0] + st.available[1] + st.inflight == st.capacity
+        st.available[0]
+            .checked_add(st.available[1])
+            .and_then(|s| s.checked_add(st.inflight))
+            == Some(st.capacity)
     }
 
     /// `true` when every channel conserves funds exactly.
@@ -430,7 +466,9 @@ impl Ledger {
             .channels
             .iter()
             .map(|st| {
-                let diff = (st.available[0] - st.available[1]).abs();
+                // Both sides are bounded by capacity, so the difference
+                // stays in range; saturate instead of wrapping regardless.
+                let diff = st.available[0].saturating_sub(st.available[1]).abs();
                 diff.ratio_of(st.capacity)
             })
             .sum();
@@ -447,7 +485,7 @@ impl Ledger {
     pub fn total_available(&self) -> Amount {
         self.channels
             .iter()
-            .map(|st| st.available[0] + st.available[1])
+            .map(|st| st.available[0].saturating_add(st.available[1]))
             .sum()
     }
 
@@ -604,7 +642,9 @@ mod tests {
         let g = line3();
         let mut ledger = Ledger::new(&g);
         let c01 = g.channel_between(NodeId(0), NodeId(1)).unwrap().id;
-        ledger.deposit(&g, c01, NodeId(0), Amount::from_whole(5));
+        ledger
+            .deposit(&g, c01, NodeId(0), Amount::from_whole(5))
+            .unwrap();
         assert_eq!(ledger.capacity(c01), Amount::from_whole(15));
         assert!(ledger.conserves_all());
         let taken = ledger.withdraw(&g, c01, NodeId(0), Amount::from_whole(100));
@@ -877,7 +917,7 @@ mod tests {
                         "refund"
                     }
                     4 => {
-                        ledger.deposit(&g, c01, NodeId(amt as u32 % 2), amount);
+                        ledger.deposit(&g, c01, NodeId(amt as u32 % 2), amount).unwrap();
                         audit.on_deposit(amount);
                         "deposit"
                     }

@@ -53,6 +53,17 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Locks the registry, recovering from a poisoned mutex: metrics are
+    /// monotonic aggregates, so state written before another thread's
+    /// panic is still valid and losing a recording would skew results
+    /// more than keeping it.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Adds `delta` to the counter `name` (unlabelled).
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         self.counter_add_labelled(name, "", delta);
@@ -60,15 +71,13 @@ impl MetricsRegistry {
 
     /// Adds `delta` to the counter `name{label}`.
     pub fn counter_add_labelled(&self, name: &'static str, label: &str, delta: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         *inner.counters.entry((name, label.to_string())).or_insert(0) += delta;
     }
 
     /// Current value of counter `name{label}` (zero if never touched).
     pub fn counter(&self, name: &'static str, label: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
+        self.lock()
             .counters
             .get(&(name, label.to_string()))
             .copied()
@@ -77,7 +86,7 @@ impl MetricsRegistry {
 
     /// Sets the gauge `name{label}` to `value`.
     pub fn gauge_set(&self, name: &'static str, label: &str, value: f64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.gauges.insert((name, label.to_string()), value);
     }
 
@@ -90,7 +99,7 @@ impl MetricsRegistry {
         value: f64,
         make: impl FnOnce() -> Histogram,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner
             .histograms
             .entry((name, label.to_string()))
@@ -105,7 +114,7 @@ impl MetricsRegistry {
         label: &str,
         f: impl FnOnce(&Histogram) -> T,
     ) -> Option<T> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         inner.histograms.get(&(name, label.to_string())).map(f)
     }
 
@@ -116,7 +125,7 @@ impl MetricsRegistry {
     /// JSON stays byte-identical across identically-seeded runs even if
     /// the backing storage ever changes iteration order.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         let mut counters: Vec<MetricEntry> = inner
             .counters
             .iter()
@@ -158,10 +167,7 @@ impl MetricsRegistry {
     ///
     /// [`snapshot`]: MetricsRegistry::snapshot
     pub fn export_state(&self) -> RegistryState {
-        let inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let inner = self.lock();
         RegistryState {
             counters: inner
                 .counters
@@ -192,10 +198,7 @@ impl MetricsRegistry {
                 .map_err(|e| format!("histogram {name}{{{label}}}: {e}"))?;
             histograms.insert((intern_name(&name), label), h);
         }
-        let mut inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut inner = self.lock();
         inner.counters = state
             .counters
             .into_iter()

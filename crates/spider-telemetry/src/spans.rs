@@ -176,6 +176,7 @@ impl SpanProfiler {
                 profiler: self,
                 phase,
                 lane: None,
+                // spider-lint: allow(wallclock-reachability) — opt-in profiler; wall time is the measurement, never simulation state
                 start: Instant::now(),
             }),
         }
@@ -189,6 +190,7 @@ impl SpanProfiler {
                 profiler: self,
                 phase,
                 lane: Some(lane),
+                // spider-lint: allow(wallclock-reachability) — opt-in profiler; wall time is the measurement, never simulation state
                 start: Instant::now(),
             }),
         }

@@ -320,14 +320,24 @@ impl Tracer {
         Self::default()
     }
 
+    /// Locks the event log, recovering from a poisoned mutex: events
+    /// written before another thread's panic are intact, and a trace cut
+    /// short mid-crash is exactly when the recorded prefix matters most.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Appends one event.
     pub fn record(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        self.lock().push(event);
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.lock().len()
     }
 
     /// `true` when no events have been recorded.
@@ -337,13 +347,13 @@ impl Tracer {
 
     /// A copy of all events recorded so far.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        self.lock().clone()
     }
 
     /// Serializes all events as JSON Lines (one compact object per line,
     /// trailing newline when non-empty).
     pub fn to_jsonl(&self) -> String {
-        events_to_jsonl(&self.events.lock().unwrap())
+        events_to_jsonl(&self.lock())
     }
 }
 

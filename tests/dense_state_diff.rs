@@ -404,7 +404,7 @@ proptest! {
                     let ch = network.channel(c);
                     let node = if side { ch.b } else { ch.a };
                     let amount = Amount::from_whole(i64::from(amount));
-                    dense.deposit(&network, c, node, amount);
+                    dense.deposit(&network, c, node, amount).unwrap();
                     shadow.deposit(c, node, amount);
                     audit.on_deposit(amount);
                 }
