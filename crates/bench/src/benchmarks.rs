@@ -18,8 +18,9 @@
 //! ([`BenchFloor::check`]).
 
 use crate::experiments::{
-    resume_scheme, run_scheme, run_scheme_checkpointed, run_scheme_traced, run_sharded_scheme,
-    sharded_scheme_for, ExperimentConfig, SchemeChoice, Topology,
+    resume_scheme, run_scheme, run_scheme_checkpointed, run_scheme_traced,
+    run_sharded_scheme_featured, sharded_scheme_for, ExperimentConfig, SchemeChoice, ShardFeatures,
+    Topology,
 };
 use serde::{Deserialize, Serialize};
 use spider_sim::{latest_snapshot, CheckpointSpec, SimReport};
@@ -42,6 +43,10 @@ pub struct BenchScenario {
     /// (`scheme` must be one the sharded engine supports). `None`: the
     /// sequential engine.
     pub shards: Option<usize>,
+    /// Sequential-engine features enabled on the sharded run (queued
+    /// router policy, fees, congestion, rebalancing). Ignored when
+    /// `shards` is `None`.
+    pub features: ShardFeatures,
     /// `Some(every)`: warm-start scenario — one unmeasured preparation run
     /// checkpoints every `every` scheduler ticks, and each timed repeat
     /// *resumes* from the latest snapshot, measuring snapshot load plus
@@ -74,6 +79,7 @@ fn scenario(
         },
         scheme,
         shards: None,
+        features: ShardFeatures::NONE,
         warm_start: None,
     }
 }
@@ -81,6 +87,11 @@ fn scenario(
 fn sharded(mut s: BenchScenario, shards: usize) -> BenchScenario {
     s.name = format!("{}-shards{shards}", s.name);
     s.shards = Some(shards);
+    s
+}
+
+fn full_features(mut s: BenchScenario) -> BenchScenario {
+    s.features = ShardFeatures::ALL;
     s
 }
 
@@ -130,6 +141,18 @@ pub fn bench_matrix(smoke: bool) -> Vec<BenchScenario> {
     );
     out.push(sharded(sharded_base.clone(), 1));
     out.push(sharded(sharded_base, 4));
+    // Sharded-queued smoke cell: the feature-parity surface (queued router
+    // policy + fees + congestion + rebalancing) on the 4-shard engine.
+    out.push(full_features(sharded(
+        scenario(
+            "small-isp-sharded-queued-full-1k",
+            Topology::Isp,
+            1_000,
+            20.0,
+            SchemeChoice::SpiderWaterfilling,
+        ),
+        4,
+    )));
     // Warm-start smoke cell: an unmeasured preparation run checkpoints at
     // tick 120 of 200, then every timed repeat resumes from that snapshot
     // (snapshot load + the back 40% of the window). Its deterministic row
@@ -441,7 +464,7 @@ fn run_scenario(
                         s.name, s.scheme
                     );
                 };
-                run_sharded_scheme(&s.config, scheme, shards, &tel)
+                run_sharded_scheme_featured(&s.config, scheme, shards, &tel, false, s.features)
             }
             (None, None) => {
                 if profile {

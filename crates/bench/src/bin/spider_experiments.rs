@@ -63,8 +63,9 @@ use spider_bench::{
     ablation_extensions, ablation_mtu, ablation_num_paths, ablation_path_strategy,
     ablation_scheduler, bench_matrix, extension_schemes, fig4_fig5, fig6, fig6_traced, fig7,
     jobs_from_env, rebalancing_curve, resume_scheme, run_bench_profiled, run_grid, run_grid_traced,
-    run_scheme, run_scheme_checkpointed, run_scheme_traced, run_sharded_scheme_audited,
+    run_scheme, run_scheme_checkpointed, run_scheme_traced, run_sharded_scheme_featured,
     scheme_choice_by_name, Ablation, BenchFloor, ExperimentConfig, GridConfig, SchemeChoice,
+    ShardFeatures,
 };
 use spider_sim::{latest_snapshot, CheckpointSpec, FaultConfig, ShardScheme, SimReport};
 use spider_telemetry::spans::render_wall_breakdown;
@@ -252,7 +253,8 @@ fn usage_and_exit() -> ! {
          snapshot); pass the same --topology/--scheme/--seed/--full as the \
          checkpointing run\n\
          bench flags: [--smoke] [--repeats N] [--jobs N] [--out DIR] [--floor FILE.json] [--only SUBSTR] [--profile]\n\
-         sharded flags: [--shards N] [--scheme shortest|waterfilling] [--audit]\n\
+         sharded flags: [--shards N] [--scheme shortest|waterfilling] [--audit] \
+         [--policy direct|queued] [--fees] [--congestion] [--rebalance]\n\
          inspect flags: [--channel N] [--node N] [--payment N] [--kind K] [--from T] [--to T] \
          [--limit N] [--top K]"
     );
@@ -914,10 +916,14 @@ fn run_bench_command(args: &[String]) {
     }
 }
 
-/// `sharded [--shards N] [--scheme shortest|waterfilling] [--audit]`:
-/// one run on the partition-parallel engine. The printed report, `--json`
-/// output, and `--trace-out` trace are byte-identical for any `--shards`
-/// value — CI compares shard counts 1 and 4 on the smoke scenario.
+/// `sharded [--shards N] [--scheme shortest|waterfilling] [--audit]
+/// [--policy direct|queued] [--fees] [--congestion] [--rebalance]`:
+/// one run on the partition-parallel engine, optionally with the
+/// feature-parity surface (router queues, fees, congestion control,
+/// rebalancing) switched on. The printed report, `--json` output, and
+/// `--trace-out` trace are byte-identical for any `--shards` value — CI
+/// compares shard counts 1 and 4 on the smoke scenario, plain and
+/// all-features.
 fn run_sharded_command(
     args: &[String],
     full: bool,
@@ -945,11 +951,37 @@ fn run_sharded_command(
         }
     };
     let audit = has_flag(args, "--audit");
+    let features = ShardFeatures {
+        queued: match flag_value(args, "--policy").as_deref() {
+            None | Some("direct") => false,
+            Some("queued") => true,
+            Some(other) => {
+                eprintln!("--policy expects direct or queued, got `{other}`");
+                usage_and_exit();
+            }
+        },
+        fees: has_flag(args, "--fees"),
+        congestion: has_flag(args, "--congestion"),
+        rebalance: has_flag(args, "--rebalance"),
+    };
     println!(
-        "=== Sharded ({topology}): {} txns over {:.0}s on {shards} shard(s), audit {} ===",
+        "=== Sharded ({topology}): {} txns over {:.0}s on {shards} shard(s), audit {}, \
+         policy {}{}{}{} ===",
         cfg.num_transactions,
         cfg.duration,
-        if audit { "on" } else { "off" }
+        if audit { "on" } else { "off" },
+        if features.queued { "queued" } else { "direct" },
+        if features.fees { " +fees" } else { "" },
+        if features.congestion {
+            " +congestion"
+        } else {
+            ""
+        },
+        if features.rebalance {
+            " +rebalance"
+        } else {
+            ""
+        },
     );
     let tel = if telemetry {
         Telemetry::enabled()
@@ -957,7 +989,7 @@ fn run_sharded_command(
         Telemetry::disabled()
     };
     let t0 = std::time::Instant::now();
-    let report = run_sharded_scheme_audited(&cfg, scheme, shards, &tel, audit);
+    let report = run_sharded_scheme_featured(&cfg, scheme, shards, &tel, audit, features);
     print_fig6_table(std::slice::from_ref(&report));
     println!(
         "audit checks {} violations {} ({:.1}s)",

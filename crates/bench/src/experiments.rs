@@ -221,6 +221,80 @@ pub fn run_sharded_scheme_audited(
     telemetry: &Telemetry,
     audit: bool,
 ) -> SimReport {
+    run_sharded_scheme_featured(
+        config,
+        scheme,
+        shards,
+        telemetry,
+        audit,
+        ShardFeatures::NONE,
+    )
+}
+
+/// Sequential-engine features to switch on for a sharded experiment run
+/// (the feature-parity surface: router queues, fees, congestion control,
+/// rebalancing). All off by default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardFeatures {
+    /// Queued router policy (per-channel queues at the owning shard).
+    pub queued: bool,
+    /// Uniform per-hop fee schedule (10 micros + 1000 ppm).
+    pub fees: bool,
+    /// Per-payment AIMD congestion windows.
+    pub congestion: bool,
+    /// Aggressive on-chain rebalancing on owned channels.
+    pub rebalance: bool,
+}
+
+impl ShardFeatures {
+    /// Everything off — the PR 6 baseline surface.
+    pub const NONE: ShardFeatures = ShardFeatures {
+        queued: false,
+        fees: false,
+        congestion: false,
+        rebalance: false,
+    };
+
+    /// Everything on.
+    pub const ALL: ShardFeatures = ShardFeatures {
+        queued: true,
+        fees: true,
+        congestion: true,
+        rebalance: true,
+    };
+
+    /// Applies the enabled features to a sharded config.
+    pub fn apply(&self, cfg: &mut ShardedConfig, network: &Network) {
+        if self.queued {
+            cfg.policy = spider_sim::engine_sharded::ShardPolicy::Queued;
+        }
+        if self.fees {
+            cfg.fees = Some(spider_routing::FeeSchedule::uniform(
+                network,
+                Amount::from_micros(10),
+                1_000,
+            ));
+        }
+        if self.congestion {
+            cfg.congestion = Some(spider_sim::CongestionConfig::default());
+        }
+        if self.rebalance {
+            cfg.rebalance = Some(spider_sim::RebalancePolicy::aggressive());
+        }
+    }
+}
+
+/// [`run_sharded_scheme_audited`] with a [`ShardFeatures`] selection — the
+/// full feature-parity surface of the partition-parallel engine. Reports
+/// and traces stay byte-identical across shard counts for any selection.
+pub fn run_sharded_scheme_featured(
+    config: &ExperimentConfig,
+    scheme: ShardScheme,
+    shards: usize,
+    telemetry: &Telemetry,
+    audit: bool,
+    features: ShardFeatures,
+) -> SimReport {
     let network = config.network();
     let trace = config.trace(&network);
     let partition = if shards <= 1 {
@@ -229,6 +303,7 @@ pub fn run_sharded_scheme_audited(
         Partition::build(&network, shards, config.seed)
     };
     let mut cfg = config.sharded_config(scheme);
+    features.apply(&mut cfg, &network);
     cfg.telemetry = telemetry.clone();
     cfg.audit = audit;
     run_sharded(&network, &trace, &partition, &cfg)

@@ -23,8 +23,8 @@ pub use experiments::{
     ablation_scheduler, build_scheme, extension_schemes, fig4_fig5, fig4_network, fig6,
     fig6_traced, fig7, lp_candidate_paths, rebalancing_curve, resume_scheme, run_scheme,
     run_scheme_checkpointed, run_scheme_traced, run_sharded_scheme, run_sharded_scheme_audited,
-    scheme_choice_by_name, sharded_scheme_for, Ablation, ExperimentConfig, Fig4Result,
-    RebalancingPoint, SchemeChoice, Topology,
+    run_sharded_scheme_featured, scheme_choice_by_name, sharded_scheme_for, Ablation,
+    ExperimentConfig, Fig4Result, RebalancingPoint, SchemeChoice, ShardFeatures, Topology,
 };
 pub use runner::{
     derive_cell_seed, expand, jobs_from_env, run_grid, run_grid_traced, CellResult, GridCell,

@@ -30,26 +30,46 @@
 //! shard count — `tests/shard_equivalence.rs` locks this down against
 //! shard counts {1, 2, 4, 7}.
 //!
-//! The sharded engine intentionally supports the core packet-switched
-//! feature set (waterfilling / shortest-path routing, deadlines, fault
-//! injection with sender retry, auditing, telemetry). Extensions that
-//! require globally ordered state (AMP, fees, congestion control,
-//! rebalancing) remain sequential-engine-only.
+//! The sharded engine supports the full sequential feature set: the core
+//! packet-switched loop (waterfilling / shortest-path routing, deadlines,
+//! fault injection with sender retry, auditing, telemetry) plus the
+//! extensions that used to be sequential-engine-only, each mapped onto an
+//! unambiguous owner so partition independence survives:
+//!
+//! - **Router queues** ([`ShardPolicy::Queued`]): a unit that cannot lock
+//!   a hop waits in a per-`(channel, direction)` queue *at the channel's
+//!   owner shard* instead of failing. Queues drain head-of-line each epoch
+//!   in [`QueuePolicy`] order; queued units ride out outages and expire at
+//!   their payment's deadline.
+//! - **Fees**: hop amounts are a pure function of the fee schedule and the
+//!   unit's path, computed at send time and recomputed on message decode;
+//!   the payment owner accrues `routing_fees_paid` when a unit settles.
+//! - **Congestion control**: a per-payment AIMD window at the payment
+//!   owner gates how many units may be outstanding, driven by the same
+//!   delivered/failed notifications that already flow to the owner.
+//! - **Rebalancing**: each shard checks and corrects only the channels it
+//!   owns, publishing the new balances through the ordinary dirty-balance
+//!   exchange; scheduled corrections are part of the shard checkpoint.
 
 use crate::audit::{AuditState, AuditViolation, AuditViolationKind, LedgerAudit};
+use crate::congestion::CongestionConfig;
 use crate::engine::record_release;
 use crate::engine::{dec_path, enc_fault_event, enc_path};
+use crate::engine_queued::QueuePolicy;
 use crate::faults::{FaultConfig, FaultEvent, FaultPlan, FaultState, FaultStats, SplitMix64};
 use crate::ledger::Ledger;
 use crate::metrics::SimReport;
 use crate::payment::PaymentStatus;
-use crate::rebalancer::RebalanceStats;
+use crate::rebalancer::{RebalancePolicy, RebalanceStats};
+use crate::scheduler::SchedulePolicy;
 use crate::snapshot::{self, CheckpointSpec, SnapshotError};
 use serde::{Deserialize, Serialize};
 use spider_core::{
     crc32, Amount, BalanceView, ChannelId, Dec, Direction, Enc, Network, NodeId, Path,
 };
-use spider_routing::{RoutingScheme, ShortestPathScheme, UnitDecision, WaterfillingScheme};
+use spider_routing::{
+    FeeSchedule, RoutingScheme, ShortestPathScheme, UnitDecision, WaterfillingScheme,
+};
 use spider_telemetry::{Histogram, HistogramSnapshot, NetworkSample, Phase, Telemetry, TraceEvent};
 use spider_topology::Partition;
 use spider_workload::Transaction;
@@ -87,6 +107,28 @@ impl ShardScheme {
     }
 }
 
+/// What a unit does when a hop lock cannot be granted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Circuit-style: a failed lock refunds the unit immediately (the
+    /// original sharded-engine behavior).
+    #[default]
+    Direct,
+    /// Packet-style: the unit waits in a router queue at the channel's
+    /// owner shard and retries head-of-line each epoch until its
+    /// payment's deadline.
+    Queued,
+}
+
+impl ShardPolicy {
+    fn name(&self) -> &'static str {
+        match self {
+            ShardPolicy::Direct => "direct",
+            ShardPolicy::Queued => "queued",
+        }
+    }
+}
+
 /// Configuration for [`run_sharded`]. Mirrors the sequential
 /// [`SimConfig`](crate::SimConfig) core; durations are quantized to whole
 /// epochs internally.
@@ -114,6 +156,24 @@ pub struct ShardedConfig {
     /// Telemetry handle; when enabled, per-shard traces are merged into a
     /// deterministic global trace at the end of the run.
     pub telemetry: Telemetry,
+    /// What a unit does when a hop lock fails: refund ([`ShardPolicy::Direct`])
+    /// or wait in the owner shard's router queue ([`ShardPolicy::Queued`]).
+    pub policy: ShardPolicy,
+    /// How each payment owner orders its pending payments when pumping
+    /// under [`ShardPolicy::Queued`] (`Direct` keeps arrival order).
+    pub source_policy: SchedulePolicy,
+    /// Service order within a router queue under [`ShardPolicy::Queued`].
+    pub queue_policy: QueuePolicy,
+    /// Hard cap per `(channel, direction)` router queue; a unit arriving
+    /// at a full queue fails as a liquidity refusal.
+    pub max_queue_len: usize,
+    /// Optional per-channel fee schedule; hop amounts then carry the
+    /// downstream fees and settled units accrue `routing_fees_paid`.
+    pub fees: Option<FeeSchedule>,
+    /// Optional per-payment AIMD window limiting outstanding units.
+    pub congestion: Option<CongestionConfig>,
+    /// Optional on-chain rebalancing of owned channels.
+    pub rebalance: Option<RebalancePolicy>,
 }
 
 impl ShardedConfig {
@@ -130,6 +190,13 @@ impl ShardedConfig {
             audit: false,
             faults: None,
             telemetry: Telemetry::disabled(),
+            policy: ShardPolicy::Direct,
+            source_policy: SchedulePolicy::Srpt,
+            queue_policy: QueuePolicy::Fifo,
+            max_queue_len: 4096,
+            fees: None,
+            congestion: None,
+            rebalance: None,
         }
     }
 }
@@ -197,6 +264,8 @@ const RANK_SPLIT: u8 = 9;
 const RANK_ABANDONED: u8 = 10;
 const RANK_SENT: u8 = 11;
 const RANK_SAMPLE: u8 = 12;
+const RANK_QUEUED: u8 = 13;
+const RANK_REBALANCE: u8 = 14;
 
 /// The fate a unit was dealt at send time — a pure hash of
 /// `(fault seed, payment, unit)`, so any shard computes the same fate and
@@ -217,6 +286,25 @@ struct UnitInfo {
     amount: Amount,
     path: Arc<Path>,
     fate: Fate,
+    /// Per-hop locked amounts when a fee schedule is active: the delivered
+    /// amount plus all downstream fees. `None` means every hop locks
+    /// exactly `amount`. A pure function of `(fee schedule, path, amount)`,
+    /// so it is recomputed on message decode rather than serialized.
+    hop_amounts: Option<Vec<Amount>>,
+    /// The owning payment's deadline epoch, carried with the unit so the
+    /// channel owner can expire queued units without payment state.
+    deadline_epoch: u64,
+}
+
+impl UnitInfo {
+    /// The amount locked on `hop`: the delivered amount plus downstream
+    /// fees when a fee schedule is active.
+    fn hop_amount(&self, hop: u32) -> Amount {
+        match &self.hop_amounts {
+            Some(amounts) => amounts[hop as usize],
+            None => self.amount,
+        }
+    }
 }
 
 /// Why a unit failed, as reported to the payment owner.
@@ -309,6 +397,33 @@ struct LocalPayment {
     blacklist: Vec<(ChannelId, u64)>,
     fail_count: u32,
     not_before_epoch: u64,
+    /// AIMD congestion window (units); only consulted when congestion
+    /// control is configured.
+    window: f64,
+    /// Units sent but not yet reported delivered or failed, gated against
+    /// `window` at pump time.
+    outstanding: u32,
+}
+
+/// A unit parked at an owned `(channel, direction)` router queue, waiting
+/// for liquidity under [`ShardPolicy::Queued`].
+#[derive(Debug)]
+struct QueuedUnit {
+    unit: Arc<UnitInfo>,
+    hop: u32,
+    enqueued_epoch: u64,
+}
+
+/// The policy-defined service key of a queued unit. Unique per entry
+/// (`(payment, seq)` breaks every tie), so queue order is a pure function
+/// of queue content.
+fn queue_key(policy: QueuePolicy, e: &QueuedUnit) -> (i64, u64, u32) {
+    let primary = match policy {
+        QueuePolicy::Fifo => e.enqueued_epoch as i64,
+        QueuePolicy::SmallestFirst => e.unit.amount.micros(),
+        QueuePolicy::EarliestDeadline => e.unit.deadline_epoch as i64,
+    };
+    (primary, e.unit.payment, e.unit.seq)
 }
 
 /// Fault statistics counted at unambiguous owners so a field-wise sum over
@@ -461,8 +576,8 @@ struct SeriesPartial {
 struct SamplePartial {
     epoch: u64,
     pending: u32,
-    /// `(channel, |a-b|/(a+b), |a-b|/capacity, inflight micros)`.
-    channels: Vec<(u32, f64, f64, i64)>,
+    /// `(channel, |a-b|/(a+b), |a-b|/capacity, inflight micros, queue depth)`.
+    channels: Vec<(u32, f64, f64, i64, u32)>,
 }
 
 /// Everything a shard thread hands back for the deterministic merge.
@@ -476,6 +591,12 @@ struct ShardOutput {
     violations: Vec<AuditViolation>,
     stats: ShardStats,
     counters: ShardCounters,
+    /// Exact fee micros accrued by this shard's payments.
+    routing_fees_micros: i64,
+    /// Rebalancing totals over this shard's owned channels.
+    rebal_transactions: u64,
+    rebal_moved_micros: i64,
+    rebal_fees_micros: i64,
 }
 
 /// Balance view for routing: the barrier-frozen global snapshot with this
@@ -603,6 +724,21 @@ struct ShardCtx<'a> {
     completed_count: u64,
     attempted_micros: i64,
     delivered_micros: i64,
+    /// Router queues at owned channels, keyed `(channel, sender side)`,
+    /// each kept in [`QueuePolicy`] order ([`ShardPolicy::Queued`] only).
+    /// `BTreeMap` iteration gives the deterministic drain order.
+    queues: BTreeMap<(u32, u8), Vec<QueuedUnit>>,
+    /// Exact fee micros accrued by payments this shard owns.
+    routing_fees_micros: i64,
+    /// Owned channels with a scheduled, not-yet-applied correction.
+    rebalance_pending: Vec<bool>,
+    /// Scheduled corrections `(apply epoch, channel)`; appended in check
+    /// order, which is naturally sorted by apply epoch.
+    rebalance_applies: Vec<(u64, u32)>,
+    // Rebalancing totals over owned channels, in exact micros.
+    rebal_transactions: u64,
+    rebal_moved_micros: i64,
+    rebal_fees_micros: i64,
 }
 
 impl ShardCtx<'_> {
@@ -789,7 +925,10 @@ impl ShardCtx<'_> {
             return;
         }
         let to = unit.path.nodes()[hop as usize + 1];
-        if let Err(e) = self.ledger.settle_hop(self.network, c, to, unit.amount) {
+        if let Err(e) = self
+            .ledger
+            .settle_hop(self.network, c, to, unit.hop_amount(hop))
+        {
             record_release(&mut self.violations, t_of(epoch), "settle-hop", &e);
             return;
         }
@@ -802,7 +941,10 @@ impl ShardCtx<'_> {
             return;
         }
         let from = unit.path.nodes()[hop as usize];
-        if let Err(e) = self.ledger.refund_hop(self.network, c, from, unit.amount) {
+        if let Err(e) = self
+            .ledger
+            .refund_hop(self.network, c, from, unit.hop_amount(hop))
+        {
             record_release(&mut self.violations, t_of(epoch), "refund-hop", &e);
             return;
         }
@@ -829,7 +971,7 @@ impl ShardCtx<'_> {
     }
 
     fn on_lock_hop(&mut self, unit: &Arc<UnitInfo>, hop: u32, epoch: u64) {
-        let (c, _) = unit.path.hops()[hop as usize];
+        let (c, dir) = unit.path.hops()[hop as usize];
         if !self.own(c, epoch, "lock-hop") {
             return;
         }
@@ -838,14 +980,37 @@ impl ShardCtx<'_> {
             self.fail_unit(unit, hop, false, c, FailCause::Outage, epoch + 1);
             return;
         }
+        if self.cfg.policy == ShardPolicy::Queued {
+            let key = (c.index() as u32, sender_side(dir) as u8);
+            // No overtaking: a backlog on this direction queues the unit
+            // even if the lock would succeed right now.
+            let backlog = self.queues.get(&key).is_some_and(|q| !q.is_empty());
+            if backlog || !self.lock_and_advance(unit, hop, epoch) {
+                self.enqueue_unit(unit, hop, epoch, key);
+            }
+            return;
+        }
+        if !self.lock_and_advance(unit, hop, epoch) {
+            self.fail_unit(unit, hop, false, c, FailCause::Liquidity, epoch + 1);
+        }
+    }
+
+    /// Attempts the ledger lock for `hop`; on success advances the unit
+    /// (forward, settle, or fault staging) and returns `true`. A `false`
+    /// return leaves no ledger effect.
+    fn lock_and_advance(&mut self, unit: &Arc<UnitInfo>, hop: u32, epoch: u64) -> bool {
+        let (c, _) = unit.path.hops()[hop as usize];
+        if !self.own(c, epoch, "lock-advance") {
+            // Unreachable for owned queues/messages; recorded and swallowed.
+            return true;
+        }
         let from = unit.path.nodes()[hop as usize];
         if self
             .ledger
-            .lock_hop(self.network, c, from, unit.amount)
+            .lock_hop(self.network, c, from, unit.hop_amount(hop))
             .is_err()
         {
-            self.fail_unit(unit, hop, false, c, FailCause::Liquidity, epoch + 1);
-            return;
+            return false;
         }
         self.dirty.push(c.index() as u32);
         let hops = unit.path.hops().len() as u32;
@@ -853,12 +1018,12 @@ impl ShardCtx<'_> {
         if let Fate::Drop { hop_index } = unit.fate {
             if hop_index == hop {
                 self.fail_unit(unit, hop, true, c, FailCause::Dropped, epoch + 1);
-                return;
+                return true;
             }
         }
         if hop + 1 < hops {
             self.stage_hop(unit, hop + 1, epoch + 1, MsgBody::LockHop { hop: hop + 1 });
-            return;
+            return true;
         }
         // Final hop locked: the unit reached the receiver.
         match unit.fate {
@@ -888,10 +1053,193 @@ impl ShardCtx<'_> {
                 // index is drawn modulo the hop count.
             }
         }
+        true
+    }
+
+    /// Parks a unit in the owned `(channel, sender side)` router queue in
+    /// [`QueuePolicy`] order, or fails it as a liquidity refusal when the
+    /// queue is full.
+    fn enqueue_unit(&mut self, unit: &Arc<UnitInfo>, hop: u32, epoch: u64, key: (u32, u8)) {
+        let len = self.queues.get(&key).map_or(0, Vec::len);
+        if len >= self.cfg.max_queue_len {
+            let (c, _) = unit.path.hops()[hop as usize];
+            self.fail_unit(unit, hop, false, c, FailCause::Liquidity, epoch + 1);
+            return;
+        }
+        let entry = QueuedUnit {
+            unit: Arc::clone(unit),
+            hop,
+            enqueued_epoch: epoch,
+        };
+        let policy = self.cfg.queue_policy;
+        let k = queue_key(policy, &entry);
+        let q = self.queues.entry(key).or_default();
+        let pos = q.partition_point(|e| queue_key(policy, e) <= k);
+        q.insert(pos, entry);
+        let depth = q.len() as u32;
+        self.emit(
+            Key {
+                epoch,
+                rank: RANK_QUEUED,
+                a: unit.payment,
+                b: u64::from(unit.seq),
+            },
+            TraceEvent::UnitQueued {
+                t: t_of(epoch),
+                payment: unit.payment,
+                channel: key.0,
+                depth,
+            },
+        );
+    }
+
+    /// One epoch of router-queue service at this shard's owned channels:
+    /// expire units whose payment deadline passed, then drain head-of-line
+    /// while liquidity lasts. Queues are visited in `(channel, direction)`
+    /// order; downed channels keep their queues intact (queued units ride
+    /// out outages until their deadline).
+    fn drain_queues(&mut self, epoch: u64) {
+        if self.cfg.policy != ShardPolicy::Queued || self.queues.is_empty() {
+            return;
+        }
+        let keys: Vec<(u32, u8)> = self.queues.keys().copied().collect();
+        for key in keys {
+            let Some(mut q) = self.queues.remove(&key) else {
+                continue;
+            };
+            let down = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.is_channel_down(ChannelId(key.0)));
+            let mut kept: Vec<QueuedUnit> = Vec::with_capacity(q.len());
+            for e in q.drain(..) {
+                if e.unit.deadline_epoch <= epoch {
+                    let (c, _) = e.unit.path.hops()[e.hop as usize];
+                    self.fail_unit(&e.unit, e.hop, false, c, FailCause::Liquidity, epoch + 1);
+                    continue;
+                }
+                // Head-of-line: after the first unit that cannot lock (or
+                // during an outage) the rest of the queue just waits.
+                if down || !kept.is_empty() || !self.lock_and_advance(&e.unit, e.hop, epoch) {
+                    kept.push(e);
+                }
+            }
+            if !kept.is_empty() {
+                self.queues.insert(key, kept);
+            }
+        }
+    }
+
+    /// One epoch of on-chain rebalancing over this shard's owned channels:
+    /// apply the corrections whose confirmation delay elapsed, then (on the
+    /// check cadence) schedule new ones. Mirrors the sequential engine's
+    /// check/apply split; the new balances travel through the ordinary
+    /// dirty-balance exchange, so remote routing sees them next epoch.
+    fn rebalance_step(&mut self, epoch: u64) {
+        let Some(policy) = self.cfg.rebalance.clone() else {
+            return;
+        };
+        let check_epochs = epochs_of(policy.check_interval);
+        let confirm_epochs = epochs_of(policy.confirmation_delay);
+        // Due corrections were scheduled in apply-epoch order; channels
+        // within one epoch were appended in id order.
+        let mut due = Vec::new();
+        self.rebalance_applies.retain(|&(fire, c)| {
+            if fire == epoch {
+                due.push(c);
+                false
+            } else {
+                true
+            }
+        });
+        for cidx in due {
+            let channel = ChannelId(cidx);
+            self.rebalance_pending[channel.index()] = false;
+            // Re-evaluate at confirmation: interim traffic may have healed
+            // (or deepened) the skew measured at check time.
+            let (a, b) = self.ledger.balances(channel);
+            let Some(amount) = policy.correction(a, b) else {
+                continue;
+            };
+            if !self.own(channel, epoch, "rebalance-apply") {
+                continue;
+            }
+            let ch = self.network.channel(channel);
+            let (rich, poor) = if a >= b { (ch.a, ch.b) } else { (ch.b, ch.a) };
+            let taken = self.ledger.withdraw(self.network, channel, rich, amount);
+            let redeposit = taken.saturating_sub(policy.fee).max(Amount::ZERO);
+            if let Err(e) = self.ledger.deposit(self.network, channel, poor, redeposit) {
+                record_release(&mut self.violations, t_of(epoch), "rebalance-deposit", &e);
+                continue;
+            }
+            let fee_paid = taken.saturating_sub(redeposit);
+            self.rebal_transactions += 1;
+            self.rebal_moved_micros = self.rebal_moved_micros.saturating_add(taken.micros());
+            self.rebal_fees_micros = self.rebal_fees_micros.saturating_add(fee_paid.micros());
+            self.dirty.push(cidx);
+            self.emit(
+                Key {
+                    epoch,
+                    rank: RANK_REBALANCE,
+                    a: u64::from(cidx),
+                    b: 0,
+                },
+                TraceEvent::RebalanceApplied {
+                    t: t_of(epoch),
+                    channel: cidx,
+                    moved: tokens(taken),
+                    fee: tokens(fee_paid),
+                },
+            );
+            if let Some(audit) = self.audit.as_mut() {
+                audit.on_withdraw(taken);
+                audit.on_deposit(redeposit);
+                audit.check(&self.ledger, t_of(epoch), "rebalance");
+            }
+        }
+        if epoch.is_multiple_of(check_epochs) {
+            for ch in self.network.channels() {
+                if self.partition.channel_owner(ch.id) as u16 != self.shard {
+                    continue;
+                }
+                if self.rebalance_pending[ch.id.index()] {
+                    continue;
+                }
+                let (a, b) = self.ledger.balances(ch.id);
+                if policy.correction(a, b).is_some() {
+                    self.rebalance_pending[ch.id.index()] = true;
+                    self.rebalance_applies
+                        .push((epoch + confirm_epochs, ch.id.index() as u32));
+                }
+            }
+        }
+    }
+
+    /// AIMD window update at the payment owner when a unit's outcome
+    /// arrives: the unit is no longer outstanding, and the window grows
+    /// (delivered) or shrinks multiplicatively (failed).
+    fn congestion_on_outcome(&mut self, pidx: usize, delivered: bool) {
+        let Some(cc) = self.cfg.congestion.as_ref() else {
+            return;
+        };
+        let p = &mut self.payments[pidx];
+        p.outstanding = p.outstanding.saturating_sub(1);
+        if delivered {
+            p.window = (p.window + cc.additive_increase / p.window).min(cc.max_window);
+        } else {
+            p.window = (p.window * cc.multiplicative_decrease).max(cc.min_window);
+        }
     }
 
     fn on_unit_delivered(&mut self, unit: &Arc<UnitInfo>, epoch: u64) {
         let pidx = self.payment_index(unit.payment);
+        self.congestion_on_outcome(pidx, true);
+        // The sender locked `hop_amounts[0]` and the receiver was paid
+        // `amount`; the difference is the routing fee, accrued exactly.
+        if let Some(first) = unit.hop_amounts.as_ref().and_then(|a| a.first()) {
+            let fee = first.micros().saturating_sub(unit.amount.micros());
+            self.routing_fees_micros = self.routing_fees_micros.saturating_add(fee);
+        }
         let t = t_of(epoch);
         let p = &mut self.payments[pidx];
         p.inflight -= unit.amount;
@@ -944,6 +1292,7 @@ impl ShardCtx<'_> {
         epoch: u64,
     ) {
         let pidx = self.payment_index(unit.payment);
+        self.congestion_on_outcome(pidx, false);
         let t = t_of(epoch);
         let amount_tokens = tokens(unit.amount);
         let pid;
@@ -1130,6 +1479,11 @@ impl ShardCtx<'_> {
             if !remaining.is_positive() {
                 break;
             }
+            // Congestion window gate: at most floor(window) units may be
+            // outstanding per payment.
+            if self.cfg.congestion.is_some() && f64::from(p.outstanding) >= p.window.floor() {
+                break;
+            }
             let unit_amount = remaining.min(self.cfg.mtu);
             let (src, dst, pid) = (p.src, p.dst, p.id);
             let decision = {
@@ -1145,14 +1499,24 @@ impl ShardCtx<'_> {
             };
             match decision {
                 UnitDecision::Route(path) => {
-                    for &(c, dir) in path.hops() {
+                    // Hop amounts carry downstream fees; a pure function of
+                    // (schedule, path, amount), recomputed on msg decode.
+                    let hop_amounts = match self.cfg.fees.as_ref() {
+                        Some(f) if !f.is_free() => Some(f.path_amounts(&path, unit_amount)),
+                        _ => None,
+                    };
+                    for (i, &(c, dir)) in path.hops().iter().enumerate() {
                         let side = sender_side(dir);
-                        self.snapshot[c.index()][side] -= unit_amount.micros();
-                        undo.push((c.index(), side, unit_amount.micros()));
+                        let micros = hop_amounts.as_ref().map_or(unit_amount, |a| a[i]).micros();
+                        self.snapshot[c.index()][side] -= micros;
+                        undo.push((c.index(), side, micros));
                     }
                     let seq = self.payments[pidx].next_seq;
                     self.payments[pidx].next_seq += 1;
                     self.payments[pidx].inflight += unit_amount;
+                    if self.cfg.congestion.is_some() {
+                        self.payments[pidx].outstanding += 1;
+                    }
                     self.units_sent += 1;
                     let (fate, jittered) = match self.cfg.faults.as_ref() {
                         Some(plan) => {
@@ -1190,10 +1554,20 @@ impl ShardCtx<'_> {
                         amount: unit_amount,
                         path,
                         fate,
+                        hop_amounts,
+                        deadline_epoch: self.payments[pidx].deadline_epoch,
                     });
                     self.stage_hop(&unit, 0, epoch + 1, MsgBody::LockHop { hop: 0 });
                 }
-                UnitDecision::Unavailable => break,
+                UnitDecision::Unavailable => {
+                    // No spendable route right now: back the window off so
+                    // the payment probes gently once liquidity returns.
+                    if let Some(cc) = self.cfg.congestion.as_ref() {
+                        let p = &mut self.payments[pidx];
+                        p.window = (p.window * cc.multiplicative_decrease).max(cc.min_window);
+                    }
+                    break;
+                }
                 UnitDecision::Never => {
                     // Under faults, "no path" may only mean "all masked":
                     // stay pending and retry once channels recover.
@@ -1270,7 +1644,21 @@ impl ShardCtx<'_> {
         }
         self.pending
             .retain(|&i| self.payments[i].status == PaymentStatus::Pending);
-        let order = self.pending.clone();
+        let mut order = self.pending.clone();
+        if self.cfg.policy == ShardPolicy::Queued {
+            // Pump in source-policy order. Outcomes cannot depend on this
+            // order (each pump's snapshot debits are undone afterwards),
+            // but the paper's SRPT source scheduling is the queued-router
+            // default, and the order shapes seq assignment within a tick.
+            let payments = &self.payments;
+            self.cfg.source_policy.order_quantized(
+                &mut order,
+                |i| (payments[i].amount - payments[i].delivered).micros(),
+                |i| payments[i].arrival_epoch,
+                |i| payments[i].deadline_epoch,
+                |i| payments[i].id,
+            );
+        }
         for i in order {
             self.pump(i, epoch);
         }
@@ -1308,12 +1696,14 @@ impl ShardCtx<'_> {
             };
             let mean_ratio = (a - b).abs().ratio_of(self.ledger.capacity(ch.id));
             let inflight = self.ledger.inflight(ch.id);
-            channels.push((
-                ch.id.index() as u32,
-                imbalance,
-                mean_ratio,
-                inflight.micros(),
-            ));
+            let cid = ch.id.index() as u32;
+            // Both directions' router queues live at this owner shard.
+            let queue_depth: u32 = self
+                .queues
+                .range((cid, 0)..=(cid, 1))
+                .map(|(_, q)| q.len() as u32)
+                .sum();
+            channels.push((cid, imbalance, mean_ratio, inflight.micros(), queue_depth));
             self.emit(
                 Key {
                     epoch,
@@ -1323,10 +1713,10 @@ impl ShardCtx<'_> {
                 },
                 TraceEvent::ChannelSample {
                     t,
-                    channel: ch.id.index() as u32,
+                    channel: cid,
                     imbalance,
                     inflight: tokens(inflight),
-                    queue_depth: 0,
+                    queue_depth,
                 },
             );
         }
@@ -1392,12 +1782,18 @@ pub fn resume_sharded(
     let snap = snapshot::read_snapshot(snapshot_path)?;
     let fp = fingerprint_sharded(network, transactions, partition, config);
     snap.check(snapshot::ENGINE_SHARDED, fp)?;
-    let state = decode_sharded_core(
+    let mut state = decode_sharded_core(
         snap.section(snapshot::SEC_CORE)?,
         network,
         partition,
         config,
         snap.progress,
+    )?;
+    apply_sharded_ext(
+        &mut state,
+        snap.section(snapshot::SEC_SHARD_EXT)?,
+        network,
+        config,
     )?;
     run_sharded_inner(network, transactions, partition, config, Some(state), ckpt)
 }
@@ -1422,6 +1818,20 @@ fn run_sharded_inner(
         "partition must match the network"
     );
     assert_eq!(partition.channel_owners().len(), network.num_channels());
+    assert!(config.max_queue_len > 0, "max_queue_len must be positive");
+    if let Some(fees) = config.fees.as_ref() {
+        assert_eq!(
+            fees.per_channel().len(),
+            network.num_channels(),
+            "fee schedule must cover the network"
+        );
+    }
+    if let Some(cc) = config.congestion.as_ref() {
+        cc.validate();
+    }
+    if let Some(rb) = config.rebalance.as_ref() {
+        rb.validate();
+    }
 
     let num_shards = partition.num_shards();
     let clock = Clockwork {
@@ -1485,6 +1895,8 @@ fn run_sharded_inner(
     let published: Vec<PublishSlot> = (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = Barrier::new(num_shards);
     let ckpt_blobs: Vec<Mutex<Vec<u8>>> = (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
+    let ckpt_ext_blobs: Vec<Mutex<Vec<u8>>> =
+        (0..num_shards).map(|_| Mutex::new(Vec::new())).collect();
     let ckpt_err: Mutex<Option<SnapshotError>> = Mutex::new(None);
 
     let outputs: Vec<Result<ShardOutput, ()>> = std::thread::scope(|scope| {
@@ -1498,6 +1910,7 @@ fn run_sharded_inner(
             let plan_events = &plan_events;
             let resume_slots = &resume_slots;
             let ckpt_blobs = &ckpt_blobs;
+            let ckpt_ext_blobs = &ckpt_ext_blobs;
             let ckpt_err = &ckpt_err;
             handles.push(scope.spawn(move || {
                 run_shard(
@@ -1518,6 +1931,7 @@ fn run_sharded_inner(
                     fp,
                     ckpt,
                     ckpt_blobs,
+                    ckpt_ext_blobs,
                     ckpt_err,
                 )
             }));
@@ -1575,6 +1989,7 @@ fn run_shard(
     fp: u32,
     ckpt: Option<&CheckpointSpec>,
     ckpt_blobs: &[Mutex<Vec<u8>>],
+    ckpt_ext_blobs: &[Mutex<Vec<u8>>],
     ckpt_err: &Mutex<Option<SnapshotError>>,
 ) -> Result<ShardOutput, ()> {
     let num_shards = partition.num_shards() as u64;
@@ -1620,6 +2035,13 @@ fn run_shard(
             completed_count: r.completed_count,
             attempted_micros: r.attempted_micros,
             delivered_micros: r.delivered_micros,
+            queues: r.queues,
+            routing_fees_micros: r.routing_fees_micros,
+            rebalance_pending: r.rebalance_pending,
+            rebalance_applies: r.rebalance_applies,
+            rebal_transactions: r.rebal_transactions,
+            rebal_moved_micros: r.rebal_moved_micros,
+            rebal_fees_micros: r.rebal_fees_micros,
         }
     } else {
         // This shard's payments: ids assigned round-robin; slab sorted by
@@ -1644,6 +2066,11 @@ fn run_shard(
                     blacklist: Vec::new(),
                     fail_count: 0,
                     not_before_epoch: 0,
+                    window: config
+                        .congestion
+                        .as_ref()
+                        .map_or(0.0, |cc| cc.initial_window),
+                    outstanding: 0,
                 })
             })
             .collect();
@@ -1694,6 +2121,13 @@ fn run_shard(
             completed_count: 0,
             attempted_micros: 0,
             delivered_micros: 0,
+            queues: BTreeMap::new(),
+            routing_fees_micros: 0,
+            rebalance_pending: vec![false; network.num_channels()],
+            rebalance_applies: Vec::new(),
+            rebal_transactions: 0,
+            rebal_moved_micros: 0,
+            rebal_fees_micros: 0,
         }
     };
 
@@ -1724,6 +2158,8 @@ fn run_shard(
             tel.span_sim(Phase::EpochCompute, t_of(epoch));
             ctx.apply_faults(epoch);
             ctx.process_messages(epoch);
+            ctx.rebalance_step(epoch);
+            ctx.drain_queues(epoch);
             ctx.process_arrivals(epoch);
             if epoch % clock.poll_epochs == 0 {
                 ctx.tick(epoch);
@@ -1793,6 +2229,7 @@ fn run_shard(
                 }
                 debug_assert!(ctx.dirty.is_empty() && ctx.staged.iter().all(Vec::is_empty));
                 *lock_ok(&ckpt_blobs[me]) = encode_shard_blob(&ctx);
+                *lock_ok(&ckpt_ext_blobs[me]) = encode_shard_ext(&ctx);
                 barrier.wait();
                 if me == 0 {
                     let mut e = Enc::new();
@@ -1802,12 +2239,18 @@ fn run_shard(
                         e.bytes(&lock_ok(blob));
                     }
                     let core = e.into_bytes();
+                    let mut x = Enc::new();
+                    x.u32(num_shards as u32);
+                    for blob in ckpt_ext_blobs {
+                        x.bytes(&lock_ok(blob));
+                    }
+                    let ext = x.into_bytes();
                     if let Err(err) = snapshot::write_snapshot(
                         &ck.dir,
                         snapshot::ENGINE_SHARDED,
                         fp,
                         epoch,
-                        &[(snapshot::SEC_CORE, core)],
+                        &[(snapshot::SEC_CORE, core), (snapshot::SEC_SHARD_EXT, ext)],
                     ) {
                         *lock_ok(ckpt_err) = Some(err);
                     }
@@ -1836,6 +2279,10 @@ fn run_shard(
         violations,
         stats: ctx.stats,
         counters: ctx.counters,
+        routing_fees_micros: ctx.routing_fees_micros,
+        rebal_transactions: ctx.rebal_transactions,
+        rebal_moved_micros: ctx.rebal_moved_micros,
+        rebal_fees_micros: ctx.rebal_fees_micros,
     })
 }
 
@@ -1873,6 +2320,46 @@ fn fingerprint_sharded(
     }
     e.bool(config.telemetry.is_enabled());
     e.f64(config.telemetry.sample_interval().unwrap_or(f64::NAN));
+    e.str(config.policy.name());
+    e.str(config.source_policy.name());
+    e.u8(match config.queue_policy {
+        QueuePolicy::Fifo => 0,
+        QueuePolicy::SmallestFirst => 1,
+        QueuePolicy::EarliestDeadline => 2,
+    });
+    e.usize(config.max_queue_len);
+    match &config.fees {
+        Some(f) => {
+            e.u8(1);
+            e.seq(&f.per_channel(), |e, &(base, ppm)| {
+                e.i64(base.micros());
+                e.u32(ppm);
+            });
+        }
+        None => e.u8(0),
+    }
+    match &config.congestion {
+        Some(cc) => {
+            e.u8(1);
+            e.f64(cc.initial_window);
+            e.f64(cc.additive_increase);
+            e.f64(cc.multiplicative_decrease);
+            e.f64(cc.min_window);
+            e.f64(cc.max_window);
+        }
+        None => e.u8(0),
+    }
+    match &config.rebalance {
+        Some(rb) => {
+            e.u8(1);
+            e.f64(rb.check_interval);
+            e.f64(rb.imbalance_threshold);
+            e.f64(rb.correction_fraction);
+            e.i64(rb.fee.micros());
+            e.f64(rb.confirmation_delay);
+        }
+        None => e.u8(0),
+    }
     e.usize(partition.num_shards());
     e.seq(partition.node_shards(), |e, &s| e.u32(u32::from(s)));
     e.seq(partition.channel_owners(), |e, &s| e.u32(u32::from(s)));
@@ -1910,6 +2397,13 @@ struct ShardResume {
     completed_count: u64,
     attempted_micros: i64,
     delivered_micros: i64,
+    queues: BTreeMap<(u32, u8), Vec<QueuedUnit>>,
+    routing_fees_micros: i64,
+    rebalance_pending: Vec<bool>,
+    rebalance_applies: Vec<(u64, u32)>,
+    rebal_transactions: u64,
+    rebal_moved_micros: i64,
+    rebal_fees_micros: i64,
 }
 
 fn enc_msg(e: &mut Enc, msg: &Msg) {
@@ -1917,6 +2411,7 @@ fn enc_msg(e: &mut Enc, msg: &Msg) {
     e.u32(msg.unit.seq);
     e.i64(msg.unit.amount.micros());
     enc_path(e, &msg.unit.path);
+    e.u64(msg.unit.deadline_epoch);
     match &msg.body {
         MsgBody::SettleHop { hop } => {
             e.u8(0);
@@ -1954,11 +2449,17 @@ fn dec_msg(
     let seq = d.u32()?;
     let amount = Amount::from_micros(d.i64()?);
     let path = dec_path(d, network)?;
+    let deadline_epoch = d.u64()?;
     // The fate is a pure hash of (fault seed, payment, unit) — recompute it
-    // instead of trusting snapshot bytes.
+    // instead of trusting snapshot bytes. Hop amounts likewise: a pure
+    // function of (fee schedule, path, amount).
     let fate = match config.faults.as_ref() {
         Some(plan) => unit_fate(&plan.config, payment, seq, path.hops().len()).0,
         None => Fate::Deliver { jitter_epochs: 0 },
+    };
+    let hop_amounts = match config.fees.as_ref() {
+        Some(f) if !f.is_free() => Some(f.path_amounts(&path, amount)),
+        _ => None,
     };
     let hops = path.hops().len() as u32;
     let check_hop = |hop: u32| {
@@ -2016,6 +2517,8 @@ fn dec_msg(
             amount,
             path,
             fate,
+            hop_amounts,
+            deadline_epoch,
         }),
     })
 }
@@ -2119,11 +2622,12 @@ fn encode_shard_blob(ctx: &ShardCtx<'_>) -> Vec<u8> {
     for s in &ctx.samples {
         e.u64(s.epoch);
         e.u32(s.pending);
-        e.seq(&s.channels, |e, &(c, imb, ratio, inflight)| {
+        e.seq(&s.channels, |e, &(c, imb, ratio, inflight, qdepth)| {
             e.u32(c);
             e.f64(imb);
             e.f64(ratio);
             e.i64(inflight);
+            e.u32(qdepth);
         });
     }
     snapshot::enc_json(&mut e, &ctx.violations);
@@ -2367,6 +2871,12 @@ fn decode_shard_blob(
             blacklist,
             fail_count: d.u32()?,
             not_before_epoch: d.u64()?,
+            // Congestion state is restored from the SEC_SHARD_EXT section.
+            window: config
+                .congestion
+                .as_ref()
+                .map_or(0.0, |cc| cc.initial_window),
+            outstanding: 0,
         });
     }
     let pending = d.seq(|d| d.usize())?;
@@ -2418,7 +2928,7 @@ fn decode_shard_blob(
     for _ in 0..n_samples {
         let epoch = d.u64()?;
         let pending_count = d.u32()?;
-        let channels = d.seq(|d| Ok((d.u32()?, d.f64()?, d.f64()?, d.i64()?)))?;
+        let channels = d.seq(|d| Ok((d.u32()?, d.f64()?, d.f64()?, d.i64()?, d.u32()?)))?;
         samples.push(SamplePartial {
             epoch,
             pending: pending_count,
@@ -2490,7 +3000,268 @@ fn decode_shard_blob(
         completed_count,
         attempted_micros,
         delivered_micros,
+        // Filled in by [`apply_sharded_ext`] from the SEC_SHARD_EXT section.
+        queues: BTreeMap::new(),
+        routing_fees_micros: 0,
+        rebalance_pending: vec![false; network.num_channels()],
+        rebalance_applies: Vec::new(),
+        rebal_transactions: 0,
+        rebal_moved_micros: 0,
+        rebal_fees_micros: 0,
     })
+}
+
+/// Binary capture of one shard's feature-extension state (router queues,
+/// fee accrual, congestion windows, rebalancing schedule) for the
+/// `SEC_SHARD_EXT` snapshot section.
+fn encode_shard_ext(ctx: &ShardCtx<'_>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.i64(ctx.routing_fees_micros);
+    match ctx.cfg.congestion {
+        Some(_) => {
+            e.u8(1);
+            // Slab order: the decode side walks the same sorted-by-id slab.
+            e.seq(&ctx.payments, |e, p| {
+                e.f64(p.window);
+                e.u32(p.outstanding);
+            });
+        }
+        None => e.u8(0),
+    }
+    match ctx.cfg.policy {
+        ShardPolicy::Queued => {
+            e.u8(1);
+            e.usize(ctx.queues.len());
+            for (&(channel, dir), q) in &ctx.queues {
+                e.u32(channel);
+                e.u8(dir);
+                e.usize(q.len());
+                for entry in q {
+                    e.u64(entry.unit.payment);
+                    e.u32(entry.unit.seq);
+                    e.i64(entry.unit.amount.micros());
+                    enc_path(&mut e, &entry.unit.path);
+                    e.u64(entry.unit.deadline_epoch);
+                    e.u32(entry.hop);
+                    e.u64(entry.enqueued_epoch);
+                }
+            }
+        }
+        ShardPolicy::Direct => e.u8(0),
+    }
+    match ctx.cfg.rebalance {
+        Some(_) => {
+            e.u8(1);
+            e.seq(&ctx.rebalance_applies, |e, &(fire, c)| {
+                e.u64(fire);
+                e.u32(c);
+            });
+            e.u64(ctx.rebal_transactions);
+            e.i64(ctx.rebal_moved_micros);
+            e.i64(ctx.rebal_fees_micros);
+        }
+        None => e.u8(0),
+    }
+    e.into_bytes()
+}
+
+/// Decodes the `SEC_SHARD_EXT` section into the already-decoded core
+/// resume state: per-shard router queues, fee accrual, congestion windows,
+/// and the rebalancing schedule. Presence flags must agree with the
+/// config, mirroring the core section's audit/fault checks.
+fn apply_sharded_ext(
+    state: &mut ShardedResume,
+    bytes: &[u8],
+    network: &Network,
+    config: &ShardedConfig,
+) -> Result<(), SnapshotError> {
+    let mut d = Dec::new(bytes);
+    let num_shards = d.u32()? as usize;
+    if num_shards != state.shards.len() {
+        return Err(SnapshotError::Corrupt {
+            what: format!(
+                "extension section has {num_shards} shards, core has {}",
+                state.shards.len()
+            ),
+        });
+    }
+    for shard in state.shards.iter_mut() {
+        let blob = d.bytes()?;
+        apply_shard_ext_blob(shard, blob, network, config)?;
+    }
+    d.expect_end()?;
+    Ok(())
+}
+
+/// Decodes one shard's extension blob into its [`ShardResume`].
+fn apply_shard_ext_blob(
+    shard: &mut ShardResume,
+    bytes: &[u8],
+    network: &Network,
+    config: &ShardedConfig,
+) -> Result<(), SnapshotError> {
+    let mut d = Dec::new(bytes);
+    shard.routing_fees_micros = d.i64()?;
+    match d.u8()? {
+        0 => {
+            if config.congestion.is_some() {
+                return Err(SnapshotError::Corrupt {
+                    what: "config has congestion control but snapshot has no windows".to_string(),
+                });
+            }
+        }
+        1 => {
+            if config.congestion.is_none() {
+                return Err(SnapshotError::Corrupt {
+                    what: "snapshot has congestion windows but config has none".to_string(),
+                });
+            }
+            let windows = d.seq(|d| Ok((d.f64()?, d.u32()?)))?;
+            if windows.len() != shard.payments.len() {
+                return Err(SnapshotError::Corrupt {
+                    what: format!(
+                        "{} congestion windows for {} payments",
+                        windows.len(),
+                        shard.payments.len()
+                    ),
+                });
+            }
+            for (p, (window, outstanding)) in shard.payments.iter_mut().zip(windows) {
+                if !window.is_finite() || window <= 0.0 {
+                    return Err(SnapshotError::Corrupt {
+                        what: format!("bad congestion window {window}"),
+                    });
+                }
+                p.window = window;
+                p.outstanding = outstanding;
+            }
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad congestion presence byte {tag}"),
+            })
+        }
+    }
+    match d.u8()? {
+        0 => {
+            if config.policy == ShardPolicy::Queued {
+                return Err(SnapshotError::Corrupt {
+                    what: "config uses the queued policy but snapshot has no queues".to_string(),
+                });
+            }
+        }
+        1 => {
+            if config.policy != ShardPolicy::Queued {
+                return Err(SnapshotError::Corrupt {
+                    what: "snapshot has router queues but config is direct".to_string(),
+                });
+            }
+            let n_queues = d.usize()?;
+            let mut last_key: Option<(u32, u8)> = None;
+            for _ in 0..n_queues {
+                let channel = d.u32()?;
+                let dir = d.u8()?;
+                if channel as usize >= network.num_channels() || dir > 1 {
+                    return Err(SnapshotError::Corrupt {
+                        what: format!("queue key ({channel}, {dir}) out of range"),
+                    });
+                }
+                let key = (channel, dir);
+                if last_key.is_some_and(|prev| prev >= key) {
+                    return Err(SnapshotError::Corrupt {
+                        what: "router queues out of order".to_string(),
+                    });
+                }
+                last_key = Some(key);
+                let n_entries = d.usize()?;
+                let mut q = Vec::with_capacity(n_entries);
+                for _ in 0..n_entries {
+                    let payment = d.u64()?;
+                    let seq = d.u32()?;
+                    let amount = Amount::from_micros(d.i64()?);
+                    let path = dec_path(&mut d, network)?;
+                    let deadline_epoch = d.u64()?;
+                    let hop = d.u32()?;
+                    let enqueued_epoch = d.u64()?;
+                    if hop as usize >= path.hops().len() {
+                        return Err(SnapshotError::Corrupt {
+                            what: format!("queued unit hop {hop} beyond its path"),
+                        });
+                    }
+                    if path.hops()[hop as usize].0.index() as u32 != channel {
+                        return Err(SnapshotError::Corrupt {
+                            what: format!("queued unit hop {hop} not on channel {channel}"),
+                        });
+                    }
+                    // Fate and hop amounts are pure functions of content,
+                    // recomputed exactly as `dec_msg` does.
+                    let fate = match config.faults.as_ref() {
+                        Some(plan) => unit_fate(&plan.config, payment, seq, path.hops().len()).0,
+                        None => Fate::Deliver { jitter_epochs: 0 },
+                    };
+                    let hop_amounts = match config.fees.as_ref() {
+                        Some(f) if !f.is_free() => Some(f.path_amounts(&path, amount)),
+                        _ => None,
+                    };
+                    q.push(QueuedUnit {
+                        unit: Arc::new(UnitInfo {
+                            payment,
+                            seq,
+                            amount,
+                            path,
+                            fate,
+                            hop_amounts,
+                            deadline_epoch,
+                        }),
+                        hop,
+                        enqueued_epoch,
+                    });
+                }
+                shard.queues.insert(key, q);
+            }
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad queue presence byte {tag}"),
+            })
+        }
+    }
+    match d.u8()? {
+        0 => {
+            if config.rebalance.is_some() {
+                return Err(SnapshotError::Corrupt {
+                    what: "config has rebalancing but snapshot has no schedule".to_string(),
+                });
+            }
+        }
+        1 => {
+            if config.rebalance.is_none() {
+                return Err(SnapshotError::Corrupt {
+                    what: "snapshot has a rebalance schedule but config has none".to_string(),
+                });
+            }
+            let applies = d.seq(|d| Ok((d.u64()?, d.u32()?)))?;
+            for &(_, c) in &applies {
+                if c as usize >= network.num_channels() {
+                    return Err(SnapshotError::Corrupt {
+                        what: format!("rebalance channel {c} out of range"),
+                    });
+                }
+                shard.rebalance_pending[c as usize] = true;
+            }
+            shard.rebalance_applies = applies;
+            shard.rebal_transactions = d.u64()?;
+            shard.rebal_moved_micros = d.i64()?;
+            shard.rebal_fees_micros = d.i64()?;
+        }
+        tag => {
+            return Err(SnapshotError::Corrupt {
+                what: format!("bad rebalance presence byte {tag}"),
+            })
+        }
+    }
+    d.expect_end()?;
+    Ok(())
 }
 
 /// Deterministically merges the shard outputs into one [`SimReport`].
@@ -2534,6 +3305,8 @@ fn merge_outputs(
                 TraceEvent::PaymentRetry { .. } => Some("sim.payments.retries"),
                 TraceEvent::ChannelOutage { .. } => Some("sim.faults.outages"),
                 TraceEvent::NodeCrashed { .. } => Some("sim.faults.node_crashes"),
+                TraceEvent::UnitQueued { .. } => Some("sim.units.queued"),
+                TraceEvent::RebalanceApplied { .. } => Some("sim.rebalance.applied"),
                 _ => None,
             };
             if let Some(name) = counter {
@@ -2671,7 +3444,7 @@ fn merge_outputs(
             .map(|k| {
                 let epoch = outputs[0].samples[k].epoch;
                 let mut pending = 0u32;
-                let mut per_channel: Vec<(u32, f64, i64)> = Vec::new();
+                let mut per_channel: Vec<(u32, f64, i64, u32)> = Vec::new();
                 for o in &outputs {
                     let s = &o.samples[k];
                     debug_assert_eq!(s.epoch, epoch);
@@ -2679,22 +3452,24 @@ fn merge_outputs(
                     per_channel.extend(
                         s.channels
                             .iter()
-                            .map(|&(c, _, ratio, inflight)| (c, ratio, inflight)),
+                            .map(|&(c, _, ratio, inflight, qdepth)| (c, ratio, inflight, qdepth)),
                     );
                 }
-                per_channel.sort_unstable_by_key(|&(c, _, _)| c);
+                per_channel.sort_unstable_by_key(|&(c, ..)| c);
                 let mean_imbalance = if per_channel.is_empty() {
                     0.0
                 } else {
-                    per_channel.iter().map(|&(_, r, _)| r).sum::<f64>() / per_channel.len() as f64
+                    per_channel.iter().map(|&(_, r, _, _)| r).sum::<f64>()
+                        / per_channel.len() as f64
                 };
-                let inflight_micros: i64 = per_channel.iter().map(|&(_, _, i)| i).sum();
+                let inflight_micros: i64 = per_channel.iter().map(|&(_, _, i, _)| i).sum();
+                let max_queue_depth = per_channel.iter().map(|&(_, _, _, q)| q).max().unwrap_or(0);
                 NetworkSample {
                     t: t_of(epoch),
                     mean_imbalance,
                     total_inflight: tokens(Amount::from_micros(inflight_micros)),
                     pending,
-                    max_queue_depth: 0,
+                    max_queue_depth,
                 }
             })
             .collect()
@@ -2721,9 +3496,30 @@ fn merge_outputs(
         s
     });
 
+    // Feature totals: exact integer sums over shard partials, converted to
+    // display tokens exactly once.
+    let routing_fees_paid = tokens(Amount::from_micros(
+        outputs.iter().map(|o| o.routing_fees_micros).sum(),
+    ));
+    let rebal_transactions: u64 = outputs.iter().map(|o| o.rebal_transactions).sum();
+    let rebalance = RebalanceStats {
+        transactions: rebal_transactions as usize,
+        moved_volume: tokens(Amount::from_micros(
+            outputs.iter().map(|o| o.rebal_moved_micros).sum(),
+        )),
+        fees_paid: tokens(Amount::from_micros(
+            outputs.iter().map(|o| o.rebal_fees_micros).sum(),
+        )),
+    };
+
+    let policy = match config.policy {
+        ShardPolicy::Direct => "epoch-bsp".to_string(),
+        ShardPolicy::Queued => format!("epoch-bsp+queued-{:?}", config.queue_policy),
+    };
+
     SimReport {
         scheme: config.scheme.name().to_string(),
-        policy: "epoch-bsp".to_string(),
+        policy,
         attempted,
         completed: completed.len(),
         abandoned,
@@ -2734,12 +3530,17 @@ fn merge_outputs(
         units_sent: outputs.iter().map(|o| o.units_sent).sum(),
         mean_completion_delay,
         final_mean_imbalance: final_ledger.mean_imbalance(),
-        rebalance: RebalanceStats::default(),
-        routing_fees_paid: 0.0,
+        rebalance,
+        routing_fees_paid,
         series,
-        // One audited pass per epoch plus the final check — a property of
-        // the run, not of how many shards audited their own copy.
-        audit_checks: if config.audit { clock.end_epoch + 1 } else { 0 },
+        // One audited pass per epoch, plus the final check, plus one check
+        // per applied rebalance — a property of the run, not of how many
+        // shards audited their own copy.
+        audit_checks: if config.audit {
+            clock.end_epoch + 1 + rebal_transactions
+        } else {
+            0
+        },
         audit_violations,
         completion_delay_percentiles: tel.delay_percentiles("sim.completion_delay"),
         telemetry: tel.summarize(network_series),
@@ -2871,6 +3672,13 @@ mod tests {
             completed_count: 0,
             attempted_micros: 0,
             delivered_micros: 0,
+            queues: BTreeMap::new(),
+            routing_fees_micros: 0,
+            rebalance_pending: vec![false; g.num_channels()],
+            rebalance_applies: Vec::new(),
+            rebal_transactions: 0,
+            rebal_moved_micros: 0,
+            rebal_fees_micros: 0,
         };
         assert!(!ctx.own(foreign, 1, "test-mutation"));
         assert_eq!(ctx.violations.len(), 1);

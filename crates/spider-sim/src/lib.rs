@@ -40,7 +40,7 @@ pub use engine::{run, SimConfig};
 pub use engine_queued::{run_queued, QueuePolicy, QueueStats, QueuedConfig, QueuedReport};
 pub use engine_sharded::{
     resume_sharded, run_sharded, run_sharded_checkpointed, ShardEpochMetrics, ShardObservability,
-    ShardScheme, ShardedConfig,
+    ShardPolicy, ShardScheme, ShardedConfig,
 };
 pub use events::{EventQueue, Time};
 pub use faults::{

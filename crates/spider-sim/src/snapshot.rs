@@ -42,7 +42,10 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Current snapshot format version. Bump on any layout change.
-pub const FORMAT_VERSION: u8 = 1;
+/// v2: sharded messages carry the unit's deadline epoch, sample partials
+/// carry a queue depth, and sharded snapshots gain a [`SEC_SHARD_EXT`]
+/// section (queues, fee accrual, congestion windows, rebalance schedule).
+pub const FORMAT_VERSION: u8 = 2;
 
 /// File magic: "SPSN" (SPider SNapshot).
 pub const MAGIC: [u8; 4] = *b"SPSN";
@@ -65,6 +68,9 @@ pub const SEC_CORE: u32 = 1;
 pub const SEC_SCHEME: u32 = 2;
 /// Section tag: telemetry state (absent when telemetry is disabled).
 pub const SEC_TELEMETRY: u32 = 3;
+/// Section tag: sharded-engine feature extensions — per-shard router
+/// queues, fee accrual, congestion windows, and the rebalance schedule.
+pub const SEC_SHARD_EXT: u32 = 4;
 
 /// Why a snapshot could not be written, read, or applied.
 ///

@@ -17,7 +17,11 @@
 
 use proptest::prelude::*;
 use spider::prelude::*;
-use spider::sim::{run_sharded, FaultConfig, FaultPlan, ShardedConfig};
+use spider::routing::FeeSchedule;
+use spider::sim::{
+    run_sharded, CongestionConfig, FaultConfig, FaultPlan, RebalancePolicy, ShardPolicy,
+    ShardedConfig,
+};
 use spider::workload::{generate, isp_sizes, TraceConfig};
 
 /// Shard counts differenced against the single-shard reference: even,
@@ -155,6 +159,103 @@ fn no_retry_fault_scenario_is_partition_independent() {
 }
 
 // ---------------------------------------------------------------------------
+// Feature-parity scenarios: router queues, fees, congestion control, and
+// rebalancing must all be partition-independent, alone and combined.
+// ---------------------------------------------------------------------------
+
+/// Enables every sequential-engine feature on a sharded config.
+fn enable_all_features(cfg: &mut ShardedConfig, network: &Network) {
+    cfg.policy = ShardPolicy::Queued;
+    cfg.fees = Some(FeeSchedule::uniform(
+        network,
+        Amount::from_micros(10),
+        1_000,
+    ));
+    cfg.congestion = Some(CongestionConfig::default());
+    cfg.rebalance = Some(RebalancePolicy::aggressive());
+}
+
+#[test]
+fn queued_policy_is_partition_independent() {
+    // Tight capacity so units actually queue and drain across epochs.
+    let network = spider::topology::isp_topology(Amount::from_whole(60));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 400, 12.0);
+    trace_cfg.seed = 31;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut cfg = base_config(18.0);
+    cfg.policy = ShardPolicy::Queued;
+    assert_shard_equivalence(&network, &txs, &cfg, 31);
+}
+
+#[test]
+fn fees_are_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(250));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 300, 15.0);
+    trace_cfg.seed = 37;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut cfg = base_config(20.0);
+    cfg.fees = Some(FeeSchedule::uniform(
+        &network,
+        Amount::from_micros(25),
+        2_500,
+    ));
+    assert_shard_equivalence(&network, &txs, &cfg, 37);
+}
+
+#[test]
+fn congestion_control_is_partition_independent() {
+    // Small windows force the AIMD gate to actually defer pumping.
+    let network = spider::topology::isp_topology(Amount::from_whole(80));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 350, 12.0);
+    trace_cfg.seed = 41;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut cfg = base_config(16.0);
+    cfg.congestion = Some(CongestionConfig {
+        initial_window: 2.0,
+        max_window: 16.0,
+        ..CongestionConfig::default()
+    });
+    assert_shard_equivalence(&network, &txs, &cfg, 41);
+}
+
+#[test]
+fn rebalancing_is_partition_independent() {
+    // Skewed traffic drains channels one way, so the aggressive policy
+    // fires real withdraw/deposit pairs that must replicate across shards.
+    let network = spider::topology::isp_topology(Amount::from_whole(70));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 400, 14.0);
+    trace_cfg.seed = 43;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut cfg = base_config(20.0);
+    cfg.rebalance = Some(RebalancePolicy::aggressive());
+    assert_shard_equivalence(&network, &txs, &cfg, 43);
+}
+
+#[test]
+fn all_features_are_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(90));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 400, 14.0);
+    trace_cfg.seed = 47;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let mut cfg = base_config(20.0);
+    enable_all_features(&mut cfg, &network);
+    assert_shard_equivalence(&network, &txs, &cfg, 47);
+}
+
+#[test]
+fn all_features_under_faults_are_partition_independent() {
+    let network = spider::topology::isp_topology(Amount::from_whole(90));
+    let mut trace_cfg = TraceConfig::isp_default(network.num_nodes(), 300, 14.0);
+    trace_cfg.seed = 53;
+    let txs = generate(&trace_cfg, &isp_sizes());
+    let fault_cfg = FaultConfig::scenario("stress").expect("stress scenario exists");
+    let mut cfg = base_config(20.0);
+    enable_all_features(&mut cfg, &network);
+    cfg.faults = Some(FaultPlan::from_config(&fault_cfg, &network, 20.0));
+    assert_shard_equivalence(&network, &txs, &cfg, 53);
+}
+
+// ---------------------------------------------------------------------------
 // Property-based sweep: random topologies × workloads × fault plans.
 // ---------------------------------------------------------------------------
 
@@ -204,5 +305,104 @@ proptest! {
             cfg.faults = Some(FaultPlan::from_config(&fc, &network, 14.0));
         }
         assert_shard_equivalence(&network, &txs, &cfg, topo_seed ^ trace_seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Full-matrix generative sweep: random graph × workload × feature
+    /// toggles (queued policy, fees, congestion, rebalancing) × fault plan.
+    /// The 1-shard run is the sequential reference; 2- and 4-shard runs must
+    /// reproduce it byte for byte with a clean per-epoch ledger audit.
+    #[test]
+    fn prop_sharded_parity_full_features(
+        n in 8usize..24,
+        p in 0.2f64..0.5,
+        topo_seed in any::<u64>(),
+        trace_seed in any::<u64>(),
+        num_txs in 20usize..100,
+        capacity in 20i64..200,
+        queued in any::<bool>(),
+        fees_on in any::<bool>(),
+        fee_ppm in 100u32..5_000,
+        congestion_on in any::<bool>(),
+        initial_window in 1.0f64..8.0,
+        rebalance_on in any::<bool>(),
+        faults_on in any::<bool>(),
+        fault_seed in any::<u64>(),
+        outage_rate in 0.0f64..0.3,
+        drop_prob in 0.0f64..0.1,
+    ) {
+        let network = spider::topology::erdos_renyi(
+            n, p, Amount::from_whole(capacity), topo_seed,
+        );
+        if network.num_channels() == 0 {
+            return Ok(());
+        }
+        let duration = 8.0;
+        let mut trace_cfg = TraceConfig::isp_default(n, num_txs, duration);
+        trace_cfg.seed = trace_seed;
+        let txs = generate(&trace_cfg, &isp_sizes());
+        let mut cfg = base_config(12.0);
+        if queued {
+            cfg.policy = ShardPolicy::Queued;
+        }
+        if fees_on {
+            cfg.fees = Some(FeeSchedule::uniform(
+                &network,
+                Amount::from_micros(10),
+                fee_ppm,
+            ));
+        }
+        if congestion_on {
+            cfg.congestion = Some(CongestionConfig {
+                initial_window,
+                ..CongestionConfig::default()
+            });
+        }
+        if rebalance_on {
+            cfg.rebalance = Some(RebalancePolicy::aggressive());
+        }
+        if faults_on {
+            let fc = FaultConfig {
+                seed: fault_seed,
+                channel_outage_rate: outage_rate,
+                unit_drop_prob: drop_prob,
+                ..FaultConfig::default()
+            };
+            cfg.faults = Some(FaultPlan::from_config(&fc, &network, 12.0));
+        }
+
+        // Field-by-field comparison: the 1-shard reference against 2 and 4
+        // shards (the deterministic scenarios cover 7).
+        let (ref_report, ref_trace) = run_at(&network, &txs, &cfg, 1, topo_seed ^ trace_seed);
+        prop_assert!(
+            ref_report.audit_violations.is_empty(),
+            "single-shard audit violations: {:?}",
+            ref_report.audit_violations
+        );
+        let ref_json = serde_json::to_string_pretty(&ref_report).expect("report serializes");
+        for shards in [2usize, 4] {
+            let (report, trace) = run_at(&network, &txs, &cfg, shards, topo_seed ^ trace_seed);
+            prop_assert!(
+                report.audit_violations.is_empty(),
+                "{}-shard audit violations: {:?}",
+                shards,
+                report.audit_violations
+            );
+            prop_assert_eq!(report.completed, ref_report.completed);
+            prop_assert_eq!(report.attempted, ref_report.attempted);
+            prop_assert_eq!(report.success_ratio(), ref_report.success_ratio());
+            prop_assert_eq!(report.success_volume(), ref_report.success_volume());
+            prop_assert_eq!(report.routing_fees_paid, ref_report.routing_fees_paid);
+            prop_assert_eq!(
+                report.rebalance.transactions,
+                ref_report.rebalance.transactions
+            );
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            prop_assert_eq!(&json, &ref_json, "SimReport diverged at {} shards", shards);
+            prop_assert_eq!(&trace, &ref_trace, "trace diverged at {} shards", shards);
+        }
     }
 }

@@ -275,6 +275,71 @@ fn tier2_sharded_engine_10k_nodes_bounded() {
     );
 }
 
+/// Graduated tier-2: the feature-parity surface (queued router policy +
+/// fees + rebalancing) through the 4-shard engine at 10k nodes, bounded to
+/// a payment count CI can afford. The queue drain loop, fee accrual over
+/// sorted settle messages, and owner-shard rebalancing all run at real
+/// scale with the per-epoch auditor on.
+#[test]
+fn tier2_sharded_queued_full_features_10k_nodes_bounded() {
+    use spider::routing::fees::FeeSchedule;
+    use spider::sim::{run_sharded, RebalancePolicy, ShardPolicy, ShardedConfig};
+    let g = spider::topology::ripple_topology_scaled(10_000, Amount::from_whole(5_000), 44);
+    assert!(g.num_nodes() >= 10_000);
+    let mut cfg = TraceConfig::ripple_default(g.num_nodes(), 400, 10.0);
+    cfg.seed = 44;
+    let txs = generate(&cfg, &ripple_sizes());
+    let partition = Partition::build(&g, 4, 44);
+    let mut sim_cfg = ShardedConfig::new(15.0);
+    sim_cfg.policy = ShardPolicy::Queued;
+    sim_cfg.fees = Some(FeeSchedule::uniform(&g, Amount::from_micros(10), 1_000));
+    sim_cfg.rebalance = Some(RebalancePolicy::aggressive());
+    sim_cfg.audit = true;
+    let report = run_sharded(&g, &txs, &partition, &sim_cfg);
+    assert_sound(&report);
+    assert!(report.attempted >= 390, "attempted {}", report.attempted);
+    assert!(
+        report.audit_violations.is_empty(),
+        "full-features sharded 10k-node run violated the audit: {:?}",
+        report.audit_violations
+    );
+    assert!(
+        report.success_ratio() > 0.1,
+        "scale run must route real volume: {}",
+        report.summary()
+    );
+}
+
+/// Tier-3 soak of the same full-features surface: 10k nodes / 100k
+/// payments at 1 and 4 shards, byte-identical reports and clean audits.
+#[test]
+#[ignore = "tier-3 scale test (10k nodes / 100k payments, 2 full-feature runs); run with --ignored"]
+fn tier3_sharded_queued_full_features_100k_payments_identity() {
+    use spider::routing::fees::FeeSchedule;
+    use spider::sim::{run_sharded, RebalancePolicy, ShardPolicy, ShardedConfig};
+    let g = spider::topology::ripple_topology_scaled(10_000, Amount::from_whole(5_000), 44);
+    let mut cfg = TraceConfig::ripple_default(g.num_nodes(), 100_000, 600.0);
+    cfg.seed = 44;
+    let txs = generate(&cfg, &ripple_sizes());
+    assert!(txs.len() >= 100_000);
+    let end = txs.last().map_or(600.0, |t| t.arrival) + 1.0;
+    let mut sim_cfg = ShardedConfig::new(end);
+    sim_cfg.policy = ShardPolicy::Queued;
+    sim_cfg.fees = Some(FeeSchedule::uniform(&g, Amount::from_micros(10), 1_000));
+    sim_cfg.rebalance = Some(RebalancePolicy::aggressive());
+    sim_cfg.audit = true;
+    let r1 = run_sharded(&g, &txs, &Partition::single(&g), &sim_cfg);
+    let r4 = run_sharded(&g, &txs, &Partition::build(&g, 4, 44), &sim_cfg);
+    assert_sound(&r1);
+    assert!(r1.audit_violations.is_empty() && r4.audit_violations.is_empty());
+    assert_eq!(
+        serde_json::to_string(&r1).expect("report serializes"),
+        serde_json::to_string(&r4).expect("report serializes"),
+        "full-features sharded report diverged between 1 and 4 shards at full scale"
+    );
+    assert!(r1.routing_fees_paid > 0.0);
+}
+
 /// Full tier-2 sharded soak: 10k nodes / 100k payments, run at 1 and 4
 /// shards — the two reports must be byte-identical and audit-clean.
 #[test]
